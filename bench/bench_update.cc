@@ -1,0 +1,127 @@
+// Experiment C7 (paper §3.7): manipulation operations. udi-operations and
+// connect/disconnect performed through the XNF cache (with write-through
+// propagation to the base tables) versus issuing equivalent SQL statements
+// through the query interface.
+
+#include "benchmark/benchmark.h"
+#include "util.h"
+#include "xnf/cache.h"
+#include "xnf/manipulate.h"
+
+namespace xnf::bench {
+namespace {
+
+struct UpdateContext {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<co::CoCache> cache;
+  std::vector<co::CoCache::Tuple*> items;
+  std::vector<co::CoCache::Tuple*> groups;
+  int rel = -1;
+};
+
+UpdateContext& GetContext(int configurations) {
+  static std::unordered_map<int, std::unique_ptr<UpdateContext>> cache;
+  auto it = cache.find(configurations);
+  if (it != cache.end()) return *it->second;
+  auto ctx = std::make_unique<UpdateContext>();
+  ctx->db = std::make_unique<Database>();
+  WorkingSetOptions options;
+  options.configurations = configurations;
+  BuildWorkingSetDatabase(ctx->db.get(), options);
+  ctx->cache = CheckResult(ctx->db->OpenCo(R"(
+    OUT OF g AS grp, i AS item,
+      has_item AS (RELATE g, i WHERE g.gid = i.gid)
+    TAKE *
+  )"), "open CO");
+  ctx->rel = ctx->cache->RelIndex("has_item");
+  for (co::CoCache::Tuple& t :
+       ctx->cache->node(ctx->cache->NodeIndex("i")).tuples) {
+    ctx->items.push_back(&t);
+  }
+  for (co::CoCache::Tuple& t :
+       ctx->cache->node(ctx->cache->NodeIndex("g")).tuples) {
+    ctx->groups.push_back(&t);
+  }
+  UpdateContext& ref = *ctx;
+  cache.emplace(configurations, std::move(ctx));
+  return ref;
+}
+
+void BM_UpdateViaCache(benchmark::State& state) {
+  UpdateContext& ctx = GetContext(static_cast<int>(state.range(0)));
+  co::Manipulator m(ctx.cache.get(), ctx.db->catalog());
+  size_t i = 0;
+  int64_t w = 0;
+  for (auto _ : state) {
+    co::CoCache::Tuple* t = ctx.items[i % ctx.items.size()];
+    Check(m.UpdateColumn(t, "weight", Value::Int(w % 100)), "cache update");
+    ++i;
+    ++w;
+  }
+  state.SetLabel("udi-operation with write-through");
+}
+
+void BM_UpdateViaSqlStatement(benchmark::State& state) {
+  UpdateContext& ctx = GetContext(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  int64_t w = 0;
+  for (auto _ : state) {
+    int64_t iid = ctx.items[i % ctx.items.size()]->values[0].AsInt();
+    Check(ctx.db
+              ->Execute("UPDATE item SET weight = " + std::to_string(w % 100) +
+                        " WHERE iid = " + std::to_string(iid))
+              .status(),
+          "sql update");
+    ++i;
+    ++w;
+  }
+  state.SetLabel("UPDATE statement per modification");
+}
+
+void BM_ConnectDisconnectViaCache(benchmark::State& state) {
+  UpdateContext& ctx = GetContext(static_cast<int>(state.range(0)));
+  co::Manipulator m(ctx.cache.get(), ctx.db->catalog());
+  size_t i = 0;
+  for (auto _ : state) {
+    co::CoCache::Tuple* item = ctx.items[i % ctx.items.size()];
+    co::CoCache::Tuple* group = ctx.groups[(i + 1) % ctx.groups.size()];
+    // Reassign the item to another group and back (two FK connects).
+    co::CoCache::Tuple* old_parent = item->in[ctx.rel].empty()
+                                         ? group
+                                         : item->in[ctx.rel][0]->parent;
+    Check(m.Connect(ctx.rel, group, item).status(), "connect");
+    Check(m.Connect(ctx.rel, old_parent, item).status(), "connect back");
+    ++i;
+  }
+  state.SetLabel("FK connect = reassign via cache");
+}
+
+void BM_ReassignViaSqlStatement(benchmark::State& state) {
+  UpdateContext& ctx = GetContext(static_cast<int>(state.range(0)));
+  size_t i = 0;
+  for (auto _ : state) {
+    int64_t iid = ctx.items[i % ctx.items.size()]->values[0].AsInt();
+    int64_t gid = ctx.groups[(i + 1) % ctx.groups.size()]->values[0].AsInt();
+    int64_t old_gid = ctx.items[i % ctx.items.size()]->values[1].AsInt();
+    Check(ctx.db
+              ->Execute("UPDATE item SET gid = " + std::to_string(gid) +
+                        " WHERE iid = " + std::to_string(iid))
+              .status(),
+          "sql reassign");
+    Check(ctx.db
+              ->Execute("UPDATE item SET gid = " + std::to_string(old_gid) +
+                        " WHERE iid = " + std::to_string(iid))
+              .status(),
+          "sql reassign back");
+    ++i;
+  }
+  state.SetLabel("UPDATE statement per reassignment");
+}
+
+BENCHMARK(BM_UpdateViaCache)->Arg(100)->Arg(1000);
+BENCHMARK(BM_UpdateViaSqlStatement)->Arg(100)->Arg(1000);
+BENCHMARK(BM_ConnectDisconnectViaCache)->Arg(100)->Arg(1000);
+BENCHMARK(BM_ReassignViaSqlStatement)->Arg(100)->Arg(1000);
+
+}  // namespace
+}  // namespace xnf::bench

@@ -1,0 +1,95 @@
+// Interactive SQL/XNF shell: type statements terminated by ';'. SELECTs
+// print tables, XNF queries print composite objects, EXPLAIN dumps the QGM.
+//
+//   ./build/examples/xnf_shell            # interactive
+//   ./build/examples/xnf_shell < script   # batch
+//
+// Commands: \tables, \views, \stats (last XNF evaluation), \help, \quit.
+
+#include <iostream>
+#include <string>
+
+#include "api/database.h"
+
+namespace {
+
+void PrintResult(const xnf::ExecResult& result) {
+  switch (result.kind) {
+    case xnf::ExecResult::Kind::kRows:
+      std::cout << result.rows.ToString();
+      break;
+    case xnf::ExecResult::Kind::kAffected:
+      std::cout << result.affected << " row(s) affected";
+      if (!result.message.empty()) std::cout << " (" << result.message << ")";
+      std::cout << "\n";
+      break;
+    case xnf::ExecResult::Kind::kCo:
+      std::cout << result.co.ToString();
+      break;
+    case xnf::ExecResult::Kind::kNone:
+      std::cout << result.message << "\n";
+      break;
+  }
+}
+
+void PrintHelp() {
+  std::cout <<
+      "SQL:  CREATE TABLE/INDEX/VIEW, INSERT, UPDATE, DELETE, SELECT,\n"
+      "      EXPLAIN SELECT ...\n"
+      "XNF:  OUT OF <components> [WHERE ... SUCH THAT ...]\n"
+      "        TAKE ... | DELETE * | UPDATE <node> SET ...\n"
+      "      CREATE VIEW name AS OUT OF ...  defines a CO view\n"
+      "Meta: \\tables  \\views  \\stats  \\help  \\quit\n";
+}
+
+}  // namespace
+
+int main() {
+  xnf::Database db;
+  std::cout << "SQL/XNF shell — composite objects over relational data.\n"
+            << "Statements end with ';'. \\help for help.\n";
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::cout << (buffer.empty() ? "xnf> " : "...> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    // Meta commands act immediately.
+    if (buffer.empty() && !line.empty() && line[0] == '\\') {
+      if (line == "\\quit" || line == "\\q") break;
+      if (line == "\\help") {
+        PrintHelp();
+      } else if (line == "\\tables") {
+        for (const std::string& t : db.catalog()->TableNames()) {
+          xnf::TableInfo* info = db.catalog()->GetTable(t);
+          std::cout << t << " (" << info->schema.ToString() << ") — "
+                    << info->heap->live_count() << " row(s)\n";
+        }
+      } else if (line == "\\views") {
+        for (const std::string& v : db.catalog()->ViewNames()) {
+          const xnf::ViewInfo* info = db.catalog()->GetView(v);
+          std::cout << v << (info->is_xnf ? " [XNF]" : " [SQL]") << "\n";
+        }
+      } else if (line == "\\stats") {
+        const auto& s = db.last_xnf_stats();
+        std::cout << "node queries: " << s.node_queries
+                  << ", edge queries: " << s.edge_queries
+                  << ", temp reuses: " << s.temp_reuses
+                  << ", reachability passes: " << s.reachability_passes
+                  << ", restrictions: " << s.restrictions_applied << "\n";
+      } else {
+        std::cout << "unknown command; \\help for help\n";
+      }
+      continue;
+    }
+    buffer += line + "\n";
+    if (buffer.find(';') == std::string::npos) continue;
+    auto result = db.Execute(buffer);
+    if (result.ok()) {
+      PrintResult(*result);
+    } else {
+      std::cout << "error: " << result.status().ToString() << "\n";
+    }
+    buffer.clear();
+  }
+  return 0;
+}

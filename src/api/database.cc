@@ -1,0 +1,421 @@
+#include "api/database.h"
+
+#include "common/str_util.h"
+#include "exec/dml.h"
+#include "exec/operators.h"
+#include "plan/planner.h"
+#include "qgm/builder.h"
+#include "qgm/rewrite.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "xnf/manipulate.h"
+#include "xnf/path.h"
+#include "xnf/parser.h"
+
+namespace xnf {
+
+Database::Database(Options options)
+    : options_(options), buffer_pool_(options.buffer_pool_pages),
+      catalog_(&buffer_pool_, options.tuples_per_page) {}
+
+Result<const ResultSet*> Database::ResolveExtra(const std::string& name) {
+  // "view.component": materialize the XNF view and expose one node as a
+  // table (closure type (3), Fig. 6).
+  size_t dot = name.find('.');
+  if (dot == std::string::npos) {
+    return static_cast<const ResultSet*>(nullptr);
+  }
+  std::string view_name = name.substr(0, dot);
+  std::string component = name.substr(dot + 1);
+  const ViewInfo* view = catalog_.GetView(view_name);
+  if (view == nullptr || !view->is_xnf) {
+    return Status::NotFound("XNF view '" + view_name + "' not found");
+  }
+  co::Evaluator evaluator(&catalog_, xnf_options_);
+  XNF_ASSIGN_OR_RETURN(co::CoInstance instance,
+                       evaluator.EvaluateText(view->definition));
+  int n = instance.NodeIndex(component);
+  if (n < 0) {
+    return Status::NotFound("component '" + component +
+                            "' not found in XNF view '" + view_name + "'");
+  }
+  component_cache_.push_back(
+      std::make_unique<ResultSet>(instance.nodes[n].ToResultSet()));
+  return static_cast<const ResultSet*>(component_cache_.back().get());
+}
+
+Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
+  exec::ExecContext ctx;
+  ctx.catalog = catalog_;
+  ctx.params = &params;
+  return exec::RunPlan(plan_.get(), &ctx);
+}
+
+Result<std::unique_ptr<PreparedQuery>> Database::Prepare(
+    const std::string& select_text) {
+  sql::Parser parser(select_text);
+  XNF_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> stmt,
+                       parser.ParseSelect());
+  parser.Accept(sql::TokenKind::kSemicolon);
+  if (!parser.AtEnd()) {
+    return parser.MakeError("unexpected trailing input");
+  }
+  qgm::Builder builder(&catalog_);
+  XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(*stmt));
+  XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
+  (void)rw;
+  plan::Planner planner(&catalog_);
+  XNF_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.Plan(graph));
+  return std::unique_ptr<PreparedQuery>(
+      new PreparedQuery(std::move(plan), &catalog_));
+}
+
+Result<ResultSet> Database::Query(const std::string& select_text) {
+  XNF_ASSIGN_OR_RETURN(ExecResult result, Execute(select_text));
+  if (result.kind != ExecResult::Kind::kRows) {
+    return Status::InvalidArgument("statement did not produce rows");
+  }
+  return std::move(result.rows);
+}
+
+Result<co::CoInstance> Database::QueryCo(const std::string& xnf_text) {
+  co::Evaluator evaluator(&catalog_, xnf_options_);
+  Result<co::CoInstance> result = evaluator.EvaluateText(xnf_text);
+  xnf_stats_ = evaluator.stats();
+  return result;
+}
+
+Result<std::unique_ptr<co::CoCache>> Database::OpenCo(
+    const std::string& xnf_text) {
+  XNF_ASSIGN_OR_RETURN(co::CoInstance instance, QueryCo(xnf_text));
+  return co::CoCache::Build(std::move(instance));
+}
+
+Result<ExecResult> Database::ExecuteScript(const std::string& text) {
+  sql::Parser probe(text);
+  // Split on top-level semicolons by re-lexing: simplest robust approach is
+  // to let Execute() consume one statement at a time; statements do not nest
+  // semicolons (string literals are tokens).
+  ExecResult last;
+  std::string remaining = text;
+  // Tokenize once to find statement boundaries.
+  XNF_ASSIGN_OR_RETURN(auto tokens, sql::Lex(text));
+  std::vector<std::string> statements;
+  size_t start = 0;
+  for (const sql::Token& t : tokens) {
+    if (t.kind == sql::TokenKind::kSemicolon) {
+      statements.push_back(text.substr(start, t.offset - start));
+      start = t.offset + 1;
+    } else if (t.kind == sql::TokenKind::kEnd) {
+      statements.push_back(text.substr(start));
+    }
+  }
+  for (const std::string& stmt : statements) {
+    // Skip blank segments.
+    bool blank = true;
+    for (char c : stmt) {
+      if (!std::isspace(static_cast<unsigned char>(c))) {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    XNF_ASSIGN_OR_RETURN(last, Execute(stmt));
+  }
+  return last;
+}
+
+Result<ExecResult> Database::Execute(const std::string& text) {
+  component_cache_.clear();
+
+  // Dispatch: XNF queries begin with OUT OF; EXPLAIN dumps the rewritten
+  // Query Graph Model of a SELECT.
+  XNF_ASSIGN_OR_RETURN(auto tokens, sql::Lex(text));
+  if (!tokens.empty() && tokens[0].Is("out")) {
+    return ExecuteXnf(text);
+  }
+  // Transaction control. DDL (CREATE/DROP) is non-transactional: it takes
+  // effect immediately and is not undone by ROLLBACK.
+  if (!tokens.empty() && (tokens[0].Is("begin") || tokens[0].Is("commit") ||
+                          tokens[0].Is("rollback"))) {
+    if (tokens.size() > 2 ||
+        (tokens.size() == 2 && tokens[1].kind != sql::TokenKind::kEnd &&
+         tokens[1].kind != sql::TokenKind::kSemicolon)) {
+      return Status::ParseError("unexpected input after transaction keyword");
+    }
+    ExecResult result;
+    result.kind = ExecResult::Kind::kNone;
+    if (tokens[0].Is("begin")) {
+      if (txn_ != nullptr) {
+        return Status::InvalidArgument("a transaction is already active");
+      }
+      txn_ = std::make_unique<UndoLog>();
+      catalog_.set_undo_log(txn_.get());
+      result.message = "transaction started";
+      return result;
+    }
+    if (txn_ == nullptr) {
+      return Status::InvalidArgument("no active transaction");
+    }
+    if (tokens[0].Is("commit")) {
+      txn_->Commit();
+      result.message = "committed";
+    } else {
+      XNF_RETURN_IF_ERROR(txn_->Rollback(&catalog_));
+      result.message = "rolled back";
+    }
+    catalog_.set_undo_log(nullptr);
+    txn_.reset();
+    return result;
+  }
+
+  if (!tokens.empty() && tokens[0].Is("explain")) {
+    size_t body_offset = tokens.size() > 1 ? tokens[1].offset : text.size();
+    sql::Parser body(text.substr(body_offset));
+    XNF_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> select,
+                         body.ParseSelect());
+    qgm::Builder builder(&catalog_, [this](const std::string& name) {
+      return ResolveExtra(name);
+    });
+    XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(*select));
+    XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
+    ExecResult result;
+    result.kind = ExecResult::Kind::kRows;
+    result.rows.schema.AddColumn(Column("plan", Type::kString));
+    std::string dump = graph.ToString();
+    dump += "rewrite: " + std::to_string(rw.views_merged) +
+            " view(s) merged, " + std::to_string(rw.predicates_pushed) +
+            " predicate(s) pushed, " + std::to_string(rw.constants_folded) +
+            " constant(s) folded";
+    size_t start = 0;
+    while (start < dump.size()) {
+      size_t nl = dump.find('\n', start);
+      if (nl == std::string::npos) nl = dump.size();
+      result.rows.rows.push_back(
+          {Value::String(dump.substr(start, nl - start))});
+      start = nl + 1;
+    }
+    return result;
+  }
+
+  sql::Parser parser(text);
+  XNF_ASSIGN_OR_RETURN(sql::Statement stmt, parser.ParseStatement());
+  if (!parser.AtEnd()) {
+    return parser.MakeError("unexpected trailing input");
+  }
+
+  ExecResult result;
+  switch (stmt.kind) {
+    case sql::Statement::Kind::kSelect: {
+      qgm::Builder builder(&catalog_, [this](const std::string& name) {
+        return ResolveExtra(name);
+      });
+      XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph,
+                           builder.Build(*stmt.select));
+      XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
+      (void)rw;
+      XNF_ASSIGN_OR_RETURN(result.rows, plan::Execute(&catalog_, graph));
+      result.kind = ExecResult::Kind::kRows;
+      return result;
+    }
+    case sql::Statement::Kind::kCreateTable: {
+      Schema schema;
+      for (const sql::ColumnDef& c : stmt.create_table->columns) {
+        Column col(ToLower(c.name), c.type);
+        col.not_null = c.not_null;
+        col.primary_key = c.primary_key;
+        schema.AddColumn(std::move(col));
+      }
+      XNF_RETURN_IF_ERROR(
+          catalog_.CreateTable(stmt.create_table->name, std::move(schema)));
+      result.kind = ExecResult::Kind::kNone;
+      result.message = "table created";
+      return result;
+    }
+    case sql::Statement::Kind::kCreateIndex: {
+      const sql::CreateIndexStmt& ci = *stmt.create_index;
+      XNF_RETURN_IF_ERROR(catalog_.CreateIndex(
+          ci.name, ci.table, ci.columns, ci.unique,
+          ci.ordered ? Index::Kind::kOrdered : Index::Kind::kHash));
+      result.kind = ExecResult::Kind::kNone;
+      result.message = "index created";
+      return result;
+    }
+    case sql::Statement::Kind::kCreateView: {
+      const sql::CreateViewStmt& cv = *stmt.create_view;
+      // Validate the body now so broken views are rejected at definition
+      // time (as in the paper's view concept).
+      if (cv.is_xnf) {
+        XNF_ASSIGN_OR_RETURN(co::XnfQuery q, co::Parser::Parse(cv.definition));
+        co::Resolver resolver(&catalog_);
+        XNF_ASSIGN_OR_RETURN(co::CoDef def, resolver.Resolve(q));
+        (void)def;
+      } else {
+        sql::Parser body(cv.definition);
+        XNF_ASSIGN_OR_RETURN(auto select, body.ParseSelect());
+        qgm::Builder builder(&catalog_, [this](const std::string& name) {
+          return ResolveExtra(name);
+        });
+        XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(*select));
+        (void)graph;
+      }
+      XNF_RETURN_IF_ERROR(
+          catalog_.CreateView(cv.name, cv.definition, cv.is_xnf));
+      result.kind = ExecResult::Kind::kNone;
+      result.message = cv.is_xnf ? "XNF view created" : "view created";
+      return result;
+    }
+    case sql::Statement::Kind::kInsert: {
+      exec::DmlExecutor dml(&catalog_);
+      XNF_ASSIGN_OR_RETURN(result.affected, dml.Insert(*stmt.insert));
+      result.kind = ExecResult::Kind::kAffected;
+      return result;
+    }
+    case sql::Statement::Kind::kUpdate: {
+      exec::DmlExecutor dml(&catalog_);
+      XNF_ASSIGN_OR_RETURN(result.affected, dml.Update(*stmt.update));
+      result.kind = ExecResult::Kind::kAffected;
+      return result;
+    }
+    case sql::Statement::Kind::kDelete: {
+      exec::DmlExecutor dml(&catalog_);
+      XNF_ASSIGN_OR_RETURN(result.affected, dml.Delete(*stmt.del));
+      result.kind = ExecResult::Kind::kAffected;
+      return result;
+    }
+    case sql::Statement::Kind::kDrop: {
+      if (stmt.drop->is_view) {
+        XNF_RETURN_IF_ERROR(catalog_.DropView(stmt.drop->name));
+        result.message = "view dropped";
+      } else {
+        XNF_RETURN_IF_ERROR(catalog_.DropTable(stmt.drop->name));
+        result.message = "table dropped";
+      }
+      result.kind = ExecResult::Kind::kNone;
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<ExecResult> Database::ExecuteXnf(const std::string& text) {
+  XNF_ASSIGN_OR_RETURN(co::XnfQuery query, co::Parser::Parse(text));
+  co::Evaluator evaluator(&catalog_, xnf_options_);
+  XNF_ASSIGN_OR_RETURN(co::CoInstance instance, evaluator.Evaluate(query));
+  xnf_stats_ = evaluator.stats();
+
+  if (query.action == co::XnfQuery::Action::kDelete) {
+    return ExecuteCoDelete(instance);
+  }
+  if (query.action == co::XnfQuery::Action::kUpdate) {
+    return ExecuteCoUpdate(query, std::move(instance));
+  }
+  ExecResult result;
+  result.kind = ExecResult::Kind::kCo;
+  result.co = std::move(instance);
+  return result;
+}
+
+Result<ExecResult> Database::ExecuteCoUpdate(const co::XnfQuery& query,
+                                             co::CoInstance instance) {
+  // CO-level update (§3.7): apply the SET assignments to every tuple of the
+  // target component table; write-through uses the same propagation rules as
+  // cache-side udi-operations (relationship-defining columns are rejected).
+  int n = instance.NodeIndex(query.update_target);
+  if (n < 0) {
+    return Status::NotFound("component table '" + query.update_target +
+                            "' not found in this CO");
+  }
+  // Evaluate all assignment expressions against the pre-update instance.
+  co::InstanceEvaluator eval(&instance);
+  const co::CoNodeInstance& node = instance.nodes[n];
+  std::vector<std::vector<Value>> planned(node.tuples.size());
+  for (size_t t = 0; t < node.tuples.size(); ++t) {
+    std::vector<co::InstanceEvaluator::Binding> bindings = {
+        {node.name, n, static_cast<int>(t)}};
+    for (const auto& [col, expr] : query.assignments) {
+      XNF_ASSIGN_OR_RETURN(Value v, eval.Eval(*expr, bindings));
+      planned[t].push_back(std::move(v));
+    }
+  }
+  // Apply through the cache manipulator (enforces updatability rules).
+  auto cache = co::CoCache::Build(std::move(instance));
+  co::Manipulator manipulator(cache.get(), &catalog_);
+  co::CoCache::Node& cached = cache->node(n);
+  size_t t = 0;
+  int64_t affected = 0;
+  for (co::CoCache::Tuple& tuple : cached.tuples) {
+    for (size_t a = 0; a < query.assignments.size(); ++a) {
+      XNF_RETURN_IF_ERROR(manipulator.UpdateColumn(
+          &tuple, query.assignments[a].first, planned[t][a]));
+    }
+    ++affected;
+    ++t;
+  }
+  ExecResult result;
+  result.kind = ExecResult::Kind::kAffected;
+  result.affected = affected;
+  result.message = "composite object updated";
+  return result;
+}
+
+Result<ExecResult> Database::ExecuteCoDelete(const co::CoInstance& instance) {
+  // CO deletion (§3.7): removal of all tuples and connections of the target
+  // CO maps down to removals of the base tuples they are derived from.
+  // Updatability is required for every component.
+  for (const co::CoNodeInstance& node : instance.nodes) {
+    if (!node.tuples.empty() && !node.updatable()) {
+      return Status::NotUpdatable("component table '" + node.name +
+                                  "' is not updatable; CO DELETE rejected");
+    }
+  }
+  exec::DmlExecutor dml(&catalog_);
+  int64_t affected = 0;
+
+  // Connections derived from link tables map to link-tuple deletions.
+  for (const co::CoRelInstance& rel : instance.rels) {
+    if (rel.write_kind != co::CoRelInstance::WriteKind::kLinkTable) continue;
+    TableInfo* link = catalog_.GetTable(rel.link_table);
+    if (link == nullptr) continue;
+    const co::CoNodeInstance& parent = instance.nodes[rel.parent_node];
+    const co::CoNodeInstance& child = instance.nodes[rel.child_node];
+    for (const co::CoConnection& c : rel.connections) {
+      const Value& pkey = parent.tuples[c.parent][rel.parent_key_column];
+      const Value& ckey = child.tuples[c.child][rel.child_key_column];
+      std::optional<Rid> victim;
+      link->heap->Scan([&](Rid rid, const Row& row) {
+        if (row[rel.link_parent_column].CompareEq(pkey) == Tribool::kTrue &&
+            row[rel.link_child_column].CompareEq(ckey) == Tribool::kTrue) {
+          victim = rid;
+          return false;
+        }
+        return true;
+      });
+      if (victim.has_value()) {
+        XNF_RETURN_IF_ERROR(dml.DeleteRow(link, *victim));
+        ++affected;
+      }
+    }
+  }
+
+  for (const co::CoNodeInstance& node : instance.nodes) {
+    if (node.tuples.empty()) continue;
+    TableInfo* table = catalog_.GetTable(node.base_table);
+    if (table == nullptr) {
+      return Status::NotFound("base table '" + node.base_table +
+                              "' not found");
+    }
+    for (Rid rid : node.rids) {
+      XNF_RETURN_IF_ERROR(dml.DeleteRow(table, rid));
+      ++affected;
+    }
+  }
+
+  ExecResult result;
+  result.kind = ExecResult::Kind::kAffected;
+  result.affected = affected;
+  result.message = "composite object deleted";
+  return result;
+}
+
+}  // namespace xnf

@@ -1,0 +1,126 @@
+#ifndef XNF_API_DATABASE_H_
+#define XNF_API_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/undo_log.h"
+#include "common/result_set.h"
+#include "common/status.h"
+#include "exec/operator.h"
+#include "storage/buffer_pool.h"
+#include "xnf/cache.h"
+#include "xnf/evaluator.h"
+#include "xnf/instance.h"
+
+namespace xnf {
+
+// A compiled parameterized SELECT ('?' placeholders), prepared once and
+// executed many times with different bindings. This is the fast path of the
+// "regular SQL DBMS interface" and serves as the honest baseline for the
+// navigation benchmarks (C1/C6): no per-call parsing or planning, but still
+// the full query-execution path the paper's cache bypasses.
+class PreparedQuery {
+ public:
+  Result<ResultSet> Execute(const std::vector<Value>& params);
+
+ private:
+  friend class Database;
+  PreparedQuery(exec::OperatorPtr plan, const Catalog* catalog)
+      : plan_(std::move(plan)), catalog_(catalog) {}
+
+  exec::OperatorPtr plan_;
+  const Catalog* catalog_;
+};
+
+// Result of executing one statement.
+struct ExecResult {
+  enum class Kind { kNone, kRows, kAffected, kCo };
+  Kind kind = Kind::kNone;
+  ResultSet rows;       // kRows
+  int64_t affected = 0; // kAffected
+  co::CoInstance co;    // kCo
+  std::string message;  // human-readable summary ("table created", ...)
+};
+
+// The SQL/XNF database facade: one shared relational store serving both
+// plain SQL applications and composite-object (XNF) applications — the
+// architecture of the paper's Fig. 7. SQL statements, XNF queries, views of
+// both kinds, and CO-level DELETE all go through Execute(); the XNF API
+// (cache + cursors) is reached through OpenCo().
+class Database {
+ public:
+  struct Options {
+    // 0 = unbounded buffer pool (fault count == distinct pages touched).
+    size_t buffer_pool_pages = 0;
+    uint32_t tuples_per_page = 64;
+  };
+
+  Database() : Database(Options()) {}
+  explicit Database(Options options);
+
+  Options options() const { return options_; }
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Executes a single SQL or XNF statement.
+  Result<ExecResult> Execute(const std::string& text);
+
+  // Executes a ';'-separated script, returning the last statement's result.
+  Result<ExecResult> ExecuteScript(const std::string& text);
+
+  // Convenience: SELECT returning rows.
+  Result<ResultSet> Query(const std::string& select_text);
+
+  // Compiles a parameterized SELECT ('?' placeholders) for repeated
+  // execution. XNF view components are not resolvable in prepared queries.
+  Result<std::unique_ptr<PreparedQuery>> Prepare(
+      const std::string& select_text);
+
+  // Evaluates an XNF query ("OUT OF ... TAKE ...") to a materialized CO.
+  Result<co::CoInstance> QueryCo(const std::string& xnf_text);
+
+  // Evaluates an XNF query and loads the result into an application cache
+  // with pointer navigation (§4.2). The cache borrows this database's
+  // catalog for write-through.
+  Result<std::unique_ptr<co::CoCache>> OpenCo(const std::string& xnf_text);
+
+  Catalog* catalog() { return &catalog_; }
+  BufferPool* buffer_pool() { return &buffer_pool_; }
+
+  // True while a BEGIN ... COMMIT/ROLLBACK transaction is open.
+  bool in_transaction() const { return txn_ != nullptr; }
+
+  // Stats of the most recent XNF evaluation.
+  const co::Evaluator::Stats& last_xnf_stats() const { return xnf_stats_; }
+
+  // Evaluation knobs (benchmarks): defaults are production settings.
+  void set_xnf_options(co::Evaluator::Options options) {
+    xnf_options_ = options;
+  }
+
+ private:
+  Result<ExecResult> ExecuteXnf(const std::string& text);
+  Result<ExecResult> ExecuteCoDelete(const co::CoInstance& instance);
+  Result<ExecResult> ExecuteCoUpdate(const co::XnfQuery& query,
+                                     co::CoInstance instance);
+  // Resolver for temp names and "view.component" sources in plain SQL.
+  Result<const ResultSet*> ResolveExtra(const std::string& name);
+
+  Options options_;
+  BufferPool buffer_pool_;
+  Catalog catalog_;
+  co::Evaluator::Options xnf_options_;
+  co::Evaluator::Stats xnf_stats_;
+  std::unique_ptr<UndoLog> txn_;  // active transaction's undo log
+  // Materializations of XNF view components referenced by SQL queries; kept
+  // alive until the next statement.
+  std::vector<std::unique_ptr<ResultSet>> component_cache_;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_API_DATABASE_H_

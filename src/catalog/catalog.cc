@@ -1,0 +1,130 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace xnf {
+
+Index* TableInfo::FindIndexOn(const std::vector<size_t>& columns) const {
+  for (const auto& idx : indexes) {
+    if (idx->key_columns() == columns) return idx.get();
+  }
+  return nullptr;
+}
+
+Status Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = ToLower(name);
+  if (NameExists(key)) {
+    return Status::AlreadyExists("object '" + name + "' already exists");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->name = key;
+  info->schema = schema.WithQualifier(key);
+  TableHeap::Options opts;
+  opts.tuples_per_page = tuples_per_page_;
+  opts.buffer_pool = buffer_pool_;
+  opts.file_id = next_file_id_++;
+  info->heap = std::make_unique<TableHeap>(opts);
+  // Primary keys get an implicit unique hash index.
+  if (auto pk = info->schema.PrimaryKeyIndex(); pk.has_value()) {
+    info->indexes.push_back(std::make_unique<HashIndex>(
+        key + "_pk", std::vector<size_t>{*pk}, /*unique=*/true));
+  }
+  tables_.emplace(key, std::move(info));
+  return Status::Ok();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = ToLower(name);
+  if (tables_.erase(key) == 0) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  return Status::Ok();
+}
+
+TableInfo* Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Status Catalog::CreateIndex(const std::string& index_name,
+                            const std::string& table_name,
+                            const std::vector<std::string>& column_names,
+                            bool unique, Index::Kind kind) {
+  TableInfo* table = GetTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + table_name + "' not found");
+  }
+  for (const auto& idx : table->indexes) {
+    if (EqualsIgnoreCase(idx->name(), index_name)) {
+      return Status::AlreadyExists("index '" + index_name +
+                                   "' already exists");
+    }
+  }
+  std::vector<size_t> cols;
+  for (const std::string& c : column_names) {
+    XNF_ASSIGN_OR_RETURN(size_t i, table->schema.Resolve("", c));
+    cols.push_back(i);
+  }
+  std::unique_ptr<Index> index;
+  if (kind == Index::Kind::kHash) {
+    index = std::make_unique<HashIndex>(ToLower(index_name), cols, unique);
+  } else {
+    index = std::make_unique<OrderedIndex>(ToLower(index_name), cols, unique);
+  }
+  // Backfill from existing data.
+  Status backfill = Status::Ok();
+  table->heap->Scan([&](Rid rid, const Row& row) {
+    backfill = index->Insert(row, rid);
+    return backfill.ok();
+  });
+  XNF_RETURN_IF_ERROR(backfill);
+  table->indexes.push_back(std::move(index));
+  return Status::Ok();
+}
+
+Status Catalog::CreateView(const std::string& name, std::string definition,
+                           bool is_xnf) {
+  std::string key = ToLower(name);
+  if (NameExists(key)) {
+    return Status::AlreadyExists("object '" + name + "' already exists");
+  }
+  views_.emplace(key, ViewInfo{key, std::move(definition), is_xnf});
+  return Status::Ok();
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (views_.erase(ToLower(name)) == 0) {
+    return Status::NotFound("view '" + name + "' not found");
+  }
+  return Status::Ok();
+}
+
+const ViewInfo* Catalog::GetView(const std::string& name) const {
+  auto it = views_.find(ToLower(name));
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+bool Catalog::NameExists(const std::string& name) const {
+  std::string key = ToLower(name);
+  return tables_.count(key) > 0 || views_.count(key) > 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [k, v] : tables_) out.push_back(k);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> out;
+  out.reserve(views_.size());
+  for (const auto& [k, v] : views_) out.push_back(k);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace xnf

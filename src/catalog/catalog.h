@@ -1,0 +1,97 @@
+#ifndef XNF_CATALOG_CATALOG_H_
+#define XNF_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/index.h"
+#include "storage/table_heap.h"
+
+namespace xnf {
+
+class UndoLog;
+
+// A base table: schema + heap + secondary indexes. Indexes are maintained by
+// the DML execution layer (see exec/dml.cc).
+struct TableInfo {
+  std::string name;
+  Schema schema;
+  std::unique_ptr<TableHeap> heap;
+  std::vector<std::unique_ptr<Index>> indexes;
+
+  // Returns the first index whose leading key columns are exactly `columns`,
+  // or nullptr.
+  Index* FindIndexOn(const std::vector<size_t>& columns) const;
+};
+
+// A stored view definition. XNF views (composite-object views, §3.2 of the
+// paper) and plain SQL views share the registry; `is_xnf` discriminates.
+// Definitions are stored as source text and re-parsed on use, which keeps the
+// catalog independent of the parser layers; CREATE VIEW validates the text
+// before registering it.
+struct ViewInfo {
+  std::string name;
+  std::string definition;  // the query text after "AS"
+  bool is_xnf = false;
+};
+
+// Name-to-object registry for one database. Names are case-insensitive.
+class Catalog {
+ public:
+  // `buffer_pool` (optional, not owned) is attached to all created heaps so
+  // page-fault accounting spans the whole database; `tuples_per_page`
+  // configures the page capacity of every created heap.
+  explicit Catalog(BufferPool* buffer_pool = nullptr,
+                   uint32_t tuples_per_page = 64)
+      : buffer_pool_(buffer_pool), tuples_per_page_(tuples_per_page) {}
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status CreateTable(const std::string& name, Schema schema);
+  Status DropTable(const std::string& name);
+  // nullptr if absent.
+  TableInfo* GetTable(const std::string& name) const;
+
+  Status CreateIndex(const std::string& index_name,
+                     const std::string& table_name,
+                     const std::vector<std::string>& column_names, bool unique,
+                     Index::Kind kind);
+
+  Status CreateView(const std::string& name, std::string definition,
+                    bool is_xnf);
+  Status DropView(const std::string& name);
+  // nullptr if absent.
+  const ViewInfo* GetView(const std::string& name) const;
+
+  bool NameExists(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+
+  BufferPool* buffer_pool() const { return buffer_pool_; }
+
+  // The undo log of the currently active transaction, or nullptr. Set by
+  // the Database facade on BEGIN; consulted by the DML layer so that every
+  // write path (SQL DML, XNF cache propagation, CO-level statements)
+  // records its inverse.
+  UndoLog* undo_log() const { return undo_log_; }
+  void set_undo_log(UndoLog* log) { undo_log_ = log; }
+
+ private:
+  UndoLog* undo_log_ = nullptr;
+  BufferPool* buffer_pool_;
+  uint32_t tuples_per_page_;
+  uint32_t next_file_id_ = 1;
+  std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
+  std::unordered_map<std::string, ViewInfo> views_;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_CATALOG_CATALOG_H_

@@ -1,0 +1,57 @@
+#include "catalog/undo_log.h"
+
+namespace xnf {
+
+void UndoLog::RecordInsert(const std::string& table, Rid rid) {
+  entries_.push_back(Entry{Entry::Kind::kInsert, table, rid, {}});
+}
+
+void UndoLog::RecordDelete(const std::string& table, Rid rid, Row old_row) {
+  entries_.push_back(
+      Entry{Entry::Kind::kDelete, table, rid, std::move(old_row)});
+}
+
+void UndoLog::RecordUpdate(const std::string& table, Rid rid, Row old_row) {
+  entries_.push_back(
+      Entry{Entry::Kind::kUpdate, table, rid, std::move(old_row)});
+}
+
+Status UndoLog::Rollback(Catalog* catalog) {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    TableInfo* table = catalog->GetTable(it->table);
+    if (table == nullptr) {
+      return Status::Internal("table '" + it->table +
+                              "' vanished during rollback");
+    }
+    switch (it->kind) {
+      case Entry::Kind::kInsert: {
+        // Undo an insert: remove the row and its index entries.
+        XNF_ASSIGN_OR_RETURN(Row current, table->heap->Read(it->rid));
+        for (auto& index : table->indexes) index->Erase(current, it->rid);
+        XNF_RETURN_IF_ERROR(table->heap->Delete(it->rid));
+        break;
+      }
+      case Entry::Kind::kDelete: {
+        // Undo a delete: revive the row at its original rid.
+        XNF_RETURN_IF_ERROR(table->heap->Restore(it->rid, it->old_row));
+        for (auto& index : table->indexes) {
+          XNF_RETURN_IF_ERROR(index->Insert(it->old_row, it->rid));
+        }
+        break;
+      }
+      case Entry::Kind::kUpdate: {
+        XNF_ASSIGN_OR_RETURN(Row current, table->heap->Read(it->rid));
+        for (auto& index : table->indexes) {
+          index->Erase(current, it->rid);
+          XNF_RETURN_IF_ERROR(index->Insert(it->old_row, it->rid));
+        }
+        XNF_RETURN_IF_ERROR(table->heap->Update(it->rid, it->old_row));
+        break;
+      }
+    }
+  }
+  entries_.clear();
+  return Status::Ok();
+}
+
+}  // namespace xnf

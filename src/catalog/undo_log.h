@@ -1,0 +1,55 @@
+#ifndef XNF_CATALOG_UNDO_LOG_H_
+#define XNF_CATALOG_UNDO_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/table_heap.h"
+
+namespace xnf {
+
+// Logical undo log backing multi-statement transactions. Every write that
+// goes through DmlExecutor (plain SQL DML, XNF cache propagation, CO-level
+// update/delete) records its inverse here while a transaction is active;
+// ROLLBACK applies the inverses in reverse order, maintaining secondary
+// indexes. This is the single-user stand-in for the transaction component
+// the paper reuses from Starburst ("transaction, recovery and storage
+// management are completely shared").
+class UndoLog {
+ public:
+  UndoLog() = default;
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+
+  void RecordInsert(const std::string& table, Rid rid);
+  void RecordDelete(const std::string& table, Rid rid, Row old_row);
+  void RecordUpdate(const std::string& table, Rid rid, Row old_row);
+
+  // Undoes every recorded operation, most recent first, and clears the log.
+  // Deleted rows are revived at their original rids, so row ids held by XNF
+  // caches stay valid across a rollback.
+  Status Rollback(Catalog* catalog);
+
+  // Discards the log (the changes stay).
+  void Commit() { entries_.clear(); }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    enum class Kind { kInsert, kDelete, kUpdate };
+    Kind kind;
+    std::string table;
+    Rid rid;
+    Row old_row;  // kDelete / kUpdate
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_CATALOG_UNDO_LOG_H_

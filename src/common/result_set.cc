@@ -1,0 +1,45 @@
+#include "common/result_set.h"
+
+#include <algorithm>
+
+namespace xnf {
+
+std::string ResultSet::ToString() const {
+  // Compute column widths.
+  std::vector<std::string> headers;
+  headers.reserve(schema.size());
+  for (const Column& c : schema.columns()) {
+    headers.push_back(c.table.empty() ? c.name : c.table + "." + c.name);
+  }
+  std::vector<size_t> widths(headers.size());
+  for (size_t i = 0; i < headers.size(); ++i) widths[i] = headers[i].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToString());
+      if (i < widths.size()) widths[i] = std::max(widths[i], line[i].size());
+    }
+    cells.push_back(std::move(line));
+  }
+  auto emit_row = [&](const std::vector<std::string>& line) {
+    std::string out = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < line.size() ? line[i] : "";
+      out += " " + cell + std::string(widths[i] - cell.size(), ' ') + " |";
+    }
+    return out + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+  std::string out = sep + emit_row(headers) + sep;
+  for (const auto& line : cells) out += emit_row(line);
+  out += sep;
+  out += std::to_string(rows.size()) + " row(s)\n";
+  return out;
+}
+
+}  // namespace xnf

@@ -1,0 +1,26 @@
+#ifndef XNF_COMMON_RESULT_SET_H_
+#define XNF_COMMON_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace xnf {
+
+// A fully materialized query result (or any schema'd row collection).
+struct ResultSet {
+  Schema schema;
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  // Multi-line tabular rendering for examples and debugging.
+  std::string ToString() const;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_COMMON_RESULT_SET_H_

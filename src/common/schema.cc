@@ -1,0 +1,92 @@
+#include "common/schema.h"
+
+#include "common/str_util.h"
+
+namespace xnf {
+
+Result<size_t> Schema::Resolve(const std::string& table,
+                               const std::string& name) const {
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!table.empty() && !EqualsIgnoreCase(c.table, table)) continue;
+    if (found.has_value()) {
+      return Status::InvalidArgument("ambiguous column reference '" +
+                                     (table.empty() ? name
+                                                    : table + "." + name) +
+                                     "'");
+    }
+    found = i;
+  }
+  if (!found.has_value()) {
+    return Status::NotFound("column '" +
+                            (table.empty() ? name : table + "." + name) +
+                            "' not found");
+  }
+  return *found;
+}
+
+std::optional<size_t> Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::optional<size_t> Schema::PrimaryKeyIndex() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) return i;
+  }
+  return std::nullopt;
+}
+
+Schema Schema::WithQualifier(const std::string& qualifier) const {
+  Schema out = *this;
+  for (Column& c : out.columns_) c.table = qualifier;
+  return out;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  Schema out = left;
+  for (const Column& c : right.columns()) out.AddColumn(c);
+  return out;
+}
+
+Status Schema::CheckAndCoerceRow(Row* row) const {
+  if (row->size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row->size()) +
+        " does not match schema arity " + std::to_string(columns_.size()));
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if ((*row)[i].is_null()) {
+      if (c.not_null || c.primary_key) {
+        return Status::ConstraintViolation("column '" + c.name +
+                                           "' may not be NULL");
+      }
+      continue;
+    }
+    XNF_ASSIGN_OR_RETURN((*row)[i], (*row)[i].CoerceTo(c.type));
+  }
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Column& c = columns_[i];
+    if (!c.table.empty()) {
+      out += c.table;
+      out += ".";
+    }
+    out += c.name;
+    out += " ";
+    out += TypeName(c.type);
+  }
+  return out;
+}
+
+}  // namespace xnf

@@ -1,0 +1,75 @@
+#ifndef XNF_COMMON_SCHEMA_H_
+#define XNF_COMMON_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace xnf {
+
+// A column descriptor. `table` is the (possibly empty) qualifier used for
+// name resolution of derived schemas; base tables set it to the table name.
+struct Column {
+  std::string name;
+  Type type = Type::kNull;
+  std::string table;      // qualifier for resolution ("" if anonymous)
+  bool not_null = false;  // NOT NULL constraint (base tables only)
+  bool primary_key = false;
+
+  Column() = default;
+  Column(std::string n, Type t) : name(std::move(n)), type(t) {}
+  Column(std::string n, Type t, std::string tbl)
+      : name(std::move(n)), type(t), table(std::move(tbl)) {}
+};
+
+// An ordered list of columns describing a table or an operator output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  bool empty() const { return columns_.empty(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  // Finds the index of `name`, optionally qualified by `table`
+  // (case-insensitive). Returns kNotFound if absent and kInvalidArgument if
+  // the unqualified name is ambiguous.
+  Result<size_t> Resolve(const std::string& table,
+                         const std::string& name) const;
+
+  // Index of the first column named `name` (unqualified, case-insensitive),
+  // or nullopt.
+  std::optional<size_t> Find(const std::string& name) const;
+
+  // Index of the primary key column, or nullopt if none declared.
+  std::optional<size_t> PrimaryKeyIndex() const;
+
+  // Re-qualifies all columns with a new table alias (used by FROM aliases).
+  Schema WithQualifier(const std::string& qualifier) const;
+
+  // Concatenation (join output schema).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  // Validates that `row` arity and types match; coerces values in place
+  // (e.g. int literal into DOUBLE column) and checks NOT NULL.
+  Status CheckAndCoerceRow(Row* row) const;
+
+  // "name TYPE, name TYPE, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_COMMON_SCHEMA_H_

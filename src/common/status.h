@@ -1,0 +1,117 @@
+#ifndef XNF_COMMON_STATUS_H_
+#define XNF_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace xnf {
+
+// Error categories used across the engine. Mirrors the RocksDB/Arrow idiom of
+// returning rich status objects instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed request, bad value, type mismatch
+  kParseError,        // lexer/parser failure (carries position info in message)
+  kNotFound,          // unknown table/column/view/relationship/cursor
+  kAlreadyExists,     // duplicate table/view/index name, duplicate key
+  kNotSupported,      // feature outside the implemented SQL/XNF subset
+  kConstraintViolation,  // NOT NULL / primary key / reachability violations
+  kNotUpdatable,      // view or relationship cannot be written through
+  kInternal,          // invariant breakage; indicates a bug
+};
+
+// Returns a stable human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+// A Status is either OK or an (code, message) pair. Cheap to copy when OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status ConstraintViolation(std::string m) {
+    return Status(StatusCode::kConstraintViolation, std::move(m));
+  }
+  static Status NotUpdatable(std::string m) {
+    return Status(StatusCode::kNotUpdatable, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status (an absl::StatusOr
+// equivalent kept dependency-free).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}           // NOLINT: implicit
+  Result(Status status) : status_(std::move(status)) {}   // NOLINT: implicit
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace xnf
+
+// Propagates a non-OK Status from an expression returning Status.
+#define XNF_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::xnf::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Evaluates an expression returning Result<T>; on error propagates the
+// Status, otherwise moves the value into `lhs`.
+#define XNF_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto XNF_CONCAT_(res_, __LINE__) = (expr);   \
+  if (!XNF_CONCAT_(res_, __LINE__).ok())       \
+    return XNF_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(XNF_CONCAT_(res_, __LINE__)).value()
+
+#define XNF_CONCAT_(a, b) XNF_CONCAT_IMPL_(a, b)
+#define XNF_CONCAT_IMPL_(a, b) a##b
+
+#endif  // XNF_COMMON_STATUS_H_

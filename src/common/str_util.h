@@ -1,0 +1,25 @@
+#ifndef XNF_COMMON_STR_UTIL_H_
+#define XNF_COMMON_STR_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace xnf {
+
+// ASCII lowercase copy. Identifiers in SQL/XNF are case-insensitive; the
+// engine canonicalizes them through this.
+std::string ToLower(const std::string& s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+// SQL LIKE pattern match: '%' matches any run, '_' matches one char.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace xnf
+
+#endif  // XNF_COMMON_STR_UTIL_H_

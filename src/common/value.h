@@ -1,0 +1,105 @@
+#ifndef XNF_COMMON_VALUE_H_
+#define XNF_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xnf {
+
+// Column data types supported by the engine. kNull is the type of the NULL
+// literal before it is coerced to a column type.
+enum class Type {
+  kNull = 0,
+  kBool,
+  kInt,     // 64-bit signed
+  kDouble,  // IEEE double
+  kString,  // variable-length UTF-8 (treated as bytes)
+};
+
+// Returns "NULL" / "BOOL" / "INT" / "DOUBLE" / "STRING".
+const char* TypeName(Type type);
+
+// Three-valued logic result of SQL predicates: NULL is "unknown".
+enum class Tribool { kFalse = 0, kTrue = 1, kUnknown = 2 };
+
+// A single SQL value. NULL is represented by the monostate alternative and
+// compares per SQL semantics (comparisons involving NULL yield kUnknown).
+class Value {
+ public:
+  Value() : rep_(std::monostate{}) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  Type type() const;
+
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsDouble() const;  // widens kInt to double
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  // SQL comparison with three-valued logic: returns kUnknown if either side
+  // is NULL; otherwise compares numerically (int/double mixed OK) or
+  // lexicographically for strings. Comparing incompatible types (e.g. INT
+  // with STRING) yields kUnknown.
+  Tribool CompareEq(const Value& other) const;
+  Tribool CompareLt(const Value& other) const;
+
+  // Total order used for sorting / grouping / keys: NULL sorts first, then by
+  // type, then by value. Unlike SQL comparison this is never "unknown".
+  // Returns <0, 0, >0.
+  int TotalOrderCompare(const Value& other) const;
+
+  // Equality in the grouping sense: NULL == NULL, types must match modulo
+  // int/double numeric widening.
+  bool GroupEquals(const Value& other) const {
+    return TotalOrderCompare(other) == 0;
+  }
+
+  size_t Hash() const;
+
+  // SQL-ish rendering: NULL, TRUE/FALSE, 42, 4.2, 'text'.
+  std::string ToString() const;
+
+  // Coerces this value to `target` (e.g. INT literal into DOUBLE column).
+  // NULL coerces to any type. Fails for lossy/meaningless conversions.
+  Result<Value> CoerceTo(Type target) const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+// A tuple of values. Rows flow between executor operators by value.
+using Row = std::vector<Value>;
+
+// Hash of a full row (for hash joins / distinct / group by).
+size_t HashRow(const Row& row);
+
+// Total-order comparison of rows (lexicographic, NULLs first).
+int CompareRows(const Row& a, const Row& b);
+
+// True iff rows are equal under GroupEquals element-wise.
+bool RowsEqual(const Row& a, const Row& b);
+
+// Renders "(v1, v2, ...)".
+std::string RowToString(const Row& row);
+
+}  // namespace xnf
+
+#endif  // XNF_COMMON_VALUE_H_

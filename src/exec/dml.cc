@@ -1,0 +1,263 @@
+#include "exec/dml.h"
+
+#include "catalog/undo_log.h"
+#include "common/str_util.h"
+#include "exec/eval.h"
+#include "exec/operators.h"
+#include "plan/planner.h"
+#include "qgm/builder.h"
+#include "qgm/rewrite.h"
+
+namespace xnf::exec {
+
+namespace {
+
+// Evaluates a constant expression (no column references).
+Result<Value> EvalConst(const sql::Expr& expr, const Catalog* catalog) {
+  qgm::Builder builder(catalog);
+  Schema empty;
+  XNF_ASSIGN_OR_RETURN(qgm::ExprPtr built,
+                       builder.BuildScalar(expr, empty, "t"));
+  std::vector<size_t> offsets = {0};
+  XNF_ASSIGN_OR_RETURN(qgm::ExprPtr compiled,
+                       plan::CompileExpr(*built, offsets));
+  Row empty_row;
+  ExecContext exec_ctx;
+  exec_ctx.catalog = catalog;
+  EvalContext ectx;
+  ectx.row = &empty_row;
+  ectx.exec = &exec_ctx;
+  return EvalExpr(*compiled, &ectx);
+}
+
+// Compiles an expression over a single table's schema; slots = column index.
+Result<qgm::ExprPtr> CompileOverTable(const sql::Expr& expr,
+                                      const TableInfo& table,
+                                      const Catalog* catalog) {
+  qgm::Builder builder(catalog);
+  XNF_ASSIGN_OR_RETURN(qgm::ExprPtr built,
+                       builder.BuildScalar(expr, table.schema, table.name));
+  std::vector<size_t> offsets = {0};
+  return plan::CompileExpr(*built, offsets);
+}
+
+}  // namespace
+
+Result<Rid> DmlExecutor::InsertRow(TableInfo* table, Row row) {
+  XNF_RETURN_IF_ERROR(table->schema.CheckAndCoerceRow(&row));
+  Rid rid = table->heap->Insert(row);
+  for (size_t i = 0; i < table->indexes.size(); ++i) {
+    Status st = table->indexes[i]->Insert(row, rid);
+    if (!st.ok()) {
+      // Roll back: remove from the indexes already updated and the heap.
+      for (size_t j = 0; j < i; ++j) table->indexes[j]->Erase(row, rid);
+      (void)table->heap->Delete(rid);
+      return st;
+    }
+  }
+  if (UndoLog* log = catalog_->undo_log(); log != nullptr) {
+    log->RecordInsert(table->name, rid);
+  }
+  return rid;
+}
+
+Status DmlExecutor::UpdateRow(TableInfo* table, Rid rid, Row new_row) {
+  XNF_RETURN_IF_ERROR(table->schema.CheckAndCoerceRow(&new_row));
+  XNF_ASSIGN_OR_RETURN(Row old_row, table->heap->Read(rid));
+  for (size_t i = 0; i < table->indexes.size(); ++i) {
+    table->indexes[i]->Erase(old_row, rid);
+    Status st = table->indexes[i]->Insert(new_row, rid);
+    if (!st.ok()) {
+      // Restore the erased entries.
+      for (size_t j = 0; j <= i; ++j) {
+        table->indexes[j]->Erase(new_row, rid);
+        (void)table->indexes[j]->Insert(old_row, rid);
+      }
+      return st;
+    }
+  }
+  if (UndoLog* log = catalog_->undo_log(); log != nullptr) {
+    log->RecordUpdate(table->name, rid, old_row);
+  }
+  return table->heap->Update(rid, std::move(new_row));
+}
+
+Status DmlExecutor::DeleteRow(TableInfo* table, Rid rid) {
+  XNF_ASSIGN_OR_RETURN(Row row, table->heap->Read(rid));
+  for (auto& index : table->indexes) index->Erase(row, rid);
+  XNF_RETURN_IF_ERROR(table->heap->Delete(rid));
+  if (UndoLog* log = catalog_->undo_log(); log != nullptr) {
+    log->RecordDelete(table->name, rid, std::move(row));
+  }
+  return Status::Ok();
+}
+
+Result<int64_t> DmlExecutor::Insert(const sql::InsertStmt& stmt) {
+  TableInfo* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' not found");
+  }
+  const Schema& schema = table->schema;
+
+  // Column position mapping.
+  std::vector<size_t> positions;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.size(); ++i) positions.push_back(i);
+  } else {
+    for (const std::string& c : stmt.columns) {
+      XNF_ASSIGN_OR_RETURN(size_t i, schema.Resolve("", c));
+      positions.push_back(i);
+    }
+  }
+
+  std::vector<Row> rows;
+  if (stmt.select != nullptr) {
+    qgm::Builder builder(catalog_);
+    XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(*stmt.select));
+    XNF_ASSIGN_OR_RETURN(qgm::RewriteStats stats, qgm::Rewrite(&graph));
+    (void)stats;
+    XNF_ASSIGN_OR_RETURN(ResultSet rs, plan::Execute(catalog_, graph));
+    if (rs.schema.size() != positions.size()) {
+      return Status::InvalidArgument(
+          "INSERT ... SELECT column count mismatch");
+    }
+    rows = std::move(rs.rows);
+  } else {
+    for (const auto& value_row : stmt.rows) {
+      if (value_row.size() != positions.size()) {
+        return Status::InvalidArgument("INSERT value count mismatch");
+      }
+      Row row;
+      row.reserve(value_row.size());
+      for (const sql::ExprPtr& e : value_row) {
+        XNF_ASSIGN_OR_RETURN(Value v, EvalConst(*e, catalog_));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // Scatter into full-width rows and insert.
+  std::vector<Rid> inserted;
+  for (Row& src : rows) {
+    Row full(schema.size(), Value::Null());
+    for (size_t i = 0; i < positions.size(); ++i) {
+      full[positions[i]] = std::move(src[i]);
+    }
+    Result<Rid> rid = InsertRow(table, std::move(full));
+    if (!rid.ok()) {
+      // Statement-level rollback of prior inserts.
+      for (Rid r : inserted) (void)DeleteRow(table, r);
+      return rid.status();
+    }
+    inserted.push_back(*rid);
+  }
+  return static_cast<int64_t>(inserted.size());
+}
+
+Result<int64_t> DmlExecutor::Update(const sql::UpdateStmt& stmt) {
+  TableInfo* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' not found");
+  }
+  qgm::ExprPtr where;
+  if (stmt.where) {
+    XNF_ASSIGN_OR_RETURN(where, CompileOverTable(*stmt.where, *table,
+                                                 catalog_));
+  }
+  struct Assignment {
+    size_t column;
+    qgm::ExprPtr expr;
+  };
+  std::vector<Assignment> assignments;
+  for (const auto& [col, expr] : stmt.assignments) {
+    XNF_ASSIGN_OR_RETURN(size_t i, table->schema.Resolve("", col));
+    XNF_ASSIGN_OR_RETURN(qgm::ExprPtr e,
+                         CompileOverTable(*expr, *table, catalog_));
+    assignments.push_back(Assignment{i, std::move(e)});
+  }
+
+  // Phase 1: plan all updates.
+  ExecContext exec_ctx;
+  exec_ctx.catalog = catalog_;
+  std::vector<std::pair<Rid, Row>> planned;
+  Status status = Status::Ok();
+  table->heap->Scan([&](Rid rid, const Row& row) {
+    EvalContext ectx;
+    ectx.row = &row;
+    ectx.exec = &exec_ctx;
+    if (where) {
+      auto keep = EvalPredicate(*where, &ectx);
+      if (!keep.ok()) {
+        status = keep.status();
+        return false;
+      }
+      if (!*keep) return true;
+    }
+    Row updated = row;
+    for (const Assignment& a : assignments) {
+      auto v = EvalExpr(*a.expr, &ectx);
+      if (!v.ok()) {
+        status = v.status();
+        return false;
+      }
+      updated[a.column] = std::move(*v);
+    }
+    planned.emplace_back(rid, std::move(updated));
+    return true;
+  });
+  XNF_RETURN_IF_ERROR(status);
+
+  // Phase 2: apply, with rollback on failure.
+  std::vector<std::pair<Rid, Row>> applied;  // rid -> old row
+  for (auto& [rid, new_row] : planned) {
+    XNF_ASSIGN_OR_RETURN(Row old_row, table->heap->Read(rid));
+    Status st = UpdateRow(table, rid, std::move(new_row));
+    if (!st.ok()) {
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        (void)UpdateRow(table, it->first, std::move(it->second));
+      }
+      return st;
+    }
+    applied.emplace_back(rid, std::move(old_row));
+  }
+  return static_cast<int64_t>(applied.size());
+}
+
+Result<int64_t> DmlExecutor::Delete(const sql::DeleteStmt& stmt) {
+  TableInfo* table = catalog_->GetTable(stmt.table);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt.table + "' not found");
+  }
+  qgm::ExprPtr where;
+  if (stmt.where) {
+    XNF_ASSIGN_OR_RETURN(where, CompileOverTable(*stmt.where, *table,
+                                                 catalog_));
+  }
+  ExecContext exec_ctx;
+  exec_ctx.catalog = catalog_;
+  std::vector<Rid> victims;
+  Status status = Status::Ok();
+  table->heap->Scan([&](Rid rid, const Row& row) {
+    if (where) {
+      EvalContext ectx;
+      ectx.row = &row;
+      ectx.exec = &exec_ctx;
+      auto keep = EvalPredicate(*where, &ectx);
+      if (!keep.ok()) {
+        status = keep.status();
+        return false;
+      }
+      if (!*keep) return true;
+    }
+    victims.push_back(rid);
+    return true;
+  });
+  XNF_RETURN_IF_ERROR(status);
+  for (Rid rid : victims) {
+    XNF_RETURN_IF_ERROR(DeleteRow(table, rid));
+  }
+  return static_cast<int64_t>(victims.size());
+}
+
+}  // namespace xnf::exec

@@ -1,0 +1,37 @@
+#ifndef XNF_EXEC_DML_H_
+#define XNF_EXEC_DML_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace xnf::exec {
+
+// Executes INSERT / UPDATE / DELETE statements against the catalog,
+// maintaining all secondary indexes. Unique-index violations roll back the
+// statement's partial effects.
+class DmlExecutor {
+ public:
+  explicit DmlExecutor(Catalog* catalog) : catalog_(catalog) {}
+
+  // Returns the number of affected rows.
+  Result<int64_t> Insert(const sql::InsertStmt& stmt);
+  Result<int64_t> Update(const sql::UpdateStmt& stmt);
+  Result<int64_t> Delete(const sql::DeleteStmt& stmt);
+
+  // Low-level helpers shared with the XNF manipulation layer (§3.7 of the
+  // paper propagates cache operations to base tables through these).
+  Result<Rid> InsertRow(TableInfo* table, Row row);
+  Status UpdateRow(TableInfo* table, Rid rid, Row new_row);
+  Status DeleteRow(TableInfo* table, Rid rid);
+
+ private:
+  Catalog* catalog_;
+};
+
+}  // namespace xnf::exec
+
+#endif  // XNF_EXEC_DML_H_

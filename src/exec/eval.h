@@ -1,0 +1,55 @@
+#ifndef XNF_EXEC_EVAL_H_
+#define XNF_EXEC_EVAL_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/operator.h"
+#include "qgm/expr.h"
+
+namespace xnf::exec {
+
+// A compiled correlated subquery: a subplan plus the expressions (over the
+// outer row) that produce its parameter values. Uncorrelated subqueries
+// cache their materialized result between outer rows; the cache is reset by
+// the owning operator's Open().
+struct CompiledSubquery {
+  OperatorPtr plan;
+  std::vector<qgm::ExprPtr> bindings;  // compiled over the outer row layout
+  // Cache for uncorrelated subqueries (bindings empty).
+  std::optional<std::vector<Row>> cached;
+
+  void ResetCache() { cached.reset(); }
+};
+
+// The set of subqueries owned by one QGM box, shared by the operators of
+// that box (filter, project, aggregate) via shared_ptr.
+struct SubqueryEnv {
+  std::vector<std::unique_ptr<CompiledSubquery>> subqueries;
+
+  void ResetCaches() {
+    for (auto& s : subqueries) s->ResetCache();
+  }
+};
+
+// Context for expression evaluation: the current input row, the execution
+// context (catalog + correlation params), and the subquery environment.
+struct EvalContext {
+  const Row* row = nullptr;
+  ExecContext* exec = nullptr;
+  SubqueryEnv* subqueries = nullptr;
+};
+
+// Evaluates a compiled expression (all kInputRef slots resolved). SQL
+// three-valued logic: predicates yield BOOL values or NULL for unknown.
+Result<Value> EvalExpr(const qgm::Expr& expr, EvalContext* ctx);
+
+// Evaluates `expr` as a predicate: NULL and FALSE both reject.
+Result<bool> EvalPredicate(const qgm::Expr& expr, EvalContext* ctx);
+
+}  // namespace xnf::exec
+
+#endif  // XNF_EXEC_EVAL_H_

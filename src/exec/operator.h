@@ -1,0 +1,51 @@
+#ifndef XNF_EXEC_OPERATOR_H_
+#define XNF_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result_set.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace xnf::exec {
+
+// Per-invocation execution context. `params` carries correlation parameter
+// values when the plan being run is a subplan of an outer query.
+struct ExecContext {
+  const Catalog* catalog = nullptr;
+  const std::vector<Value>* params = nullptr;
+};
+
+// Volcano-style iterator. Open() must fully reset state so plans can be
+// re-executed (correlated subplans are re-opened per outer row).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  // Returns the next row, std::nullopt at end of stream.
+  virtual Result<std::optional<Row>> Next() = 0;
+  virtual void Close() {}
+
+  const Schema& schema() const { return schema_; }
+
+ protected:
+  explicit Operator(Schema schema) : schema_(std::move(schema)) {}
+
+  Schema schema_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+// Drains `root` into a materialized result.
+Result<ResultSet> RunPlan(Operator* root, ExecContext* ctx);
+
+}  // namespace xnf::exec
+
+#endif  // XNF_EXEC_OPERATOR_H_

@@ -1,0 +1,620 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+
+namespace xnf::exec {
+
+Result<ResultSet> RunPlan(Operator* root, ExecContext* ctx) {
+  ResultSet out;
+  out.schema = root->schema();
+  XNF_RETURN_IF_ERROR(root->Open(ctx));
+  while (true) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, root->Next());
+    if (!row.has_value()) break;
+    out.rows.push_back(std::move(*row));
+  }
+  root->Close();
+  return out;
+}
+
+namespace {
+
+// Evaluates subquery-free filters over `row`; true = keep.
+Result<bool> PassesFilters(const std::vector<qgm::ExprPtr>& filters,
+                           const Row& row, ExecContext* exec,
+                           SubqueryEnv* env = nullptr) {
+  EvalContext ectx;
+  ectx.row = &row;
+  ectx.exec = exec;
+  ectx.subqueries = env;
+  for (const qgm::ExprPtr& f : filters) {
+    XNF_ASSIGN_OR_RETURN(bool ok, EvalPredicate(*f, &ectx));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// --- ValuesOp ---------------------------------------------------------------
+
+Status ValuesOp::Open(ExecContext*) {
+  pos_ = 0;
+  return Status::Ok();
+}
+
+Result<std::optional<Row>> ValuesOp::Next() {
+  const std::vector<Row>& rows = ext_ != nullptr ? ext_->rows : rows_;
+  if (pos_ >= rows.size()) return std::optional<Row>();
+  return std::optional<Row>(rows[pos_++]);
+}
+
+// --- SeqScanOp --------------------------------------------------------------
+
+Status SeqScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  buffered_.clear();
+  pos_ = 0;
+  TableInfo* table = ctx->catalog->GetTable(table_name_);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + table_name_ + "' vanished");
+  }
+  Status status = Status::Ok();
+  table->heap->Scan([&](Rid, const Row& row) {
+    auto keep = PassesFilters(filters_, row, ctx_);
+    if (!keep.ok()) {
+      status = keep.status();
+      return false;
+    }
+    if (*keep) buffered_.push_back(row);
+    return true;
+  });
+  return status;
+}
+
+Result<std::optional<Row>> SeqScanOp::Next() {
+  if (pos_ >= buffered_.size()) return std::optional<Row>();
+  return std::optional<Row>(buffered_[pos_++]);
+}
+
+// --- IndexLookupOp ----------------------------------------------------------
+
+Status IndexLookupOp::Open(ExecContext* ctx) {
+  buffered_.clear();
+  pos_ = 0;
+  TableInfo* table = ctx->catalog->GetTable(table_name_);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + table_name_ + "' vanished");
+  }
+  Index* index = nullptr;
+  for (const auto& idx : table->indexes) {
+    if (idx->name() == index_name_) {
+      index = idx.get();
+      break;
+    }
+  }
+  if (index == nullptr) {
+    return Status::NotFound("index '" + index_name_ + "' vanished");
+  }
+  Row key;
+  key.reserve(keys_.size());
+  EvalContext ectx;
+  Row empty;
+  ectx.row = &empty;
+  ectx.exec = ctx;
+  for (const qgm::ExprPtr& k : keys_) {
+    XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &ectx));
+    key.push_back(std::move(v));
+  }
+  for (Rid rid : index->Lookup(key)) {
+    XNF_ASSIGN_OR_RETURN(Row row, table->heap->Read(rid));
+    XNF_ASSIGN_OR_RETURN(bool keep, PassesFilters(filters_, row, ctx));
+    if (keep) buffered_.push_back(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<Row>> IndexLookupOp::Next() {
+  if (pos_ >= buffered_.size()) return std::optional<Row>();
+  return std::optional<Row>(buffered_[pos_++]);
+}
+
+// --- FilterOp ---------------------------------------------------------------
+
+Status FilterOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  if (env_) env_->ResetCaches();
+  return child_->Open(ctx);
+}
+
+Result<std::optional<Row>> FilterOp::Next() {
+  while (true) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) return row;
+    XNF_ASSIGN_OR_RETURN(
+        bool keep, PassesFilters(predicates_, *row, ctx_, env_.get()));
+    if (keep) return row;
+  }
+}
+
+// --- ProjectOp --------------------------------------------------------------
+
+Status ProjectOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<std::optional<Row>> ProjectOp::Next() {
+  XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+  if (!row.has_value()) return row;
+  Row out;
+  out.reserve(exprs_.size());
+  EvalContext ectx;
+  ectx.row = &*row;
+  ectx.exec = ctx_;
+  ectx.subqueries = env_.get();
+  for (const qgm::ExprPtr& e : exprs_) {
+    XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, &ectx));
+    out.push_back(std::move(v));
+  }
+  return std::optional<Row>(std::move(out));
+}
+
+// --- NestedLoopJoinOp -------------------------------------------------------
+
+Status NestedLoopJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  current_left_.reset();
+  right_rows_.clear();
+  right_pos_ = 0;
+  matched_ = false;
+  XNF_RETURN_IF_ERROR(left_->Open(ctx));
+  XNF_RETURN_IF_ERROR(right_->Open(ctx));
+  while (true) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
+    if (!row.has_value()) break;
+    right_rows_.push_back(std::move(*row));
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<Row>> NestedLoopJoinOp::Next() {
+  while (true) {
+    if (!current_left_.has_value()) {
+      XNF_ASSIGN_OR_RETURN(current_left_, left_->Next());
+      if (!current_left_.has_value()) return std::optional<Row>();
+      right_pos_ = 0;
+      matched_ = false;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      const Row& right = right_rows_[right_pos_++];
+      Row combined = *current_left_;
+      combined.insert(combined.end(), right.begin(), right.end());
+      XNF_ASSIGN_OR_RETURN(bool ok,
+                           PassesFilters(predicates_, combined, ctx_));
+      if (ok) {
+        matched_ = true;
+        return std::optional<Row>(std::move(combined));
+      }
+    }
+    // Left row exhausted.
+    if (left_outer_ && !matched_) {
+      Row padded = *current_left_;
+      padded.resize(padded.size() + right_->schema().size(), Value::Null());
+      current_left_.reset();
+      return std::optional<Row>(std::move(padded));
+    }
+    current_left_.reset();
+  }
+}
+
+// --- HashJoinOp -------------------------------------------------------------
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  table_.clear();
+  current_left_.reset();
+  matches_.clear();
+  match_pos_ = 0;
+  matched_ = false;
+  XNF_RETURN_IF_ERROR(left_->Open(ctx));
+  XNF_RETURN_IF_ERROR(right_->Open(ctx));
+  right_width_ = right_->schema().size();
+  while (true) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
+    if (!row.has_value()) break;
+    EvalContext ectx;
+    ectx.row = &*row;
+    ectx.exec = ctx_;
+    Row key;
+    key.reserve(right_keys_.size());
+    bool has_null = false;
+    for (const qgm::ExprPtr& k : right_keys_) {
+      XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &ectx));
+      if (v.is_null()) has_null = true;
+      key.push_back(std::move(v));
+    }
+    if (has_null) continue;  // NULL keys never match
+    table_.emplace(std::move(key), std::move(*row));
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<Row>> HashJoinOp::Next() {
+  while (true) {
+    if (!current_left_.has_value()) {
+      XNF_ASSIGN_OR_RETURN(current_left_, left_->Next());
+      if (!current_left_.has_value()) return std::optional<Row>();
+      matched_ = false;
+      matches_.clear();
+      match_pos_ = 0;
+      EvalContext ectx;
+      ectx.row = &*current_left_;
+      ectx.exec = ctx_;
+      Row key;
+      key.reserve(left_keys_.size());
+      bool has_null = false;
+      for (const qgm::ExprPtr& k : left_keys_) {
+        XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &ectx));
+        if (v.is_null()) has_null = true;
+        key.push_back(std::move(v));
+      }
+      if (!has_null) {
+        auto range = table_.equal_range(key);
+        for (auto it = range.first; it != range.second; ++it) {
+          matches_.push_back(&it->second);
+        }
+      }
+    }
+    while (match_pos_ < matches_.size()) {
+      const Row& right = *matches_[match_pos_++];
+      Row combined = *current_left_;
+      combined.insert(combined.end(), right.begin(), right.end());
+      XNF_ASSIGN_OR_RETURN(bool ok, PassesFilters(residual_, combined, ctx_));
+      if (ok) {
+        matched_ = true;
+        return std::optional<Row>(std::move(combined));
+      }
+    }
+    if (left_outer_ && !matched_) {
+      Row padded = *current_left_;
+      padded.resize(padded.size() + right_width_, Value::Null());
+      current_left_.reset();
+      return std::optional<Row>(std::move(padded));
+    }
+    current_left_.reset();
+  }
+}
+
+// --- IndexNLJoinOp ----------------------------------------------------------
+
+Status IndexNLJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  current_left_.reset();
+  rids_.clear();
+  rid_pos_ = 0;
+  table_ = ctx->catalog->GetTable(table_name_);
+  if (table_ == nullptr) {
+    return Status::NotFound("table '" + table_name_ + "' vanished");
+  }
+  index_ = nullptr;
+  for (const auto& idx : table_->indexes) {
+    if (idx->name() == index_name_) {
+      index_ = idx.get();
+      break;
+    }
+  }
+  if (index_ == nullptr) {
+    return Status::NotFound("index '" + index_name_ + "' vanished");
+  }
+  return left_->Open(ctx);
+}
+
+Result<std::optional<Row>> IndexNLJoinOp::Next() {
+  while (true) {
+    if (!current_left_.has_value()) {
+      XNF_ASSIGN_OR_RETURN(current_left_, left_->Next());
+      if (!current_left_.has_value()) return std::optional<Row>();
+      rids_.clear();
+      rid_pos_ = 0;
+      EvalContext ectx;
+      ectx.row = &*current_left_;
+      ectx.exec = ctx_;
+      Row key;
+      key.reserve(keys_.size());
+      for (const qgm::ExprPtr& k : keys_) {
+        XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &ectx));
+        key.push_back(std::move(v));
+      }
+      rids_ = index_->Lookup(key);
+    }
+    while (rid_pos_ < rids_.size()) {
+      Rid rid = rids_[rid_pos_++];
+      XNF_ASSIGN_OR_RETURN(Row right, table_->heap->Read(rid));
+      Row combined = *current_left_;
+      combined.insert(combined.end(), right.begin(), right.end());
+      XNF_ASSIGN_OR_RETURN(bool ok, PassesFilters(residual_, combined, ctx_));
+      if (ok) return std::optional<Row>(std::move(combined));
+    }
+    current_left_.reset();
+  }
+}
+
+// --- AggregateOp ------------------------------------------------------------
+
+Status AggregateOp::Accumulate(AggState* state, const qgm::AggSpec& spec,
+                               const Row& input, EvalContext* ectx) {
+  if (spec.func == qgm::AggFunc::kCountStar) {
+    ++state->count;
+    return Status::Ok();
+  }
+  EvalContext local = *ectx;
+  local.row = &input;
+  XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.arg, &local));
+  if (v.is_null()) return Status::Ok();  // NULLs ignored by aggregates
+  if (spec.distinct) {
+    for (const Value& seen : state->distinct_seen) {
+      if (seen.TotalOrderCompare(v) == 0) return Status::Ok();
+    }
+    state->distinct_seen.push_back(v);
+  }
+  switch (spec.func) {
+    case qgm::AggFunc::kCount:
+      ++state->count;
+      break;
+    case qgm::AggFunc::kSum:
+      if (state->sum.is_null()) {
+        state->sum = v;
+      } else {
+        XNF_ASSIGN_OR_RETURN(
+            state->sum, [&]() -> Result<Value> {
+              if (state->sum.is_int() && v.is_int()) {
+                return Value::Int(state->sum.AsInt() + v.AsInt());
+              }
+              return Value::Double(state->sum.AsDouble() + v.AsDouble());
+            }());
+      }
+      break;
+    case qgm::AggFunc::kAvg:
+      state->avg_sum += v.AsDouble();
+      ++state->avg_count;
+      break;
+    case qgm::AggFunc::kMin:
+      if (state->min.is_null() || v.TotalOrderCompare(state->min) < 0) {
+        state->min = v;
+      }
+      break;
+    case qgm::AggFunc::kMax:
+      if (state->max.is_null() || v.TotalOrderCompare(state->max) > 0) {
+        state->max = v;
+      }
+      break;
+    case qgm::AggFunc::kCountStar:
+      break;
+  }
+  return Status::Ok();
+}
+
+Result<Value> AggregateOp::Finalize(const AggState& state,
+                                    const qgm::AggSpec& spec) const {
+  switch (spec.func) {
+    case qgm::AggFunc::kCount:
+    case qgm::AggFunc::kCountStar:
+      return Value::Int(state.count);
+    case qgm::AggFunc::kSum:
+      return state.sum;
+    case qgm::AggFunc::kAvg:
+      if (state.avg_count == 0) return Value::Null();
+      return Value::Double(state.avg_sum / static_cast<double>(state.avg_count));
+    case qgm::AggFunc::kMin:
+      return state.min;
+    case qgm::AggFunc::kMax:
+      return state.max;
+  }
+  return Status::Internal("unhandled aggregate");
+}
+
+Status AggregateOp::Open(ExecContext* ctx) {
+  groups_.clear();
+  pos_ = 0;
+  if (env_) env_->ResetCaches();
+  XNF_RETURN_IF_ERROR(child_->Open(ctx));
+
+  struct KeyHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct KeyEq {
+    bool operator()(const Row& a, const Row& b) const {
+      return RowsEqual(a, b);
+    }
+  };
+  std::unordered_map<Row, size_t, KeyHash, KeyEq> index;
+
+  EvalContext ectx;
+  ectx.exec = ctx;
+  ectx.subqueries = env_.get();
+
+  while (true) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) break;
+    ectx.row = &*row;
+    Row key;
+    key.reserve(group_keys_.size());
+    for (const qgm::ExprPtr& k : group_keys_) {
+      XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &ectx));
+      key.push_back(std::move(v));
+    }
+    Group* group;
+    auto it = index.find(key);
+    if (it == index.end()) {
+      index.emplace(std::move(key), groups_.size());
+      groups_.emplace_back();
+      group = &groups_.back();
+      group->representative = *row;
+      group->states.resize(aggs_.size());
+    } else {
+      group = &groups_[it->second];
+    }
+    for (size_t i = 0; i < aggs_.size(); ++i) {
+      XNF_RETURN_IF_ERROR(
+          Accumulate(&group->states[i], aggs_[i], *row, &ectx));
+    }
+  }
+
+  // Scalar aggregation over an empty input yields one all-default group.
+  if (scalar_ && groups_.empty()) {
+    groups_.emplace_back();
+    Group& g = groups_.back();
+    g.representative.resize(child_->schema().size(), Value::Null());
+    g.states.resize(aggs_.size());
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<Row>> AggregateOp::Next() {
+  if (pos_ >= groups_.size()) return std::optional<Row>();
+  const Group& g = groups_[pos_++];
+  Row out = g.representative;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    XNF_ASSIGN_OR_RETURN(Value v, Finalize(g.states[i], aggs_[i]));
+    out.push_back(std::move(v));
+  }
+  return std::optional<Row>(std::move(out));
+}
+
+// --- SortOp -----------------------------------------------------------------
+
+Status SortOp::Open(ExecContext* ctx) {
+  rows_.clear();
+  pos_ = 0;
+  XNF_RETURN_IF_ERROR(child_->Open(ctx));
+  while (true) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) break;
+    rows_.push_back(std::move(*row));
+  }
+  // Precompute key rows.
+  std::vector<std::pair<Row, size_t>> keyed;
+  keyed.reserve(rows_.size());
+  EvalContext ectx;
+  ectx.exec = ctx;
+  ectx.subqueries = env_.get();
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    ectx.row = &rows_[i];
+    Row key;
+    key.reserve(keys_.size());
+    for (const Key& k : keys_) {
+      XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, &ectx));
+      key.push_back(std::move(v));
+    }
+    keyed.emplace_back(std::move(key), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [this](const auto& a, const auto& b) {
+                     for (size_t i = 0; i < keys_.size(); ++i) {
+                       int c = a.first[i].TotalOrderCompare(b.first[i]);
+                       if (c != 0) return keys_[i].ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  std::vector<Row> sorted;
+  sorted.reserve(rows_.size());
+  for (const auto& [key, i] : keyed) sorted.push_back(std::move(rows_[i]));
+  rows_ = std::move(sorted);
+  return Status::Ok();
+}
+
+Result<std::optional<Row>> SortOp::Next() {
+  if (pos_ >= rows_.size()) return std::optional<Row>();
+  return std::optional<Row>(std::move(rows_[pos_++]));
+}
+
+// --- DistinctOp -------------------------------------------------------------
+
+Status DistinctOp::Open(ExecContext* ctx) {
+  seen_.clear();
+  return child_->Open(ctx);
+}
+
+Result<std::optional<Row>> DistinctOp::Next() {
+  while (true) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) return row;
+    if (seen_.insert(*row).second) return row;
+  }
+}
+
+// --- LimitOp ----------------------------------------------------------------
+
+Status LimitOp::Open(ExecContext* ctx) {
+  produced_ = 0;
+  skipped_ = 0;
+  return child_->Open(ctx);
+}
+
+Result<std::optional<Row>> LimitOp::Next() {
+  while (skipped_ < offset_) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+    if (!row.has_value()) return row;
+    ++skipped_;
+  }
+  if (produced_ >= limit_) return std::optional<Row>();
+  XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
+  if (row.has_value()) ++produced_;
+  return row;
+}
+
+// --- UnionOp ----------------------------------------------------------------
+
+Status UnionOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  current_ = 0;
+  seen_.clear();
+  for (auto& c : children_) XNF_RETURN_IF_ERROR(c->Open(ctx));
+  return Status::Ok();
+}
+
+Result<std::optional<Row>> UnionOp::Next() {
+  while (current_ < children_.size()) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, children_[current_]->Next());
+    if (!row.has_value()) {
+      ++current_;
+      continue;
+    }
+    if (distinct_ && !seen_.insert(*row).second) continue;
+    return row;
+  }
+  return std::optional<Row>();
+}
+
+}  // namespace xnf::exec
+
+namespace xnf::exec {
+
+// --- IntersectExceptOp --------------------------------------------------
+
+Status IntersectExceptOp::Open(ExecContext* ctx) {
+  right_rows_.clear();
+  emitted_.clear();
+  XNF_RETURN_IF_ERROR(left_->Open(ctx));
+  XNF_RETURN_IF_ERROR(right_->Open(ctx));
+  while (true) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
+    if (!row.has_value()) break;
+    right_rows_.insert(std::move(*row));
+  }
+  return Status::Ok();
+}
+
+Result<std::optional<Row>> IntersectExceptOp::Next() {
+  while (true) {
+    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, left_->Next());
+    if (!row.has_value()) return row;
+    bool in_right = right_rows_.count(*row) > 0;
+    if (in_right == is_except_) continue;  // filtered out
+    if (!emitted_.insert(*row).second) continue;  // distinct semantics
+    return row;
+  }
+}
+
+}  // namespace xnf::exec

@@ -1,0 +1,417 @@
+#ifndef XNF_EXEC_OPERATORS_H_
+#define XNF_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/eval.h"
+#include "exec/operator.h"
+#include "qgm/qgm.h"
+#include "storage/index.h"
+
+namespace xnf::exec {
+
+// Literal / borrowed row source.
+class ValuesOp : public Operator {
+ public:
+  ValuesOp(Schema schema, std::vector<Row> rows)
+      : Operator(std::move(schema)), rows_(std::move(rows)) {}
+  ValuesOp(Schema schema, const ResultSet* ext)
+      : Operator(std::move(schema)), ext_(ext) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::vector<Row> rows_;
+  const ResultSet* ext_ = nullptr;
+  size_t pos_ = 0;
+};
+
+// Full scan of a base table with optional pushed-down filters (compiled with
+// slots over the table row alone; must be subquery-free).
+class SeqScanOp : public Operator {
+ public:
+  SeqScanOp(Schema schema, std::string table_name,
+            std::vector<qgm::ExprPtr> filters)
+      : Operator(std::move(schema)),
+        table_name_(std::move(table_name)),
+        filters_(std::move(filters)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::string table_name_;
+  std::vector<qgm::ExprPtr> filters_;
+  ExecContext* ctx_ = nullptr;
+  std::vector<Row> buffered_;  // materialized at Open (heap scan is callback)
+  size_t pos_ = 0;
+};
+
+// Point lookup through an index; keys are constants or correlation params.
+class IndexLookupOp : public Operator {
+ public:
+  IndexLookupOp(Schema schema, std::string table_name, std::string index_name,
+                std::vector<qgm::ExprPtr> keys,
+                std::vector<qgm::ExprPtr> filters)
+      : Operator(std::move(schema)),
+        table_name_(std::move(table_name)),
+        index_name_(std::move(index_name)),
+        keys_(std::move(keys)),
+        filters_(std::move(filters)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+
+ private:
+  std::string table_name_;
+  std::string index_name_;
+  std::vector<qgm::ExprPtr> keys_;
+  std::vector<qgm::ExprPtr> filters_;
+  std::vector<Row> buffered_;
+  size_t pos_ = 0;
+};
+
+// Residual predicate filter. Subquery-bearing predicates are evaluated here
+// via the shared SubqueryEnv.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, std::vector<qgm::ExprPtr> predicates,
+           std::shared_ptr<SubqueryEnv> env)
+      : Operator(child->schema()),
+        child_(std::move(child)),
+        predicates_(std::move(predicates)),
+        env_(std::move(env)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<qgm::ExprPtr> predicates_;
+  std::shared_ptr<SubqueryEnv> env_;
+  ExecContext* ctx_ = nullptr;
+};
+
+// Projection (the SELECT-box head).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(Schema schema, OperatorPtr child, std::vector<qgm::ExprPtr> exprs,
+            std::shared_ptr<SubqueryEnv> env)
+      : Operator(std::move(schema)),
+        child_(std::move(child)),
+        exprs_(std::move(exprs)),
+        env_(std::move(env)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<qgm::ExprPtr> exprs_;
+  std::shared_ptr<SubqueryEnv> env_;
+  ExecContext* ctx_ = nullptr;
+};
+
+// Nested-loop join; supports inner and left-outer. The output row is the
+// concatenation left ++ right; predicates see that layout.
+class NestedLoopJoinOp : public Operator {
+ public:
+  NestedLoopJoinOp(Schema schema, OperatorPtr left, OperatorPtr right,
+                   std::vector<qgm::ExprPtr> predicates, bool left_outer)
+      : Operator(std::move(schema)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        predicates_(std::move(predicates)),
+        left_outer_(left_outer) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<qgm::ExprPtr> predicates_;
+  bool left_outer_;
+  ExecContext* ctx_ = nullptr;
+  std::optional<Row> current_left_;
+  std::vector<Row> right_rows_;  // materialized once at Open
+  size_t right_pos_ = 0;
+  bool matched_ = false;
+};
+
+// Hash equi-join; build side = right. Residual predicates see left ++ right.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(Schema schema, OperatorPtr left, OperatorPtr right,
+             std::vector<qgm::ExprPtr> left_keys,
+             std::vector<qgm::ExprPtr> right_keys,
+             std::vector<qgm::ExprPtr> residual, bool left_outer)
+      : Operator(std::move(schema)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        residual_(std::move(residual)),
+        left_outer_(left_outer) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct RowEq {
+    bool operator()(const Row& a, const Row& b) const {
+      return RowsEqual(a, b);
+    }
+  };
+
+  OperatorPtr left_;
+  OperatorPtr right_;
+  std::vector<qgm::ExprPtr> left_keys_;
+  std::vector<qgm::ExprPtr> right_keys_;
+  std::vector<qgm::ExprPtr> residual_;
+  bool left_outer_;
+  ExecContext* ctx_ = nullptr;
+  std::unordered_multimap<Row, Row, RowHash, RowEq> table_;
+  std::optional<Row> current_left_;
+  std::vector<const Row*> matches_;
+  size_t match_pos_ = 0;
+  bool matched_ = false;
+  size_t right_width_ = 0;
+};
+
+// Index nested-loop join: for each left row, evaluates `keys` (over the left
+// row) and probes `index_name` on `table_name`. Output = left ++ table row.
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(Schema schema, OperatorPtr left, std::string table_name,
+                std::string index_name, std::vector<qgm::ExprPtr> keys,
+                std::vector<qgm::ExprPtr> residual)
+      : Operator(std::move(schema)),
+        left_(std::move(left)),
+        table_name_(std::move(table_name)),
+        index_name_(std::move(index_name)),
+        keys_(std::move(keys)),
+        residual_(std::move(residual)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override { left_->Close(); }
+
+ private:
+  OperatorPtr left_;
+  std::string table_name_;
+  std::string index_name_;
+  std::vector<qgm::ExprPtr> keys_;
+  std::vector<qgm::ExprPtr> residual_;
+  ExecContext* ctx_ = nullptr;
+  TableInfo* table_ = nullptr;
+  Index* index_ = nullptr;
+  std::optional<Row> current_left_;
+  std::vector<Rid> rids_;
+  size_t rid_pos_ = 0;
+};
+
+// Hash aggregation. Output layout: representative input row ++ one value per
+// AggSpec — head expressions then address aggregates at slot
+// (input_width + agg_index).
+class AggregateOp : public Operator {
+ public:
+  AggregateOp(Schema schema, OperatorPtr child,
+              std::vector<qgm::ExprPtr> group_keys,
+              std::vector<qgm::AggSpec> aggs,
+              std::shared_ptr<SubqueryEnv> env, bool scalar)
+      : Operator(std::move(schema)),
+        child_(std::move(child)),
+        group_keys_(std::move(group_keys)),
+        aggs_(std::move(aggs)),
+        env_(std::move(env)),
+        scalar_(scalar) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct AggState {
+    int64_t count = 0;
+    Value sum;          // running sum (int or double)
+    Value min;
+    Value max;
+    double avg_sum = 0;
+    int64_t avg_count = 0;
+    std::vector<Value> distinct_seen;  // small-set distinct tracking
+  };
+  struct Group {
+    Row representative;
+    std::vector<AggState> states;
+  };
+
+  Status Accumulate(AggState* state, const qgm::AggSpec& spec,
+                    const Row& input, EvalContext* ectx);
+  Result<Value> Finalize(const AggState& state, const qgm::AggSpec& spec) const;
+
+  OperatorPtr child_;
+  std::vector<qgm::ExprPtr> group_keys_;
+  std::vector<qgm::AggSpec> aggs_;
+  std::shared_ptr<SubqueryEnv> env_;
+  bool scalar_;
+  std::vector<Group> groups_;
+  size_t pos_ = 0;
+};
+
+// Materializing sort.
+class SortOp : public Operator {
+ public:
+  struct Key {
+    qgm::ExprPtr expr;  // over child rows
+    bool ascending = true;
+  };
+
+  SortOp(OperatorPtr child, std::vector<Key> keys,
+         std::shared_ptr<SubqueryEnv> env)
+      : Operator(child->schema()),
+        child_(std::move(child)),
+        keys_(std::move(keys)),
+        env_(std::move(env)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  std::vector<Key> keys_;
+  std::shared_ptr<SubqueryEnv> env_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+// Hash-based duplicate elimination over whole rows.
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(OperatorPtr child) : Operator(child->schema()),
+                                           child_(std::move(child)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct RowEq {
+    bool operator()(const Row& a, const Row& b) const {
+      return RowsEqual(a, b);
+    }
+  };
+  OperatorPtr child_;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+class LimitOp : public Operator {
+ public:
+  LimitOp(OperatorPtr child, int64_t limit, int64_t offset = 0)
+      : Operator(child->schema()),
+        child_(std::move(child)),
+        limit_(limit),
+        offset_(offset) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override { child_->Close(); }
+
+ private:
+  OperatorPtr child_;
+  int64_t limit_;
+  int64_t offset_;
+  int64_t skipped_ = 0;
+  int64_t produced_ = 0;
+};
+
+// Concatenation of children (UNION ALL); with `distinct` dedups.
+class UnionOp : public Operator {
+ public:
+  UnionOp(Schema schema, std::vector<OperatorPtr> children, bool distinct)
+      : Operator(std::move(schema)),
+        children_(std::move(children)),
+        distinct_(distinct) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override {
+    for (auto& c : children_) c->Close();
+  }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct RowEq {
+    bool operator()(const Row& a, const Row& b) const {
+      return RowsEqual(a, b);
+    }
+  };
+  std::vector<OperatorPtr> children_;
+  bool distinct_;
+  ExecContext* ctx_ = nullptr;
+  size_t current_ = 0;
+  std::unordered_set<Row, RowHash, RowEq> seen_;
+};
+
+// SQL INTERSECT / EXCEPT with distinct semantics: deduplicated left rows
+// that are (kIntersect) or are not (kExcept) present in the right input.
+class IntersectExceptOp : public Operator {
+ public:
+  IntersectExceptOp(Schema schema, OperatorPtr left, OperatorPtr right,
+                    bool is_except)
+      : Operator(std::move(schema)),
+        left_(std::move(left)),
+        right_(std::move(right)),
+        is_except_(is_except) {}
+
+  Status Open(ExecContext* ctx) override;
+  Result<std::optional<Row>> Next() override;
+  void Close() override {
+    left_->Close();
+    right_->Close();
+  }
+
+ private:
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct RowEq {
+    bool operator()(const Row& a, const Row& b) const {
+      return RowsEqual(a, b);
+    }
+  };
+  OperatorPtr left_;
+  OperatorPtr right_;
+  bool is_except_;
+  std::unordered_set<Row, RowHash, RowEq> right_rows_;
+  std::unordered_set<Row, RowHash, RowEq> emitted_;
+};
+
+}  // namespace xnf::exec
+
+#endif  // XNF_EXEC_OPERATORS_H_

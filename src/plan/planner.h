@@ -1,0 +1,53 @@
+#ifndef XNF_PLAN_PLANNER_H_
+#define XNF_PLAN_PLANNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/operator.h"
+#include "qgm/qgm.h"
+
+namespace xnf::plan {
+
+// Translates a QGM graph into an executable operator tree. Access-path and
+// join-method selection is rule-based:
+//  - single-table equality predicates against constants/params use an index
+//    when one exists on the column;
+//  - joins use index nested-loop when the inner side is a base table with an
+//    index on the join column, hash join for other equi-joins, and
+//    nested-loop otherwise;
+//  - predicates containing subqueries are evaluated in a residual filter at
+//    the top of the box where the full row is available.
+class Planner {
+ public:
+  explicit Planner(const Catalog* catalog) : catalog_(catalog) {}
+
+  Result<exec::OperatorPtr> Plan(const qgm::QueryGraph& graph);
+
+ private:
+  Result<exec::OperatorPtr> PlanBox(const qgm::QueryGraph& graph, int box);
+  Result<exec::OperatorPtr> PlanSelect(const qgm::QueryGraph& graph,
+                                       const qgm::Box& box);
+  Result<exec::OperatorPtr> PlanQuantifierSource(
+      const qgm::QueryGraph& graph, const qgm::Quantifier& q,
+      std::vector<qgm::ExprPtr> pushed_filters);
+
+  const Catalog* catalog_;
+};
+
+// Clones `expr` resolving every kInputRef slot to offsets[quantifier] +
+// column; kAggRef nodes become slot references at agg_base + agg_index when
+// agg_base >= 0 (and are an error otherwise).
+Result<qgm::ExprPtr> CompileExpr(const qgm::Expr& expr,
+                                 const std::vector<size_t>& offsets,
+                                 int agg_base = -1);
+
+// End-to-end convenience: build+plan+run are separate elsewhere; this runs a
+// planned tree against the catalog.
+Result<ResultSet> Execute(const Catalog* catalog, const qgm::QueryGraph& graph);
+
+}  // namespace xnf::plan
+
+#endif  // XNF_PLAN_PLANNER_H_

@@ -1,0 +1,73 @@
+#ifndef XNF_QGM_BUILDER_H_
+#define XNF_QGM_BUILDER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result_set.h"
+#include "common/status.h"
+#include "qgm/qgm.h"
+#include "sql/ast.h"
+
+namespace xnf::qgm {
+
+// Semantic analysis: turns a parsed SELECT into a Query Graph Model graph.
+// Performs name resolution (against the catalog, expanding SQL views),
+// typing, aggregate extraction, and correlated-subquery binding.
+class Builder {
+ public:
+  // Resolves table names that are neither base tables nor SQL views —
+  // used for (a) temp tables registered by the XNF semantic rewrite (the
+  // common-subexpression materializations of §4.3) and (b) XNF view
+  // components referenced as "view.node" (closure type (3) queries).
+  // Returns nullptr when the name is unknown. The pointed-to result must
+  // outlive query execution.
+  using ExtraResolver =
+      std::function<Result<const ResultSet*>(const std::string& name)>;
+
+  explicit Builder(const Catalog* catalog, ExtraResolver extra = nullptr)
+      : catalog_(catalog), extra_(std::move(extra)) {}
+
+  // Builds a graph for a full SELECT (including UNION chains).
+  Result<QueryGraph> Build(const sql::SelectStmt& stmt);
+
+  // Builds a scalar expression over a single named row source (used by DML:
+  // UPDATE ... SET x = expr WHERE ...). The produced expression's InputRefs
+  // all have quantifier 0 and column = index into `schema`.
+  Result<ExprPtr> BuildScalar(const sql::Expr& expr, const Schema& schema,
+                              const std::string& alias);
+
+ private:
+  struct Scope;
+  struct ExprCtx;
+
+  Result<int> BuildSelectChain(const sql::SelectStmt& stmt, QueryGraph* graph,
+                               Scope* parent,
+                               std::vector<ExprPtr>* bindings);
+  Result<int> BuildSelectBox(const sql::SelectStmt& stmt, QueryGraph* graph,
+                             Scope* parent, std::vector<ExprPtr>* bindings);
+  Status AddTableRef(const sql::TableRef& ref, QueryGraph* graph, Box* box,
+                     Scope* scope);
+  Status AddNamedSource(const std::string& name, const std::string& alias,
+                        QueryGraph* graph, Box* box, Scope* scope);
+  Result<ExprPtr> BuildExpr(const sql::Expr& expr, ExprCtx* ctx);
+  Result<ExprPtr> ResolveColumn(const std::string& table,
+                                const std::string& column, ExprCtx* ctx);
+  Result<ExprPtr> BuildAggCall(const sql::Expr& expr, ExprCtx* ctx);
+  Status ValidateGroupedExpr(const Expr& expr, const Box& box,
+                             const char* where) const;
+
+  const Catalog* catalog_;
+  ExtraResolver extra_;
+  std::vector<std::string> view_stack_;  // cycle detection for view expansion
+};
+
+// Derives the result type of a binary operation; fails on type mismatches.
+Result<Type> BinaryResultType(sql::BinOp op, Type left, Type right);
+
+}  // namespace xnf::qgm
+
+#endif  // XNF_QGM_BUILDER_H_

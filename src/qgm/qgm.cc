@@ -1,0 +1,83 @@
+#include "qgm/qgm.h"
+
+namespace xnf::qgm {
+
+Schema Box::OutputSchema() const {
+  switch (kind) {
+    case Kind::kBaseTable:
+    case Kind::kValues:
+      return values_schema;
+    case Kind::kSelect: {
+      Schema out;
+      for (const HeadExpr& h : head) {
+        out.AddColumn(Column(h.name, h.type));
+      }
+      return out;
+    }
+    case Kind::kUnion:
+      return values_schema;  // builder stores the union output schema here
+  }
+  return Schema();
+}
+
+std::string QueryGraph::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    const Box& b = *boxes[i];
+    out += "box " + std::to_string(i);
+    if (static_cast<int>(i) == root) out += " (root)";
+    out += ": ";
+    switch (b.kind) {
+      case Box::Kind::kBaseTable:
+        out += "BASE " + b.table_name;
+        break;
+      case Box::Kind::kValues:
+        out += "VALUES[" + std::to_string(b.values_rows.size()) + "]";
+        break;
+      case Box::Kind::kUnion: {
+        out += b.union_all ? "UNION ALL(" : "UNION(";
+        for (size_t j = 0; j < b.union_inputs.size(); ++j) {
+          if (j) out += ", ";
+          out += std::to_string(b.union_inputs[j]);
+        }
+        out += ")";
+        break;
+      }
+      case Box::Kind::kSelect: {
+        out += "SELECT";
+        if (b.distinct) out += " DISTINCT";
+        out += " head=[";
+        for (size_t j = 0; j < b.head.size(); ++j) {
+          if (j) out += ", ";
+          out += b.head[j].name + "=" + b.head[j].expr->ToString();
+        }
+        out += "] from=[";
+        for (size_t j = 0; j < b.quantifiers.size(); ++j) {
+          if (j) out += ", ";
+          const Quantifier& q = b.quantifiers[j];
+          out += q.alias + ":" +
+                 (q.input_box >= 0 ? "box" + std::to_string(q.input_box)
+                                   : q.base_table);
+        }
+        out += "]";
+        if (!b.predicates.empty()) {
+          out += " where=[";
+          for (size_t j = 0; j < b.predicates.size(); ++j) {
+            if (j) out += " AND ";
+            out += b.predicates[j]->ToString();
+          }
+          out += "]";
+        }
+        if (!b.group_by.empty() || !b.aggs.empty()) {
+          out += " groupby=" + std::to_string(b.group_by.size()) +
+                 " aggs=" + std::to_string(b.aggs.size());
+        }
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace xnf::qgm

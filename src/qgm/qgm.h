@@ -1,0 +1,123 @@
+#ifndef XNF_QGM_QGM_H_
+#define XNF_QGM_QGM_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result_set.h"
+#include "common/schema.h"
+#include "qgm/expr.h"
+
+namespace xnf::qgm {
+
+// Query Graph Model: queries are a DAG of boxes. Each box has a "head"
+// (output schema) and a "body" describing how the output is derived — the
+// representation the paper's §4.3 describes for Starburst. The XNF semantic
+// rewrite produces one SELECT box per CO node/edge output (see xnf/rewrite).
+struct Box;
+
+// A quantifier ranges over the output of another box or a base table
+// ("F" foreach quantifiers; existential quantifiers are represented as
+// kSubquery expressions instead).
+struct Quantifier {
+  int input_box = -1;      // index into QueryGraph::boxes, or -1 for base
+  std::string base_table;  // set when ranging directly over a base table
+  std::string alias;       // correlation name
+  Schema schema;           // output schema of the ranged-over input
+};
+
+// One output column of a box.
+struct HeadExpr {
+  ExprPtr expr;
+  std::string name;
+  Type type = Type::kNull;
+};
+
+// A correlated subquery attached to a SELECT box: `box` is evaluated with
+// `param_bindings[i]` (expressions over the outer box's quantifiers)
+// supplying parameter i.
+struct BoxSubquery {
+  int box = -1;
+  std::vector<ExprPtr> param_bindings;
+};
+
+struct OrderKey {
+  // If head_index >= 0 the key is an output column of the box (required when
+  // the box aggregates); otherwise `expr` ranges over the box's quantifiers.
+  int head_index = -1;
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+struct Box {
+  enum class Kind {
+    kBaseTable,  // leaf: ranges over a stored table
+    kSelect,     // select-project-join-aggregate
+    kUnion,      // set operation over input boxes (see set_op)
+    kValues,     // literal rows (also used for materialized temps)
+  };
+
+  enum class SetOpKind { kUnionAll, kUnionDistinct, kIntersect, kExcept };
+
+  Kind kind = Kind::kSelect;
+
+  // kBaseTable
+  std::string table_name;
+
+  // kSelect
+  std::vector<Quantifier> quantifiers;
+  std::vector<ExprPtr> predicates;  // conjunctive normal form (ANDed)
+  std::vector<HeadExpr> head;
+  bool distinct = false;
+  std::vector<ExprPtr> group_by;
+  std::vector<AggSpec> aggs;
+  ExprPtr having;  // over group_by refs and kAggRef
+  std::vector<OrderKey> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+  std::vector<BoxSubquery> subqueries;
+  // LEFT OUTER JOIN support: if >= 0, all quantifiers with index >= this
+  // are "preserved-side optional": rows of earlier quantifiers appear even
+  // when no match exists (we only support a single left join per box, which
+  // the builder guarantees by nesting).
+  int left_outer_from = -1;
+  // Predicates that act as the ON condition of the outer join.
+  std::vector<ExprPtr> outer_join_predicates;
+
+  // kUnion: UNION (ALL) boxes may have any number of inputs; INTERSECT and
+  // EXCEPT boxes have exactly two.
+  std::vector<int> union_inputs;
+  bool union_all = false;
+  SetOpKind set_op = SetOpKind::kUnionDistinct;
+
+  // kValues: either inline rows or a borrowed external result (temp tables
+  // registered by the XNF rewrite; the owner must outlive execution).
+  Schema values_schema;
+  std::vector<Row> values_rows;
+  const ResultSet* values_ext = nullptr;
+
+  // Output schema of this box (derived by the builder).
+  Schema OutputSchema() const;
+};
+
+// An operator graph plus designated root box.
+struct QueryGraph {
+  std::vector<std::unique_ptr<Box>> boxes;
+  int root = -1;
+
+  Box* box(int i) const { return boxes[i].get(); }
+  int AddBox(std::unique_ptr<Box> b) {
+    boxes.push_back(std::move(b));
+    return static_cast<int>(boxes.size() - 1);
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace xnf::qgm
+
+#endif  // XNF_QGM_QGM_H_

@@ -1,0 +1,259 @@
+#include "qgm/rewrite.h"
+
+#include <functional>
+
+#include "exec/eval.h"
+
+namespace xnf::qgm {
+
+namespace {
+
+// Rebuilds `e`, replacing every kInputRef node by `leaf(e)` (which may
+// return the same reference or an arbitrary replacement expression).
+ExprPtr MapRefs(const Expr& e,
+                const std::function<ExprPtr(const Expr&)>& leaf) {
+  if (e.kind == Expr::Kind::kInputRef) return leaf(e);
+  ExprPtr out = std::make_unique<Expr>(e.kind);
+  out->literal = e.literal;
+  out->quantifier = e.quantifier;
+  out->column = e.column;
+  out->slot = e.slot;
+  out->param_index = e.param_index;
+  out->bin_op = e.bin_op;
+  out->un_op = e.un_op;
+  out->negated = e.negated;
+  out->func_name = e.func_name;
+  out->agg_index = e.agg_index;
+  out->subquery_kind = e.subquery_kind;
+  out->subquery_index = e.subquery_index;
+  out->type = e.type;
+  for (const ExprPtr& a : e.args) {
+    out->args.push_back(a ? MapRefs(*a, leaf) : nullptr);
+  }
+  return out;
+}
+
+// True if `box` can be inlined into a consumer.
+bool IsMergeable(const Box& box) {
+  return box.kind == Box::Kind::kSelect && box.aggs.empty() &&
+         box.group_by.empty() && box.having == nullptr && !box.distinct &&
+         box.order_by.empty() && !box.limit.has_value() && !box.offset.has_value() &&
+         box.subqueries.empty() && box.left_outer_from < 0 &&
+         !box.quantifiers.empty();
+}
+
+// Applies `fn` to every expression owned by `box` (in place, via reseating).
+void ForEachExpr(Box* box, const std::function<void(ExprPtr*)>& fn) {
+  for (ExprPtr& p : box->predicates) fn(&p);
+  for (ExprPtr& p : box->outer_join_predicates) fn(&p);
+  for (HeadExpr& h : box->head) fn(&h.expr);
+  for (ExprPtr& g : box->group_by) fn(&g);
+  for (AggSpec& a : box->aggs) {
+    if (a.arg) fn(&a.arg);
+  }
+  if (box->having) fn(&box->having);
+  for (OrderKey& k : box->order_by) {
+    if (k.expr) fn(&k.expr);
+  }
+  for (BoxSubquery& s : box->subqueries) {
+    for (ExprPtr& b : s.param_bindings) fn(&b);
+  }
+}
+
+std::vector<int> CountReferences(const QueryGraph& graph) {
+  std::vector<int> refs(graph.boxes.size(), 0);
+  if (graph.root >= 0) refs[graph.root]++;
+  for (const auto& box : graph.boxes) {
+    for (const Quantifier& q : box->quantifiers) {
+      if (q.input_box >= 0) refs[q.input_box]++;
+    }
+    for (const BoxSubquery& s : box->subqueries) {
+      if (s.box >= 0) refs[s.box]++;
+    }
+    for (int u : box->union_inputs) refs[u]++;
+  }
+  return refs;
+}
+
+// Merges quantifier `qi` of `consumer` (ranging over mergeable `inner`).
+void MergeQuantifier(Box* consumer, size_t qi, const Box& inner) {
+  size_t n_inner = inner.quantifiers.size();
+
+  // Remap an inner expression into consumer coordinates (inner quantifier k
+  // becomes consumer quantifier qi + k).
+  auto remap_inner = [&](const Expr& e) {
+    return MapRefs(e, [&](const Expr& ref) {
+      ExprPtr out = ref.Clone();
+      out->quantifier = ref.quantifier + static_cast<int>(qi);
+      return out;
+    });
+  };
+
+  // Remap a consumer expression: references to qi are substituted by the
+  // inner head expression; later quantifiers shift by n_inner - 1.
+  auto remap_consumer = [&](const Expr& e) {
+    return MapRefs(e, [&](const Expr& ref) -> ExprPtr {
+      if (ref.quantifier == static_cast<int>(qi)) {
+        return remap_inner(*inner.head[ref.column].expr);
+      }
+      ExprPtr out = ref.Clone();
+      if (ref.quantifier > static_cast<int>(qi)) {
+        out->quantifier = ref.quantifier + static_cast<int>(n_inner) - 1;
+      }
+      return out;
+    });
+  };
+
+  ForEachExpr(consumer, [&](ExprPtr* p) { *p = remap_consumer(**p); });
+  // Outer-join boundary shifts too (consumers with outer joins are not
+  // merged into, but keep this correct for safety).
+  if (consumer->left_outer_from > static_cast<int>(qi)) {
+    consumer->left_outer_from += static_cast<int>(n_inner) - 1;
+  }
+
+  // Splice the inner quantifiers in place of qi.
+  std::vector<Quantifier> new_quantifiers;
+  new_quantifiers.reserve(consumer->quantifiers.size() + n_inner - 1);
+  for (size_t k = 0; k < qi; ++k) {
+    new_quantifiers.push_back(std::move(consumer->quantifiers[k]));
+  }
+  for (const Quantifier& q : inner.quantifiers) {
+    new_quantifiers.push_back(
+        Quantifier{q.input_box, q.base_table, q.alias, q.schema});
+  }
+  for (size_t k = qi + 1; k < consumer->quantifiers.size(); ++k) {
+    new_quantifiers.push_back(std::move(consumer->quantifiers[k]));
+  }
+  consumer->quantifiers = std::move(new_quantifiers);
+
+  // Import the inner predicates.
+  for (const ExprPtr& p : inner.predicates) {
+    consumer->predicates.push_back(remap_inner(*p));
+  }
+}
+
+bool TryFold(ExprPtr* p, RewriteStats* stats) {
+  Expr* e = p->get();
+  if (e->kind != Expr::Kind::kBinary && e->kind != Expr::Kind::kUnary) {
+    return false;
+  }
+  // Logical operators are left alone (three-valued logic shortcuts are the
+  // executor's business).
+  if (e->kind == Expr::Kind::kBinary &&
+      (e->bin_op == sql::BinOp::kAnd || e->bin_op == sql::BinOp::kOr)) {
+    return false;
+  }
+  for (const ExprPtr& a : e->args) {
+    if (a->kind != Expr::Kind::kLiteral) return false;
+  }
+  exec::EvalContext ectx;
+  Row empty;
+  exec::ExecContext exec_ctx;
+  ectx.row = &empty;
+  ectx.exec = &exec_ctx;
+  auto v = exec::EvalExpr(*e, &ectx);
+  if (!v.ok()) return false;  // e.g. division by zero: leave for runtime
+  Type t = e->type;
+  *p = Expr::Lit(std::move(v).value());
+  (*p)->type = t;
+  stats->constants_folded++;
+  return true;
+}
+
+void FoldConstants(Box* box, RewriteStats* stats) {
+  ForEachExpr(box, [&](ExprPtr* p) {
+    // Bottom-up: fold children first.
+    std::function<void(ExprPtr*)> walk = [&](ExprPtr* node) {
+      for (ExprPtr& a : (*node)->args) {
+        if (a) walk(&a);
+      }
+      TryFold(node, stats);
+    };
+    walk(p);
+  });
+}
+
+}  // namespace
+
+Result<RewriteStats> Rewrite(QueryGraph* graph) {
+  RewriteStats stats;
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 25) {
+    changed = false;
+    std::vector<int> refs = CountReferences(*graph);
+
+    // Rule 1: view merging.
+    for (auto& box_ptr : graph->boxes) {
+      Box* box = box_ptr.get();
+      if (box->kind != Box::Kind::kSelect) continue;
+      if (box->left_outer_from >= 0) continue;  // keep outer joins intact
+      for (size_t qi = 0; qi < box->quantifiers.size(); ++qi) {
+        int input = box->quantifiers[qi].input_box;
+        if (input < 0) continue;
+        const Box& inner = *graph->box(input);
+        if (!IsMergeable(inner) || refs[input] != 1) continue;
+        MergeQuantifier(box, qi, inner);
+        stats.views_merged++;
+        changed = true;
+        break;  // quantifier list changed; restart this box next round
+      }
+      if (changed) break;
+    }
+    if (changed) continue;
+
+    // Rule 2: predicate pushdown into non-merged SELECT inputs.
+    for (auto& box_ptr : graph->boxes) {
+      Box* box = box_ptr.get();
+      if (box->kind != Box::Kind::kSelect || box->left_outer_from >= 0) {
+        continue;
+      }
+      for (size_t pi = 0; pi < box->predicates.size() && !changed; ++pi) {
+        const Expr& pred = *box->predicates[pi];
+        if (HasSubquery(pred) || HasAggRef(pred)) continue;
+        // Must reference exactly one quantifier.
+        int target = -1;
+        bool single = true;
+        VisitExpr(pred, [&](const Expr& e) {
+          if (e.kind == Expr::Kind::kInputRef) {
+            if (target < 0) {
+              target = e.quantifier;
+            } else if (target != e.quantifier) {
+              single = false;
+            }
+          }
+        });
+        if (!single || target < 0) continue;
+        int input = box->quantifiers[target].input_box;
+        if (input < 0) continue;
+        Box* inner = graph->box(input);
+        if (refs[input] != 1) continue;
+        if (inner->kind != Box::Kind::kSelect || !inner->aggs.empty() ||
+            !inner->group_by.empty() || inner->limit.has_value() ||
+            inner->offset.has_value() || inner->left_outer_from >= 0) {
+          continue;
+        }
+        // Head columns referenced must be pure input refs or literals to
+        // guarantee a loss-free rewrite (arbitrary exprs are fine too, but
+        // keep substitution conservative).
+        ExprPtr pushed = MapRefs(pred, [&](const Expr& ref) {
+          return inner->head[ref.column].expr->Clone();
+        });
+        inner->predicates.push_back(std::move(pushed));
+        box->predicates.erase(box->predicates.begin() + pi);
+        stats.predicates_pushed++;
+        changed = true;
+      }
+      if (changed) break;
+    }
+    if (changed) continue;
+  }
+
+  // Rule 3: constant folding (single pass, bottom-up per expression).
+  for (auto& box_ptr : graph->boxes) {
+    FoldConstants(box_ptr.get(), &stats);
+  }
+  return stats;
+}
+
+}  // namespace xnf::qgm

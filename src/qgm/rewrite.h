@@ -1,0 +1,29 @@
+#ifndef XNF_QGM_REWRITE_H_
+#define XNF_QGM_REWRITE_H_
+
+#include "common/status.h"
+#include "qgm/qgm.h"
+
+namespace xnf::qgm {
+
+// Query rewrite (the Starburst-style rule phase of §4.3): transforms a QGM
+// graph into an equivalent, cheaper one. Implemented rules:
+//  1. View merging: a SELECT box quantifier ranging over a simple SELECT box
+//     (no aggregation/distinct/order/limit/outer-join/subqueries) is inlined
+//     into the consumer.
+//  2. Predicate pushdown: consumer predicates referencing only one
+//     quantifier are pushed into non-merged SELECT inputs (when safe) and
+//     through UNION branches.
+//  3. Constant folding of literal-only arithmetic/comparison subtrees.
+// Counts of applied rules are reported for tests/benchmarks.
+struct RewriteStats {
+  int views_merged = 0;
+  int predicates_pushed = 0;
+  int constants_folded = 0;
+};
+
+Result<RewriteStats> Rewrite(QueryGraph* graph);
+
+}  // namespace xnf::qgm
+
+#endif  // XNF_QGM_REWRITE_H_

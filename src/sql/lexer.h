@@ -1,0 +1,21 @@
+#ifndef XNF_SQL_LEXER_H_
+#define XNF_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace xnf::sql {
+
+// Tokenizes SQL/XNF source text. Comments: `-- to end of line` and
+// `/* ... */`. Identifiers are [A-Za-z_][A-Za-z0-9_]* and case-insensitive;
+// "double quoted" identifiers preserve case and may contain any character
+// (the paper's dashed names like ALL-DEPS are written ALL_DEPS here, or
+// quoted "ALL-DEPS"). String literals use single quotes with '' escaping.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace xnf::sql
+
+#endif  // XNF_SQL_LEXER_H_

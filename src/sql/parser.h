@@ -1,0 +1,91 @@
+#ifndef XNF_SQL_PARSER_H_
+#define XNF_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/token.h"
+
+namespace xnf::sql {
+
+// Recursive-descent parser for the SQL subset (and the expression grammar
+// shared with XNF, including path expressions). The XNF statement grammar
+// lives in xnf/parser.h and drives this parser through the public cursor API.
+class Parser {
+ public:
+  // Lexes `input`; a lex failure is reported by the first Parse* call.
+  explicit Parser(std::string input);
+
+  Parser(const Parser&) = delete;
+  Parser& operator=(const Parser&) = delete;
+
+  // Parses one complete statement (consuming a trailing ';' if present).
+  Result<Statement> ParseStatement();
+
+  // Parses all statements to end of input.
+  Result<std::vector<Statement>> ParseScript();
+
+  // --- Piecewise API (used by the XNF parser and for embedded queries) ---
+
+  // Full SELECT (with UNION chain); does not require end-of-input.
+  Result<std::unique_ptr<SelectStmt>> ParseSelect();
+
+  // Expression with full precedence, including XNF path expressions.
+  Result<ExprPtr> ParseExpr();
+
+  // Cursor access.
+  const Token& Peek(size_t ahead = 0) const;
+  Token Consume();
+  bool Accept(TokenKind kind);
+  bool AcceptKeyword(const char* keyword);
+  Status Expect(TokenKind kind, const char* what);
+  Status ExpectKeyword(const char* keyword);
+  bool AtEnd() const;
+  // Byte offset in the source of the next unconsumed token (for capturing
+  // view definition text verbatim).
+  size_t CurrentOffset() const;
+  const std::string& input() const { return input_; }
+  // Skips tokens up to (not including) the next top-level ';' or end.
+  void SkipToStatementEnd();
+
+  Status MakeError(const std::string& message) const;
+
+  // True if `token` is a word that cannot be used as an implicit alias.
+  static bool IsReservedWord(const Token& token);
+
+ private:
+  Result<Statement> ParseCreate();
+  Result<Statement> ParseInsert();
+  Result<Statement> ParseUpdate();
+  Result<Statement> ParseDelete();
+  Result<Statement> ParseDrop();
+  Result<std::unique_ptr<SelectStmt>> ParseSelectCore();
+  Result<std::unique_ptr<TableRef>> ParseTableRef();
+  Result<std::unique_ptr<TableRef>> ParseTableRefPrimary();
+  Result<Type> ParseType();
+
+  // Expression precedence levels.
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParsePredicate();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParsePathTail(std::string start);
+  Result<ExprPtr> ParseFunctionCall(std::string name);
+
+  std::string input_;
+  Status lex_status_;
+  int param_count_ = 0;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace xnf::sql
+
+#endif  // XNF_SQL_PARSER_H_

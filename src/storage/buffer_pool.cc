@@ -1,0 +1,28 @@
+#include "storage/buffer_pool.h"
+
+namespace xnf {
+
+void BufferPool::Touch(PageId id) {
+  ++accesses_;
+  auto it = lru_map_.find(id);
+  if (it != lru_map_.end()) {
+    // Hit: move to front.
+    lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
+    return;
+  }
+  ++faults_;
+  lru_list_.push_front(id);
+  lru_map_[id] = lru_list_.begin();
+  if (capacity_ != 0 && lru_map_.size() > capacity_) {
+    PageId victim = lru_list_.back();
+    lru_list_.pop_back();
+    lru_map_.erase(victim);
+  }
+}
+
+void BufferPool::Clear() {
+  lru_list_.clear();
+  lru_map_.clear();
+}
+
+}  // namespace xnf

@@ -1,0 +1,67 @@
+#ifndef XNF_STORAGE_BUFFER_POOL_H_
+#define XNF_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace xnf {
+
+// Identifies a page within the whole database: (file id, page number).
+struct PageId {
+  uint32_t file = 0;
+  uint32_t page = 0;
+
+  bool operator==(const PageId& other) const {
+    return file == other.file && page == other.page;
+  }
+};
+
+struct PageIdHash {
+  size_t operator()(const PageId& id) const {
+    return (static_cast<size_t>(id.file) << 32) ^ id.page;
+  }
+};
+
+// Simulated buffer pool. The data itself always lives in memory; the pool
+// only models which pages would be resident, so that page-fault counts
+// faithfully reflect the I/O behaviour the paper's clustering discussion is
+// about (see DESIGN.md, experiment C4). LRU replacement.
+class BufferPool {
+ public:
+  // `capacity_pages` == 0 means unbounded (every page resident after first
+  // touch; faults then equal the number of distinct pages).
+  explicit BufferPool(size_t capacity_pages) : capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  // Records an access to `id`; counts a fault if it was not resident.
+  void Touch(PageId id);
+
+  uint64_t accesses() const { return accesses_; }
+  uint64_t faults() const { return faults_; }
+  size_t resident_pages() const { return lru_map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  void ResetCounters() {
+    accesses_ = 0;
+    faults_ = 0;
+  }
+
+  // Drops all resident pages (cold cache) and keeps counters.
+  void Clear();
+
+ private:
+  size_t capacity_;
+  uint64_t accesses_ = 0;
+  uint64_t faults_ = 0;
+  // Front = most recently used.
+  std::list<PageId> lru_list_;
+  std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> lru_map_;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_STORAGE_BUFFER_POOL_H_

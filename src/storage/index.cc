@@ -1,0 +1,94 @@
+#include "storage/index.h"
+
+namespace xnf {
+
+namespace {
+
+bool KeyHasNull(const Row& key) {
+  for (const Value& v : key) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status HashIndex::Insert(const Row& row, Rid rid) {
+  Row key = ExtractKey(row);
+  if (KeyHasNull(key)) return Status::Ok();  // NULL keys are not indexed
+  if (unique() && map_.find(key) != map_.end()) {
+    return Status::AlreadyExists("duplicate key " + RowToString(key) +
+                                 " in unique index '" + name() + "'");
+  }
+  map_.emplace(std::move(key), rid);
+  return Status::Ok();
+}
+
+void HashIndex::Erase(const Row& row, Rid rid) {
+  Row key = ExtractKey(row);
+  auto range = map_.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == rid) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<Rid> HashIndex::Lookup(const Row& key) const {
+  std::vector<Rid> out;
+  if (KeyHasNull(key)) return out;
+  auto range = map_.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+Status OrderedIndex::Insert(const Row& row, Rid rid) {
+  Row key = ExtractKey(row);
+  if (KeyHasNull(key)) return Status::Ok();
+  if (unique() && map_.find(key) != map_.end()) {
+    return Status::AlreadyExists("duplicate key " + RowToString(key) +
+                                 " in unique index '" + name() + "'");
+  }
+  map_.emplace(std::move(key), rid);
+  return Status::Ok();
+}
+
+void OrderedIndex::Erase(const Row& row, Rid rid) {
+  Row key = ExtractKey(row);
+  auto range = map_.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == rid) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<Rid> OrderedIndex::Lookup(const Row& key) const {
+  std::vector<Rid> out;
+  if (KeyHasNull(key)) return out;
+  auto range = map_.equal_range(key);
+  for (auto it = range.first; it != range.second; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<Rid> OrderedIndex::RangeLookup(const Row& lo, bool lo_inclusive,
+                                           const Row& hi,
+                                           bool hi_inclusive) const {
+  std::vector<Rid> out;
+  auto it = lo.empty() ? map_.begin()
+                       : (lo_inclusive ? map_.lower_bound(lo)
+                                       : map_.upper_bound(lo));
+  auto end = hi.empty() ? map_.end()
+                        : (hi_inclusive ? map_.upper_bound(hi)
+                                        : map_.lower_bound(hi));
+  for (; it != end; ++it) out.push_back(it->second);
+  return out;
+}
+
+}  // namespace xnf

@@ -1,0 +1,110 @@
+#ifndef XNF_STORAGE_INDEX_H_
+#define XNF_STORAGE_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/value.h"
+#include "storage/table_heap.h"
+
+namespace xnf {
+
+// Abstract secondary index over one or more columns of a table. Keys are the
+// projected column values; entries map keys to Rids. Duplicates allowed
+// (multi-map semantics) unless `unique` was requested at creation.
+class Index {
+ public:
+  enum class Kind { kHash, kOrdered };
+
+  Index(std::string name, std::vector<size_t> key_columns, bool unique)
+      : name_(std::move(name)),
+        key_columns_(std::move(key_columns)),
+        unique_(unique) {}
+  virtual ~Index() = default;
+
+  Index(const Index&) = delete;
+  Index& operator=(const Index&) = delete;
+
+  const std::string& name() const { return name_; }
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+  bool unique() const { return unique_; }
+  virtual Kind kind() const = 0;
+
+  // Extracts this index's key from a full table row.
+  Row ExtractKey(const Row& row) const {
+    Row key;
+    key.reserve(key_columns_.size());
+    for (size_t c : key_columns_) key.push_back(row[c]);
+    return key;
+  }
+
+  // Inserts (key of `row`) -> rid. Fails on duplicate key if unique.
+  virtual Status Insert(const Row& row, Rid rid) = 0;
+  // Removes the entry for (key of `row`, rid). Missing entries are ignored.
+  virtual void Erase(const Row& row, Rid rid) = 0;
+
+  // All rids whose key equals `key` exactly (NULL keys are never indexed for
+  // lookup purposes: SQL equality with NULL is unknown).
+  virtual std::vector<Rid> Lookup(const Row& key) const = 0;
+
+  virtual size_t entry_count() const = 0;
+
+ private:
+  std::string name_;
+  std::vector<size_t> key_columns_;
+  bool unique_;
+};
+
+// Hash index: O(1) point lookups.
+class HashIndex : public Index {
+ public:
+  using Index::Index;
+
+  Kind kind() const override { return Kind::kHash; }
+  Status Insert(const Row& row, Rid rid) override;
+  void Erase(const Row& row, Rid rid) override;
+  std::vector<Rid> Lookup(const Row& key) const override;
+  size_t entry_count() const override { return map_.size(); }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct KeyEq {
+    bool operator()(const Row& a, const Row& b) const {
+      return RowsEqual(a, b);
+    }
+  };
+  std::unordered_multimap<Row, Rid, KeyHash, KeyEq> map_;
+};
+
+// Ordered index: point lookups plus range scans, backed by a balanced tree.
+class OrderedIndex : public Index {
+ public:
+  using Index::Index;
+
+  Kind kind() const override { return Kind::kOrdered; }
+  Status Insert(const Row& row, Rid rid) override;
+  void Erase(const Row& row, Rid rid) override;
+  std::vector<Rid> Lookup(const Row& key) const override;
+  size_t entry_count() const override { return map_.size(); }
+
+  // Rids with lo <= key <= hi (either bound may be empty = unbounded).
+  std::vector<Rid> RangeLookup(const Row& lo, bool lo_inclusive, const Row& hi,
+                               bool hi_inclusive) const;
+
+ private:
+  struct KeyLess {
+    bool operator()(const Row& a, const Row& b) const {
+      return CompareRows(a, b) < 0;
+    }
+  };
+  std::multimap<Row, Rid, KeyLess> map_;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_STORAGE_INDEX_H_

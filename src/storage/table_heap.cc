@@ -1,0 +1,84 @@
+#include "storage/table_heap.h"
+
+namespace xnf {
+
+Rid TableHeap::Insert(Row row) {
+  if (pages_.empty() ||
+      pages_.back().slots.size() >= options_.tuples_per_page) {
+    pages_.emplace_back();
+  }
+  uint32_t page = static_cast<uint32_t>(pages_.size() - 1);
+  TouchPage(page);
+  Page& p = pages_.back();
+  p.slots.push_back(std::move(row));
+  ++live_count_;
+  return Rid{page, static_cast<uint32_t>(p.slots.size() - 1)};
+}
+
+Result<Row> TableHeap::Read(Rid rid) const {
+  if (rid.page >= pages_.size() ||
+      rid.slot >= pages_[rid.page].slots.size() ||
+      !pages_[rid.page].slots[rid.slot].has_value()) {
+    return Status::NotFound("no live tuple at rid (" +
+                            std::to_string(rid.page) + ", " +
+                            std::to_string(rid.slot) + ")");
+  }
+  TouchPage(rid.page);
+  return *pages_[rid.page].slots[rid.slot];
+}
+
+bool TableHeap::IsLive(Rid rid) const {
+  return rid.page < pages_.size() &&
+         rid.slot < pages_[rid.page].slots.size() &&
+         pages_[rid.page].slots[rid.slot].has_value();
+}
+
+Status TableHeap::Update(Rid rid, Row row) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("update of dead rid (" + std::to_string(rid.page) +
+                            ", " + std::to_string(rid.slot) + ")");
+  }
+  TouchPage(rid.page);
+  pages_[rid.page].slots[rid.slot] = std::move(row);
+  return Status::Ok();
+}
+
+Status TableHeap::Delete(Rid rid) {
+  if (!IsLive(rid)) {
+    return Status::NotFound("delete of dead rid (" + std::to_string(rid.page) +
+                            ", " + std::to_string(rid.slot) + ")");
+  }
+  TouchPage(rid.page);
+  pages_[rid.page].slots[rid.slot].reset();
+  --live_count_;
+  return Status::Ok();
+}
+
+Status TableHeap::Restore(Rid rid, Row row) {
+  if (rid.page >= pages_.size() ||
+      rid.slot >= pages_[rid.page].slots.size()) {
+    return Status::NotFound("restore of unknown rid (" +
+                            std::to_string(rid.page) + ", " +
+                            std::to_string(rid.slot) + ")");
+  }
+  if (pages_[rid.page].slots[rid.slot].has_value()) {
+    return Status::InvalidArgument("restore of a live slot");
+  }
+  TouchPage(rid.page);
+  pages_[rid.page].slots[rid.slot] = std::move(row);
+  ++live_count_;
+  return Status::Ok();
+}
+
+void TableHeap::Scan(const std::function<bool(Rid, const Row&)>& fn) const {
+  for (uint32_t p = 0; p < pages_.size(); ++p) {
+    TouchPage(p);
+    const Page& page = pages_[p];
+    for (uint32_t s = 0; s < page.slots.size(); ++s) {
+      if (!page.slots[s].has_value()) continue;
+      if (!fn(Rid{p, s}, *page.slots[s])) return;
+    }
+  }
+}
+
+}  // namespace xnf

@@ -1,0 +1,101 @@
+#ifndef XNF_STORAGE_TABLE_HEAP_H_
+#define XNF_STORAGE_TABLE_HEAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/buffer_pool.h"
+
+namespace xnf {
+
+// Record identifier: page number + slot within the page. Stable across
+// updates; invalidated by delete.
+struct Rid {
+  uint32_t page = 0;
+  uint32_t slot = 0;
+
+  bool operator==(const Rid& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  bool operator<(const Rid& other) const {
+    return page != other.page ? page < other.page : slot < other.slot;
+  }
+};
+
+struct RidHash {
+  size_t operator()(const Rid& r) const {
+    return (static_cast<size_t>(r.page) << 32) ^ r.slot;
+  }
+};
+
+// A slotted-page heap of rows for one table. Pages hold a fixed number of
+// tuple slots (a simplification of byte-budgeted pages that keeps the paging
+// behaviour, which is what the experiments need). All page accesses are
+// reported to the optional BufferPool for fault accounting.
+class TableHeap {
+ public:
+  struct Options {
+    uint32_t tuples_per_page = 64;
+    BufferPool* buffer_pool = nullptr;  // not owned; may be null
+    uint32_t file_id = 0;               // identifies this heap in the pool
+  };
+
+  explicit TableHeap(Options options) : options_(options) {}
+  TableHeap() : TableHeap(Options{}) {}
+
+  TableHeap(const TableHeap&) = delete;
+  TableHeap& operator=(const TableHeap&) = delete;
+  TableHeap(TableHeap&&) = default;
+  TableHeap& operator=(TableHeap&&) = default;
+
+  // Appends a row; returns its Rid.
+  Rid Insert(Row row);
+
+  // Reads the row at `rid`. Fails with kNotFound for deleted/invalid rids.
+  Result<Row> Read(Rid rid) const;
+
+  // True iff `rid` refers to a live tuple.
+  bool IsLive(Rid rid) const;
+
+  // Replaces the row at `rid` in place.
+  Status Update(Rid rid, Row row);
+
+  // Tombstones the row at `rid`.
+  Status Delete(Rid rid);
+
+  // Revives a tombstoned slot with `row` (transaction rollback of a delete).
+  // Fails if the slot never existed or is currently live.
+  Status Restore(Rid rid, Row row);
+
+  // Calls `fn(rid, row)` for every live tuple in page/slot order; stops early
+  // if `fn` returns false.
+  void Scan(const std::function<bool(Rid, const Row&)>& fn) const;
+
+  size_t live_count() const { return live_count_; }
+  size_t page_count() const { return pages_.size(); }
+  uint32_t file_id() const { return options_.file_id; }
+
+ private:
+  struct Page {
+    std::vector<std::optional<Row>> slots;
+  };
+
+  void TouchPage(uint32_t page) const {
+    if (options_.buffer_pool != nullptr) {
+      options_.buffer_pool->Touch(PageId{options_.file_id, page});
+    }
+  }
+
+  Options options_;
+  std::vector<Page> pages_;
+  size_t live_count_ = 0;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_STORAGE_TABLE_HEAP_H_

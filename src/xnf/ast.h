@@ -1,0 +1,87 @@
+#ifndef XNF_XNF_AST_H_
+#define XNF_XNF_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+
+namespace xnf::co {
+
+// One relationship attribute (WITH ATTRIBUTES clause, §3.2 of the paper):
+// `ep.percentage` or any column expression, optionally `AS name`.
+struct RelAttribute {
+  sql::ExprPtr expr;
+  std::string name;  // derived from a column ref when no alias given
+};
+
+// RELATE <parent> [corr], <child> [corr]
+//   [WITH ATTRIBUTES e1 [, ...]] [USING <table> [corr]] WHERE <pred>
+struct RelateSpec {
+  std::string parent;        // node name
+  std::string parent_corr;   // optional role/correlation name
+  std::string child;
+  std::string child_corr;
+  std::vector<RelAttribute> attributes;
+  std::string using_table;
+  std::string using_corr;
+  sql::ExprPtr predicate;
+};
+
+// One item of the OUT OF clause.
+struct OutOfItem {
+  enum class Kind {
+    kViewRef,    // bare name of an existing XNF view: all its components
+    kNodeQuery,  // name AS ( SELECT ... )
+    kNodeTable,  // name AS table      (shorthand: reuse the table unchanged)
+    kRelate,     // name AS ( RELATE ... )
+  };
+  Kind kind = Kind::kViewRef;
+  std::string name;                          // component / view name
+  std::unique_ptr<sql::SelectStmt> query;    // kNodeQuery
+  std::string table;                         // kNodeTable
+  std::unique_ptr<RelateSpec> relate;        // kRelate
+};
+
+// WHERE <node> [corr] SUCH THAT <pred>          (node restriction, §3.3)
+// WHERE <rel> (pcorr, ccorr) SUCH THAT <pred>   (edge restriction)
+struct Restriction {
+  enum class Kind { kNode, kEdge };
+  Kind kind = Kind::kNode;
+  std::string target;       // node or relationship name
+  std::string corr;         // node restriction correlation ("" if bare)
+  std::string parent_corr;  // edge restriction
+  std::string child_corr;
+  sql::ExprPtr predicate;
+};
+
+// TAKE item: `*`, `node(*)`, `node(col, ...)`, or a bare relationship name.
+struct TakeItem {
+  std::string name;
+  bool has_column_list = false;     // name(...) form
+  bool star_columns = false;        // name(*)
+  std::vector<std::string> columns; // explicit projection
+};
+
+// A full XNF query (the CO constructor, §3.1-§3.4, plus the CO-level
+// manipulation statements of §3.7):
+//   OUT OF items restriction*
+//     ( TAKE ... | DELETE ... | UPDATE node SET col = expr [, ...] )
+struct XnfQuery {
+  enum class Action { kTake, kDelete, kUpdate };
+
+  std::vector<OutOfItem> items;
+  std::vector<Restriction> restrictions;
+  Action action = Action::kTake;
+  bool take_all = true;          // TAKE * / DELETE *
+  std::vector<TakeItem> take;    // when !take_all
+  // kUpdate: target component table and SET assignments (expressions range
+  // over the target node's columns).
+  std::string update_target;
+  std::vector<std::pair<std::string, sql::ExprPtr>> assignments;
+};
+
+}  // namespace xnf::co
+
+#endif  // XNF_XNF_AST_H_

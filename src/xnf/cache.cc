@@ -1,0 +1,370 @@
+#include "xnf/cache.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+#include "sql/parser.h"
+#include "xnf/scalar_eval.h"
+
+namespace xnf::co {
+
+size_t CoCache::Node::live_count() const {
+  size_t n = 0;
+  for (const Tuple& t : tuples) {
+    if (t.alive) ++n;
+  }
+  return n;
+}
+
+size_t CoCache::Rel::live_count() const {
+  size_t n = 0;
+  for (const Connection& c : connections) {
+    if (c.alive) ++n;
+  }
+  return n;
+}
+
+std::unique_ptr<CoCache> CoCache::Build(CoInstance instance) {
+  auto cache = std::make_unique<CoCache>();
+  size_t n_rels = instance.rels.size();
+
+  cache->nodes_.resize(instance.nodes.size());
+  for (size_t n = 0; n < instance.nodes.size(); ++n) {
+    CoNodeInstance& src = instance.nodes[n];
+    Node& node = cache->nodes_[n];
+    node.name = src.name;
+    node.schema = src.schema;
+    node.base_table = src.base_table;
+    node.base_column_map = src.base_column_map;
+    for (size_t t = 0; t < src.tuples.size(); ++t) {
+      Tuple tuple;
+      tuple.values = std::move(src.tuples[t]);
+      if (!src.rids.empty()) {
+        tuple.rid = src.rids[t];
+        tuple.has_rid = true;
+      }
+      tuple.node = static_cast<int>(n);
+      tuple.out.resize(n_rels);
+      tuple.in.resize(n_rels);
+      node.tuples.push_back(std::move(tuple));
+    }
+  }
+
+  cache->rels_.resize(n_rels);
+  cache->hash_nav_.resize(n_rels);
+  cache->hash_nav_valid_.assign(n_rels, false);
+  for (size_t r = 0; r < n_rels; ++r) {
+    CoRelInstance& src = instance.rels[r];
+    Rel& rel = cache->rels_[r];
+    rel.name = src.name;
+    rel.parent_node = src.parent_node;
+    rel.child_node = src.child_node;
+    rel.attr_schema = src.attr_schema;
+    rel.write_kind = src.write_kind;
+    rel.fk_parent_column = src.fk_parent_column;
+    rel.fk_child_column = src.fk_child_column;
+    rel.link_table = src.link_table;
+    rel.link_parent_column = src.link_parent_column;
+    rel.link_child_column = src.link_child_column;
+    rel.parent_key_column = src.parent_key_column;
+    rel.child_key_column = src.child_key_column;
+    rel.attr_link_columns = src.attr_link_columns;
+    for (CoConnection& c : src.connections) {
+      Tuple* parent = &cache->nodes_[rel.parent_node].tuples[c.parent];
+      Tuple* child = &cache->nodes_[rel.child_node].tuples[c.child];
+      cache->AddConnection(static_cast<int>(r), parent, child,
+                           std::move(c.attrs));
+    }
+  }
+  return cache;
+}
+
+int CoCache::NodeIndex(const std::string& name) const {
+  std::string key = ToLower(name);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CoCache::RelIndex(const std::string& name) const {
+  std::string key = ToLower(name);
+  for (size_t i = 0; i < rels_.size(); ++i) {
+    if (rels_[i].name == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+CoCache::Connection* CoCache::AddConnection(int rel, Tuple* parent,
+                                            Tuple* child, Row attrs) {
+  Rel& r = rels_[rel];
+  r.connections.push_back(Connection{rel, parent, child, std::move(attrs),
+                                     true});
+  Connection* conn = &r.connections.back();
+  parent->out[rel].push_back(conn);
+  child->in[rel].push_back(conn);
+  hash_nav_valid_[rel] = false;
+  return conn;
+}
+
+void CoCache::RemoveConnection(Connection* conn) {
+  if (!conn->alive) return;
+  conn->alive = false;
+  auto& out = conn->parent->out[conn->rel];
+  out.erase(std::remove(out.begin(), out.end(), conn), out.end());
+  auto& in = conn->child->in[conn->rel];
+  in.erase(std::remove(in.begin(), in.end(), conn), in.end());
+  hash_nav_valid_[conn->rel] = false;
+}
+
+std::vector<CoCache::Connection*> CoCache::ChildrenByHash(int rel,
+                                                          const Tuple& t) {
+  if (!hash_nav_valid_[rel]) {
+    hash_nav_[rel].clear();
+    for (Connection& c : rels_[rel].connections) {
+      if (!c.alive) continue;
+      hash_nav_[rel][c.parent].push_back(&c);
+    }
+    hash_nav_valid_[rel] = true;
+  }
+  auto it = hash_nav_[rel].find(&t);
+  if (it == hash_nav_[rel].end()) return {};
+  return it->second;
+}
+
+CoInstance CoCache::Snapshot() const {
+  CoInstance out;
+  // Tuple -> compacted index maps.
+  std::vector<std::unordered_map<const Tuple*, int>> index(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    const Node& node = nodes_[n];
+    CoNodeInstance ni;
+    ni.name = node.name;
+    ni.schema = node.schema;
+    ni.base_table = node.base_table;
+    ni.base_column_map = node.base_column_map;
+    bool any_rid = false;
+    for (const Tuple& t : node.tuples) {
+      if (t.alive && t.has_rid) any_rid = true;
+    }
+    for (const Tuple& t : node.tuples) {
+      if (!t.alive) continue;
+      index[n][&t] = static_cast<int>(ni.tuples.size());
+      ni.tuples.push_back(t.values);
+      if (any_rid) ni.rids.push_back(t.rid);
+    }
+    out.nodes.push_back(std::move(ni));
+  }
+  for (const Rel& rel : rels_) {
+    CoRelInstance ri;
+    ri.name = rel.name;
+    ri.parent_node = rel.parent_node;
+    ri.child_node = rel.child_node;
+    ri.attr_schema = rel.attr_schema;
+    ri.write_kind = rel.write_kind;
+    ri.fk_parent_column = rel.fk_parent_column;
+    ri.fk_child_column = rel.fk_child_column;
+    ri.link_table = rel.link_table;
+    ri.link_parent_column = rel.link_parent_column;
+    ri.link_child_column = rel.link_child_column;
+    ri.parent_key_column = rel.parent_key_column;
+    ri.child_key_column = rel.child_key_column;
+    ri.attr_link_columns = rel.attr_link_columns;
+    for (const Connection& c : rel.connections) {
+      if (!c.alive || !c.parent->alive || !c.child->alive) continue;
+      CoConnection conn;
+      conn.parent = index[rel.parent_node].at(c.parent);
+      conn.child = index[rel.child_node].at(c.child);
+      conn.attrs = c.attrs;
+      ri.connections.push_back(std::move(conn));
+    }
+    out.rels.push_back(std::move(ri));
+  }
+  return out;
+}
+
+size_t CoCache::EnforceReachability() {
+  // Roots: nodes without incoming relationships in the schema graph.
+  std::vector<char> has_incoming(nodes_.size(), 0);
+  for (const Rel& rel : rels_) {
+    if (rel.child_node >= 0) has_incoming[rel.child_node] = 1;
+  }
+  std::unordered_map<const Tuple*, char> marked;
+  std::vector<Tuple*> frontier;
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (has_incoming[n]) continue;
+    for (Tuple& t : nodes_[n].tuples) {
+      if (!t.alive) continue;
+      marked[&t] = 1;
+      frontier.push_back(&t);
+    }
+  }
+  while (!frontier.empty()) {
+    Tuple* t = frontier.back();
+    frontier.pop_back();
+    for (const auto& bucket : t->out) {
+      for (Connection* c : bucket) {
+        if (!c->alive || !c->child->alive) continue;
+        if (marked.emplace(c->child, 1).second) frontier.push_back(c->child);
+      }
+    }
+  }
+  size_t dropped = 0;
+  for (Node& node : nodes_) {
+    for (Tuple& t : node.tuples) {
+      if (!t.alive || marked.count(&t)) continue;
+      // Drop from the cache: kill incident connections, then the tuple.
+      for (auto& bucket : t.out) {
+        std::vector<Connection*> copy = bucket;
+        for (Connection* c : copy) RemoveConnection(c);
+      }
+      for (auto& bucket : t.in) {
+        std::vector<Connection*> copy = bucket;
+        for (Connection* c : copy) RemoveConnection(c);
+      }
+      t.alive = false;
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+bool Cursor::Next() {
+  CoCache::Node& node = cache_->node(node_);
+  while (true) {
+    ++pos_;
+    if (pos_ >= static_cast<int64_t>(node.tuples.size())) {
+      current_ = nullptr;
+      return false;
+    }
+    if (node.tuples[pos_].alive) {
+      current_ = &node.tuples[pos_];
+      return true;
+    }
+  }
+}
+
+Result<std::unique_ptr<DependentCursor>> DependentCursor::Open(
+    Cursor* parent, const std::vector<std::string>& path) {
+  if (path.empty()) {
+    return Status::InvalidArgument("dependent cursor path is empty");
+  }
+  sql::PathExpr expr;
+  expr.start = "self";
+  for (const std::string& step : path) {
+    sql::PathStep s;
+    s.name = step;
+    expr.steps.push_back(std::move(s));
+  }
+  auto cursor = std::unique_ptr<DependentCursor>(
+      new DependentCursor(parent, std::move(expr)));
+  XNF_RETURN_IF_ERROR(cursor->Rebind());
+  return cursor;
+}
+
+Result<std::unique_ptr<DependentCursor>> DependentCursor::OpenPath(
+    Cursor* parent, const std::string& path_text) {
+  // Parse "<steps>" by prefixing a synthetic start binding.
+  sql::Parser parser("self->" + path_text);
+  XNF_ASSIGN_OR_RETURN(sql::ExprPtr expr, parser.ParseExpr());
+  if (!parser.AtEnd()) {
+    return parser.MakeError("unexpected trailing input in path expression");
+  }
+  if (expr->kind != sql::Expr::Kind::kPath) {
+    return Status::InvalidArgument("not a path expression: " + path_text);
+  }
+  auto cursor = std::unique_ptr<DependentCursor>(
+      new DependentCursor(parent, std::move(*expr->path)));
+  XNF_RETURN_IF_ERROR(cursor->Rebind());
+  return cursor;
+}
+
+Status DependentCursor::Rebind() {
+  reachable_.clear();
+  pos_ = 0;
+  current_ = nullptr;
+  CoCache::Tuple* start = parent_->tuple();
+  if (start == nullptr) {
+    return Status::InvalidArgument(
+        "parent cursor is not positioned on a tuple");
+  }
+  CoCache* cache = parent_->cache();
+  int current_node = parent_->node_index();
+  std::vector<CoCache::Tuple*> frontier = {start};
+
+  for (const sql::PathStep& step : path_.steps) {
+    int r = cache->RelIndex(step.name);
+    if (r >= 0) {
+      const CoCache::Rel& rel = cache->rel(r);
+      bool forward = rel.parent_node == current_node;
+      bool backward = rel.child_node == current_node;
+      if (!forward && !backward) {
+        return Status::InvalidArgument(
+            "relationship '" + step.name + "' does not connect to '" +
+            cache->node(current_node).name + "'");
+      }
+      std::vector<CoCache::Tuple*> next;
+      for (CoCache::Tuple* t : frontier) {
+        const auto& conns = forward ? t->out[r] : t->in[r];
+        for (CoCache::Connection* c : conns) {
+          if (!c->alive) continue;
+          CoCache::Tuple* partner = forward ? c->child : c->parent;
+          if (!partner->alive) continue;
+          next.push_back(partner);
+        }
+      }
+      // Deduplicate while keeping order.
+      std::vector<CoCache::Tuple*> dedup;
+      for (CoCache::Tuple* t : next) {
+        if (std::find(dedup.begin(), dedup.end(), t) == dedup.end()) {
+          dedup.push_back(t);
+        }
+      }
+      frontier = std::move(dedup);
+      current_node = forward ? rel.child_node : rel.parent_node;
+      continue;
+    }
+    int n = cache->NodeIndex(step.name);
+    if (n >= 0) {
+      if (n != current_node) {
+        return Status::InvalidArgument(
+            "path step '" + step.name + "' does not match current position "
+            "'" + cache->node(current_node).name + "'");
+      }
+      if (step.predicate != nullptr) {
+        std::string corr =
+            step.corr.empty() ? cache->node(n).name : ToLower(step.corr);
+        std::vector<CoCache::Tuple*> kept;
+        for (CoCache::Tuple* t : frontier) {
+          RowEvaluator eval({RowEvaluator::Binding{
+              corr, &cache->node(n).schema, &t->values}});
+          XNF_ASSIGN_OR_RETURN(bool keep,
+                               eval.EvalPredicate(*step.predicate));
+          if (keep) kept.push_back(t);
+        }
+        frontier = std::move(kept);
+      }
+      continue;
+    }
+    return Status::NotFound("path step '" + step.name +
+                            "' is neither a relationship nor a component "
+                            "table of this CO");
+  }
+  target_node_ = current_node;
+  reachable_ = std::move(frontier);
+  return Status::Ok();
+}
+
+bool DependentCursor::Next() {
+  while (pos_ < reachable_.size()) {
+    CoCache::Tuple* t = reachable_[pos_++];
+    if (t->alive) {
+      current_ = t;
+      return true;
+    }
+  }
+  current_ = nullptr;
+  return false;
+}
+
+}  // namespace xnf::co

@@ -1,0 +1,187 @@
+#ifndef XNF_XNF_CACHE_H_
+#define XNF_XNF_CACHE_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "xnf/instance.h"
+
+namespace xnf::co {
+
+// The XNF application cache (§4.2): an in-memory, pointer-linked
+// representation of a materialized CO. Tuples of an XNF structure are linked
+// by virtual-memory pointers, so crossing a relationship from a cursor is a
+// pointer dereference — no query, no inter-process communication. This is
+// the mechanism behind the paper's orders-of-magnitude navigation speedup
+// (benchmark C1).
+class CoCache {
+ public:
+  struct Tuple;
+
+  struct Connection {
+    int rel = -1;  // relationship index
+    Tuple* parent = nullptr;
+    Tuple* child = nullptr;
+    Row attrs;
+    bool alive = true;
+  };
+
+  struct Tuple {
+    Row values;
+    Rid rid;
+    bool has_rid = false;
+    bool alive = true;
+    int node = -1;
+    // Direct pointers, one bucket per relationship of the CO: connections in
+    // which this tuple is the parent / the child.
+    std::vector<std::vector<Connection*>> out;
+    std::vector<std::vector<Connection*>> in;
+  };
+
+  struct Node {
+    std::string name;
+    Schema schema;
+    std::deque<Tuple> tuples;  // deque: stable addresses under growth
+    std::string base_table;
+    std::vector<int> base_column_map;
+
+    bool updatable() const { return !base_table.empty(); }
+    size_t live_count() const;
+  };
+
+  struct Rel {
+    std::string name;
+    int parent_node = -1;
+    int child_node = -1;
+    Schema attr_schema;
+    std::deque<Connection> connections;  // stable addresses
+
+    CoRelInstance::WriteKind write_kind = CoRelInstance::WriteKind::kNone;
+    int fk_parent_column = -1;
+    int fk_child_column = -1;
+    std::string link_table;
+    int link_parent_column = -1;
+    int link_child_column = -1;
+    int parent_key_column = -1;
+    int child_key_column = -1;
+    std::vector<int> attr_link_columns;
+
+    size_t live_count() const;
+  };
+
+  // Consumes a materialized instance and wires the pointer structure.
+  static std::unique_ptr<CoCache> Build(CoInstance instance);
+
+  int NodeIndex(const std::string& name) const;
+  int RelIndex(const std::string& name) const;
+  Node& node(int i) { return nodes_[i]; }
+  const Node& node(int i) const { return nodes_[i]; }
+  Rel& rel(int i) { return rels_[i]; }
+  const Rel& rel(int i) const { return rels_[i]; }
+  size_t node_count() const { return nodes_.size(); }
+  size_t rel_count() const { return rels_.size(); }
+
+  // Appends a connection and wires the tuple pointer buckets.
+  Connection* AddConnection(int rel, Tuple* parent, Tuple* child, Row attrs);
+  // Unlinks `conn` from its endpoints and marks it dead.
+  void RemoveConnection(Connection* conn);
+
+  // Navigation used by dependent cursors and benchmarks:
+  // pointer-based children/parents of `t` across relationship `rel`.
+  const std::vector<Connection*>& Children(int rel, const Tuple& t) const {
+    return t.out[rel];
+  }
+  const std::vector<Connection*>& Parents(int rel, const Tuple& t) const {
+    return t.in[rel];
+  }
+
+  // Ablation A2: the same navigation answered through a per-relationship
+  // hash index keyed by the parent tuple identity, simulating OID-table
+  // lookups instead of direct pointers. Built lazily, invalidated on
+  // connect/disconnect.
+  std::vector<Connection*> ChildrenByHash(int rel, const Tuple& t);
+
+  // Exports the current live content back into a CoInstance snapshot.
+  CoInstance Snapshot() const;
+
+  // Re-enforces the reachability constraint on the cache contents: tuples no
+  // longer reachable from a root tuple (e.g. after disconnects) are marked
+  // dead *in the cache only* — the base data is untouched, the tuples merely
+  // fall out of the composite object, exactly as a re-evaluation of the view
+  // would show. Returns the number of tuples dropped.
+  size_t EnforceReachability();
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Rel> rels_;
+  // Lazy hash navigation indexes (ablation A2).
+  std::vector<std::unordered_map<const Tuple*, std::vector<Connection*>>>
+      hash_nav_;
+  std::vector<bool> hash_nav_valid_;
+};
+
+// Independent cursor (§3.7): browses all live tuples of one node.
+class Cursor {
+ public:
+  Cursor(CoCache* cache, int node) : cache_(cache), node_(node) {}
+
+  // Advances to the next live tuple; false at end.
+  bool Next();
+  void Reset() { pos_ = -1; }
+  CoCache::Tuple* tuple() const { return current_; }
+  const Row& values() const { return current_->values; }
+
+  CoCache* cache() const { return cache_; }
+  int node_index() const { return node_; }
+
+ private:
+  CoCache* cache_;
+  int node_;
+  int64_t pos_ = -1;
+  CoCache::Tuple* current_ = nullptr;
+};
+
+// Dependent cursor (§3.7): bound to another cursor through a path
+// expression; gives access only to tuples reachable from the tuple the
+// parent cursor currently points to. Rebind() re-evaluates after the parent
+// moves. Supports the full path syntax of §3.5, including qualified node
+// steps: "employment->(Xemp e WHERE e.sal < 2000)".
+class DependentCursor {
+ public:
+  // Reduced form: a chain of relationship names, each crossed forward or
+  // backward from the current position.
+  static Result<std::unique_ptr<DependentCursor>> Open(
+      Cursor* parent, const std::vector<std::string>& path);
+
+  // Full path-expression syntax; `path_text` is everything after the parent
+  // binding, e.g. "employment->(Xemp e WHERE e.sal < 2000)->projmanagement".
+  static Result<std::unique_ptr<DependentCursor>> OpenPath(
+      Cursor* parent, const std::string& path_text);
+
+  // Re-evaluates the reachable set from the parent's current tuple.
+  Status Rebind();
+  bool Next();
+  CoCache::Tuple* tuple() const { return current_; }
+  const Row& values() const { return current_->values; }
+  int node_index() const { return target_node_; }
+
+ private:
+  DependentCursor(Cursor* parent, sql::PathExpr path)
+      : parent_(parent), path_(std::move(path)) {}
+
+  Cursor* parent_;
+  sql::PathExpr path_;
+  int target_node_ = -1;
+  std::vector<CoCache::Tuple*> reachable_;
+  size_t pos_ = 0;
+  CoCache::Tuple* current_ = nullptr;
+};
+
+}  // namespace xnf::co
+
+#endif  // XNF_XNF_CACHE_H_

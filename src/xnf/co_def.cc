@@ -1,0 +1,257 @@
+#include "xnf/co_def.h"
+
+#include <functional>
+#include <set>
+
+#include "common/str_util.h"
+#include "xnf/parser.h"
+
+namespace xnf::co {
+
+CoNodeDef CoNodeDef::Clone() const {
+  CoNodeDef out;
+  out.name = name;
+  if (query) out.query = query->Clone();
+  out.table = table;
+  out.premade = premade;  // shared, immutable once resolved
+  return out;
+}
+
+CoRelDef CoRelDef::Clone() const {
+  CoRelDef out;
+  out.name = name;
+  out.parent = parent;
+  out.child = child;
+  out.parent_corr = parent_corr;
+  out.child_corr = child_corr;
+  for (const RelAttribute& a : attributes) {
+    RelAttribute attr;
+    attr.expr = a.expr->Clone();
+    attr.name = a.name;
+    out.attributes.push_back(std::move(attr));
+  }
+  out.using_table = using_table;
+  out.using_corr = using_corr;
+  if (predicate) out.predicate = predicate->Clone();
+  out.premade = premade;
+  return out;
+}
+
+CoDef CoDef::Clone() const {
+  CoDef out;
+  for (const CoNodeDef& n : nodes) out.nodes.push_back(n.Clone());
+  for (const CoRelDef& r : rels) out.rels.push_back(r.Clone());
+  return out;
+}
+
+int CoDef::NodeIndex(const std::string& name) const {
+  std::string key = ToLower(name);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CoDef::RelIndex(const std::string& name) const {
+  std::string key = ToLower(name);
+  for (size_t i = 0; i < rels.size(); ++i) {
+    if (rels[i].name == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<int> CoDef::RootNodes() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    bool incoming = false;
+    for (const CoRelDef& r : rels) {
+      if (r.child == nodes[i].name) {
+        incoming = true;
+        break;
+      }
+    }
+    if (!incoming) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+bool CoDef::IsRecursive() const {
+  // DFS cycle detection on the schema graph.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(nodes.size(), Color::kWhite);
+  std::function<bool(int)> dfs = [&](int n) {
+    color[n] = Color::kGray;
+    for (const CoRelDef& r : rels) {
+      if (r.parent != nodes[n].name) continue;
+      int c = NodeIndex(r.child);
+      if (c < 0) continue;
+      if (color[c] == Color::kGray) return true;
+      if (color[c] == Color::kWhite && dfs(c)) return true;
+    }
+    color[n] = Color::kBlack;
+    return false;
+  };
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (color[i] == Color::kWhite && dfs(static_cast<int>(i))) return true;
+  }
+  return false;
+}
+
+bool CoDef::HasSchemaSharing() const {
+  for (const CoNodeDef& n : nodes) {
+    int incoming = 0;
+    for (const CoRelDef& r : rels) {
+      if (r.child == n.name) ++incoming;
+    }
+    if (incoming >= 2) return true;
+  }
+  return false;
+}
+
+Status CoDef::Validate() const {
+  std::set<std::string> names;
+  for (const CoNodeDef& n : nodes) {
+    if (!names.insert(n.name).second) {
+      return Status::InvalidArgument("duplicate component name '" + n.name +
+                                     "'");
+    }
+  }
+  for (const CoRelDef& r : rels) {
+    if (!names.insert(r.name).second) {
+      return Status::InvalidArgument("duplicate component name '" + r.name +
+                                     "'");
+    }
+  }
+  // Well-formedness (§2): relationship partners must be component tables of
+  // this very CO.
+  for (const CoRelDef& r : rels) {
+    if (NodeIndex(r.parent) < 0) {
+      return Status::InvalidArgument("relationship '" + r.name +
+                                     "' references unknown parent table '" +
+                                     r.parent + "'");
+    }
+    if (NodeIndex(r.child) < 0) {
+      return Status::InvalidArgument("relationship '" + r.name +
+                                     "' references unknown child table '" +
+                                     r.child + "'");
+    }
+    if (r.predicate == nullptr && r.premade == nullptr) {
+      return Status::InvalidArgument("relationship '" + r.name +
+                                     "' has no predicate");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<CoDef> Resolver::Resolve(const XnfQuery& query) {
+  CoDef def;
+  std::vector<std::string> stack;
+  XNF_RETURN_IF_ERROR(AddItems(query.items, &def, &stack));
+  XNF_RETURN_IF_ERROR(def.Validate());
+  return def;
+}
+
+Status Resolver::AddItems(const std::vector<OutOfItem>& items, CoDef* def,
+                          std::vector<std::string>* view_stack) {
+  for (const OutOfItem& item : items) {
+    switch (item.kind) {
+      case OutOfItem::Kind::kViewRef: {
+        const ViewInfo* view = catalog_->GetView(item.name);
+        if (view == nullptr || !view->is_xnf) {
+          // A bare name may also be a base table used as both node name and
+          // content (rare); the paper always uses AS for that, so report.
+          return Status::NotFound("XNF view '" + item.name + "' not found");
+        }
+        for (const std::string& v : *view_stack) {
+          if (v == item.name) {
+            return Status::InvalidArgument(
+                "cyclic XNF view definition involving '" + item.name + "'");
+          }
+        }
+        XNF_ASSIGN_OR_RETURN(XnfQuery sub, Parser::Parse(view->definition));
+        if (sub.action != XnfQuery::Action::kTake) {
+          return Status::InvalidArgument("XNF view '" + item.name +
+                                         "' must be a TAKE query");
+        }
+        if (sub.restrictions.empty() && sub.take_all) {
+          // Structurally composable: splice the view's components in.
+          view_stack->push_back(item.name);
+          XNF_RETURN_IF_ERROR(AddItems(sub.items, def, view_stack));
+          view_stack->pop_back();
+          break;
+        }
+        // Restrictions / partial TAKE: evaluate the view and import its
+        // components as pre-materialized nodes and relationships.
+        if (materializer_ == nullptr) {
+          return Status::NotSupported(
+              "XNF view '" + item.name +
+              "' with restrictions or partial TAKE cannot be composed "
+              "structurally; no materializer available");
+        }
+        view_stack->push_back(item.name);
+        Result<CoInstance> materialized = materializer_(sub);
+        view_stack->pop_back();
+        if (!materialized.ok()) return materialized.status();
+        auto instance =
+            std::make_shared<CoInstance>(std::move(materialized).value());
+        for (CoNodeInstance& n : instance->nodes) {
+          CoNodeDef node;
+          node.name = n.name;
+          node.premade = std::shared_ptr<const CoNodeInstance>(
+              instance, &n);
+          def->nodes.push_back(std::move(node));
+        }
+        for (CoRelInstance& r : instance->rels) {
+          CoRelDef rel;
+          rel.name = r.name;
+          rel.parent = instance->nodes[r.parent_node].name;
+          rel.child = instance->nodes[r.child_node].name;
+          rel.parent_corr = rel.parent;
+          rel.child_corr = rel.child;
+          rel.premade = std::shared_ptr<const CoRelInstance>(instance, &r);
+          def->rels.push_back(std::move(rel));
+        }
+        break;
+      }
+      case OutOfItem::Kind::kNodeQuery: {
+        CoNodeDef node;
+        node.name = item.name;
+        node.query = item.query->Clone();
+        def->nodes.push_back(std::move(node));
+        break;
+      }
+      case OutOfItem::Kind::kNodeTable: {
+        CoNodeDef node;
+        node.name = item.name;
+        node.table = item.table;
+        def->nodes.push_back(std::move(node));
+        break;
+      }
+      case OutOfItem::Kind::kRelate: {
+        CoRelDef rel;
+        const RelateSpec& spec = *item.relate;
+        rel.name = item.name;
+        rel.parent = spec.parent;
+        rel.child = spec.child;
+        rel.parent_corr =
+            spec.parent_corr.empty() ? spec.parent : spec.parent_corr;
+        rel.child_corr = spec.child_corr.empty() ? spec.child : spec.child_corr;
+        for (const RelAttribute& a : spec.attributes) {
+          RelAttribute attr;
+          attr.expr = a.expr->Clone();
+          attr.name = a.name;
+          rel.attributes.push_back(std::move(attr));
+        }
+        rel.using_table = spec.using_table;
+        rel.using_corr =
+            spec.using_corr.empty() ? spec.using_table : spec.using_corr;
+        rel.predicate = spec.predicate->Clone();
+        def->rels.push_back(std::move(rel));
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace xnf::co

@@ -1,0 +1,100 @@
+#ifndef XNF_XNF_CO_DEF_H_
+#define XNF_XNF_CO_DEF_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "xnf/ast.h"
+#include "xnf/instance.h"
+
+namespace xnf::co {
+
+// A resolved component table (node) of a composite object.
+struct CoNodeDef {
+  std::string name;
+  // Exactly one of `query` / `table` / `premade` is set: node defined by a
+  // SELECT, the shorthand "name AS table" reusing a base table unchanged,
+  // or a pre-materialized component imported from a referenced XNF view
+  // that carries restrictions or a partial TAKE (such views are evaluated
+  // recursively during resolution; immutable once resolved).
+  std::unique_ptr<sql::SelectStmt> query;
+  std::string table;
+  std::shared_ptr<const CoNodeInstance> premade;
+
+  CoNodeDef Clone() const;
+};
+
+// A resolved relationship (edge) of a composite object.
+struct CoRelDef {
+  std::string name;
+  std::string parent;       // parent node name
+  std::string child;        // child node name
+  std::string parent_corr;  // correlation used in the predicate (default:
+                            // the node name; role names for cyclic rels)
+  std::string child_corr;
+  std::vector<RelAttribute> attributes;
+  std::string using_table;
+  std::string using_corr;
+  sql::ExprPtr predicate;
+  // Pre-materialized connections (see CoNodeDef::premade). Tuple indices
+  // refer to the premade partner nodes' tuple order.
+  std::shared_ptr<const CoRelInstance> premade;
+
+  CoRelDef Clone() const;
+};
+
+// A fully resolved CO definition: the schema graph of §2 — nodes and
+// directed edges. View references have been expanded.
+struct CoDef {
+  std::vector<CoNodeDef> nodes;
+  std::vector<CoRelDef> rels;
+
+  int NodeIndex(const std::string& name) const;
+  int RelIndex(const std::string& name) const;
+
+  // Nodes with no incoming relationship (the paper's root tables).
+  std::vector<int> RootNodes() const;
+
+  // True if the schema graph has a directed cycle (recursive CO, §3.4).
+  bool IsRecursive() const;
+
+  // True if some node has two or more incoming relationships (§2).
+  bool HasSchemaSharing() const;
+
+  // Well-formedness: unique component names; every relationship's partner
+  // tables are components of this CO (§2).
+  Status Validate() const;
+
+  CoDef Clone() const;
+};
+
+// Expands an XNF query's OUT OF items into a flat CoDef, pulling in XNF view
+// definitions recursively (views over views, §3.2). Referenced views that
+// carry restrictions or a partial TAKE cannot be merged structurally; when a
+// `materializer` is provided (the evaluator passes its own recursive
+// evaluation) such views are evaluated and imported as premade components.
+class Resolver {
+ public:
+  using ViewMaterializer =
+      std::function<Result<CoInstance>(const XnfQuery& query)>;
+
+  explicit Resolver(const Catalog* catalog,
+                    ViewMaterializer materializer = nullptr)
+      : catalog_(catalog), materializer_(std::move(materializer)) {}
+
+  Result<CoDef> Resolve(const XnfQuery& query);
+
+ private:
+  Status AddItems(const std::vector<OutOfItem>& items, CoDef* def,
+                  std::vector<std::string>* view_stack);
+
+  const Catalog* catalog_;
+  ViewMaterializer materializer_;
+};
+
+}  // namespace xnf::co
+
+#endif  // XNF_XNF_CO_DEF_H_

@@ -1,0 +1,885 @@
+#include "xnf/evaluator.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "common/str_util.h"
+#include "exec/eval.h"
+#include "exec/operators.h"
+#include "plan/planner.h"
+#include "qgm/builder.h"
+#include "qgm/rewrite.h"
+#include "xnf/parser.h"
+#include "xnf/path.h"
+
+namespace xnf::co {
+
+namespace {
+
+constexpr char kTidColumn[] = "__tid";
+
+// Splits an AND tree into conjunct pointers (no ownership transfer).
+void SplitConjuncts(const sql::Expr* e, std::vector<const sql::Expr*>* out) {
+  if (e->kind == sql::Expr::Kind::kBinary &&
+      e->bin_op == sql::BinOp::kAnd) {
+    SplitConjuncts(e->args[0].get(), out);
+    SplitConjuncts(e->args[1].get(), out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool ExprContainsPath(const sql::Expr& e) {
+  if (e.kind == sql::Expr::Kind::kPath ||
+      e.kind == sql::Expr::Kind::kExistsPath) {
+    return true;
+  }
+  for (const sql::ExprPtr& a : e.args) {
+    if (a && ExprContainsPath(*a)) return true;
+  }
+  if (e.subquery) return false;  // paths cannot appear inside SQL subqueries
+  return false;
+}
+
+bool ExprContainsSubqueryOrAgg(const sql::Expr& e) {
+  using K = sql::Expr::Kind;
+  if (e.kind == K::kInSubquery || e.kind == K::kExistsSubquery ||
+      e.kind == K::kScalarSubquery) {
+    return true;
+  }
+  if (e.kind == K::kFuncCall) {
+    std::string n = ToLower(e.column);
+    if (n == "count" || n == "sum" || n == "avg" || n == "min" || n == "max") {
+      return true;
+    }
+  }
+  for (const sql::ExprPtr& a : e.args) {
+    if (a && ExprContainsSubqueryOrAgg(*a)) return true;
+  }
+  return false;
+}
+
+// Detects whether a node's defining query is a simple projection/selection
+// of one base table, which makes the node updatable (provenance rids).
+struct SimpleNodeInfo {
+  bool simple = false;
+  std::string base_table;
+  std::string alias;                  // FROM alias used in the predicate
+  const sql::Expr* predicate = nullptr;
+  bool select_star = false;
+  std::vector<std::string> columns;   // when !select_star: base column names
+  std::vector<std::string> out_names; // output column names (aliases)
+};
+
+SimpleNodeInfo AnalyzeSimpleNode(const CoNodeDef& def,
+                                 const Catalog& catalog) {
+  SimpleNodeInfo info;
+  if (!def.table.empty()) {
+    if (catalog.GetTable(def.table) == nullptr) return info;
+    info.simple = true;
+    info.base_table = def.table;
+    info.alias = def.table;
+    info.select_star = true;
+    return info;
+  }
+  const sql::SelectStmt& q = *def.query;
+  if (q.distinct || !q.group_by.empty() || q.having != nullptr ||
+      !q.order_by.empty() || q.limit.has_value() || q.union_next != nullptr ||
+      q.from.size() != 1) {
+    return info;
+  }
+  const sql::TableRef& from = *q.from[0];
+  if (from.kind != sql::TableRef::Kind::kNamed) return info;
+  if (catalog.GetTable(from.name) == nullptr) return info;  // view: not simple
+  if (q.where != nullptr &&
+      (ExprContainsSubqueryOrAgg(*q.where) || ExprContainsPath(*q.where))) {
+    return info;
+  }
+  for (const sql::SelectItem& item : q.items) {
+    if (item.star) {
+      if (!item.star_table.empty()) return info;
+      info.select_star = true;
+      continue;
+    }
+    if (item.expr->kind != sql::Expr::Kind::kColumnRef) return info;
+    info.columns.push_back(ToLower(item.expr->column));
+    info.out_names.push_back(
+        item.alias.empty() ? ToLower(item.expr->column) : ToLower(item.alias));
+  }
+  if (info.select_star && !info.columns.empty()) return info;  // mixed: skip
+  info.simple = true;
+  info.base_table = ToLower(from.name);
+  info.alias = from.alias.empty() ? ToLower(from.name) : ToLower(from.alias);
+  info.predicate = q.where.get();
+  return info;
+}
+
+}  // namespace
+
+Result<ResultSet> Evaluator::RunSelect(const sql::SelectStmt& stmt) {
+  qgm::Builder::ExtraResolver resolver =
+      [this](const std::string& name) -> Result<const ResultSet*> {
+    auto it = temps_.find(name);
+    if (it == temps_.end()) return static_cast<const ResultSet*>(nullptr);
+    return static_cast<const ResultSet*>(&it->second);
+  };
+  qgm::Builder builder(catalog_, resolver);
+  XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(stmt));
+  XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
+  (void)rw;
+  return plan::Execute(catalog_, graph);
+}
+
+Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
+  CoNodeInstance node;
+  node.name = def.name;
+
+  // Pre-materialized component imported from a restricted view reference.
+  if (def.premade != nullptr) {
+    return *def.premade;
+  }
+
+  SimpleNodeInfo simple = AnalyzeSimpleNode(def, *catalog_);
+  if (simple.simple) {
+    TableInfo* table = catalog_->GetTable(simple.base_table);
+    // Compile the predicate over the base schema.
+    qgm::ExprPtr pred;
+    if (simple.predicate != nullptr) {
+      qgm::Builder builder(catalog_);
+      XNF_ASSIGN_OR_RETURN(
+          qgm::ExprPtr built,
+          builder.BuildScalar(*simple.predicate, table->schema, simple.alias));
+      std::vector<size_t> offsets = {0};
+      XNF_ASSIGN_OR_RETURN(pred, plan::CompileExpr(*built, offsets));
+    }
+    // Output schema and base column map.
+    if (simple.select_star) {
+      for (size_t i = 0; i < table->schema.size(); ++i) {
+        Column c = table->schema.column(i);
+        c.table = def.name;
+        node.schema.AddColumn(c);
+        node.base_column_map.push_back(static_cast<int>(i));
+      }
+    } else {
+      for (size_t i = 0; i < simple.columns.size(); ++i) {
+        XNF_ASSIGN_OR_RETURN(size_t b,
+                             table->schema.Resolve("", simple.columns[i]));
+        Column c = table->schema.column(b);
+        c.name = simple.out_names[i];
+        c.table = def.name;
+        node.schema.AddColumn(c);
+        node.base_column_map.push_back(static_cast<int>(b));
+      }
+    }
+    node.base_table = simple.base_table;
+
+    exec::ExecContext exec_ctx;
+    exec_ctx.catalog = catalog_;
+
+    auto emit = [&](Rid rid, const Row& row) {
+      Row out;
+      out.reserve(node.base_column_map.size());
+      for (int b : node.base_column_map) out.push_back(row[b]);
+      node.tuples.push_back(std::move(out));
+      node.rids.push_back(rid);
+    };
+
+    // Fast extraction (§4 "fast extraction of data"): an equality conjunct
+    // on an indexed column turns the candidate scan into an index lookup —
+    // this is what makes 1-in-10000 working-set extraction cheap.
+    Index* index = nullptr;
+    Value index_key;
+    if (pred != nullptr) {
+      std::function<void(const qgm::Expr&)> find =
+          [&](const qgm::Expr& e) {
+            if (index != nullptr) return;
+            if (e.kind == qgm::Expr::Kind::kBinary &&
+                e.bin_op == sql::BinOp::kAnd) {
+              find(*e.args[0]);
+              find(*e.args[1]);
+              return;
+            }
+            if (e.kind != qgm::Expr::Kind::kBinary ||
+                e.bin_op != sql::BinOp::kEq) {
+              return;
+            }
+            const qgm::Expr* col = e.args[0].get();
+            const qgm::Expr* lit = e.args[1].get();
+            if (col->kind != qgm::Expr::Kind::kInputRef) std::swap(col, lit);
+            if (col->kind != qgm::Expr::Kind::kInputRef ||
+                lit->kind != qgm::Expr::Kind::kLiteral) {
+              return;
+            }
+            Index* idx =
+                table->FindIndexOn({static_cast<size_t>(col->slot)});
+            if (idx != nullptr) {
+              index = idx;
+              index_key = lit->literal;
+            }
+          };
+      find(*pred);
+    }
+
+    Status status = Status::Ok();
+    auto check = [&](const Row& row) -> bool {
+      if (pred == nullptr) return true;
+      exec::EvalContext ectx;
+      ectx.row = &row;
+      ectx.exec = &exec_ctx;
+      auto keep = exec::EvalPredicate(*pred, &ectx);
+      if (!keep.ok()) {
+        status = keep.status();
+        return false;
+      }
+      return *keep;
+    };
+
+    if (index != nullptr) {
+      for (Rid rid : index->Lookup({index_key})) {
+        XNF_ASSIGN_OR_RETURN(Row row, table->heap->Read(rid));
+        if (check(row)) emit(rid, row);
+        XNF_RETURN_IF_ERROR(status);
+      }
+    } else {
+      table->heap->Scan([&](Rid rid, const Row& row) {
+        bool keep = check(row);
+        if (!status.ok()) return false;
+        if (keep) emit(rid, row);
+        return true;
+      });
+    }
+    XNF_RETURN_IF_ERROR(status);
+    stats_.node_queries++;
+    return node;
+  }
+
+  // General path: run the defining query through the engine.
+  if (def.query == nullptr) {
+    return Status::NotFound("table '" + def.table + "' not found for node '" +
+                            def.name + "'");
+  }
+  XNF_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*def.query));
+  stats_.node_queries++;
+  node.schema = rs.schema.WithQualifier(def.name);
+  node.tuples = std::move(rs.rows);
+  return node;
+}
+
+Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
+                                                CoInstance* instance) {
+  CoRelInstance rel;
+  rel.name = def.name;
+  rel.parent_node = instance->NodeIndex(def.parent);
+  rel.child_node = instance->NodeIndex(def.child);
+  if (rel.parent_node < 0 || rel.child_node < 0) {
+    return Status::Internal("relationship partners missing");
+  }
+
+  // Pre-materialized connections: the partner nodes are premade too, so the
+  // tuple indices carry over; only the node indices need re-binding.
+  if (def.premade != nullptr) {
+    rel = *def.premade;
+    rel.parent_node = instance->NodeIndex(def.parent);
+    rel.child_node = instance->NodeIndex(def.child);
+    return rel;
+  }
+  const CoNodeInstance& parent = instance->nodes[rel.parent_node];
+  const CoNodeInstance& child = instance->nodes[rel.child_node];
+
+  // Attribute schema.
+  for (const RelAttribute& a : def.attributes) {
+    rel.attr_schema.AddColumn(Column(a.name, Type::kNull));
+  }
+
+  // Build the edge query.
+  auto stmt = std::make_unique<sql::SelectStmt>();
+  auto add_from = [&](const std::string& source, const std::string& alias,
+                      bool is_temp) {
+    auto ref = std::make_unique<sql::TableRef>();
+    ref->kind = sql::TableRef::Kind::kNamed;
+    ref->name = is_temp ? "__co_" + source : source;
+    ref->alias = alias;
+    stmt->from.push_back(std::move(ref));
+  };
+
+  // Temps carry a __tid column identifying the candidate tuple.
+  add_from(def.parent, def.parent_corr, /*is_temp=*/true);
+  add_from(def.child, def.child_corr, /*is_temp=*/true);
+  stats_.temp_reuses += 2;
+  sql::SelectItem ptid;
+  ptid.expr = sql::Expr::ColRef(def.parent_corr, kTidColumn);
+  ptid.alias = "__ptid";
+  stmt->items.push_back(std::move(ptid));
+  sql::SelectItem ctid;
+  ctid.expr = sql::Expr::ColRef(def.child_corr, kTidColumn);
+  ctid.alias = "__ctid";
+  stmt->items.push_back(std::move(ctid));
+
+  if (!def.using_table.empty()) {
+    add_from(def.using_table, def.using_corr, /*is_temp=*/false);
+  }
+  for (const RelAttribute& a : def.attributes) {
+    sql::SelectItem item;
+    item.expr = a.expr->Clone();
+    item.alias = a.name;
+    stmt->items.push_back(std::move(item));
+  }
+  stmt->where = def.predicate->Clone();
+
+  XNF_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt));
+  stats_.edge_queries++;
+
+  // Fill attribute types from the result schema.
+  for (size_t i = 0; i < rel.attr_schema.size(); ++i) {
+    rel.attr_schema.column(i).type = rs.schema.column(2 + i).type;
+  }
+
+  for (Row& row : rs.rows) {
+    CoConnection c;
+    c.parent = static_cast<int>(row[0].AsInt());
+    c.child = static_cast<int>(row[1].AsInt());
+    c.attrs.assign(std::make_move_iterator(row.begin() + 2),
+                   std::make_move_iterator(row.end()));
+    rel.connections.push_back(std::move(c));
+  }
+  (void)parent;
+  (void)child;
+  return rel;
+}
+
+Result<CoRelInstance> Evaluator::MaterializeRelNoCse(const CoRelDef& def,
+                                                     CoInstance* instance) {
+  CoRelInstance rel;
+  rel.name = def.name;
+  rel.parent_node = instance->NodeIndex(def.parent);
+  rel.child_node = instance->NodeIndex(def.child);
+  const CoNodeInstance& parent = instance->nodes[rel.parent_node];
+  const CoNodeInstance& child = instance->nodes[rel.child_node];
+  for (const RelAttribute& a : def.attributes) {
+    rel.attr_schema.AddColumn(Column(a.name, Type::kNull));
+  }
+
+  // Edge query with the node queries recomputed inline.
+  const CoDef* def_holder = nullptr;
+  (void)def_holder;
+  auto stmt = std::make_unique<sql::SelectStmt>();
+  auto add_inline = [&](const std::string& node_name,
+                        const std::string& alias) -> Status {
+    // Find the node definition by name through the instance order: the
+    // evaluator materializes nodes in definition order, so reconstruct from
+    // the defining query stored when materializing. We keep a copy in
+    // no_cse_defs_.
+    auto it = no_cse_defs_.find(node_name);
+    if (it == no_cse_defs_.end()) {
+      return Status::Internal("missing node definition for '" + node_name +
+                              "'");
+    }
+    auto ref = std::make_unique<sql::TableRef>();
+    if (it->second.query != nullptr) {
+      ref->kind = sql::TableRef::Kind::kSubquery;
+      ref->subquery = it->second.query->Clone();
+    } else {
+      ref->kind = sql::TableRef::Kind::kNamed;
+      ref->name = it->second.table;
+    }
+    ref->alias = alias;
+    stmt->from.push_back(std::move(ref));
+    return Status::Ok();
+  };
+  XNF_RETURN_IF_ERROR(add_inline(def.parent, def.parent_corr));
+  XNF_RETURN_IF_ERROR(add_inline(def.child, def.child_corr));
+  if (!def.using_table.empty()) {
+    auto ref = std::make_unique<sql::TableRef>();
+    ref->kind = sql::TableRef::Kind::kNamed;
+    ref->name = def.using_table;
+    ref->alias = def.using_corr;
+    stmt->from.push_back(std::move(ref));
+  }
+  sql::SelectItem pstar;
+  pstar.star = true;
+  pstar.star_table = def.parent_corr;
+  stmt->items.push_back(std::move(pstar));
+  sql::SelectItem cstar;
+  cstar.star = true;
+  cstar.star_table = def.child_corr;
+  stmt->items.push_back(std::move(cstar));
+  for (const RelAttribute& a : def.attributes) {
+    sql::SelectItem item;
+    item.expr = a.expr->Clone();
+    item.alias = a.name;
+    stmt->items.push_back(std::move(item));
+  }
+  stmt->where = def.predicate->Clone();
+
+  XNF_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt));
+  stats_.edge_queries++;
+  // These two extra executions of the node queries are what CSE avoids.
+  stats_.node_queries += 2;
+
+  size_t pw = parent.schema.size();
+  size_t cw = child.schema.size();
+  for (size_t i = 0; i < rel.attr_schema.size(); ++i) {
+    rel.attr_schema.column(i).type = rs.schema.column(pw + cw + i).type;
+  }
+
+  // Match endpoint rows back to candidate tuple indices by value.
+  struct RowHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct RowEq {
+    bool operator()(const Row& a, const Row& b) const {
+      return RowsEqual(a, b);
+    }
+  };
+  auto build_index = [](const CoNodeInstance& node) {
+    std::unordered_map<Row, int, RowHash, RowEq> index;
+    for (size_t t = 0; t < node.tuples.size(); ++t) {
+      index.emplace(node.tuples[t], static_cast<int>(t));
+    }
+    return index;
+  };
+  auto parent_index = build_index(parent);
+  auto child_index = build_index(child);
+
+  for (Row& row : rs.rows) {
+    Row prow(row.begin(), row.begin() + pw);
+    Row crow(row.begin() + pw, row.begin() + pw + cw);
+    auto pit = parent_index.find(prow);
+    auto cit = child_index.find(crow);
+    if (pit == parent_index.end() || cit == child_index.end()) continue;
+    CoConnection c;
+    c.parent = pit->second;
+    c.child = cit->second;
+    c.attrs.assign(std::make_move_iterator(row.begin() + pw + cw),
+                   std::make_move_iterator(row.end()));
+    rel.connections.push_back(std::move(c));
+  }
+  return rel;
+}
+
+void Evaluator::AnalyzeRelWrite(const CoRelDef& def,
+                                const CoInstance& instance,
+                                CoRelInstance* rel) {
+  const CoNodeInstance& parent = instance.nodes[rel->parent_node];
+  const CoNodeInstance& child = instance.nodes[rel->child_node];
+
+  std::vector<const sql::Expr*> conjuncts;
+  SplitConjuncts(def.predicate.get(), &conjuncts);
+
+  auto classify = [&](const sql::Expr* e) -> int {
+    // 0 = parent col, 1 = child col, 2 = using col, -1 = other.
+    if (e->kind != sql::Expr::Kind::kColumnRef) return -1;
+    std::string q = ToLower(e->table);
+    if (q == def.parent_corr) return 0;
+    if (q == def.child_corr) return 1;
+    if (!def.using_table.empty() && q == def.using_corr) return 2;
+    return -1;
+  };
+
+  if (def.using_table.empty()) {
+    // Foreign-key pattern: exactly one equality parent.a = child.b.
+    if (conjuncts.size() != 1) return;
+    const sql::Expr* e = conjuncts[0];
+    if (e->kind != sql::Expr::Kind::kBinary || e->bin_op != sql::BinOp::kEq) {
+      return;
+    }
+    int l = classify(e->args[0].get());
+    int r = classify(e->args[1].get());
+    const sql::Expr* pcol = nullptr;
+    const sql::Expr* ccol = nullptr;
+    if (l == 0 && r == 1) {
+      pcol = e->args[0].get();
+      ccol = e->args[1].get();
+    } else if (l == 1 && r == 0) {
+      pcol = e->args[1].get();
+      ccol = e->args[0].get();
+    } else {
+      return;
+    }
+    auto pi = parent.schema.Find(ToLower(pcol->column));
+    auto ci = child.schema.Find(ToLower(ccol->column));
+    if (!pi.has_value() || !ci.has_value()) return;
+    rel->write_kind = CoRelInstance::WriteKind::kForeignKey;
+    rel->fk_parent_column = static_cast<int>(*pi);
+    rel->fk_child_column = static_cast<int>(*ci);
+    return;
+  }
+
+  // Link-table pattern: parent.a = u.x AND child.b = u.y.
+  TableInfo* link = catalog_->GetTable(def.using_table);
+  if (link == nullptr || conjuncts.size() != 2) return;
+  int parent_key = -1, child_key = -1, link_p = -1, link_c = -1;
+  for (const sql::Expr* e : conjuncts) {
+    if (e->kind != sql::Expr::Kind::kBinary || e->bin_op != sql::BinOp::kEq) {
+      return;
+    }
+    int l = classify(e->args[0].get());
+    int r = classify(e->args[1].get());
+    const sql::Expr* node_col = nullptr;
+    const sql::Expr* link_col = nullptr;
+    int node_side = -1;
+    if ((l == 0 || l == 1) && r == 2) {
+      node_col = e->args[0].get();
+      link_col = e->args[1].get();
+      node_side = l;
+    } else if ((r == 0 || r == 1) && l == 2) {
+      node_col = e->args[1].get();
+      link_col = e->args[0].get();
+      node_side = r;
+    } else {
+      return;
+    }
+    auto li = link->schema.Find(ToLower(link_col->column));
+    if (!li.has_value()) return;
+    if (node_side == 0) {
+      auto pi = parent.schema.Find(ToLower(node_col->column));
+      if (!pi.has_value()) return;
+      parent_key = static_cast<int>(*pi);
+      link_p = static_cast<int>(*li);
+    } else {
+      auto ci = child.schema.Find(ToLower(node_col->column));
+      if (!ci.has_value()) return;
+      child_key = static_cast<int>(*ci);
+      link_c = static_cast<int>(*li);
+    }
+  }
+  if (parent_key < 0 || child_key < 0) return;
+  rel->write_kind = CoRelInstance::WriteKind::kLinkTable;
+  rel->link_table = def.using_table;
+  rel->parent_key_column = parent_key;
+  rel->child_key_column = child_key;
+  rel->link_parent_column = link_p;
+  rel->link_child_column = link_c;
+  // Attribute provenance.
+  for (const RelAttribute& a : def.attributes) {
+    int col = -1;
+    if (a.expr->kind == sql::Expr::Kind::kColumnRef &&
+        ToLower(a.expr->table) == def.using_corr) {
+      auto li = link->schema.Find(ToLower(a.expr->column));
+      if (li.has_value()) col = static_cast<int>(*li);
+    }
+    rel->attr_link_columns.push_back(col);
+  }
+}
+
+Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
+  CoInstance instance;
+  temps_.clear();
+  no_cse_defs_.clear();
+
+  // Phase 1: node candidates.
+  for (const CoNodeDef& node_def : def.nodes) {
+    XNF_ASSIGN_OR_RETURN(CoNodeInstance node, MaterializeNode(node_def));
+    instance.nodes.push_back(std::move(node));
+    if (!options_.use_cse) {
+      no_cse_defs_.emplace(node_def.name, node_def.Clone());
+    }
+  }
+
+  // Phase 2: register CSE temps (node rows + __tid). Temps are narrowed to
+  // the columns the relationship predicates and attributes actually
+  // reference, so the edge joins never copy full-width tuples.
+  if (options_.use_cse) {
+    std::map<std::string, std::set<std::string>> used_columns;
+    std::set<std::string> full_width;  // nodes needing all columns
+    for (const CoRelDef& rel : def.rels) {
+      if (rel.premade != nullptr) continue;  // no predicate to analyze
+      auto collect = [&](const sql::Expr& root) {
+        std::function<void(const sql::Expr&)> walk =
+            [&](const sql::Expr& e) {
+              if (e.kind == sql::Expr::Kind::kColumnRef) {
+                std::string qual = ToLower(e.table);
+                if (qual == rel.parent_corr) {
+                  used_columns[rel.parent].insert(ToLower(e.column));
+                } else if (qual == rel.child_corr) {
+                  used_columns[rel.child].insert(ToLower(e.column));
+                } else if (!rel.using_table.empty() &&
+                           qual == rel.using_corr) {
+                  // link-table column: not part of a node temp
+                } else {
+                  // Bare or unknown qualifier: be conservative.
+                  full_width.insert(rel.parent);
+                  full_width.insert(rel.child);
+                }
+              }
+              for (const sql::ExprPtr& a : e.args) {
+                if (a) walk(*a);
+              }
+            };
+        walk(root);
+      };
+      collect(*rel.predicate);
+      for (const RelAttribute& a : rel.attributes) collect(*a.expr);
+    }
+    for (const CoNodeInstance& node : instance.nodes) {
+      ResultSet temp;
+      std::vector<int> projection;  // node column indices in the temp
+      bool full = full_width.count(node.name) > 0;
+      if (full) {
+        temp.schema = node.schema;
+        for (size_t c = 0; c < node.schema.size(); ++c) {
+          projection.push_back(static_cast<int>(c));
+        }
+      } else {
+        for (const std::string& col : used_columns[node.name]) {
+          auto idx = node.schema.Find(col);
+          if (!idx.has_value()) {
+            return Status::NotFound("column '" + col +
+                                    "' not found in component table '" +
+                                    node.name + "'");
+          }
+          projection.push_back(static_cast<int>(*idx));
+          temp.schema.AddColumn(node.schema.column(*idx));
+        }
+      }
+      temp.schema.AddColumn(Column(kTidColumn, Type::kInt));
+      temp.rows.reserve(node.tuples.size());
+      for (size_t t = 0; t < node.tuples.size(); ++t) {
+        Row row;
+        row.reserve(projection.size() + 1);
+        for (int c : projection) row.push_back(node.tuples[t][c]);
+        row.push_back(Value::Int(static_cast<int64_t>(t)));
+        temp.rows.push_back(std::move(row));
+      }
+      temps_["__co_" + node.name] = std::move(temp);
+    }
+  }
+
+  // Phase 3: edges.
+  for (const CoRelDef& rel_def : def.rels) {
+    CoRelInstance rel;
+    if (rel_def.premade != nullptr || options_.use_cse) {
+      XNF_ASSIGN_OR_RETURN(rel, MaterializeRel(rel_def, &instance));
+    } else {
+      XNF_ASSIGN_OR_RETURN(rel, MaterializeRelNoCse(rel_def, &instance));
+    }
+    if (rel_def.premade == nullptr) {
+      AnalyzeRelWrite(rel_def, instance, &rel);
+    }
+    instance.rels.push_back(std::move(rel));
+  }
+
+  temps_.clear();
+
+  // Phase 4: reachability.
+  if (options_.enforce_reachability) {
+    ApplyReachability(&instance);
+    stats_.reachability_passes++;
+  }
+  return instance;
+}
+
+Result<CoInstance> Evaluator::EvaluateText(const std::string& text) {
+  XNF_ASSIGN_OR_RETURN(XnfQuery query, Parser::Parse(text));
+  return Evaluate(query);
+}
+
+Result<CoInstance> Evaluator::Evaluate(const XnfQuery& query) {
+  // Referenced views with restrictions / partial TAKE are evaluated
+  // recursively and imported as premade components (full closure, Fig. 6).
+  Resolver resolver(catalog_, [this](const XnfQuery& sub) {
+    Evaluator nested(catalog_, options_);
+    Result<CoInstance> out = nested.Evaluate(sub);
+    stats_.node_queries += nested.stats().node_queries;
+    stats_.edge_queries += nested.stats().edge_queries;
+    stats_.temp_reuses += nested.stats().temp_reuses;
+    stats_.reachability_passes += nested.stats().reachability_passes;
+    stats_.restrictions_applied += nested.stats().restrictions_applied;
+    return out;
+  });
+  XNF_ASSIGN_OR_RETURN(CoDef def, resolver.Resolve(query));
+  XNF_ASSIGN_OR_RETURN(CoInstance instance, Materialize(def));
+  XNF_RETURN_IF_ERROR(ApplyRestrictions(query.restrictions, &instance));
+  XNF_RETURN_IF_ERROR(ApplyTake(query, &instance));
+  return instance;
+}
+
+Status Evaluator::ApplyRestrictions(
+    const std::vector<Restriction>& restrictions, CoInstance* instance) {
+  if (restrictions.empty()) return Status::Ok();
+  InstanceEvaluator eval(instance);
+
+  // All restrictions are evaluated simultaneously against the input
+  // instance, then the pruned instance is re-checked for reachability.
+  std::vector<std::vector<char>> keep(instance->nodes.size());
+  for (size_t n = 0; n < instance->nodes.size(); ++n) {
+    keep[n].assign(instance->nodes[n].tuples.size(), 1);
+  }
+  std::vector<std::vector<char>> keep_conn(instance->rels.size());
+  for (size_t r = 0; r < instance->rels.size(); ++r) {
+    keep_conn[r].assign(instance->rels[r].connections.size(), 1);
+  }
+
+  for (const Restriction& restriction : restrictions) {
+    if (restriction.kind == Restriction::Kind::kNode) {
+      int n = instance->NodeIndex(restriction.target);
+      if (n < 0) {
+        return Status::NotFound("restricted component table '" +
+                                restriction.target + "' not found");
+      }
+      std::string corr = restriction.corr.empty() ? instance->nodes[n].name
+                                                  : restriction.corr;
+      for (size_t t = 0; t < instance->nodes[n].tuples.size(); ++t) {
+        std::vector<InstanceEvaluator::Binding> bindings = {
+            {corr, n, static_cast<int>(t)}};
+        XNF_ASSIGN_OR_RETURN(
+            bool ok, eval.EvalPredicate(*restriction.predicate, bindings));
+        if (!ok) keep[n][t] = 0;
+      }
+    } else {
+      int r = instance->RelIndex(restriction.target);
+      if (r < 0) {
+        return Status::NotFound("restricted relationship '" +
+                                restriction.target + "' not found");
+      }
+      const CoRelInstance& rel = instance->rels[r];
+      for (size_t c = 0; c < rel.connections.size(); ++c) {
+        const CoConnection& conn = rel.connections[c];
+        std::vector<InstanceEvaluator::Binding> bindings = {
+            {restriction.parent_corr, rel.parent_node, conn.parent},
+            {restriction.child_corr, rel.child_node, conn.child}};
+        XNF_ASSIGN_OR_RETURN(
+            bool ok, eval.EvalPredicate(*restriction.predicate, bindings));
+        if (!ok) keep_conn[r][c] = 0;
+      }
+    }
+    stats_.restrictions_applied++;
+  }
+
+  // Drop failing connections first, then failing tuples (pruning tuples also
+  // removes their incident connections).
+  for (size_t r = 0; r < instance->rels.size(); ++r) {
+    CoRelInstance& rel = instance->rels[r];
+    std::vector<CoConnection> kept;
+    for (size_t c = 0; c < rel.connections.size(); ++c) {
+      if (keep_conn[r][c]) kept.push_back(std::move(rel.connections[c]));
+    }
+    rel.connections = std::move(kept);
+  }
+  PruneInstance(instance, keep);
+
+  if (options_.enforce_reachability) {
+    ApplyReachability(instance);
+    stats_.reachability_passes++;
+  }
+  return Status::Ok();
+}
+
+Status Evaluator::ApplyTake(const XnfQuery& query, CoInstance* instance) {
+  if (query.take_all) return Status::Ok();
+
+  // Which components survive.
+  std::vector<char> keep_node(instance->nodes.size(), 0);
+  std::vector<char> keep_rel(instance->rels.size(), 0);
+  std::vector<const TakeItem*> node_items(instance->nodes.size(), nullptr);
+  for (const TakeItem& item : query.take) {
+    int n = instance->NodeIndex(item.name);
+    if (n >= 0) {
+      keep_node[n] = 1;
+      node_items[n] = &item;
+      continue;
+    }
+    int r = instance->RelIndex(item.name);
+    if (r >= 0) {
+      if (item.has_column_list && !item.star_columns) {
+        return Status::InvalidArgument(
+            "column projection on relationship '" + item.name +
+            "' is not meaningful");
+      }
+      keep_rel[r] = 1;
+      continue;
+    }
+    return Status::NotFound("TAKE item '" + item.name +
+                            "' is not a component of this CO");
+  }
+
+  // Well-formedness: a relationship survives only if both partners do.
+  for (size_t r = 0; r < instance->rels.size(); ++r) {
+    if (!keep_rel[r]) continue;
+    if (!keep_node[instance->rels[r].parent_node] ||
+        !keep_node[instance->rels[r].child_node]) {
+      keep_rel[r] = 0;  // implicit discard (§3.3)
+    }
+  }
+
+  // Rebuild the instance with surviving components. Column projection also
+  // remaps every relationship's write-provenance column indices; a key
+  // column projected away demotes the relationship to read-only.
+  CoInstance projected;
+  std::vector<int> node_remap(instance->nodes.size(), -1);
+  // Per original node: old column index -> new column index (-1 = dropped);
+  // empty = identity.
+  std::vector<std::vector<int>> column_remap(instance->nodes.size());
+  for (size_t n = 0; n < instance->nodes.size(); ++n) {
+    if (!keep_node[n]) continue;
+    node_remap[n] = static_cast<int>(projected.nodes.size());
+    CoNodeInstance node = std::move(instance->nodes[n]);
+    // Column projection.
+    const TakeItem* item = node_items[n];
+    if (item != nullptr && item->has_column_list && !item->star_columns) {
+      std::vector<size_t> cols;
+      Schema schema;
+      std::vector<int> base_map;
+      column_remap[n].assign(node.schema.size(), -1);
+      for (const std::string& c : item->columns) {
+        XNF_ASSIGN_OR_RETURN(size_t i, node.schema.Resolve("", c));
+        column_remap[n][i] = static_cast<int>(cols.size());
+        cols.push_back(i);
+        schema.AddColumn(node.schema.column(i));
+        if (!node.base_column_map.empty()) {
+          base_map.push_back(node.base_column_map[i]);
+        }
+      }
+      for (Row& row : node.tuples) {
+        Row out;
+        out.reserve(cols.size());
+        for (size_t i : cols) out.push_back(std::move(row[i]));
+        row = std::move(out);
+      }
+      node.schema = schema;
+      node.base_column_map = base_map;
+    }
+    projected.nodes.push_back(std::move(node));
+  }
+  for (size_t r = 0; r < instance->rels.size(); ++r) {
+    if (!keep_rel[r]) continue;
+    CoRelInstance rel = std::move(instance->rels[r]);
+    int old_parent = rel.parent_node;
+    int old_child = rel.child_node;
+    rel.parent_node = node_remap[old_parent];
+    rel.child_node = node_remap[old_child];
+    // Remap write-provenance columns through the nodes' projections.
+    auto remap_col = [&](int old_node, int col) {
+      if (col < 0 || column_remap[old_node].empty()) return col;
+      return column_remap[old_node][col];
+    };
+    switch (rel.write_kind) {
+      case CoRelInstance::WriteKind::kForeignKey:
+        rel.fk_parent_column = remap_col(old_parent, rel.fk_parent_column);
+        rel.fk_child_column = remap_col(old_child, rel.fk_child_column);
+        if (rel.fk_parent_column < 0 || rel.fk_child_column < 0) {
+          rel.write_kind = CoRelInstance::WriteKind::kNone;
+        }
+        break;
+      case CoRelInstance::WriteKind::kLinkTable:
+        rel.parent_key_column = remap_col(old_parent, rel.parent_key_column);
+        rel.child_key_column = remap_col(old_child, rel.child_key_column);
+        if (rel.parent_key_column < 0 || rel.child_key_column < 0) {
+          rel.write_kind = CoRelInstance::WriteKind::kNone;
+        }
+        break;
+      case CoRelInstance::WriteKind::kNone:
+        break;
+    }
+    projected.rels.push_back(std::move(rel));
+  }
+  *instance = std::move(projected);
+
+  if (options_.enforce_reachability) {
+    ApplyReachability(instance);
+    stats_.reachability_passes++;
+  }
+  return Status::Ok();
+}
+
+}  // namespace xnf::co

@@ -1,0 +1,94 @@
+#ifndef XNF_XNF_EVALUATOR_H_
+#define XNF_XNF_EVALUATOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result_set.h"
+#include "common/status.h"
+#include "xnf/ast.h"
+#include "xnf/co_def.h"
+#include "xnf/instance.h"
+
+namespace xnf::co {
+
+// Evaluates XNF queries into materialized composite objects. This implements
+// the paper's XNF semantic rewrite (§4.3): one derived SQL query per node
+// and per relationship output, sharing common subexpressions by
+// materializing each node's defining query once as a temporary table that
+// the edge queries then join ("when we generate the tuples of a parent node,
+// we output them, and also use them again to find the tuples of the
+// associated children"). Reachability (§2) is enforced as a fixpoint over
+// the resulting connection graph, which also covers recursive COs (§3.4).
+class Evaluator {
+ public:
+  struct Options {
+    // Reuse node materializations in edge queries (§4.3). Off = each edge
+    // query recomputes its partner node queries (benchmark C3's baseline).
+    bool use_cse = true;
+    // Enforce the reachability constraint (ablation A1 turns this off to
+    // measure its cost; the result is then NOT a well-formed CO).
+    bool enforce_reachability = true;
+  };
+
+  struct Stats {
+    int node_queries = 0;        // defining queries executed
+    int edge_queries = 0;        // relationship queries executed
+    int temp_reuses = 0;         // edge-side reuses of node temps
+    int reachability_passes = 0;
+    int restrictions_applied = 0;
+  };
+
+  explicit Evaluator(Catalog* catalog) : catalog_(catalog) {}
+  Evaluator(Catalog* catalog, Options options)
+      : catalog_(catalog), options_(options) {}
+
+  // Full pipeline: resolve OUT OF items, apply restrictions, enforce
+  // reachability, apply the TAKE projection.
+  Result<CoInstance> Evaluate(const XnfQuery& query);
+
+  // Parses `text` as an XNF query and evaluates it.
+  Result<CoInstance> EvaluateText(const std::string& text);
+
+  // Materializes a resolved CO definition (candidates + edges +
+  // reachability), without restrictions or projection.
+  Result<CoInstance> Materialize(const CoDef& def);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  // Candidate node materialization (with provenance when simple).
+  Result<CoNodeInstance> MaterializeNode(const CoNodeDef& def);
+  // Edge materialization against already-materialized candidates.
+  Result<CoRelInstance> MaterializeRel(const CoRelDef& def,
+                                       CoInstance* instance);
+  // Baseline without common-subexpression reuse: the edge query recomputes
+  // the partner node queries inline and endpoints are matched by value.
+  Result<CoRelInstance> MaterializeRelNoCse(const CoRelDef& def,
+                                            CoInstance* instance);
+  // Derives connect/disconnect provenance (§3.7) from the predicate shape.
+  void AnalyzeRelWrite(const CoRelDef& def, const CoInstance& instance,
+                       CoRelInstance* rel);
+
+  Result<ResultSet> RunSelect(const sql::SelectStmt& stmt);
+
+  Status ApplyRestrictions(const std::vector<Restriction>& restrictions,
+                           CoInstance* instance);
+  Status ApplyTake(const XnfQuery& query, CoInstance* instance);
+
+  Catalog* catalog_;
+  Options options_;
+  Stats stats_;
+  // CSE temp store: node name -> materialized candidates (+ __tid column).
+  std::map<std::string, ResultSet> temps_;
+  // No-CSE mode: node name -> definition (for inline recomputation).
+  std::map<std::string, CoNodeDef> no_cse_defs_;
+};
+
+}  // namespace xnf::co
+
+#endif  // XNF_XNF_EVALUATOR_H_

@@ -1,0 +1,143 @@
+#include "xnf/instance.h"
+
+#include <deque>
+
+#include "common/str_util.h"
+
+namespace xnf::co {
+
+ResultSet CoNodeInstance::ToResultSet() const {
+  ResultSet out;
+  out.schema = schema;
+  out.rows = tuples;
+  return out;
+}
+
+int CoInstance::NodeIndex(const std::string& name) const {
+  std::string key = ToLower(name);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int CoInstance::RelIndex(const std::string& name) const {
+  std::string key = ToLower(name);
+  for (size_t i = 0; i < rels.size(); ++i) {
+    if (rels[i].name == key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t CoInstance::TotalTuples() const {
+  size_t n = 0;
+  for (const CoNodeInstance& node : nodes) n += node.tuples.size();
+  return n;
+}
+
+size_t CoInstance::TotalConnections() const {
+  size_t n = 0;
+  for (const CoRelInstance& rel : rels) n += rel.connections.size();
+  return n;
+}
+
+std::string CoInstance::ToString() const {
+  std::string out;
+  for (const CoNodeInstance& node : nodes) {
+    out += "node " + node.name + " (" +
+           std::to_string(node.tuples.size()) + " tuples)";
+    if (node.updatable()) out += " [updatable via " + node.base_table + "]";
+    out += "\n";
+    out += node.ToResultSet().ToString();
+  }
+  for (const CoRelInstance& rel : rels) {
+    out += "relationship " + rel.name + ": " + nodes[rel.parent_node].name +
+           " -> " + nodes[rel.child_node].name + " (" +
+           std::to_string(rel.connections.size()) + " connections)\n";
+  }
+  return out;
+}
+
+void PruneInstance(CoInstance* instance,
+                   const std::vector<std::vector<char>>& keep) {
+  // New index per surviving tuple.
+  std::vector<std::vector<int>> remap(instance->nodes.size());
+  for (size_t n = 0; n < instance->nodes.size(); ++n) {
+    CoNodeInstance& node = instance->nodes[n];
+    remap[n].assign(node.tuples.size(), -1);
+    std::vector<Row> kept_tuples;
+    std::vector<Rid> kept_rids;
+    for (size_t t = 0; t < node.tuples.size(); ++t) {
+      if (!keep[n][t]) continue;
+      remap[n][t] = static_cast<int>(kept_tuples.size());
+      kept_tuples.push_back(std::move(node.tuples[t]));
+      if (!node.rids.empty()) kept_rids.push_back(node.rids[t]);
+    }
+    node.tuples = std::move(kept_tuples);
+    node.rids = std::move(kept_rids);
+  }
+  for (CoRelInstance& rel : instance->rels) {
+    std::vector<CoConnection> kept;
+    for (CoConnection& c : rel.connections) {
+      int p = remap[rel.parent_node][c.parent];
+      int ch = remap[rel.child_node][c.child];
+      if (p < 0 || ch < 0) continue;
+      kept.push_back(CoConnection{p, ch, std::move(c.attrs)});
+    }
+    rel.connections = std::move(kept);
+  }
+}
+
+void ApplyReachability(CoInstance* instance) {
+  size_t n_nodes = instance->nodes.size();
+
+  // Roots: nodes without incoming relationships in the instance graph.
+  std::vector<char> has_incoming(n_nodes, 0);
+  for (const CoRelInstance& rel : instance->rels) {
+    if (rel.child_node >= 0) has_incoming[rel.child_node] = 1;
+  }
+
+  // Adjacency: per parent node, connections grouped by parent tuple.
+  // (Semi-naive frontier expansion over tuple marks.)
+  std::vector<std::vector<char>> marked(n_nodes);
+  for (size_t n = 0; n < n_nodes; ++n) {
+    marked[n].assign(instance->nodes[n].tuples.size(), 0);
+  }
+
+  std::deque<std::pair<int, int>> frontier;  // (node, tuple)
+  for (size_t n = 0; n < n_nodes; ++n) {
+    if (has_incoming[n]) continue;
+    for (size_t t = 0; t < instance->nodes[n].tuples.size(); ++t) {
+      marked[n][t] = 1;
+      frontier.emplace_back(static_cast<int>(n), static_cast<int>(t));
+    }
+  }
+
+  // Index connections by (parent node, parent tuple) for the walk.
+  std::vector<std::vector<std::vector<std::pair<int, int>>>> out_edges(
+      n_nodes);  // [node][tuple] -> list of (child_node, child_tuple)
+  for (size_t n = 0; n < n_nodes; ++n) {
+    out_edges[n].resize(instance->nodes[n].tuples.size());
+  }
+  for (const CoRelInstance& rel : instance->rels) {
+    for (const CoConnection& c : rel.connections) {
+      out_edges[rel.parent_node][c.parent].emplace_back(rel.child_node,
+                                                        c.child);
+    }
+  }
+
+  while (!frontier.empty()) {
+    auto [n, t] = frontier.front();
+    frontier.pop_front();
+    for (const auto& [cn, ct] : out_edges[n][t]) {
+      if (!marked[cn][ct]) {
+        marked[cn][ct] = 1;
+        frontier.emplace_back(cn, ct);
+      }
+    }
+  }
+
+  PruneInstance(instance, marked);
+}
+
+}  // namespace xnf::co

@@ -1,0 +1,265 @@
+#include "xnf/manipulate.h"
+
+#include "common/str_util.h"
+#include "exec/dml.h"
+
+namespace xnf::co {
+
+bool Manipulator::IsRelationshipColumn(int node, int column) const {
+  for (size_t r = 0; r < cache_->rel_count(); ++r) {
+    const CoCache::Rel& rel = cache_->rel(static_cast<int>(r));
+    switch (rel.write_kind) {
+      case CoRelInstance::WriteKind::kForeignKey:
+        if (rel.parent_node == node && rel.fk_parent_column == column) {
+          return true;
+        }
+        if (rel.child_node == node && rel.fk_child_column == column) {
+          return true;
+        }
+        break;
+      case CoRelInstance::WriteKind::kLinkTable:
+        // Node-side key columns identify partners; changing them would break
+        // existing link rows, so treat them as relationship-defining too.
+        if (rel.parent_node == node && rel.parent_key_column == column) {
+          return true;
+        }
+        if (rel.child_node == node && rel.child_key_column == column) {
+          return true;
+        }
+        break;
+      case CoRelInstance::WriteKind::kNone:
+        break;
+    }
+  }
+  return false;
+}
+
+Status Manipulator::PropagateCellUpdate(CoCache::Node* node,
+                                        CoCache::Tuple* tuple, int column,
+                                        const Value& value) {
+  if (!node->updatable() || !tuple->has_rid) {
+    return Status::NotUpdatable("component table '" + node->name +
+                                "' is not updatable (no simple base-table "
+                                "derivation)");
+  }
+  TableInfo* table = catalog_->GetTable(node->base_table);
+  if (table == nullptr) {
+    return Status::NotFound("base table '" + node->base_table +
+                            "' not found");
+  }
+  XNF_ASSIGN_OR_RETURN(Row base_row, table->heap->Read(tuple->rid));
+  base_row[node->base_column_map[column]] = value;
+  exec::DmlExecutor dml(catalog_);
+  return dml.UpdateRow(table, tuple->rid, std::move(base_row));
+}
+
+Status Manipulator::UpdateColumn(CoCache::Tuple* tuple,
+                                 const std::string& column, Value value) {
+  if (!tuple->alive) {
+    return Status::InvalidArgument("tuple has been deleted");
+  }
+  CoCache::Node& node = cache_->node(tuple->node);
+  XNF_ASSIGN_OR_RETURN(size_t col, node.schema.Resolve("", ToLower(column)));
+  if (IsRelationshipColumn(tuple->node, static_cast<int>(col))) {
+    return Status::NotUpdatable(
+        "column '" + column +
+        "' defines a relationship; use connect/disconnect instead (§3.7)");
+  }
+  XNF_ASSIGN_OR_RETURN(Value coerced,
+                       value.CoerceTo(node.schema.column(col).type));
+  XNF_RETURN_IF_ERROR(
+      PropagateCellUpdate(&node, tuple, static_cast<int>(col), coerced));
+  tuple->values[col] = std::move(coerced);
+  return Status::Ok();
+}
+
+Status Manipulator::DeleteTuple(CoCache::Tuple* tuple) {
+  if (!tuple->alive) {
+    return Status::InvalidArgument("tuple already deleted");
+  }
+  CoCache::Node& node = cache_->node(tuple->node);
+  if (!node.updatable() || !tuple->has_rid) {
+    return Status::NotUpdatable("component table '" + node.name +
+                                "' is not updatable");
+  }
+
+  // Disconnect all live incident relationship instances first. For
+  // foreign-key relationships where this tuple is the child, the FK lives in
+  // the row being deleted — only the cache connection needs to go.
+  for (size_t r = 0; r < cache_->rel_count(); ++r) {
+    int rel_index = static_cast<int>(r);
+    // Copy: Disconnect mutates the buckets.
+    std::vector<CoCache::Connection*> out = tuple->out[rel_index];
+    for (CoCache::Connection* c : out) {
+      XNF_RETURN_IF_ERROR(Disconnect(c));
+    }
+    std::vector<CoCache::Connection*> in = tuple->in[rel_index];
+    const CoCache::Rel& rel = cache_->rel(rel_index);
+    for (CoCache::Connection* c : in) {
+      if (rel.write_kind == CoRelInstance::WriteKind::kForeignKey) {
+        cache_->RemoveConnection(c);  // FK disappears with the row itself
+      } else {
+        XNF_RETURN_IF_ERROR(Disconnect(c));
+      }
+    }
+  }
+
+  TableInfo* table = catalog_->GetTable(node.base_table);
+  if (table == nullptr) {
+    return Status::NotFound("base table '" + node.base_table + "' not found");
+  }
+  exec::DmlExecutor dml(catalog_);
+  XNF_RETURN_IF_ERROR(dml.DeleteRow(table, tuple->rid));
+  tuple->alive = false;
+  return Status::Ok();
+}
+
+Result<CoCache::Tuple*> Manipulator::InsertTuple(int node_index, Row values) {
+  CoCache::Node& node = cache_->node(node_index);
+  if (!node.updatable()) {
+    return Status::NotUpdatable("component table '" + node.name +
+                                "' is not updatable");
+  }
+  if (values.size() != node.schema.size()) {
+    return Status::InvalidArgument("tuple arity mismatch for node '" +
+                                   node.name + "'");
+  }
+  TableInfo* table = catalog_->GetTable(node.base_table);
+  if (table == nullptr) {
+    return Status::NotFound("base table '" + node.base_table + "' not found");
+  }
+  Row base_row(table->schema.size(), Value::Null());
+  for (size_t c = 0; c < values.size(); ++c) {
+    base_row[node.base_column_map[c]] = values[c];
+  }
+  exec::DmlExecutor dml(catalog_);
+  XNF_ASSIGN_OR_RETURN(Rid rid, dml.InsertRow(table, std::move(base_row)));
+
+  // Read back (coercions may have normalized values).
+  XNF_ASSIGN_OR_RETURN(Row stored, table->heap->Read(rid));
+  CoCache::Tuple tuple;
+  tuple.values.reserve(values.size());
+  for (size_t c = 0; c < values.size(); ++c) {
+    tuple.values.push_back(stored[node.base_column_map[c]]);
+  }
+  tuple.rid = rid;
+  tuple.has_rid = true;
+  tuple.node = node_index;
+  tuple.out.resize(cache_->rel_count());
+  tuple.in.resize(cache_->rel_count());
+  node.tuples.push_back(std::move(tuple));
+  return &node.tuples.back();
+}
+
+Result<CoCache::Connection*> Manipulator::Connect(int rel_index,
+                                                  CoCache::Tuple* parent,
+                                                  CoCache::Tuple* child,
+                                                  Row attrs) {
+  CoCache::Rel& rel = cache_->rel(rel_index);
+  if (parent->node != rel.parent_node || child->node != rel.child_node) {
+    return Status::InvalidArgument(
+        "tuples do not match the relationship's partner tables");
+  }
+  if (!parent->alive || !child->alive) {
+    return Status::InvalidArgument("cannot connect deleted tuples");
+  }
+  switch (rel.write_kind) {
+    case CoRelInstance::WriteKind::kNone:
+      return Status::NotUpdatable("relationship '" + rel.name +
+                                  "' is not updatable");
+    case CoRelInstance::WriteKind::kForeignKey: {
+      if (!attrs.empty()) {
+        return Status::InvalidArgument(
+            "foreign-key relationships carry no attributes");
+      }
+      // Setting the FK implicitly disconnects any previous parent.
+      std::vector<CoCache::Connection*> existing = child->in[rel_index];
+      for (CoCache::Connection* c : existing) {
+        XNF_RETURN_IF_ERROR(Disconnect(c));
+      }
+      CoCache::Node& child_node = cache_->node(rel.child_node);
+      const Value& key = parent->values[rel.fk_parent_column];
+      XNF_RETURN_IF_ERROR(PropagateCellUpdate(&child_node, child,
+                                              rel.fk_child_column, key));
+      child->values[rel.fk_child_column] = key;
+      return cache_->AddConnection(rel_index, parent, child, Row());
+    }
+    case CoRelInstance::WriteKind::kLinkTable: {
+      TableInfo* link = catalog_->GetTable(rel.link_table);
+      if (link == nullptr) {
+        return Status::NotFound("link table '" + rel.link_table +
+                                "' not found");
+      }
+      if (!attrs.empty() && attrs.size() != rel.attr_schema.size()) {
+        return Status::InvalidArgument("attribute arity mismatch");
+      }
+      Row link_row(link->schema.size(), Value::Null());
+      link_row[rel.link_parent_column] =
+          parent->values[rel.parent_key_column];
+      link_row[rel.link_child_column] = child->values[rel.child_key_column];
+      for (size_t a = 0; a < attrs.size(); ++a) {
+        if (rel.attr_link_columns[a] >= 0) {
+          link_row[rel.attr_link_columns[a]] = attrs[a];
+        }
+      }
+      exec::DmlExecutor dml(catalog_);
+      XNF_ASSIGN_OR_RETURN(Rid rid, dml.InsertRow(link, std::move(link_row)));
+      (void)rid;
+      if (attrs.empty()) attrs.resize(rel.attr_schema.size(), Value::Null());
+      return cache_->AddConnection(rel_index, parent, child,
+                                   std::move(attrs));
+    }
+  }
+  return Status::Internal("unhandled relationship write kind");
+}
+
+Status Manipulator::Disconnect(CoCache::Connection* conn) {
+  if (!conn->alive) {
+    return Status::InvalidArgument("connection already removed");
+  }
+  CoCache::Rel& rel = cache_->rel(conn->rel);
+  switch (rel.write_kind) {
+    case CoRelInstance::WriteKind::kNone:
+      return Status::NotUpdatable("relationship '" + rel.name +
+                                  "' is not updatable");
+    case CoRelInstance::WriteKind::kForeignKey: {
+      CoCache::Node& child_node = cache_->node(rel.child_node);
+      XNF_RETURN_IF_ERROR(PropagateCellUpdate(
+          &child_node, conn->child, rel.fk_child_column, Value::Null()));
+      conn->child->values[rel.fk_child_column] = Value::Null();
+      cache_->RemoveConnection(conn);
+      return Status::Ok();
+    }
+    case CoRelInstance::WriteKind::kLinkTable: {
+      TableInfo* link = catalog_->GetTable(rel.link_table);
+      if (link == nullptr) {
+        return Status::NotFound("link table '" + rel.link_table +
+                                "' not found");
+      }
+      const Value& pkey = conn->parent->values[rel.parent_key_column];
+      const Value& ckey = conn->child->values[rel.child_key_column];
+      // Delete one matching link row.
+      std::optional<Rid> victim;
+      link->heap->Scan([&](Rid rid, const Row& row) {
+        if (row[rel.link_parent_column].CompareEq(pkey) == Tribool::kTrue &&
+            row[rel.link_child_column].CompareEq(ckey) == Tribool::kTrue) {
+          victim = rid;
+          return false;
+        }
+        return true;
+      });
+      if (!victim.has_value()) {
+        return Status::NotFound(
+            "no link tuple found for this connection in '" + rel.link_table +
+            "'");
+      }
+      exec::DmlExecutor dml(catalog_);
+      XNF_RETURN_IF_ERROR(dml.DeleteRow(link, *victim));
+      cache_->RemoveConnection(conn);
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unhandled relationship write kind");
+}
+
+}  // namespace xnf::co

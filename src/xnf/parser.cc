@@ -1,0 +1,232 @@
+#include "xnf/parser.h"
+
+#include "common/str_util.h"
+
+namespace xnf::co {
+
+using sql::TokenKind;
+
+Result<XnfQuery> Parser::Parse(const std::string& text) {
+  sql::Parser sql(text);
+  Parser parser(&sql);
+  XNF_ASSIGN_OR_RETURN(XnfQuery q, parser.ParseQuery());
+  sql.Accept(TokenKind::kSemicolon);
+  if (!sql.AtEnd()) {
+    return sql.MakeError("unexpected trailing input after XNF query");
+  }
+  return q;
+}
+
+Result<XnfQuery> Parser::ParseQuery() {
+  XNF_RETURN_IF_ERROR(sql_->ExpectKeyword("out"));
+  XNF_RETURN_IF_ERROR(sql_->ExpectKeyword("of"));
+  XnfQuery query;
+  do {
+    XNF_ASSIGN_OR_RETURN(OutOfItem item, ParseOutOfItem());
+    query.items.push_back(std::move(item));
+  } while (sql_->Accept(TokenKind::kComma));
+
+  while (sql_->AcceptKeyword("where")) {
+    XNF_ASSIGN_OR_RETURN(Restriction r, ParseRestriction());
+    query.restrictions.push_back(std::move(r));
+    // Allow "WHERE a SUCH THAT p AND b SUCH THAT q" style chains too: the
+    // SUCH THAT predicate parser stops before AND only if followed by a
+    // restriction head; we keep it simple and require separate WHERE
+    // clauses, as the paper's examples do.
+  }
+
+  if (sql_->AcceptKeyword("take")) {
+    query.action = XnfQuery::Action::kTake;
+  } else if (sql_->AcceptKeyword("delete")) {
+    query.action = XnfQuery::Action::kDelete;
+  } else if (sql_->AcceptKeyword("update")) {
+    // CO-level update (§3.7): UPDATE <node> SET col = expr [, ...].
+    query.action = XnfQuery::Action::kUpdate;
+    sql::Token target = sql_->Consume();
+    if (target.kind != TokenKind::kIdentifier) {
+      return sql_->MakeError("expected component table name after UPDATE");
+    }
+    query.update_target = ToLower(target.text);
+    XNF_RETURN_IF_ERROR(sql_->ExpectKeyword("set"));
+    do {
+      sql::Token col = sql_->Consume();
+      if (col.kind != TokenKind::kIdentifier) {
+        return sql_->MakeError("expected column name in SET");
+      }
+      XNF_RETURN_IF_ERROR(sql_->Expect(TokenKind::kEq, "'='"));
+      XNF_ASSIGN_OR_RETURN(sql::ExprPtr e, sql_->ParseExpr());
+      query.assignments.emplace_back(ToLower(col.text), std::move(e));
+    } while (sql_->Accept(TokenKind::kComma));
+    query.take_all = true;
+    return query;
+  } else {
+    return sql_->MakeError("expected TAKE, DELETE, or UPDATE");
+  }
+
+  if (sql_->Accept(TokenKind::kStar)) {
+    query.take_all = true;
+  } else {
+    query.take_all = false;
+    do {
+      XNF_ASSIGN_OR_RETURN(TakeItem item, ParseTakeItem());
+      query.take.push_back(std::move(item));
+    } while (sql_->Accept(TokenKind::kComma));
+  }
+  return query;
+}
+
+Result<OutOfItem> Parser::ParseOutOfItem() {
+  sql::Token name = sql_->Consume();
+  if (name.kind != TokenKind::kIdentifier) {
+    return sql_->MakeError("expected component or view name in OUT OF");
+  }
+  OutOfItem item;
+  item.name = ToLower(name.text);
+  if (!sql_->AcceptKeyword("as")) {
+    item.kind = OutOfItem::Kind::kViewRef;
+    return item;
+  }
+  if (sql_->Accept(TokenKind::kLParen)) {
+    if (sql_->Peek().Is("select")) {
+      item.kind = OutOfItem::Kind::kNodeQuery;
+      XNF_ASSIGN_OR_RETURN(item.query, sql_->ParseSelect());
+    } else if (sql_->Peek().Is("relate")) {
+      item.kind = OutOfItem::Kind::kRelate;
+      XNF_ASSIGN_OR_RETURN(item.relate, ParseRelate());
+    } else {
+      return sql_->MakeError("expected SELECT or RELATE after '('");
+    }
+    XNF_RETURN_IF_ERROR(sql_->Expect(TokenKind::kRParen, "')'"));
+    return item;
+  }
+  sql::Token table = sql_->Consume();
+  if (table.kind != TokenKind::kIdentifier) {
+    return sql_->MakeError("expected table name after AS");
+  }
+  item.kind = OutOfItem::Kind::kNodeTable;
+  item.table = ToLower(table.text);
+  return item;
+}
+
+Result<std::unique_ptr<RelateSpec>> Parser::ParseRelate() {
+  XNF_RETURN_IF_ERROR(sql_->ExpectKeyword("relate"));
+  auto rel = std::make_unique<RelateSpec>();
+
+  sql::Token parent = sql_->Consume();
+  if (parent.kind != TokenKind::kIdentifier) {
+    return sql_->MakeError("expected parent node name in RELATE");
+  }
+  rel->parent = ToLower(parent.text);
+  if (sql_->Peek().kind == TokenKind::kIdentifier &&
+      !sql::Parser::IsReservedWord(sql_->Peek())) {
+    rel->parent_corr = ToLower(sql_->Consume().text);
+  }
+  XNF_RETURN_IF_ERROR(sql_->Expect(TokenKind::kComma, "','"));
+  sql::Token child = sql_->Consume();
+  if (child.kind != TokenKind::kIdentifier) {
+    return sql_->MakeError("expected child node name in RELATE");
+  }
+  rel->child = ToLower(child.text);
+  if (sql_->Peek().kind == TokenKind::kIdentifier &&
+      !sql::Parser::IsReservedWord(sql_->Peek())) {
+    rel->child_corr = ToLower(sql_->Consume().text);
+  }
+
+  if (sql_->AcceptKeyword("with")) {
+    XNF_RETURN_IF_ERROR(sql_->ExpectKeyword("attributes"));
+    do {
+      RelAttribute attr;
+      XNF_ASSIGN_OR_RETURN(attr.expr, sql_->ParseExpr());
+      if (sql_->AcceptKeyword("as")) {
+        sql::Token alias = sql_->Consume();
+        if (alias.kind != TokenKind::kIdentifier) {
+          return sql_->MakeError("expected attribute name after AS");
+        }
+        attr.name = ToLower(alias.text);
+      } else if (attr.expr->kind == sql::Expr::Kind::kColumnRef) {
+        attr.name = ToLower(attr.expr->column);
+      } else {
+        attr.name = "attr" + std::to_string(rel->attributes.size() + 1);
+      }
+      rel->attributes.push_back(std::move(attr));
+    } while (sql_->Accept(TokenKind::kComma));
+  }
+
+  if (sql_->AcceptKeyword("using")) {
+    sql::Token table = sql_->Consume();
+    if (table.kind != TokenKind::kIdentifier) {
+      return sql_->MakeError("expected table name after USING");
+    }
+    rel->using_table = ToLower(table.text);
+    if (sql_->Peek().kind == TokenKind::kIdentifier &&
+        !sql::Parser::IsReservedWord(sql_->Peek())) {
+      rel->using_corr = ToLower(sql_->Consume().text);
+    }
+  }
+
+  XNF_RETURN_IF_ERROR(sql_->ExpectKeyword("where"));
+  XNF_ASSIGN_OR_RETURN(rel->predicate, sql_->ParseExpr());
+  return rel;
+}
+
+Result<Restriction> Parser::ParseRestriction() {
+  sql::Token target = sql_->Consume();
+  if (target.kind != TokenKind::kIdentifier) {
+    return sql_->MakeError("expected node or relationship name after WHERE");
+  }
+  Restriction r;
+  r.target = ToLower(target.text);
+  if (sql_->Accept(TokenKind::kLParen)) {
+    // Edge restriction: rel (p, c) SUCH THAT pred.
+    r.kind = Restriction::Kind::kEdge;
+    sql::Token p = sql_->Consume();
+    if (p.kind != TokenKind::kIdentifier) {
+      return sql_->MakeError("expected parent correlation name");
+    }
+    r.parent_corr = ToLower(p.text);
+    XNF_RETURN_IF_ERROR(sql_->Expect(TokenKind::kComma, "','"));
+    sql::Token c = sql_->Consume();
+    if (c.kind != TokenKind::kIdentifier) {
+      return sql_->MakeError("expected child correlation name");
+    }
+    r.child_corr = ToLower(c.text);
+    XNF_RETURN_IF_ERROR(sql_->Expect(TokenKind::kRParen, "')'"));
+  } else {
+    r.kind = Restriction::Kind::kNode;
+    if (sql_->Peek().kind == TokenKind::kIdentifier &&
+        !sql::Parser::IsReservedWord(sql_->Peek())) {
+      r.corr = ToLower(sql_->Consume().text);
+    }
+  }
+  XNF_RETURN_IF_ERROR(sql_->ExpectKeyword("such"));
+  XNF_RETURN_IF_ERROR(sql_->ExpectKeyword("that"));
+  XNF_ASSIGN_OR_RETURN(r.predicate, sql_->ParseExpr());
+  return r;
+}
+
+Result<TakeItem> Parser::ParseTakeItem() {
+  sql::Token name = sql_->Consume();
+  if (name.kind != TokenKind::kIdentifier) {
+    return sql_->MakeError("expected component name in TAKE");
+  }
+  TakeItem item;
+  item.name = ToLower(name.text);
+  if (sql_->Accept(TokenKind::kLParen)) {
+    item.has_column_list = true;
+    if (sql_->Accept(TokenKind::kStar)) {
+      item.star_columns = true;
+    } else {
+      do {
+        sql::Token col = sql_->Consume();
+        if (col.kind != TokenKind::kIdentifier) {
+          return sql_->MakeError("expected column name in TAKE projection");
+        }
+        item.columns.push_back(ToLower(col.text));
+      } while (sql_->Accept(TokenKind::kComma));
+    }
+    XNF_RETURN_IF_ERROR(sql_->Expect(TokenKind::kRParen, "')'"));
+  }
+  return item;
+}
+
+}  // namespace xnf::co

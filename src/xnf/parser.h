@@ -1,0 +1,36 @@
+#ifndef XNF_XNF_PARSER_H_
+#define XNF_XNF_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/parser.h"
+#include "xnf/ast.h"
+
+namespace xnf::co {
+
+// Parser for the XNF statement grammar (§3 of the paper). Embedded SELECT
+// statements and predicates are delegated to the SQL parser, whose cursor is
+// shared.
+class Parser {
+ public:
+  explicit Parser(sql::Parser* sql) : sql_(sql) {}
+
+  // Parses "OUT OF ... [WHERE ... SUCH THAT ...] (TAKE|DELETE) ...".
+  Result<XnfQuery> ParseQuery();
+
+  // Convenience: parses a complete XNF query from `text`.
+  static Result<XnfQuery> Parse(const std::string& text);
+
+ private:
+  Result<OutOfItem> ParseOutOfItem();
+  Result<std::unique_ptr<RelateSpec>> ParseRelate();
+  Result<Restriction> ParseRestriction();
+  Result<TakeItem> ParseTakeItem();
+
+  sql::Parser* sql_;
+};
+
+}  // namespace xnf::co
+
+#endif  // XNF_XNF_PARSER_H_

@@ -1,0 +1,153 @@
+#include "xnf/path.h"
+
+#include <set>
+
+#include "common/str_util.h"
+
+namespace xnf::co {
+
+const InstanceEvaluator::Adjacency& InstanceEvaluator::GetAdjacency(
+    int rel_index) const {
+  if (adjacency_.size() != instance_->rels.size()) {
+    adjacency_.clear();
+    adjacency_.resize(instance_->rels.size());
+  }
+  Adjacency& adj = adjacency_[rel_index];
+  if (!adj.built) {
+    const CoRelInstance& rel = instance_->rels[rel_index];
+    adj.forward.assign(instance_->nodes[rel.parent_node].tuples.size(), {});
+    adj.backward.assign(instance_->nodes[rel.child_node].tuples.size(), {});
+    for (const CoConnection& c : rel.connections) {
+      adj.forward[c.parent].push_back(c.child);
+      adj.backward[c.child].push_back(c.parent);
+    }
+    adj.built = true;
+  }
+  return adj;
+}
+
+Result<InstanceEvaluator::PathResult> InstanceEvaluator::EvalPath(
+    const sql::PathExpr& path, const std::vector<Binding>& bindings) const {
+  std::string start = ToLower(path.start);
+  int current_node = -1;
+  std::set<int> current;
+
+  // Start: correlation binding or component table name.
+  for (const Binding& b : bindings) {
+    if (b.name == start) {
+      current_node = b.node;
+      current.insert(b.tuple);
+      break;
+    }
+  }
+  if (current_node < 0) {
+    current_node = instance_->NodeIndex(start);
+    if (current_node < 0) {
+      return Status::NotFound("path start '" + path.start +
+                              "' is neither a bound correlation nor a "
+                              "component table");
+    }
+    for (size_t t = 0; t < instance_->nodes[current_node].tuples.size(); ++t) {
+      current.insert(static_cast<int>(t));
+    }
+  }
+
+  for (const sql::PathStep& step : path.steps) {
+    std::string name = ToLower(step.name);
+    int rel_index = instance_->RelIndex(name);
+    if (rel_index >= 0) {
+      const CoRelInstance& rel = instance_->rels[rel_index];
+      bool forward = rel.parent_node == current_node;
+      bool backward = rel.child_node == current_node;
+      if (!forward && !backward) {
+        return Status::InvalidArgument(
+            "relationship '" + step.name + "' does not connect to '" +
+            instance_->nodes[current_node].name + "' in this path");
+      }
+      // For cyclic relationships over the same node both hold; traverse
+      // forward (parent to child) in that case.
+      const Adjacency& adj = GetAdjacency(rel_index);
+      const auto& edges = forward ? adj.forward : adj.backward;
+      std::set<int> next;
+      for (int t : current) {
+        for (int partner : edges[t]) next.insert(partner);
+      }
+      current_node = forward ? rel.child_node : rel.parent_node;
+      current = std::move(next);
+      continue;
+    }
+    int node_index = instance_->NodeIndex(name);
+    if (node_index >= 0) {
+      if (node_index != current_node) {
+        return Status::InvalidArgument(
+            "path step '" + step.name + "' does not match current position '" +
+            instance_->nodes[current_node].name + "'");
+      }
+      if (step.predicate) {
+        std::string corr = step.corr.empty() ? name : ToLower(step.corr);
+        std::set<int> filtered;
+        for (int t : current) {
+          std::vector<Binding> inner = bindings;
+          inner.push_back(Binding{corr, current_node, t});
+          XNF_ASSIGN_OR_RETURN(bool keep,
+                               EvalPredicate(*step.predicate, inner));
+          if (keep) filtered.insert(t);
+        }
+        current = std::move(filtered);
+      }
+      continue;
+    }
+    return Status::NotFound("path step '" + step.name +
+                            "' is neither a relationship nor a component "
+                            "table");
+  }
+
+  PathResult out;
+  out.node = current_node;
+  out.tuples.assign(current.begin(), current.end());
+  return out;
+}
+
+Result<bool> InstanceEvaluator::EvalPredicate(
+    const sql::Expr& expr, const std::vector<Binding>& bindings) const {
+  XNF_ASSIGN_OR_RETURN(Value v, Eval(expr, bindings));
+  if (v.is_null()) return false;
+  if (!v.is_bool()) {
+    return Status::InvalidArgument(
+        "SUCH THAT predicate did not evaluate to a boolean");
+  }
+  return v.AsBool();
+}
+
+Result<Value> InstanceEvaluator::Eval(
+    const sql::Expr& expr, const std::vector<Binding>& bindings) const {
+  // Scalar evaluation is delegated to RowEvaluator; path nodes come back
+  // through the hook and are resolved against this instance.
+  std::vector<RowEvaluator::Binding> rows;
+  rows.reserve(bindings.size());
+  for (const Binding& b : bindings) {
+    rows.push_back(RowEvaluator::Binding{
+        b.name, &instance_->nodes[b.node].schema,
+        &instance_->nodes[b.node].tuples[b.tuple]});
+  }
+  RowEvaluator eval(
+      std::move(rows), [this, &bindings](const sql::Expr& e) -> Result<Value> {
+        using K = sql::Expr::Kind;
+        if (e.kind == K::kExistsPath) {
+          XNF_ASSIGN_OR_RETURN(PathResult r, EvalPath(*e.path, bindings));
+          bool exists = !r.tuples.empty();
+          return Value::Bool(e.negated ? !exists : exists);
+        }
+        if (e.kind == K::kFuncCall) {  // COUNT(<path>) — path as table
+          XNF_ASSIGN_OR_RETURN(PathResult r,
+                               EvalPath(*e.args[0]->path, bindings));
+          return Value::Int(static_cast<int64_t>(r.tuples.size()));
+        }
+        return Status::InvalidArgument(
+            "a bare path expression is not a scalar; use COUNT(path) or "
+            "EXISTS path");
+      });
+  return eval.Eval(expr);
+}
+
+}  // namespace xnf::co

@@ -1,0 +1,69 @@
+#ifndef XNF_XNF_PATH_H_
+#define XNF_XNF_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+#include "xnf/instance.h"
+#include "xnf/scalar_eval.h"
+
+namespace xnf::co {
+
+// Evaluates XNF restriction predicates (SUCH THAT, §3.3) and path
+// expressions (§3.5) over a materialized CO instance. Paths are traversed on
+// the instance's connection graph; a relationship step moves from the
+// current node to its partner (forward parent→child when the current node is
+// the parent, otherwise backward); node steps validate position and may
+// filter with a qualification predicate. A path denotes a set of tuples of
+// its target table.
+class InstanceEvaluator {
+ public:
+  // A correlation binding: `name` refers to tuple `tuple` of node `node`.
+  struct Binding {
+    std::string name;
+    int node = -1;
+    int tuple = -1;
+  };
+
+  struct PathResult {
+    int node = -1;              // target node index
+    std::vector<int> tuples;    // distinct tuple indices, ascending
+  };
+
+  explicit InstanceEvaluator(const CoInstance* instance)
+      : instance_(instance) {}
+
+  // Scalar evaluation with SQL three-valued semantics (NULL = unknown).
+  Result<Value> Eval(const sql::Expr& expr,
+                     const std::vector<Binding>& bindings) const;
+
+  // Predicate evaluation: NULL and FALSE both reject.
+  Result<bool> EvalPredicate(const sql::Expr& expr,
+                             const std::vector<Binding>& bindings) const;
+
+  // Path evaluation. The path start is either a bound correlation name or a
+  // component table name (then all of that node's tuples start the walk).
+  Result<PathResult> EvalPath(const sql::PathExpr& path,
+                              const std::vector<Binding>& bindings) const;
+
+ private:
+  // Lazily built per-relationship adjacency (forward: parent tuple ->
+  // children, backward: child tuple -> parents) so path steps cost
+  // O(frontier * fanout) instead of O(total connections).
+  struct Adjacency {
+    std::vector<std::vector<int>> forward;
+    std::vector<std::vector<int>> backward;
+    bool built = false;
+  };
+  const Adjacency& GetAdjacency(int rel) const;
+
+  const CoInstance* instance_;
+  mutable std::vector<Adjacency> adjacency_;
+};
+
+}  // namespace xnf::co
+
+#endif  // XNF_XNF_PATH_H_

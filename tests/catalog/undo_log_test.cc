@@ -1,0 +1,112 @@
+#include "catalog/undo_log.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf {
+namespace {
+
+class UndoLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema s;
+    Column id("id", Type::kInt);
+    id.primary_key = true;
+    s.AddColumn(id);
+    s.AddColumn(Column("v", Type::kInt));
+    ASSERT_TRUE(catalog_.CreateTable("t", s).ok());
+    table_ = catalog_.GetTable("t");
+    r1_ = table_->heap->Insert({Value::Int(1), Value::Int(10)});
+    ASSERT_TRUE(table_->indexes[0]->Insert({Value::Int(1), Value::Int(10)},
+                                           r1_).ok());
+  }
+
+  Catalog catalog_;
+  TableInfo* table_ = nullptr;
+  Rid r1_;
+};
+
+TEST_F(UndoLogTest, UndoInsert) {
+  UndoLog log;
+  Rid r2 = table_->heap->Insert({Value::Int(2), Value::Int(20)});
+  ASSERT_TRUE(
+      table_->indexes[0]->Insert({Value::Int(2), Value::Int(20)}, r2).ok());
+  log.RecordInsert("t", r2);
+  ASSERT_TRUE(log.Rollback(&catalog_).ok());
+  EXPECT_FALSE(table_->heap->IsLive(r2));
+  EXPECT_TRUE(table_->indexes[0]->Lookup({Value::Int(2)}).empty());
+  EXPECT_TRUE(log.empty());
+}
+
+TEST_F(UndoLogTest, UndoDeleteRevivesAtSameRid) {
+  UndoLog log;
+  Row old = {Value::Int(1), Value::Int(10)};
+  table_->indexes[0]->Erase(old, r1_);
+  ASSERT_TRUE(table_->heap->Delete(r1_).ok());
+  log.RecordDelete("t", r1_, old);
+  ASSERT_TRUE(log.Rollback(&catalog_).ok());
+  auto row = table_->heap->Read(r1_);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsInt(), 10);
+  EXPECT_EQ(table_->indexes[0]->Lookup({Value::Int(1)}).size(), 1u);
+}
+
+TEST_F(UndoLogTest, UndoUpdateRestoresOldRow) {
+  UndoLog log;
+  Row old = {Value::Int(1), Value::Int(10)};
+  log.RecordUpdate("t", r1_, old);
+  ASSERT_TRUE(table_->heap->Update(r1_, {Value::Int(1), Value::Int(99)}).ok());
+  ASSERT_TRUE(log.Rollback(&catalog_).ok());
+  auto row = table_->heap->Read(r1_);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsInt(), 10);
+}
+
+TEST_F(UndoLogTest, MixedSequenceUndoneInReverse) {
+  UndoLog log;
+  // update r1, insert r2, delete r1.
+  Row old1 = {Value::Int(1), Value::Int(10)};
+  log.RecordUpdate("t", r1_, old1);
+  ASSERT_TRUE(table_->heap->Update(r1_, {Value::Int(1), Value::Int(11)}).ok());
+  Rid r2 = table_->heap->Insert({Value::Int(2), Value::Int(20)});
+  ASSERT_TRUE(
+      table_->indexes[0]->Insert({Value::Int(2), Value::Int(20)}, r2).ok());
+  log.RecordInsert("t", r2);
+  Row current1 = {Value::Int(1), Value::Int(11)};
+  table_->indexes[0]->Erase(current1, r1_);
+  ASSERT_TRUE(table_->heap->Delete(r1_).ok());
+  log.RecordDelete("t", r1_, current1);
+
+  ASSERT_TRUE(log.Rollback(&catalog_).ok());
+  EXPECT_EQ(table_->heap->live_count(), 1u);
+  auto row = table_->heap->Read(r1_);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[1].AsInt(), 10);
+  EXPECT_FALSE(table_->heap->IsLive(r2));
+}
+
+TEST_F(UndoLogTest, CommitDiscardsEntries) {
+  UndoLog log;
+  log.RecordInsert("t", r1_);
+  EXPECT_EQ(log.size(), 1u);
+  log.Commit();
+  EXPECT_TRUE(log.empty());
+  // Row untouched.
+  EXPECT_TRUE(table_->heap->IsLive(r1_));
+}
+
+TEST(TableHeapRestore, RejectsLiveAndUnknownSlots) {
+  TableHeap heap;
+  Rid rid = heap.Insert({Value::Int(1)});
+  EXPECT_EQ(heap.Restore(rid, {Value::Int(2)}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(heap.Restore(Rid{5, 5}, {Value::Int(2)}).code(),
+            StatusCode::kNotFound);
+  ASSERT_TRUE(heap.Delete(rid).ok());
+  ASSERT_TRUE(heap.Restore(rid, {Value::Int(2)}).ok());
+  auto row = heap.Read(rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt(), 2);
+}
+
+}  // namespace
+}  // namespace xnf

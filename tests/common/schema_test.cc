@@ -1,0 +1,87 @@
+#include "common/schema.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf {
+namespace {
+
+Schema MakeSchema() {
+  Schema s;
+  s.AddColumn(Column("dno", Type::kInt, "dept"));
+  s.AddColumn(Column("dname", Type::kString, "dept"));
+  s.AddColumn(Column("budget", Type::kDouble, "dept"));
+  return s;
+}
+
+TEST(Schema, ResolveUnqualified) {
+  Schema s = MakeSchema();
+  auto r = s.Resolve("", "dname");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+}
+
+TEST(Schema, ResolveQualified) {
+  Schema s = MakeSchema();
+  auto r = s.Resolve("dept", "budget");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2u);
+  auto wrong = s.Resolve("emp", "budget");
+  EXPECT_EQ(wrong.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Schema, ResolveCaseInsensitive) {
+  Schema s = MakeSchema();
+  auto r = s.Resolve("DEPT", "DNAME");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1u);
+}
+
+TEST(Schema, ResolveAmbiguous) {
+  Schema s;
+  s.AddColumn(Column("id", Type::kInt, "a"));
+  s.AddColumn(Column("id", Type::kInt, "b"));
+  auto r = s.Resolve("", "id");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  auto q = s.Resolve("b", "id");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 1u);
+}
+
+TEST(Schema, WithQualifierRewritesAll) {
+  Schema s = MakeSchema().WithQualifier("d2");
+  for (const Column& c : s.columns()) EXPECT_EQ(c.table, "d2");
+}
+
+TEST(Schema, Concat) {
+  Schema s = Schema::Concat(MakeSchema(), MakeSchema().WithQualifier("x"));
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.column(3).table, "x");
+}
+
+TEST(Schema, CheckAndCoerceRowArity) {
+  Schema s = MakeSchema();
+  Row too_short = {Value::Int(1)};
+  EXPECT_FALSE(s.CheckAndCoerceRow(&too_short).ok());
+}
+
+TEST(Schema, CheckAndCoerceRowWidensAndChecksNull) {
+  Schema s = MakeSchema();
+  s.column(0).not_null = true;
+  Row ok_row = {Value::Int(1), Value::Null(), Value::Int(10)};
+  ASSERT_TRUE(s.CheckAndCoerceRow(&ok_row).ok());
+  EXPECT_TRUE(ok_row[2].is_double());  // INT literal widened into DOUBLE col
+  Row bad = {Value::Null(), Value::Null(), Value::Null()};
+  EXPECT_EQ(s.CheckAndCoerceRow(&bad).code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(Schema, PrimaryKeyIndex) {
+  Schema s = MakeSchema();
+  EXPECT_FALSE(s.PrimaryKeyIndex().has_value());
+  s.column(0).primary_key = true;
+  ASSERT_TRUE(s.PrimaryKeyIndex().has_value());
+  EXPECT_EQ(*s.PrimaryKeyIndex(), 0u);
+}
+
+}  // namespace
+}  // namespace xnf

@@ -1,0 +1,82 @@
+#include "common/status.h"
+
+#include <string>
+
+#include "common/result_set.h"
+#include "gtest/gtest.h"
+
+namespace xnf {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  Status st = Status::NotFound("thing missing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "thing missing");
+  EXPECT_EQ(st.ToString(), "NotFound: thing missing");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> Chained(int x) {
+  XNF_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultT, ValueAndErrorPaths) {
+  auto ok = ParsePositive(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+  auto bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultT, MacroPropagation) {
+  EXPECT_EQ(*Chained(3), 7);
+  EXPECT_FALSE(Chained(0).ok());
+}
+
+TEST(ResultT, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(42);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(ResultSetRendering, TabularOutput) {
+  ResultSet rs;
+  rs.schema.AddColumn(Column("id", Type::kInt, "t"));
+  rs.schema.AddColumn(Column("name", Type::kString));
+  rs.rows.push_back({Value::Int(1), Value::String("long-name-here")});
+  rs.rows.push_back({Value::Null(), Value::String("x")});
+  std::string out = rs.ToString();
+  EXPECT_NE(out.find("t.id"), std::string::npos);
+  EXPECT_NE(out.find("'long-name-here'"), std::string::npos);
+  EXPECT_NE(out.find("NULL"), std::string::npos);
+  EXPECT_NE(out.find("2 row(s)"), std::string::npos);
+}
+
+TEST(ResultSetRendering, EmptyResult) {
+  ResultSet rs;
+  rs.schema.AddColumn(Column("a", Type::kInt));
+  EXPECT_NE(rs.ToString().find("0 row(s)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xnf

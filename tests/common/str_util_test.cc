@@ -1,0 +1,51 @@
+#include "common/str_util.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf {
+namespace {
+
+TEST(StrUtil, ToLower) {
+  EXPECT_EQ(ToLower("AbC_dE9"), "abc_de9");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StrUtil, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StrUtil, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StrUtil, LikeExact) {
+  EXPECT_TRUE(LikeMatch("abc", "abc"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+  EXPECT_FALSE(LikeMatch("abc", "ab"));
+}
+
+TEST(StrUtil, LikeUnderscore) {
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("ac", "a_c"));
+}
+
+TEST(StrUtil, LikePercent) {
+  EXPECT_TRUE(LikeMatch("abcdef", "a%f"));
+  EXPECT_TRUE(LikeMatch("af", "a%f"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("abc", "a%d"));
+}
+
+TEST(StrUtil, LikeMixedAndRepeats) {
+  EXPECT_TRUE(LikeMatch("mississippi", "%ss%pp%"));
+  EXPECT_TRUE(LikeMatch("abc", "%%%abc%%"));
+  EXPECT_TRUE(LikeMatch("x_y", "x_y"));
+}
+
+}  // namespace
+}  // namespace xnf

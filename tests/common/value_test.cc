@@ -1,0 +1,109 @@
+#include "common/value.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf {
+namespace {
+
+TEST(Value, TypeTags) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(7).is_int());
+  EXPECT_TRUE(Value::Double(1.5).is_double());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_EQ(Value::Int(7).type(), Type::kInt);
+  EXPECT_EQ(Value::Null().type(), Type::kNull);
+}
+
+TEST(Value, NumericWidening) {
+  EXPECT_DOUBLE_EQ(Value::Int(4).AsDouble(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::Double(4.5).AsDouble(), 4.5);
+}
+
+TEST(Value, SqlEqualityThreeValued) {
+  EXPECT_EQ(Value::Int(1).CompareEq(Value::Int(1)), Tribool::kTrue);
+  EXPECT_EQ(Value::Int(1).CompareEq(Value::Int(2)), Tribool::kFalse);
+  EXPECT_EQ(Value::Int(1).CompareEq(Value::Null()), Tribool::kUnknown);
+  EXPECT_EQ(Value::Null().CompareEq(Value::Null()), Tribool::kUnknown);
+  // Mixed numeric comparison.
+  EXPECT_EQ(Value::Int(1).CompareEq(Value::Double(1.0)), Tribool::kTrue);
+  // Incompatible types are unknown.
+  EXPECT_EQ(Value::Int(1).CompareEq(Value::String("1")), Tribool::kUnknown);
+}
+
+TEST(Value, SqlLessThan) {
+  EXPECT_EQ(Value::Int(1).CompareLt(Value::Int(2)), Tribool::kTrue);
+  EXPECT_EQ(Value::Int(2).CompareLt(Value::Int(1)), Tribool::kFalse);
+  EXPECT_EQ(Value::String("a").CompareLt(Value::String("b")), Tribool::kTrue);
+  EXPECT_EQ(Value::Null().CompareLt(Value::Int(1)), Tribool::kUnknown);
+  EXPECT_EQ(Value::Double(1.5).CompareLt(Value::Int(2)), Tribool::kTrue);
+}
+
+TEST(Value, TotalOrderNullsFirst) {
+  EXPECT_LT(Value::Null().TotalOrderCompare(Value::Int(-100)), 0);
+  EXPECT_EQ(Value::Null().TotalOrderCompare(Value::Null()), 0);
+  EXPECT_GT(Value::Int(3).TotalOrderCompare(Value::Int(2)), 0);
+  EXPECT_EQ(Value::Int(2).TotalOrderCompare(Value::Double(2.0)), 0);
+  EXPECT_LT(Value::String("abc").TotalOrderCompare(Value::String("abd")), 0);
+}
+
+TEST(Value, HashConsistentWithGroupEquals) {
+  // 1 and 1.0 group-compare equal, so they must hash identically.
+  EXPECT_TRUE(Value::Int(1).GroupEquals(Value::Double(1.0)));
+  EXPECT_EQ(Value::Int(1).Hash(), Value::Double(1.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+}
+
+TEST(Value, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(true).ToString(), "TRUE");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+}
+
+TEST(Value, CoerceWidensIntToDouble) {
+  auto r = Value::Int(3).CoerceTo(Type::kDouble);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_double());
+  EXPECT_DOUBLE_EQ(r->AsDouble(), 3.0);
+}
+
+TEST(Value, CoerceIntegralDoubleToInt) {
+  auto ok = Value::Double(4.0).CoerceTo(Type::kInt);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->AsInt(), 4);
+  auto bad = Value::Double(4.5).CoerceTo(Type::kInt);
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Value, CoerceNullToAnything) {
+  auto r = Value::Null().CoerceTo(Type::kString);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null());
+}
+
+TEST(Value, CoerceRejectsCrossFamilies) {
+  EXPECT_FALSE(Value::String("5").CoerceTo(Type::kInt).ok());
+  EXPECT_FALSE(Value::Int(1).CoerceTo(Type::kBool).ok());
+}
+
+TEST(Row, CompareAndHash) {
+  Row a = {Value::Int(1), Value::String("x")};
+  Row b = {Value::Int(1), Value::String("x")};
+  Row c = {Value::Int(1), Value::String("y")};
+  EXPECT_TRUE(RowsEqual(a, b));
+  EXPECT_FALSE(RowsEqual(a, c));
+  EXPECT_EQ(HashRow(a), HashRow(b));
+  EXPECT_LT(CompareRows(a, c), 0);
+  // Prefix ordering.
+  Row shorter = {Value::Int(1)};
+  EXPECT_LT(CompareRows(shorter, a), 0);
+}
+
+TEST(Row, ToStringRendering) {
+  Row r = {Value::Int(1), Value::Null()};
+  EXPECT_EQ(RowToString(r), "(1, NULL)");
+}
+
+}  // namespace
+}  // namespace xnf

@@ -1,0 +1,140 @@
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+class DmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, R"sql(
+      CREATE TABLE t (id INT PRIMARY KEY, v INT, s VARCHAR NOT NULL);
+      INSERT INTO t VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, 'c');
+    )sql");
+  }
+
+  int64_t Affected(const std::string& stmt) {
+    auto r = db_.Execute(stmt);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->kind, ExecResult::Kind::kAffected);
+    return r->affected;
+  }
+
+  Database db_;
+};
+
+TEST_F(DmlTest, InsertWithColumnList) {
+  EXPECT_EQ(Affected("INSERT INTO t (s, id) VALUES ('d', 4)"), 1);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT v, s FROM t WHERE id = 4"));
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+  EXPECT_EQ(rs.rows[0][1].AsString(), "d");
+}
+
+TEST_F(DmlTest, InsertSelect) {
+  EXPECT_EQ(Affected("INSERT INTO t SELECT id + 10, v, s FROM t"), 3);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, db_.Query("SELECT COUNT(*) FROM t"));
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 6);
+}
+
+TEST_F(DmlTest, PrimaryKeyDuplicateRejectedAndRolledBack) {
+  auto r = db_.Execute("INSERT INTO t VALUES (99, 1, 'x'), (1, 2, 'dup')");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAlreadyExists);
+  // The statement rolled back entirely: 99 must not exist.
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT COUNT(*) FROM t WHERE id = 99"));
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(DmlTest, NotNullEnforced) {
+  auto r = db_.Execute("INSERT INTO t (id, v) VALUES (5, 50)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kConstraintViolation);
+}
+
+TEST_F(DmlTest, UpdateWithExpressionsAndWhere) {
+  EXPECT_EQ(Affected("UPDATE t SET v = v * 2 WHERE id >= 2"), 2);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, db_.Query("SELECT v FROM t ORDER BY id"));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{10, 40, 60}));
+}
+
+TEST_F(DmlTest, UpdateAllRows) {
+  EXPECT_EQ(Affected("UPDATE t SET s = 'z'"), 3);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT COUNT(*) FROM t WHERE s = 'z'"));
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(DmlTest, UpdatePrimaryKeyCollisionRollsBack) {
+  auto r = db_.Execute("UPDATE t SET id = 1 WHERE id = 2");
+  ASSERT_FALSE(r.ok());
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, db_.Query("SELECT id FROM t ORDER BY id"));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(DmlTest, DeleteWithWhere) {
+  EXPECT_EQ(Affected("DELETE FROM t WHERE v > 15"), 2);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, db_.Query("SELECT id FROM t"));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{1}));
+}
+
+TEST_F(DmlTest, DeleteAll) {
+  EXPECT_EQ(Affected("DELETE FROM t"), 3);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, db_.Query("SELECT COUNT(*) FROM t"));
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+}
+
+TEST_F(DmlTest, IndexMaintainedAcrossDml) {
+  MustExecute(&db_, "CREATE INDEX t_v ON t (v)");
+  // Index lookups reflect updates and deletes.
+  EXPECT_EQ(Affected("UPDATE t SET v = 99 WHERE id = 1"), 1);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT id FROM t WHERE v = 99"));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{1}));
+  ASSERT_OK_AND_ASSIGN(ResultSet rs2,
+                       db_.Query("SELECT id FROM t WHERE v = 10"));
+  EXPECT_TRUE(rs2.rows.empty());
+  EXPECT_EQ(Affected("DELETE FROM t WHERE v = 99"), 1);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs3,
+                       db_.Query("SELECT id FROM t WHERE v = 99"));
+  EXPECT_TRUE(rs3.rows.empty());
+}
+
+TEST_F(DmlTest, ValueCoercionOnInsert) {
+  MustExecute(&db_, "CREATE TABLE d (x DOUBLE)");
+  EXPECT_EQ(Affected("INSERT INTO d VALUES (3)"), 1);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, db_.Query("SELECT x FROM d"));
+  EXPECT_TRUE(rs.rows[0][0].is_double());
+}
+
+TEST_F(DmlTest, ArityMismatchRejected) {
+  EXPECT_FALSE(db_.Execute("INSERT INTO t VALUES (1, 2)").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO t (id) VALUES (1, 2)").ok());
+}
+
+TEST_F(DmlTest, UnknownTargetsRejected) {
+  EXPECT_FALSE(db_.Execute("INSERT INTO nope VALUES (1)").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE nope SET x = 1").ok());
+  EXPECT_FALSE(db_.Execute("DELETE FROM nope").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE t SET nope = 1").ok());
+}
+
+TEST_F(DmlTest, DropTableAndView) {
+  MustExecute(&db_, "CREATE VIEW tv AS SELECT * FROM t");
+  ASSERT_TRUE(db_.Execute("DROP VIEW tv").ok());
+  EXPECT_FALSE(db_.Query("SELECT * FROM tv").ok());
+  ASSERT_TRUE(db_.Execute("DROP TABLE t").ok());
+  EXPECT_FALSE(db_.Query("SELECT * FROM t").ok());
+}
+
+TEST_F(DmlTest, DuplicateObjectNamesRejected) {
+  EXPECT_EQ(db_.Execute("CREATE TABLE t (x INT)").status().code(),
+            StatusCode::kAlreadyExists);
+  MustExecute(&db_, "CREATE VIEW v1 AS SELECT * FROM t");
+  EXPECT_EQ(db_.Execute("CREATE TABLE v1 (x INT)").status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace xnf::testing

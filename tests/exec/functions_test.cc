@@ -1,0 +1,95 @@
+// Scalar function and expression evaluation edge cases, end to end.
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+class FunctionsTest : public ::testing::Test {
+ protected:
+  Value Eval(const std::string& expr) {
+    auto rs = db_.Query("SELECT " + expr);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString() << " for " << expr;
+    if (!rs.ok() || rs->rows.empty()) return Value::Null();
+    return rs->rows[0][0];
+  }
+  Database db_;
+};
+
+TEST_F(FunctionsTest, Abs) {
+  EXPECT_EQ(Eval("ABS(-5)").AsInt(), 5);
+  EXPECT_EQ(Eval("ABS(5)").AsInt(), 5);
+  EXPECT_DOUBLE_EQ(Eval("ABS(-2.5)").AsDouble(), 2.5);
+  EXPECT_TRUE(Eval("ABS(NULL)").is_null());
+}
+
+TEST_F(FunctionsTest, ModFloorCeilRound) {
+  EXPECT_EQ(Eval("MOD(7, 3)").AsInt(), 1);
+  EXPECT_EQ(Eval("MOD(-7, 3)").AsInt(), -1);
+  EXPECT_EQ(Eval("FLOOR(2.7)").AsInt(), 2);
+  EXPECT_EQ(Eval("CEIL(2.1)").AsInt(), 3);
+  EXPECT_EQ(Eval("ROUND(2.5)").AsInt(), 3);
+  EXPECT_EQ(Eval("ROUND(-2.5)").AsInt(), -3);
+}
+
+TEST_F(FunctionsTest, StringFunctions) {
+  EXPECT_EQ(Eval("LOWER('AbC')").AsString(), "abc");
+  EXPECT_EQ(Eval("UPPER('AbC')").AsString(), "ABC");
+  EXPECT_EQ(Eval("LENGTH('hello')").AsInt(), 5);
+  EXPECT_EQ(Eval("TRIM('  x  ')").AsString(), "x");
+  EXPECT_EQ(Eval("SUBSTR('hello', 2, 3)").AsString(), "ell");
+  EXPECT_EQ(Eval("SUBSTR('hello', 4)").AsString(), "lo");
+  EXPECT_EQ(Eval("SUBSTR('hello', 99)").AsString(), "");
+  EXPECT_EQ(Eval("SUBSTR('hello', 1, 0)").AsString(), "");
+}
+
+TEST_F(FunctionsTest, Coalesce) {
+  EXPECT_EQ(Eval("COALESCE(NULL, NULL, 3, 4)").AsInt(), 3);
+  EXPECT_TRUE(Eval("COALESCE(NULL, NULL)").is_null());
+  EXPECT_EQ(Eval("COALESCE(1.5, 2)").AsDouble(), 1.5);
+}
+
+TEST_F(FunctionsTest, ArithmeticTyping) {
+  EXPECT_TRUE(Eval("1 + 1").is_int());
+  EXPECT_TRUE(Eval("1 + 1.0").is_double());
+  EXPECT_EQ(Eval("7 / 2").AsInt(), 3);            // int division truncates
+  EXPECT_DOUBLE_EQ(Eval("7 / 2.0").AsDouble(), 3.5);
+  EXPECT_EQ(Eval("7 % 4").AsInt(), 3);
+  EXPECT_TRUE(Eval("NULL + 1").is_null());
+  EXPECT_EQ(Eval("-(3 - 5)").AsInt(), 2);
+}
+
+TEST_F(FunctionsTest, BooleanLogicThreeValued) {
+  // TRUE OR NULL = TRUE; FALSE AND NULL = FALSE; NULL AND TRUE = NULL.
+  EXPECT_TRUE(Eval("CASE WHEN 1 = 1 OR NULL IS NULL AND 1 = 0 THEN 1 "
+                   "ELSE 0 END")
+                  .AsInt() == 1);
+  EXPECT_EQ(Eval("CASE WHEN (1 = NULL) IS NULL THEN 'unknown' ELSE 'known' "
+                 "END")
+                .AsString(),
+            "unknown");
+}
+
+TEST_F(FunctionsTest, CaseWithoutElseYieldsNull) {
+  EXPECT_TRUE(Eval("CASE WHEN 1 = 2 THEN 'x' END").is_null());
+}
+
+TEST_F(FunctionsTest, ConcatAndLike) {
+  EXPECT_EQ(Eval("'a' || 'b' || 'c'").AsString(), "abc");
+  EXPECT_TRUE(Eval("'a' || NULL").is_null());
+  EXPECT_EQ(Eval("CASE WHEN 'hello' LIKE 'h%o' THEN 1 ELSE 0 END").AsInt(),
+            1);
+  EXPECT_EQ(Eval("CASE WHEN 'hello' NOT LIKE 'h_' THEN 1 ELSE 0 END").AsInt(),
+            1);
+}
+
+TEST_F(FunctionsTest, ArityErrors) {
+  EXPECT_FALSE(db_.Query("SELECT ABS(1, 2)").ok());
+  EXPECT_FALSE(db_.Query("SELECT MOD(1)").ok());
+  EXPECT_FALSE(db_.Query("SELECT SUBSTR('x')").ok());
+  EXPECT_FALSE(db_.Query("SELECT COALESCE()").ok());
+}
+
+}  // namespace
+}  // namespace xnf::testing

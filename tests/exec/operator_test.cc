@@ -1,0 +1,204 @@
+// Direct operator-level tests: the executor building blocks in isolation.
+
+#include "exec/operators.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf::exec {
+namespace {
+
+Schema IntSchema(std::initializer_list<const char*> names) {
+  Schema s;
+  for (const char* n : names) s.AddColumn(Column(n, Type::kInt));
+  return s;
+}
+
+OperatorPtr Values(std::initializer_list<std::initializer_list<int64_t>> rows,
+                   std::initializer_list<const char*> names) {
+  std::vector<Row> data;
+  for (auto& r : rows) {
+    Row row;
+    for (int64_t v : r) row.push_back(Value::Int(v));
+    data.push_back(std::move(row));
+  }
+  return std::make_unique<ValuesOp>(IntSchema(names), std::move(data));
+}
+
+qgm::ExprPtr Slot(int slot) {
+  auto e = std::make_unique<qgm::Expr>(qgm::Expr::Kind::kInputRef);
+  e->slot = slot;
+  e->type = Type::kInt;
+  return e;
+}
+
+qgm::ExprPtr Eq(qgm::ExprPtr l, qgm::ExprPtr r) {
+  return qgm::Expr::Binary(sql::BinOp::kEq, std::move(l), std::move(r),
+                           Type::kBool);
+}
+
+std::vector<Row> Drain(Operator* op) {
+  ExecContext ctx;
+  auto rs = RunPlan(op, &ctx);
+  EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+  return std::move(rs)->rows;
+}
+
+TEST(Operators, ValuesAndRerun) {
+  auto op = Values({{1}, {2}}, {"a"});
+  EXPECT_EQ(Drain(op.get()).size(), 2u);
+  // Open() resets: a second full run yields the same rows.
+  EXPECT_EQ(Drain(op.get()).size(), 2u);
+}
+
+TEST(Operators, FilterDropsNullPredicates) {
+  std::vector<qgm::ExprPtr> preds;
+  // a = 2 — the NULL row is unknown, hence dropped.
+  preds.push_back(Eq(Slot(0), qgm::Expr::Lit(Value::Int(2))));
+  auto values = std::make_unique<ValuesOp>(
+      IntSchema({"a"}),
+      std::vector<Row>{{Value::Int(1)}, {Value::Int(2)}, {Value::Null()}});
+  FilterOp filter(std::move(values), std::move(preds), nullptr);
+  auto rows = Drain(&filter);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 2);
+}
+
+TEST(Operators, HashJoinSkipsNullKeys) {
+  auto left = std::make_unique<ValuesOp>(
+      IntSchema({"a"}),
+      std::vector<Row>{{Value::Int(1)}, {Value::Null()}, {Value::Int(2)}});
+  auto right = std::make_unique<ValuesOp>(
+      IntSchema({"b"}),
+      std::vector<Row>{{Value::Int(1)}, {Value::Null()}, {Value::Int(1)}});
+  std::vector<qgm::ExprPtr> lk, rk;
+  lk.push_back(Slot(0));
+  rk.push_back(Slot(0));
+  HashJoinOp join(IntSchema({"a", "b"}), std::move(left), std::move(right),
+                  std::move(lk), std::move(rk), {}, /*left_outer=*/false);
+  auto rows = Drain(&join);
+  // Only left 1 matches (twice); NULLs never join.
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST(Operators, HashJoinLeftOuterPads) {
+  auto left = Values({{1}, {5}}, {"a"});
+  auto right = Values({{1, 10}}, {"b", "c"});
+  std::vector<qgm::ExprPtr> lk, rk;
+  lk.push_back(Slot(0));
+  rk.push_back(Slot(0));
+  HashJoinOp join(IntSchema({"a", "b", "c"}), std::move(left),
+                  std::move(right), std::move(lk), std::move(rk), {},
+                  /*left_outer=*/true);
+  auto rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1][0].AsInt(), 5);
+  EXPECT_TRUE(rows[1][1].is_null());
+  EXPECT_TRUE(rows[1][2].is_null());
+}
+
+TEST(Operators, NestedLoopJoinCross) {
+  NestedLoopJoinOp join(IntSchema({"a", "b"}), Values({{1}, {2}}, {"a"}),
+                        Values({{10}, {20}}, {"b"}), {},
+                        /*left_outer=*/false);
+  EXPECT_EQ(Drain(&join).size(), 4u);
+}
+
+TEST(Operators, NestedLoopLeftOuterNoMatches) {
+  std::vector<qgm::ExprPtr> preds;
+  preds.push_back(Eq(Slot(0), Slot(1)));
+  NestedLoopJoinOp join(IntSchema({"a", "b"}), Values({{1}, {2}}, {"a"}),
+                        Values({{99}}, {"b"}), std::move(preds),
+                        /*left_outer=*/true);
+  auto rows = Drain(&join);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0][1].is_null());
+}
+
+TEST(Operators, AggregateDistinctAndNulls) {
+  std::vector<qgm::AggSpec> aggs;
+  qgm::AggSpec count_distinct;
+  count_distinct.func = qgm::AggFunc::kCount;
+  count_distinct.arg = Slot(0);
+  count_distinct.distinct = true;
+  aggs.push_back(std::move(count_distinct));
+  qgm::AggSpec sum;
+  sum.func = qgm::AggFunc::kSum;
+  sum.arg = Slot(0);
+  aggs.push_back(std::move(sum));
+
+  auto values = std::make_unique<ValuesOp>(
+      IntSchema({"a"}),
+      std::vector<Row>{{Value::Int(3)}, {Value::Int(3)}, {Value::Null()},
+                       {Value::Int(4)}});
+  Schema out = IntSchema({"a", "agg0", "agg1"});
+  AggregateOp agg(out, std::move(values), {}, std::move(aggs), nullptr,
+                  /*scalar=*/true);
+  auto rows = Drain(&agg);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1].AsInt(), 2);   // distinct {3, 4}
+  EXPECT_EQ(rows[0][2].AsInt(), 10);  // 3 + 3 + 4, NULL skipped
+}
+
+TEST(Operators, SortStableAndDirectional) {
+  auto values = Values({{2, 1}, {1, 2}, {2, 3}, {1, 4}}, {"k", "seq"});
+  std::vector<SortOp::Key> keys;
+  SortOp::Key key;
+  key.expr = Slot(0);
+  key.ascending = false;
+  keys.push_back(std::move(key));
+  SortOp sort(std::move(values), std::move(keys), nullptr);
+  auto rows = Drain(&sort);
+  ASSERT_EQ(rows.size(), 4u);
+  EXPECT_EQ(rows[0][0].AsInt(), 2);
+  // Stability: original relative order within equal keys.
+  EXPECT_EQ(rows[0][1].AsInt(), 1);
+  EXPECT_EQ(rows[1][1].AsInt(), 3);
+}
+
+TEST(Operators, DistinctTreatsNullsAsEqual) {
+  auto values = std::make_unique<ValuesOp>(
+      IntSchema({"a"}),
+      std::vector<Row>{{Value::Null()}, {Value::Null()}, {Value::Int(1)}});
+  DistinctOp distinct(std::move(values));
+  EXPECT_EQ(Drain(&distinct).size(), 2u);
+}
+
+TEST(Operators, LimitZeroAndBeyond) {
+  LimitOp zero(Values({{1}, {2}}, {"a"}), 0);
+  EXPECT_TRUE(Drain(&zero).empty());
+  LimitOp beyond(Values({{1}, {2}}, {"a"}), 10);
+  EXPECT_EQ(Drain(&beyond).size(), 2u);
+}
+
+TEST(Operators, UnionDistinctAcrossChildren) {
+  std::vector<OperatorPtr> children;
+  children.push_back(Values({{1}, {2}}, {"a"}));
+  children.push_back(Values({{2}, {3}}, {"a"}));
+  UnionOp u(IntSchema({"a"}), std::move(children), /*distinct=*/true);
+  EXPECT_EQ(Drain(&u).size(), 3u);
+}
+
+TEST(Operators, IntersectExceptDistinctSemantics) {
+  IntersectExceptOp inter(IntSchema({"a"}), Values({{1}, {1}, {2}}, {"a"}),
+                          Values({{1}, {3}}, {"a"}), /*is_except=*/false);
+  EXPECT_EQ(Drain(&inter).size(), 1u);
+  IntersectExceptOp except(IntSchema({"a"}), Values({{1}, {1}, {2}}, {"a"}),
+                           Values({{1}, {3}}, {"a"}), /*is_except=*/true);
+  auto rows = Drain(&except);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0].AsInt(), 2);
+}
+
+TEST(Operators, ProjectComputesExpressions) {
+  std::vector<qgm::ExprPtr> exprs;
+  exprs.push_back(qgm::Expr::Binary(sql::BinOp::kMul, Slot(0),
+                                    qgm::Expr::Lit(Value::Int(10)),
+                                    Type::kInt));
+  ProjectOp project(IntSchema({"x10"}), Values({{1}, {2}}, {"a"}),
+                    std::move(exprs), nullptr);
+  auto rows = Drain(&project);
+  EXPECT_EQ(rows[1][0].AsInt(), 20);
+}
+
+}  // namespace
+}  // namespace xnf::exec

@@ -1,0 +1,364 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+class SqlExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, R"sql(
+      CREATE TABLE nums (n INT, label VARCHAR);
+      INSERT INTO nums VALUES (1, 'one'), (2, 'two'), (3, 'three'),
+                              (4, 'four'), (NULL, 'none');
+      CREATE TABLE pairs (a INT, b INT);
+      INSERT INTO pairs VALUES (1, 10), (2, 20), (2, 21), (3, NULL);
+    )sql");
+  }
+  Database db_;
+};
+
+TEST_F(SqlExecTest, ProjectionAndArithmetic) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT n * 2 + 1 FROM nums WHERE n = 3"));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 7);
+}
+
+TEST_F(SqlExecTest, SelectWithoutFrom) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, db_.Query("SELECT 2 + 3 AS five"));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(rs.schema.column(0).name, "five");
+}
+
+TEST_F(SqlExecTest, NullComparisonExcludesRows) {
+  // NULL never satisfies a comparison.
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT label FROM nums WHERE n > 0"));
+  EXPECT_EQ(rs.rows.size(), 4u);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs2,
+                       db_.Query("SELECT label FROM nums WHERE n IS NULL"));
+  ASSERT_EQ(rs2.rows.size(), 1u);
+  EXPECT_EQ(rs2.rows[0][0].AsString(), "none");
+}
+
+TEST_F(SqlExecTest, NotOnUnknownIsUnknown) {
+  // NOT (NULL > 0) is unknown, so the row with NULL n stays excluded.
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT label FROM nums WHERE NOT (n > 2)"));
+  auto labels = Sorted(StringColumn(rs, 0));
+  EXPECT_EQ(labels, (std::vector<std::string>{"one", "two"}));
+}
+
+TEST_F(SqlExecTest, InListWithNullSemantics) {
+  // n IN (1, NULL): true for 1, unknown (not false!) for others.
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs, db_.Query("SELECT label FROM nums WHERE n IN (1, NULL)"));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  // NOT IN with NULL in the list excludes everything.
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs2,
+      db_.Query("SELECT label FROM nums WHERE n NOT IN (1, NULL)"));
+  EXPECT_TRUE(rs2.rows.empty());
+}
+
+TEST_F(SqlExecTest, LikeAndFunctions) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT UPPER(label) FROM nums WHERE label LIKE 't%'"));
+  auto v = Sorted(StringColumn(rs, 0));
+  EXPECT_EQ(v, (std::vector<std::string>{"THREE", "TWO"}));
+  ASSERT_OK_AND_ASSIGN(ResultSet rs2,
+                       db_.Query("SELECT LENGTH(label), SUBSTR(label, 1, 2) "
+                                 "FROM nums WHERE n = 3"));
+  EXPECT_EQ(rs2.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(rs2.rows[0][1].AsString(), "th");
+}
+
+TEST_F(SqlExecTest, CaseExpression) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT CASE WHEN n < 3 THEN 'small' WHEN n < 5 THEN 'big' "
+                "ELSE 'huge' END FROM nums WHERE n IS NOT NULL ORDER BY n"));
+  EXPECT_EQ(StringColumn(rs, 0),
+            (std::vector<std::string>{"small", "small", "big", "big"}));
+}
+
+TEST_F(SqlExecTest, CoalesceFunction) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT COALESCE(n, 0) FROM nums ORDER BY 1"));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(SqlExecTest, CrossAndInnerJoin) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT nums.label, pairs.b FROM nums, pairs "
+                "WHERE nums.n = pairs.a ORDER BY pairs.b"));
+  ASSERT_EQ(rs.rows.size(), 4u);  // (3,NULL) joins on a=3; b is NULL
+  EXPECT_TRUE(rs.rows[0][1].is_null());  // NULL b sorts first
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs2,
+      db_.Query("SELECT n, b FROM nums JOIN pairs ON n = a ORDER BY b"));
+  EXPECT_EQ(rs2.rows.size(), 4u);
+}
+
+TEST_F(SqlExecTest, LeftOuterJoin) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT nums.n, pairs.b FROM nums LEFT JOIN pairs ON "
+                "nums.n = pairs.a WHERE nums.n IS NOT NULL ORDER BY nums.n"));
+  // n=1 -> 10; n=2 -> 20, 21; n=3 -> NULL b (pair exists but b NULL);
+  // n=4 -> padded NULL.
+  ASSERT_EQ(rs.rows.size(), 5u);
+  EXPECT_EQ(rs.rows[4][0].AsInt(), 4);
+  EXPECT_TRUE(rs.rows[4][1].is_null());
+}
+
+TEST_F(SqlExecTest, SelfJoin) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT a.n, b.n FROM nums a, nums b WHERE a.n + 1 = b.n "
+                "ORDER BY a.n"));
+  EXPECT_EQ(rs.rows.size(), 3u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 2);
+}
+
+TEST_F(SqlExecTest, AggregatesWithAndWithoutGroups) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT COUNT(*), COUNT(n), SUM(n), MIN(n), MAX(n), AVG(n) "
+                "FROM nums"));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 5);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 4);  // NULL not counted
+  EXPECT_EQ(rs.rows[0][2].AsInt(), 10);
+  EXPECT_EQ(rs.rows[0][3].AsInt(), 1);
+  EXPECT_EQ(rs.rows[0][4].AsInt(), 4);
+  EXPECT_DOUBLE_EQ(rs.rows[0][5].AsDouble(), 2.5);
+}
+
+TEST_F(SqlExecTest, ScalarAggregateOverEmptyInput) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs, db_.Query("SELECT COUNT(*), SUM(n) FROM nums WHERE n > 99"));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 0);
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(SqlExecTest, GroupByWithHaving) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT a, COUNT(*) AS c FROM pairs GROUP BY a "
+                "HAVING COUNT(*) > 1 ORDER BY a"));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 2);
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 2);
+}
+
+TEST_F(SqlExecTest, CountDistinct) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT COUNT(DISTINCT a) FROM pairs"));
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 3);
+}
+
+TEST_F(SqlExecTest, GroupByValidationRejectsBareColumns) {
+  auto r = db_.Query("SELECT label, COUNT(*) FROM nums GROUP BY n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlExecTest, DistinctRows) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT DISTINCT a FROM pairs ORDER BY a"));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(SqlExecTest, OrderByExpressionAndPosition) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT n FROM nums WHERE n IS NOT NULL "
+                                 "ORDER BY -n"));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{4, 3, 2, 1}));
+  ASSERT_OK_AND_ASSIGN(ResultSet rs2,
+                       db_.Query("SELECT n, label FROM nums ORDER BY 2 "
+                                 "LIMIT 2"));
+  EXPECT_EQ(StringColumn(rs2, 1),
+            (std::vector<std::string>{"four", "none"}));
+}
+
+TEST_F(SqlExecTest, OrderByNullsFirst) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, db_.Query("SELECT n FROM nums ORDER BY n"));
+  EXPECT_TRUE(rs.rows[0][0].is_null());
+}
+
+TEST_F(SqlExecTest, Limit) {
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT n FROM nums ORDER BY n LIMIT 2"));
+  EXPECT_EQ(rs.rows.size(), 2u);
+}
+
+TEST_F(SqlExecTest, LimitOffset) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT n FROM nums WHERE n IS NOT NULL ORDER BY n "
+                "LIMIT 2 OFFSET 1"));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{2, 3}));
+  // Offset past the end yields nothing.
+  ASSERT_OK_AND_ASSIGN(ResultSet empty,
+                       db_.Query("SELECT n FROM nums LIMIT 5 OFFSET 99"));
+  EXPECT_TRUE(empty.rows.empty());
+}
+
+TEST_F(SqlExecTest, UnionAllAndDistinct) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet all,
+      db_.Query("SELECT a FROM pairs UNION ALL SELECT n FROM nums WHERE n "
+                "< 3"));
+  EXPECT_EQ(all.rows.size(), 6u);
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet uniq,
+      db_.Query("SELECT a FROM pairs UNION SELECT n FROM nums WHERE n < 3"));
+  EXPECT_EQ(uniq.rows.size(), 3u);  // 1, 2, 3
+}
+
+TEST_F(SqlExecTest, IntersectAndExcept) {
+  // nums.n = {1,2,3,4,NULL}; pairs.a = {1,2,2,3}.
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet both,
+      db_.Query("SELECT n FROM nums INTERSECT SELECT a FROM pairs"));
+  EXPECT_EQ(Sorted(IntColumn(both, 0)), (std::vector<int64_t>{1, 2, 3}));
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet only_nums,
+      db_.Query("SELECT n FROM nums EXCEPT SELECT a FROM pairs"));
+  // 4 and NULL survive (NULL = NULL matches in set semantics).
+  EXPECT_EQ(Sorted(IntColumn(only_nums, 0)), (std::vector<int64_t>{-1, 4}));
+  // Distinct semantics: duplicates collapse.
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet dedup,
+      db_.Query("SELECT a FROM pairs INTERSECT SELECT a FROM pairs"));
+  EXPECT_EQ(dedup.rows.size(), 3u);
+}
+
+TEST_F(SqlExecTest, MixedSetOperationChainLeftAssociative) {
+  // (nums ∪ pairs.a) EXCEPT pairs.b-under-21  — left associative.
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT n FROM nums UNION SELECT a FROM pairs "
+                "EXCEPT SELECT b FROM pairs WHERE b >= 20"));
+  // union = {NULL,1,2,3,4}; except {20,21} removes nothing.
+  EXPECT_EQ(rs.rows.size(), 5u);
+}
+
+TEST_F(SqlExecTest, UnionArityMismatchRejected) {
+  auto r = db_.Query("SELECT a, b FROM pairs UNION SELECT n FROM nums");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlExecTest, CorrelatedExists) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT label FROM nums WHERE EXISTS (SELECT 1 FROM pairs "
+                "WHERE pairs.a = nums.n) ORDER BY label"));
+  EXPECT_EQ(StringColumn(rs, 0),
+            (std::vector<std::string>{"one", "three", "two"}));
+}
+
+TEST_F(SqlExecTest, CorrelatedScalarSubquery) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT n, (SELECT COUNT(*) FROM pairs WHERE pairs.a = "
+                "nums.n) FROM nums WHERE n IS NOT NULL ORDER BY n"));
+  EXPECT_EQ(IntColumn(rs, 1), (std::vector<int64_t>{1, 2, 1, 0}));
+}
+
+TEST_F(SqlExecTest, InSubquery) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT label FROM nums WHERE n IN (SELECT a FROM pairs) "
+                "ORDER BY n"));
+  EXPECT_EQ(rs.rows.size(), 3u);
+}
+
+TEST_F(SqlExecTest, ScalarSubqueryMultipleRowsRejected) {
+  auto r = db_.Query("SELECT (SELECT a FROM pairs) FROM nums");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(SqlExecTest, DerivedTables) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT s.total FROM (SELECT a, SUM(b) AS total FROM pairs "
+                "GROUP BY a) s WHERE s.a = 2"));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 41);
+}
+
+TEST_F(SqlExecTest, SqlViews) {
+  MustExecute(&db_, "CREATE VIEW small AS SELECT n, label FROM nums WHERE "
+                    "n <= 2");
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db_.Query("SELECT label FROM small ORDER BY n"));
+  EXPECT_EQ(StringColumn(rs, 0), (std::vector<std::string>{"one", "two"}));
+  // Views over views.
+  MustExecute(&db_, "CREATE VIEW tiny AS SELECT * FROM small WHERE n = 1");
+  ASSERT_OK_AND_ASSIGN(ResultSet rs2, db_.Query("SELECT label FROM tiny"));
+  ASSERT_EQ(rs2.rows.size(), 1u);
+}
+
+TEST_F(SqlExecTest, DivisionByZeroIsAnError) {
+  auto r = db_.Query("SELECT 1 / 0");
+  EXPECT_FALSE(r.ok());
+  auto r2 = db_.Query("SELECT n / 0 FROM nums");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST_F(SqlExecTest, TypeMismatchRejectedAtBuildTime) {
+  auto r = db_.Query("SELECT * FROM nums WHERE n = 'one'");
+  EXPECT_FALSE(r.ok());
+  auto r2 = db_.Query("SELECT label + 1 FROM nums");
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST_F(SqlExecTest, UnknownColumnAndTableErrors) {
+  EXPECT_EQ(db_.Query("SELECT zap FROM nums").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.Query("SELECT * FROM nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SqlExecTest, AmbiguousColumnRejected) {
+  auto r = db_.Query("SELECT n FROM nums a, nums b");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlExecTest, PreparedQueryWithParameters) {
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<PreparedQuery> q,
+                       db_.Prepare("SELECT label FROM nums WHERE n = ?"));
+  ASSERT_OK_AND_ASSIGN(ResultSet one, q->Execute({Value::Int(1)}));
+  ASSERT_EQ(one.rows.size(), 1u);
+  EXPECT_EQ(one.rows[0][0].AsString(), "one");
+  // Re-executable with a different binding.
+  ASSERT_OK_AND_ASSIGN(ResultSet three, q->Execute({Value::Int(3)}));
+  EXPECT_EQ(three.rows[0][0].AsString(), "three");
+  // Two parameters, order of occurrence.
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<PreparedQuery> q2,
+      db_.Prepare("SELECT b FROM pairs WHERE a = ? AND b > ? ORDER BY b"));
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       q2->Execute({Value::Int(2), Value::Int(20)}));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{21}));
+}
+
+TEST_F(SqlExecTest, ConcatOperator) {
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db_.Query("SELECT label || '!' FROM nums WHERE n = 1"));
+  EXPECT_EQ(rs.rows[0][0].AsString(), "one!");
+}
+
+}  // namespace
+}  // namespace xnf::testing

@@ -1,0 +1,111 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+TEST(Smoke, SqlBasics) {
+  Database db;
+  CreateCompanyDb(&db);
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db.Query("SELECT dno, dname FROM DEPT WHERE loc = "
+                                "'NY' ORDER BY dno"));
+  EXPECT_EQ(IntColumn(rs, 0), (std::vector<int64_t>{1, 3}));
+  EXPECT_EQ(StringColumn(rs, 1), (std::vector<std::string>{"toys", "shoes"}));
+}
+
+TEST(Smoke, SqlJoinAndAggregate) {
+  Database db;
+  CreateCompanyDb(&db);
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet rs,
+      db.Query("SELECT d.dname, COUNT(*) AS n, AVG(e.sal) "
+               "FROM DEPT d, EMP e WHERE d.dno = e.edno "
+               "GROUP BY d.dname ORDER BY d.dname"));
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.rows[0][0].AsString(), "tools");
+  EXPECT_EQ(rs.rows[0][1].AsInt(), 3);
+  EXPECT_EQ(rs.rows[1][0].AsString(), "toys");
+  EXPECT_EQ(rs.rows[1][1].AsInt(), 2);
+  EXPECT_DOUBLE_EQ(rs.rows[1][2].AsDouble(), 2000.0);
+}
+
+TEST(Smoke, Fig1CompanyOrganizationalUnit) {
+  Database db;
+  CreateCompanyDb(&db);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance instance, db.QueryCo(R"(
+    OUT OF
+      Xdept AS DEPT,
+      Xemp AS EMP,
+      Xproj AS PROJ,
+      Xskills AS SKILLS,
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+      ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno),
+      empproperty AS (RELATE Xemp, Xskills USING EMPSKILL es
+                      WHERE Xemp.eno = es.eseno AND Xskills.sno = es.essno),
+      projproperty AS (RELATE Xproj, Xskills USING PROJSKILL ps
+                       WHERE Xproj.pno = ps.pspno AND Xskills.sno = ps.pssno)
+    TAKE *
+  )"));
+
+  // Reachability (Fig. 1): e3 and s2 are excluded; d3 is a root tuple and
+  // stays although it has no employees or projects.
+  int xdept = instance.NodeIndex("xdept");
+  int xemp = instance.NodeIndex("xemp");
+  int xskills = instance.NodeIndex("xskills");
+  ASSERT_GE(xdept, 0);
+  ASSERT_GE(xemp, 0);
+  ASSERT_GE(xskills, 0);
+  EXPECT_EQ(instance.nodes[xdept].tuples.size(), 3u);
+  EXPECT_EQ(instance.nodes[xemp].tuples.size(), 5u);  // e3 dropped
+  EXPECT_EQ(instance.nodes[xskills].tuples.size(), 4u);  // s2 dropped
+
+  std::vector<int64_t> enos;
+  for (const Row& t : instance.nodes[xemp].tuples) {
+    enos.push_back(t[0].AsInt());
+  }
+  std::sort(enos.begin(), enos.end());
+  EXPECT_EQ(enos, (std::vector<int64_t>{1, 2, 4, 5, 6}));
+
+  // Instance sharing: skill s3 (design) is shared by e2/e4 and p1/p2.
+  int empprop = instance.RelIndex("empproperty");
+  ASSERT_GE(empprop, 0);
+  int s3_links = 0;
+  for (const co::CoConnection& c : instance.rels[empprop].connections) {
+    if (instance.nodes[xskills].tuples[c.child][0].AsInt() == 3) ++s3_links;
+  }
+  EXPECT_EQ(s3_links, 2);
+}
+
+TEST(Smoke, NodeRestrictionAndTake) {
+  Database db;
+  CreateCompanyDb(&db);
+  MustExecute(&db, R"(
+    CREATE VIEW ALL_DEPS AS
+      OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ,
+        employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+        ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno)
+      TAKE *
+  )");
+  // §3.3: only employees making less than 2K; project node projected away,
+  // which implicitly discards 'ownership'.
+  ASSERT_OK_AND_ASSIGN(co::CoInstance instance, db.QueryCo(R"(
+    OUT OF ALL_DEPS
+    WHERE Xemp e SUCH THAT e.sal < 2000
+    TAKE Xdept(*), Xemp(*), employment
+  )"));
+  EXPECT_EQ(instance.nodes.size(), 2u);
+  EXPECT_EQ(instance.rels.size(), 1u);
+  int xemp = instance.NodeIndex("xemp");
+  std::vector<int64_t> enos;
+  for (const Row& t : instance.nodes[xemp].tuples) {
+    enos.push_back(t[0].AsInt());
+  }
+  std::sort(enos.begin(), enos.end());
+  EXPECT_EQ(enos, (std::vector<int64_t>{1, 4, 6}));
+}
+
+}  // namespace
+}  // namespace xnf::testing

@@ -1,0 +1,147 @@
+// Multi-statement transactions (BEGIN / COMMIT / ROLLBACK): the undo log
+// behind SQL DML, XNF cache propagation, and CO-level statements.
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xnf/cache.h"
+#include "xnf/manipulate.h"
+
+namespace xnf::testing {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, R"sql(
+      CREATE TABLE t (id INT PRIMARY KEY, v INT);
+      CREATE INDEX t_v ON t (v);
+      INSERT INTO t VALUES (1, 10), (2, 20), (3, 30);
+    )sql");
+  }
+
+  int64_t QueryInt(const std::string& q) {
+    auto rs = db_.Query(q);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    return rs->rows[0][0].is_null() ? -999 : rs->rows[0][0].AsInt();
+  }
+
+  Database db_;
+};
+
+TEST_F(TransactionTest, CommitKeepsChanges) {
+  MustExecute(&db_, "BEGIN");
+  EXPECT_TRUE(db_.in_transaction());
+  MustExecute(&db_, "INSERT INTO t VALUES (4, 40)");
+  MustExecute(&db_, "UPDATE t SET v = 11 WHERE id = 1");
+  MustExecute(&db_, "COMMIT");
+  EXPECT_FALSE(db_.in_transaction());
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t"), 4);
+  EXPECT_EQ(QueryInt("SELECT v FROM t WHERE id = 1"), 11);
+}
+
+TEST_F(TransactionTest, RollbackRestoresEverything) {
+  MustExecute(&db_, "BEGIN");
+  MustExecute(&db_, "INSERT INTO t VALUES (4, 40), (5, 50)");
+  MustExecute(&db_, "UPDATE t SET v = v + 1");
+  MustExecute(&db_, "DELETE FROM t WHERE id = 2");
+  MustExecute(&db_, "ROLLBACK");
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t"), 3);
+  EXPECT_EQ(QueryInt("SELECT v FROM t WHERE id = 1"), 10);
+  EXPECT_EQ(QueryInt("SELECT v FROM t WHERE id = 2"), 20);
+  // Indexes are consistent after rollback.
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t WHERE v = 20"), 1);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t WHERE v = 40"), 0);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t WHERE v = 21"), 0);
+}
+
+TEST_F(TransactionTest, RollbackRevivesRowsAtOriginalRids) {
+  // Rids held by an XNF cache must stay valid across rollback of a delete.
+  auto cache = db_.OpenCo("OUT OF x AS t TAKE *");
+  ASSERT_TRUE(cache.ok());
+  Rid rid = (*cache)->node(0).tuples.front().rid;
+  MustExecute(&db_, "BEGIN");
+  MustExecute(&db_, "DELETE FROM t WHERE id = 1");
+  MustExecute(&db_, "ROLLBACK");
+  auto row = db_.catalog()->GetTable("t")->heap->Read(rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt(), 1);
+}
+
+TEST_F(TransactionTest, PkViolationInsideTransactionThenRollback) {
+  MustExecute(&db_, "BEGIN");
+  MustExecute(&db_, "INSERT INTO t VALUES (4, 40)");
+  // Statement fails and statement-level rollback undoes its partial work;
+  // the transaction continues.
+  auto bad = db_.Execute("INSERT INTO t VALUES (5, 50), (1, 99)");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t"), 4);
+  MustExecute(&db_, "ROLLBACK");
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t"), 3);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t WHERE v = 50"), 0);
+}
+
+TEST_F(TransactionTest, XnfManipulationIsTransactional) {
+  MustExecute(&db_, R"sql(
+    CREATE TABLE dept (dno INT PRIMARY KEY, name VARCHAR);
+    CREATE TABLE emp (eno INT PRIMARY KEY, edno INT, sal INT);
+    INSERT INTO dept VALUES (1, 'a'), (2, 'b');
+    INSERT INTO emp VALUES (1, 1, 100), (2, 1, 200);
+  )sql");
+  auto cache = db_.OpenCo(R"(
+    OUT OF d AS dept, e AS emp,
+      emps AS (RELATE d, e WHERE d.dno = e.edno)
+    TAKE *
+  )");
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  co::Manipulator m(cache->get(), db_.catalog());
+
+  MustExecute(&db_, "BEGIN");
+  // Cache-side update + FK reassign + delete, all inside the transaction.
+  co::CoCache::Node& emp = (*cache)->node((*cache)->NodeIndex("e"));
+  co::CoCache::Tuple* e1 = &emp.tuples[0];
+  co::CoCache::Tuple* e2 = &emp.tuples[1];
+  co::CoCache::Node& dept = (*cache)->node((*cache)->NodeIndex("d"));
+  co::CoCache::Tuple* d2 = &dept.tuples[1];
+  int rel = (*cache)->RelIndex("emps");
+  ASSERT_OK(m.UpdateColumn(e1, "sal", Value::Int(150)));
+  ASSERT_OK(m.Connect(rel, d2, e2).status());
+  ASSERT_OK(m.DeleteTuple(e1));
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM emp"), 1);
+  MustExecute(&db_, "ROLLBACK");
+
+  // Base state fully restored.
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM emp"), 2);
+  EXPECT_EQ(QueryInt("SELECT sal FROM emp WHERE eno = 1"), 100);
+  EXPECT_EQ(QueryInt("SELECT edno FROM emp WHERE eno = 2"), 1);
+}
+
+TEST_F(TransactionTest, CoLevelDeleteIsTransactional) {
+  MustExecute(&db_, "BEGIN");
+  auto r = db_.Execute("OUT OF x AS (SELECT * FROM t WHERE v >= 20) DELETE *");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t"), 1);
+  MustExecute(&db_, "ROLLBACK");
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM t"), 3);
+}
+
+TEST_F(TransactionTest, ControlStatementErrors) {
+  EXPECT_FALSE(db_.Execute("COMMIT").ok());
+  EXPECT_FALSE(db_.Execute("ROLLBACK").ok());
+  MustExecute(&db_, "BEGIN");
+  EXPECT_FALSE(db_.Execute("BEGIN").ok());
+  MustExecute(&db_, "COMMIT");
+}
+
+TEST_F(TransactionTest, WorksInScripts) {
+  auto r = db_.ExecuteScript(R"sql(
+    BEGIN;
+    UPDATE t SET v = 0;
+    ROLLBACK;
+    SELECT SUM(v) FROM t;
+  )sql");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->rows.rows[0][0].AsInt(), 60);
+}
+
+}  // namespace
+}  // namespace xnf::testing

@@ -1,0 +1,161 @@
+#include "qgm/builder.h"
+
+#include "gtest/gtest.h"
+#include "sql/parser.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+class BuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MustExecute(&db_, R"sql(
+      CREATE TABLE t (a INT, b VARCHAR, c DOUBLE);
+      CREATE TABLE u (a INT, d INT);
+    )sql");
+  }
+
+  Result<qgm::QueryGraph> Build(const std::string& text) {
+    sql::Parser parser(text);
+    auto stmt = parser.ParseSelect();
+    if (!stmt.ok()) return stmt.status();
+    qgm::Builder builder(db_.catalog());
+    return builder.Build(**stmt);
+  }
+
+  const qgm::Box& Root(const qgm::QueryGraph& g) { return *g.box(g.root); }
+
+  Database db_;
+};
+
+TEST_F(BuilderTest, OutputSchemaNamesAndTypes) {
+  ASSERT_OK_AND_ASSIGN(qgm::QueryGraph g,
+                       Build("SELECT a, b AS label, a + c AS sum FROM t"));
+  Schema s = Root(g).OutputSchema();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.column(0).name, "a");
+  EXPECT_EQ(s.column(0).type, Type::kInt);
+  EXPECT_EQ(s.column(1).name, "label");
+  EXPECT_EQ(s.column(2).name, "sum");
+  EXPECT_EQ(s.column(2).type, Type::kDouble);  // int + double widens
+}
+
+TEST_F(BuilderTest, StarExpansionOrder) {
+  ASSERT_OK_AND_ASSIGN(qgm::QueryGraph g, Build("SELECT * FROM t, u"));
+  Schema s = Root(g).OutputSchema();
+  ASSERT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.column(0).name, "a");
+  EXPECT_EQ(s.column(3).name, "a");  // u.a
+}
+
+TEST_F(BuilderTest, QualifiedStar) {
+  ASSERT_OK_AND_ASSIGN(qgm::QueryGraph g, Build("SELECT u.* FROM t, u"));
+  EXPECT_EQ(Root(g).OutputSchema().size(), 2u);
+}
+
+TEST_F(BuilderTest, WhereSplitsConjuncts) {
+  ASSERT_OK_AND_ASSIGN(
+      qgm::QueryGraph g,
+      Build("SELECT a FROM t WHERE a > 1 AND b = 'x' AND (a < 5 OR c > 0)"));
+  EXPECT_EQ(Root(g).predicates.size(), 3u);
+}
+
+TEST_F(BuilderTest, AggregateDeduplication) {
+  ASSERT_OK_AND_ASSIGN(
+      qgm::QueryGraph g,
+      Build("SELECT SUM(a), SUM(a) + 1, COUNT(*) FROM t HAVING SUM(a) > 0"));
+  // SUM(a) referenced three times but computed once.
+  EXPECT_EQ(Root(g).aggs.size(), 2u);
+}
+
+TEST_F(BuilderTest, AggregateInWhereRejected) {
+  auto r = Build("SELECT a FROM t WHERE SUM(a) > 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BuilderTest, NestedAggregateRejected) {
+  auto r = Build("SELECT SUM(COUNT(*)) FROM t");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BuilderTest, CorrelatedSubqueryBindings) {
+  ASSERT_OK_AND_ASSIGN(
+      qgm::QueryGraph g,
+      Build("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.a = t.a "
+            "AND u.d = t.a)"));
+  const qgm::Box& root = Root(g);
+  ASSERT_EQ(root.subqueries.size(), 1u);
+  // t.a referenced twice in the subquery but bound once.
+  EXPECT_EQ(root.subqueries[0].param_bindings.size(), 1u);
+}
+
+TEST_F(BuilderTest, UncorrelatedSubqueryHasNoBindings) {
+  ASSERT_OK_AND_ASSIGN(
+      qgm::QueryGraph g,
+      Build("SELECT a FROM t WHERE a IN (SELECT d FROM u)"));
+  EXPECT_TRUE(Root(g).subqueries[0].param_bindings.empty());
+}
+
+TEST_F(BuilderTest, ComparisonTypeChecking) {
+  EXPECT_FALSE(Build("SELECT a FROM t WHERE b > 3").ok());
+  EXPECT_FALSE(Build("SELECT b || a FROM t").ok());
+  EXPECT_TRUE(Build("SELECT a FROM t WHERE a > 3.5").ok());
+  EXPECT_TRUE(Build("SELECT a FROM t WHERE b IS NULL").ok());
+}
+
+TEST_F(BuilderTest, UnknownFunctionRejected) {
+  auto r = Build("SELECT frobnicate(a) FROM t");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BuilderTest, AliasShadowsTableName) {
+  // When t is aliased, the bare name no longer resolves.
+  EXPECT_FALSE(Build("SELECT t.a FROM t x").ok());
+  EXPECT_TRUE(Build("SELECT x.a FROM t x").ok());
+}
+
+TEST_F(BuilderTest, SelfJoinRequiresDistinctAliases) {
+  ASSERT_OK_AND_ASSIGN(qgm::QueryGraph g,
+                       Build("SELECT p.a, q.a FROM t p, t q"));
+  EXPECT_EQ(Root(g).quantifiers.size(), 2u);
+}
+
+TEST_F(BuilderTest, GroupByPositionIndependentValidation) {
+  EXPECT_TRUE(Build("SELECT a + 1 FROM t GROUP BY a + 1").ok());
+  EXPECT_FALSE(Build("SELECT a + 2 FROM t GROUP BY a + 1").ok());
+}
+
+TEST_F(BuilderTest, OrderByPositionOutOfRange) {
+  auto r = Build("SELECT a FROM t ORDER BY 2");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(BuilderTest, ParamTypesFlowAsUnknown) {
+  sql::Parser parser("SELECT a FROM t WHERE a = ? AND b = ?");
+  auto stmt = parser.ParseSelect();
+  ASSERT_TRUE(stmt.ok());
+  qgm::Builder builder(db_.catalog());
+  auto g = builder.Build(**stmt);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+}
+
+TEST_F(BuilderTest, BinaryResultTypeTable) {
+  ASSERT_OK_AND_ASSIGN(Type t1, qgm::BinaryResultType(sql::BinOp::kAdd,
+                                                      Type::kInt, Type::kInt));
+  EXPECT_EQ(t1, Type::kInt);
+  ASSERT_OK_AND_ASSIGN(
+      Type t2, qgm::BinaryResultType(sql::BinOp::kDiv, Type::kInt,
+                                     Type::kDouble));
+  EXPECT_EQ(t2, Type::kDouble);
+  ASSERT_OK_AND_ASSIGN(Type t3, qgm::BinaryResultType(sql::BinOp::kLt,
+                                                      Type::kNull, Type::kInt));
+  EXPECT_EQ(t3, Type::kBool);
+  EXPECT_FALSE(qgm::BinaryResultType(sql::BinOp::kAdd, Type::kString,
+                                     Type::kInt)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace xnf::testing

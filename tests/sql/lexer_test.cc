@@ -1,0 +1,112 @@
+#include "sql/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf::sql {
+namespace {
+
+std::vector<Token> MustLex(const std::string& s) {
+  auto r = Lex(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(Lexer, Identifiers) {
+  auto t = MustLex("SELECT foo _bar Baz9");
+  ASSERT_EQ(t.size(), 5u);  // incl. end token
+  EXPECT_TRUE(t[0].Is("select"));
+  EXPECT_EQ(t[1].text, "foo");
+  EXPECT_EQ(t[2].text, "_bar");
+  EXPECT_EQ(t[3].text, "Baz9");
+  EXPECT_EQ(t[4].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, QuotedIdentifiersKeepDashes) {
+  auto t = MustLex("\"ALL-DEPS\"");
+  EXPECT_EQ(t[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(t[0].text, "ALL-DEPS");
+}
+
+TEST(Lexer, Numbers) {
+  auto t = MustLex("42 3.5 1e3 2.5e-2 7");
+  EXPECT_EQ(t[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(t[0].int_value, 42);
+  EXPECT_EQ(t[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(t[1].double_value, 3.5);
+  EXPECT_EQ(t[2].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(t[2].double_value, 1000.0);
+  EXPECT_EQ(t[3].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(t[3].double_value, 0.025);
+  EXPECT_EQ(t[4].kind, TokenKind::kInteger);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto t = MustLex("'hello' 'it''s'");
+  EXPECT_EQ(t[0].kind, TokenKind::kString);
+  EXPECT_EQ(t[0].text, "hello");
+  EXPECT_EQ(t[1].text, "it's");
+}
+
+TEST(Lexer, UnterminatedString) {
+  EXPECT_FALSE(Lex("'oops").ok());
+}
+
+TEST(Lexer, OperatorsAndArrow) {
+  auto t = MustLex("<> != <= >= -> || < > = + - * / %");
+  EXPECT_EQ(t[0].kind, TokenKind::kNe);
+  EXPECT_EQ(t[1].kind, TokenKind::kNe);
+  EXPECT_EQ(t[2].kind, TokenKind::kLe);
+  EXPECT_EQ(t[3].kind, TokenKind::kGe);
+  EXPECT_EQ(t[4].kind, TokenKind::kArrow);
+  EXPECT_EQ(t[5].kind, TokenKind::kConcat);
+  EXPECT_EQ(t[6].kind, TokenKind::kLt);
+  EXPECT_EQ(t[7].kind, TokenKind::kGt);
+  EXPECT_EQ(t[8].kind, TokenKind::kEq);
+  EXPECT_EQ(t[9].kind, TokenKind::kPlus);
+  EXPECT_EQ(t[10].kind, TokenKind::kMinus);
+  EXPECT_EQ(t[11].kind, TokenKind::kStar);
+  EXPECT_EQ(t[12].kind, TokenKind::kSlash);
+  EXPECT_EQ(t[13].kind, TokenKind::kPercent);
+}
+
+TEST(Lexer, ArrowVsMinus) {
+  auto t = MustLex("a->b a - >b");
+  EXPECT_EQ(t[1].kind, TokenKind::kArrow);
+  EXPECT_EQ(t[4].kind, TokenKind::kMinus);
+  EXPECT_EQ(t[5].kind, TokenKind::kGt);
+}
+
+TEST(Lexer, Comments) {
+  auto t = MustLex("a -- comment to eol\n b /* block\n comment */ c");
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0].text, "a");
+  EXPECT_EQ(t[1].text, "b");
+  EXPECT_EQ(t[2].text, "c");
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  EXPECT_FALSE(Lex("a /* never closed").ok());
+}
+
+TEST(Lexer, PositionsTracked) {
+  auto t = MustLex("a\n  bc");
+  EXPECT_EQ(t[0].line, 1);
+  EXPECT_EQ(t[0].column, 1);
+  EXPECT_EQ(t[1].line, 2);
+  EXPECT_EQ(t[1].column, 3);
+  EXPECT_EQ(t[1].offset, 4u);
+}
+
+TEST(Lexer, QuestionIsParameter) {
+  auto t = MustLex("a = ?");
+  EXPECT_EQ(t[2].kind, TokenKind::kQuestion);
+}
+
+TEST(Lexer, UnexpectedCharacter) {
+  auto r = Lex("a @ b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace xnf::sql

@@ -1,0 +1,235 @@
+#include "sql/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf::sql {
+namespace {
+
+std::unique_ptr<SelectStmt> MustParseSelect(const std::string& s) {
+  Parser parser(s);
+  auto r = parser.ParseSelect();
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << s;
+  if (!r.ok()) return nullptr;
+  return std::move(r).value();
+}
+
+Statement MustParse(const std::string& s) {
+  Parser parser(s);
+  auto r = parser.ParseStatement();
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << s;
+  return std::move(r).value();
+}
+
+TEST(Parser, SelectBasics) {
+  auto s = MustParseSelect("SELECT a, b AS bee, t.* FROM t WHERE a < 5");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->items.size(), 3u);
+  EXPECT_EQ(s->items[0].expr->column, "a");
+  EXPECT_EQ(s->items[1].alias, "bee");
+  EXPECT_TRUE(s->items[2].star);
+  EXPECT_EQ(s->items[2].star_table, "t");
+  ASSERT_NE(s->where, nullptr);
+}
+
+TEST(Parser, SelectDistinctOrderLimit) {
+  auto s = MustParseSelect(
+      "SELECT DISTINCT a FROM t ORDER BY a DESC, b LIMIT 10");
+  EXPECT_TRUE(s->distinct);
+  ASSERT_EQ(s->order_by.size(), 2u);
+  EXPECT_FALSE(s->order_by[0].ascending);
+  EXPECT_TRUE(s->order_by[1].ascending);
+  EXPECT_EQ(*s->limit, 10);
+}
+
+TEST(Parser, GroupByHaving) {
+  auto s = MustParseSelect(
+      "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2");
+  EXPECT_EQ(s->group_by.size(), 1u);
+  ASSERT_NE(s->having, nullptr);
+}
+
+TEST(Parser, JoinForms) {
+  auto s = MustParseSelect(
+      "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y");
+  ASSERT_EQ(s->from.size(), 1u);
+  EXPECT_EQ(s->from[0]->kind, TableRef::Kind::kJoin);
+  EXPECT_EQ(s->from[0]->join_type, JoinType::kLeft);
+  EXPECT_EQ(s->from[0]->left->join_type, JoinType::kInner);
+}
+
+TEST(Parser, DerivedTableRequiresAlias) {
+  Parser bad("SELECT * FROM (SELECT 1)");
+  EXPECT_FALSE(bad.ParseSelect().ok());
+  auto s = MustParseSelect("SELECT * FROM (SELECT 1 AS one) sub");
+  EXPECT_EQ(s->from[0]->kind, TableRef::Kind::kSubquery);
+  EXPECT_EQ(s->from[0]->alias, "sub");
+}
+
+TEST(Parser, ImplicitAliasNotReserved) {
+  auto s = MustParseSelect("SELECT * FROM emp e WHERE e.sal > 1");
+  EXPECT_EQ(s->from[0]->alias, "e");
+  // WHERE must not be eaten as an alias.
+  auto s2 = MustParseSelect("SELECT * FROM emp WHERE sal > 1");
+  EXPECT_EQ(s2->from[0]->alias, "");
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto s = MustParseSelect("SELECT 1 + 2 * 3 FROM t");
+  const Expr& e = *s->items[0].expr;
+  ASSERT_EQ(e.kind, Expr::Kind::kBinary);
+  EXPECT_EQ(e.bin_op, BinOp::kAdd);
+  EXPECT_EQ(e.args[1]->bin_op, BinOp::kMul);
+}
+
+TEST(Parser, AndOrNotPrecedence) {
+  auto s = MustParseSelect("SELECT * FROM t WHERE NOT a = 1 AND b = 2 OR c = 3");
+  const Expr& e = *s->where;
+  EXPECT_EQ(e.bin_op, BinOp::kOr);
+  EXPECT_EQ(e.args[0]->bin_op, BinOp::kAnd);
+  EXPECT_EQ(e.args[0]->args[0]->kind, Expr::Kind::kUnary);
+}
+
+TEST(Parser, PredicateForms) {
+  auto s = MustParseSelect(
+      "SELECT * FROM t WHERE a IS NOT NULL AND b LIKE 'x%' AND c BETWEEN 1 "
+      "AND 5 AND d IN (1, 2, 3) AND e NOT IN (4)");
+  ASSERT_NE(s->where, nullptr);
+  std::string txt = s->where->ToString();
+  EXPECT_NE(txt.find("IS NOT NULL"), std::string::npos);
+  EXPECT_NE(txt.find("LIKE"), std::string::npos);
+  EXPECT_NE(txt.find("BETWEEN"), std::string::npos);
+  EXPECT_NE(txt.find("NOT IN"), std::string::npos);
+}
+
+TEST(Parser, Subqueries) {
+  auto s = MustParseSelect(
+      "SELECT (SELECT MAX(x) FROM u) FROM t WHERE EXISTS (SELECT 1 FROM u "
+      "WHERE u.id = t.id) AND t.x IN (SELECT y FROM v)");
+  EXPECT_EQ(s->items[0].expr->kind, Expr::Kind::kScalarSubquery);
+  std::string txt = s->where->ToString();
+  EXPECT_NE(txt.find("EXISTS"), std::string::npos);
+}
+
+TEST(Parser, CaseExpression) {
+  auto s = MustParseSelect(
+      "SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' ELSE 'zero' "
+      "END FROM t");
+  EXPECT_EQ(s->items[0].expr->kind, Expr::Kind::kCase);
+  EXPECT_EQ(s->items[0].expr->args.size(), 5u);
+}
+
+TEST(Parser, CountStarAndDistinctArg) {
+  auto s = MustParseSelect("SELECT COUNT(*), COUNT(DISTINCT a) FROM t");
+  EXPECT_EQ(s->items[0].expr->args[0]->kind, Expr::Kind::kStar);
+  EXPECT_TRUE(s->items[1].expr->distinct_arg);
+}
+
+TEST(Parser, UnionChain) {
+  auto s = MustParseSelect(
+      "SELECT a FROM t UNION ALL SELECT b FROM u UNION ALL SELECT c FROM v");
+  ASSERT_NE(s->union_next, nullptr);
+  EXPECT_TRUE(s->union_all);
+  ASSERT_NE(s->union_next->union_next, nullptr);
+}
+
+TEST(Parser, PathExpressions) {
+  auto s = MustParseSelect(
+      "SELECT * FROM t WHERE COUNT(d->employment->projmanagement) > 2");
+  std::string txt = s->where->ToString();
+  EXPECT_NE(txt.find("d->employment->projmanagement"), std::string::npos);
+}
+
+TEST(Parser, QualifiedPathStep) {
+  Parser parser(
+      "EXISTS d->employment->(Xemp e WHERE e.sal < 2000)->projmanagement");
+  auto r = parser.ParseExpr();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->kind, Expr::Kind::kExistsPath);
+  ASSERT_EQ((*r)->path->steps.size(), 3u);
+  EXPECT_EQ((*r)->path->steps[1].corr, "e");
+  ASSERT_NE((*r)->path->steps[1].predicate, nullptr);
+}
+
+TEST(Parser, CreateTable) {
+  Statement s = MustParse(
+      "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(40) NOT NULL, "
+      "score DOUBLE)");
+  ASSERT_EQ(s.kind, Statement::Kind::kCreateTable);
+  ASSERT_EQ(s.create_table->columns.size(), 3u);
+  EXPECT_TRUE(s.create_table->columns[0].primary_key);
+  EXPECT_TRUE(s.create_table->columns[1].not_null);
+  EXPECT_EQ(s.create_table->columns[2].type, Type::kDouble);
+}
+
+TEST(Parser, CreateIndexVariants) {
+  Statement s = MustParse("CREATE UNIQUE ORDERED INDEX i ON t (a, b)");
+  ASSERT_EQ(s.kind, Statement::Kind::kCreateIndex);
+  EXPECT_TRUE(s.create_index->unique);
+  EXPECT_TRUE(s.create_index->ordered);
+  EXPECT_EQ(s.create_index->columns.size(), 2u);
+}
+
+TEST(Parser, CreateViewCapturesText) {
+  Statement s = MustParse("CREATE VIEW v AS SELECT a FROM t WHERE a > 1");
+  ASSERT_EQ(s.kind, Statement::Kind::kCreateView);
+  EXPECT_FALSE(s.create_view->is_xnf);
+  EXPECT_EQ(s.create_view->definition, "SELECT a FROM t WHERE a > 1");
+}
+
+TEST(Parser, CreateXnfViewDetected) {
+  Statement s = MustParse(
+      "CREATE VIEW v AS OUT OF x AS t, r AS (RELATE x, x WHERE 1=1) TAKE *");
+  EXPECT_TRUE(s.create_view->is_xnf);
+}
+
+TEST(Parser, InsertForms) {
+  Statement s = MustParse("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  ASSERT_EQ(s.kind, Statement::Kind::kInsert);
+  EXPECT_EQ(s.insert->columns.size(), 2u);
+  EXPECT_EQ(s.insert->rows.size(), 2u);
+  Statement sel = MustParse("INSERT INTO t SELECT * FROM u");
+  EXPECT_NE(sel.insert->select, nullptr);
+}
+
+TEST(Parser, UpdateDelete) {
+  Statement u = MustParse("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3");
+  ASSERT_EQ(u.kind, Statement::Kind::kUpdate);
+  EXPECT_EQ(u.update->assignments.size(), 2u);
+  Statement d = MustParse("DELETE FROM t WHERE id = 3");
+  ASSERT_EQ(d.kind, Statement::Kind::kDelete);
+}
+
+TEST(Parser, DropStatements) {
+  EXPECT_EQ(MustParse("DROP TABLE t").drop->is_view, false);
+  EXPECT_EQ(MustParse("DROP VIEW v").drop->is_view, true);
+}
+
+TEST(Parser, ScriptParsesMultipleStatements) {
+  Parser parser("SELECT 1; SELECT 2; DELETE FROM t;");
+  auto r = parser.ParseScript();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  Parser parser("SELECT FROM");
+  auto r = parser.ParseStatement();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(Parser, DottedTableRef) {
+  auto s = MustParseSelect("SELECT * FROM all_deps.Xemp");
+  EXPECT_EQ(s->from[0]->name, "all_deps.Xemp");
+}
+
+TEST(Parser, CloneRoundTrip) {
+  auto s = MustParseSelect(
+      "SELECT a, COUNT(*) FROM t WHERE b IN (SELECT c FROM u) GROUP BY a "
+      "HAVING COUNT(*) > 1 ORDER BY a LIMIT 5");
+  auto clone = s->Clone();
+  EXPECT_EQ(s->ToString(), clone->ToString());
+}
+
+}  // namespace
+}  // namespace xnf::sql

@@ -1,0 +1,94 @@
+#include "storage/table_heap.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf {
+namespace {
+
+Row MakeRow(int64_t id) { return {Value::Int(id), Value::String("r")}; }
+
+TEST(TableHeap, InsertRead) {
+  TableHeap heap;
+  Rid rid = heap.Insert(MakeRow(1));
+  auto row = heap.Read(rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt(), 1);
+  EXPECT_EQ(heap.live_count(), 1u);
+}
+
+TEST(TableHeap, PagesFillAtConfiguredCapacity) {
+  TableHeap::Options opts;
+  opts.tuples_per_page = 4;
+  TableHeap heap(opts);
+  for (int i = 0; i < 9; ++i) heap.Insert(MakeRow(i));
+  EXPECT_EQ(heap.page_count(), 3u);
+  EXPECT_EQ(heap.live_count(), 9u);
+}
+
+TEST(TableHeap, DeleteTombstones) {
+  TableHeap heap;
+  Rid a = heap.Insert(MakeRow(1));
+  Rid b = heap.Insert(MakeRow(2));
+  ASSERT_TRUE(heap.Delete(a).ok());
+  EXPECT_FALSE(heap.IsLive(a));
+  EXPECT_TRUE(heap.IsLive(b));
+  EXPECT_EQ(heap.live_count(), 1u);
+  EXPECT_EQ(heap.Read(a).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(heap.Delete(a).code(), StatusCode::kNotFound);
+}
+
+TEST(TableHeap, UpdateInPlace) {
+  TableHeap heap;
+  Rid rid = heap.Insert(MakeRow(1));
+  ASSERT_TRUE(heap.Update(rid, MakeRow(42)).ok());
+  auto row = heap.Read(rid);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ((*row)[0].AsInt(), 42);
+  EXPECT_EQ(heap.live_count(), 1u);
+}
+
+TEST(TableHeap, ScanSkipsDeletedAndStopsEarly) {
+  TableHeap heap;
+  std::vector<Rid> rids;
+  for (int i = 0; i < 10; ++i) rids.push_back(heap.Insert(MakeRow(i)));
+  ASSERT_TRUE(heap.Delete(rids[3]).ok());
+  ASSERT_TRUE(heap.Delete(rids[7]).ok());
+
+  int seen = 0;
+  heap.Scan([&](Rid, const Row& row) {
+    EXPECT_NE(row[0].AsInt(), 3);
+    EXPECT_NE(row[0].AsInt(), 7);
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 8);
+
+  // Early stop.
+  seen = 0;
+  heap.Scan([&](Rid, const Row&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(TableHeap, BufferPoolAccounting) {
+  BufferPool pool(2);
+  TableHeap::Options opts;
+  opts.tuples_per_page = 2;
+  opts.buffer_pool = &pool;
+  opts.file_id = 7;
+  TableHeap heap(opts);
+  for (int i = 0; i < 8; ++i) heap.Insert(MakeRow(i));  // 4 pages
+  pool.ResetCounters();
+  pool.Clear();
+  heap.Scan([](Rid, const Row&) { return true; });
+  EXPECT_EQ(pool.accesses(), 4u);
+  EXPECT_EQ(pool.faults(), 4u);  // cold cache: every page faults
+  // Second scan with capacity 2 < 4 pages: everything faults again (LRU).
+  heap.Scan([](Rid, const Row&) { return true; });
+  EXPECT_EQ(pool.faults(), 8u);
+}
+
+}  // namespace
+}  // namespace xnf

@@ -1,0 +1,106 @@
+#include "test_util.h"
+
+namespace xnf::testing {
+
+void MustExecute(Database* db, const std::string& script) {
+  auto result = db->ExecuteScript(script);
+  ASSERT_TRUE(result.ok()) << result.status().ToString() << "\nscript:\n"
+                           << script;
+}
+
+void CreateCompanyDb(Database* db) {
+  MustExecute(db, R"sql(
+    CREATE TABLE DEPT (dno INT PRIMARY KEY, dname VARCHAR, loc VARCHAR,
+                       budget INT, dmgrno INT);
+    CREATE TABLE EMP (eno INT PRIMARY KEY, ename VARCHAR, sal INT,
+                      descr VARCHAR, edno INT, epno INT);
+    CREATE TABLE PROJ (pno INT PRIMARY KEY, pname VARCHAR, pbudget INT,
+                       pdno INT, pmgrno INT);
+    CREATE TABLE SKILLS (sno INT PRIMARY KEY, sname VARCHAR);
+    CREATE TABLE EMPSKILL (eseno INT, essno INT);
+    CREATE TABLE PROJSKILL (pspno INT, pssno INT);
+    CREATE TABLE EMPPROJ (epeno INT, eppno INT, percentage INT);
+
+    INSERT INTO DEPT VALUES (1, 'toys',  'NY', 100000, 1),
+                            (2, 'tools', 'SF', 200000, 4),
+                            (3, 'shoes', 'NY',  50000, NULL);
+    INSERT INTO EMP VALUES (1, 'anna',  1500, 'staff',   1, NULL),
+                           (2, 'bert',  2500, 'manager', 1, NULL),
+                           (3, 'carl',  1000, 'staff',   NULL, NULL),
+                           (4, 'dora',  1800, 'manager', 2, NULL),
+                           (5, 'ewan',  2200, 'staff',   2, NULL),
+                           (6, 'fred',   900, 'staff',   2, NULL);
+    INSERT INTO PROJ VALUES (1, 'blocks', 30000, 1, 2),
+                            (2, 'drill',  60000, 2, 4);
+    INSERT INTO SKILLS VALUES (1, 'welding'), (2, 'divination'),
+                              (3, 'design'), (4, 'logistics'),
+                              (5, 'sales');
+    INSERT INTO EMPSKILL VALUES (1, 1), (2, 3), (4, 3), (5, 4), (6, 5),
+                                (3, 2);
+    INSERT INTO PROJSKILL VALUES (1, 3), (2, 3);
+    INSERT INTO EMPPROJ VALUES (1, 1, 50), (2, 1, 30), (4, 2, 80),
+                               (5, 2, 60);
+  )sql");
+}
+
+void CreateCompanyDb2(Database* db) {
+  MustExecute(db, R"sql(
+    CREATE TABLE DEPT (dno INT PRIMARY KEY, dname VARCHAR, loc VARCHAR);
+    CREATE TABLE EMP (eno INT PRIMARY KEY, ename VARCHAR, sal INT);
+    CREATE TABLE DEPTEMP (dedno INT, deeno INT);
+
+    INSERT INTO DEPT VALUES (1, 'toys', 'NY'), (2, 'tools', 'SF'),
+                            (3, 'shoes', 'NY');
+    INSERT INTO EMP VALUES (1, 'anna', 1500), (2, 'bert', 2500),
+                           (3, 'carl', 1000), (4, 'dora', 1800),
+                           (5, 'ewan', 2200), (6, 'fred', 900);
+    INSERT INTO DEPTEMP VALUES (1, 1), (1, 2), (2, 4), (2, 5), (2, 6);
+  )sql");
+}
+
+void CreateFig4Db(Database* db) {
+  MustExecute(db, R"sql(
+    CREATE TABLE DEPT (dno INT PRIMARY KEY, dname VARCHAR, loc VARCHAR,
+                       budget INT);
+    CREATE TABLE EMP (eno INT PRIMARY KEY, ename VARCHAR, sal INT,
+                      descr VARCHAR, edno INT);
+    CREATE TABLE PROJ (pno INT PRIMARY KEY, pname VARCHAR, budget INT,
+                       pdno INT, pmgrno INT);
+    CREATE TABLE EMPPROJ (epeno INT, eppno INT, percentage INT);
+
+    INSERT INTO DEPT VALUES (1, 'research', 'NY', 1500000),
+                            (2, 'support',  'SF',  300000);
+    INSERT INTO EMP VALUES (1, 'anna', 1500, 'staff',   1),
+                           (2, 'bert', 2500, 'staff',   1),
+                           (3, 'carl', 1800, 'manager', 2),
+                           (4, 'dora', 1100, 'staff',   2);
+    -- p1 has no manager and is reachable only via ownership;
+    -- e2 manages p2 and p3; e3 manages p4.
+    INSERT INTO PROJ VALUES (1, 'alpha', 10000, 1, NULL),
+                            (2, 'beta',  20000, 1, 2),
+                            (3, 'gamma', 30000, 2, 2),
+                            (4, 'delta', 40000, 2, 3);
+    -- e3 works on p2; e4 works on p2 and p4.
+    INSERT INTO EMPPROJ VALUES (3, 2, 40), (4, 2, 60), (4, 4, 100);
+  )sql");
+}
+
+std::vector<int64_t> IntColumn(const ResultSet& rs, size_t col) {
+  std::vector<int64_t> out;
+  out.reserve(rs.rows.size());
+  for (const Row& row : rs.rows) {
+    out.push_back(row[col].is_null() ? -1 : row[col].AsInt());
+  }
+  return out;
+}
+
+std::vector<std::string> StringColumn(const ResultSet& rs, size_t col) {
+  std::vector<std::string> out;
+  out.reserve(rs.rows.size());
+  for (const Row& row : rs.rows) {
+    out.push_back(row[col].is_null() ? "<null>" : row[col].AsString());
+  }
+  return out;
+}
+
+}  // namespace xnf::testing

@@ -1,0 +1,68 @@
+#ifndef XNF_TESTS_TEST_UTIL_H_
+#define XNF_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "gtest/gtest.h"
+
+namespace xnf::testing {
+
+// gtest helpers for Status/Result.
+#define ASSERT_OK(expr)                                        \
+  do {                                                         \
+    const ::xnf::Status _st = (expr);                          \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define EXPECT_OK(expr)                                        \
+  do {                                                         \
+    const ::xnf::Status _st = (expr);                          \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                   \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)                        \
+  auto XNF_CONCAT_(r_, __LINE__) = (expr);                     \
+  ASSERT_TRUE(XNF_CONCAT_(r_, __LINE__).ok())                  \
+      << XNF_CONCAT_(r_, __LINE__).status().ToString();        \
+  lhs = std::move(XNF_CONCAT_(r_, __LINE__)).value()
+
+// Creates the paper's company database CDB1 (Fig. 2): DEPT/EMP/PROJ with an
+// implicit (foreign-key) EMPLOYMENT representation, plus SKILLS, EMPSKILL,
+// PROJSKILL and EMPPROJ link tables used by Figs. 1 and 3.
+//
+// Instance data follows Fig. 1: departments d1, d2, d3 (all in NY except d2);
+// employees e1..e6 (e3 initially unassigned — not reachable); projects
+// p1, p2; skills s1..s5 with s2 not referenced by anything reachable.
+void CreateCompanyDb(Database* db);
+
+// Fig. 2's alternative representation CDB2: DEPT/EMP plus an explicit
+// DEPTEMP link table for EMPLOYMENT.
+void CreateCompanyDb2(Database* db);
+
+// Fig. 4's instance for the recursive CO example: NY department with
+// employees e1, e2; projects p1..p4; EMPPROJ memberships and project
+// managers wired exactly as in the figure.
+void CreateFig4Db(Database* db);
+
+// Runs a script and asserts success.
+void MustExecute(Database* db, const std::string& script);
+
+// Collects one INT column from a result set.
+std::vector<int64_t> IntColumn(const ResultSet& rs, size_t col);
+
+// Collects one STRING column.
+std::vector<std::string> StringColumn(const ResultSet& rs, size_t col);
+
+// Sorted copy helper.
+template <typename T>
+std::vector<T> Sorted(std::vector<T> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace xnf::testing
+
+#endif  // XNF_TESTS_TEST_UTIL_H_

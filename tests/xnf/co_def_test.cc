@@ -1,0 +1,116 @@
+#include "xnf/co_def.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xnf/parser.h"
+
+namespace xnf::testing {
+namespace {
+
+co::CoDef MustResolve(Database* db, const std::string& text) {
+  auto q = co::Parser::Parse(text);
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  co::Resolver resolver(db->catalog());
+  auto def = resolver.Resolve(*q);
+  EXPECT_TRUE(def.ok()) << def.status().ToString();
+  return std::move(def).value();
+}
+
+class CoDefTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CreateCompanyDb(&db_); }
+  Database db_;
+};
+
+TEST_F(CoDefTest, SchemaGraphAnalysis) {
+  co::CoDef def = MustResolve(&db_, R"(
+    OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ, Xskills AS SKILLS,
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+      ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno),
+      empproperty AS (RELATE Xemp, Xskills USING EMPSKILL es
+                      WHERE Xemp.eno = es.eseno AND Xskills.sno = es.essno),
+      projproperty AS (RELATE Xproj, Xskills USING PROJSKILL ps
+                       WHERE Xproj.pno = ps.pspno AND Xskills.sno = ps.pssno)
+    TAKE *
+  )");
+  EXPECT_EQ(def.nodes.size(), 4u);
+  EXPECT_EQ(def.rels.size(), 4u);
+  // Root: only Xdept has no incoming edge.
+  EXPECT_EQ(def.RootNodes(), (std::vector<int>{0}));
+  EXPECT_FALSE(def.IsRecursive());
+  // Xskills has two incoming edges (Fig. 1's schema sharing).
+  EXPECT_TRUE(def.HasSchemaSharing());
+}
+
+TEST_F(CoDefTest, RecursiveDetection) {
+  co::CoDef def = MustResolve(&db_, R"(
+    OUT OF Xemp AS EMP, Xproj AS PROJ,
+      membership AS (RELATE Xproj, Xemp USING EMPPROJ ep
+                     WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno),
+      projmanagement AS (RELATE Xemp, Xproj WHERE Xemp.eno = Xproj.pmgrno)
+    TAKE *
+  )");
+  EXPECT_TRUE(def.IsRecursive());
+  // A pure cycle has no root nodes.
+  EXPECT_TRUE(def.RootNodes().empty());
+}
+
+TEST_F(CoDefTest, WellFormednessUnknownPartner) {
+  auto q = co::Parser::Parse(
+      "OUT OF Xdept AS DEPT, r AS (RELATE Xdept, Ghost WHERE 1 = 1) TAKE *");
+  ASSERT_TRUE(q.ok());
+  co::Resolver resolver(db_.catalog());
+  auto def = resolver.Resolve(*q);
+  ASSERT_FALSE(def.ok());
+  EXPECT_NE(def.status().message().find("ghost"), std::string::npos);
+}
+
+TEST_F(CoDefTest, DuplicateNamesRejected) {
+  auto q = co::Parser::Parse("OUT OF x AS DEPT, x AS EMP TAKE *");
+  ASSERT_TRUE(q.ok());
+  co::Resolver resolver(db_.catalog());
+  EXPECT_FALSE(resolver.Resolve(*q).ok());
+}
+
+TEST_F(CoDefTest, ViewExpansion) {
+  MustExecute(&db_, R"(
+    CREATE VIEW ALL_DEPS AS
+      OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ,
+        employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+        ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno)
+      TAKE *
+  )");
+  co::CoDef def = MustResolve(&db_, R"(
+    OUT OF ALL_DEPS,
+      membership AS (RELATE Xproj, Xemp WITH ATTRIBUTES ep.percentage
+                     USING EMPPROJ ep
+                     WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno)
+    TAKE *
+  )");
+  EXPECT_EQ(def.nodes.size(), 3u);
+  EXPECT_EQ(def.rels.size(), 3u);
+  EXPECT_GE(def.RelIndex("membership"), 0);
+}
+
+TEST_F(CoDefTest, UnknownViewRejected) {
+  auto q = co::Parser::Parse("OUT OF NOPE TAKE *");
+  ASSERT_TRUE(q.ok());
+  co::Resolver resolver(db_.catalog());
+  EXPECT_EQ(resolver.Resolve(*q).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CoDefTest, CloneIsDeep) {
+  co::CoDef def = MustResolve(&db_, R"(
+    OUT OF Xdept AS DEPT, Xemp AS (SELECT eno, sal FROM EMP),
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+    TAKE *
+  )");
+  co::CoDef copy = def.Clone();
+  EXPECT_EQ(copy.nodes.size(), def.nodes.size());
+  EXPECT_NE(copy.rels[0].predicate.get(), def.rels[0].predicate.get());
+  EXPECT_EQ(copy.rels[0].predicate->ToString(),
+            def.rels[0].predicate->ToString());
+}
+
+}  // namespace
+}  // namespace xnf::testing

@@ -1,0 +1,140 @@
+// Reproduces the semantics of the paper's figures 1 and 2 (see DESIGN.md,
+// experiments F1 and F2).
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+const char* kCompanyOrgUnit = R"(
+  OUT OF
+    Xdept AS DEPT,
+    Xemp AS EMP,
+    Xproj AS PROJ,
+    Xskills AS SKILLS,
+    employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+    ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno),
+    empproperty AS (RELATE Xemp, Xskills USING EMPSKILL es
+                    WHERE Xemp.eno = es.eseno AND Xskills.sno = es.essno),
+    projproperty AS (RELATE Xproj, Xskills USING PROJSKILL ps
+                     WHERE Xproj.pno = ps.pspno AND Xskills.sno = ps.pssno)
+  TAKE *
+)";
+
+std::vector<int64_t> Ids(const co::CoNodeInstance& node) {
+  std::vector<int64_t> out;
+  for (const Row& t : node.tuples) out.push_back(t[0].AsInt());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class Fig1Test : public ::testing::Test {
+ protected:
+  void SetUp() override { CreateCompanyDb(&db_); }
+  Database db_;
+};
+
+TEST_F(Fig1Test, ReachabilityExcludesOrphans) {
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, db_.QueryCo(kCompanyOrgUnit));
+  // e3 has no department: excluded. s2 is only e3's skill: excluded.
+  EXPECT_EQ(Ids(co.nodes[co.NodeIndex("xemp")]),
+            (std::vector<int64_t>{1, 2, 4, 5, 6}));
+  EXPECT_EQ(Ids(co.nodes[co.NodeIndex("xskills")]),
+            (std::vector<int64_t>{1, 3, 4, 5}));
+}
+
+TEST_F(Fig1Test, RootTuplesAlwaysReachable) {
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, db_.QueryCo(kCompanyOrgUnit));
+  // d3 has no employees or projects but is a root-table tuple (Fig. 1: "d3,
+  // being a tuple from a root table, is reachable by definition").
+  EXPECT_EQ(Ids(co.nodes[co.NodeIndex("xdept")]),
+            (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST_F(Fig1Test, InstanceSharingWithoutSchemaSharing) {
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, db_.QueryCo(kCompanyOrgUnit));
+  // s3 shared by employees e2 and e4 through the single relationship
+  // empproperty (§2: schema sharing is not a prerequisite for instance
+  // sharing).
+  int xskills = co.NodeIndex("xskills");
+  int empprop = co.RelIndex("empproperty");
+  std::vector<int64_t> owners;
+  for (const co::CoConnection& c : co.rels[empprop].connections) {
+    if (co.nodes[xskills].tuples[c.child][0].AsInt() == 3) {
+      owners.push_back(
+          co.nodes[co.NodeIndex("xemp")].tuples[c.parent][0].AsInt());
+    }
+  }
+  std::sort(owners.begin(), owners.end());
+  EXPECT_EQ(owners, (std::vector<int64_t>{2, 4}));
+}
+
+TEST_F(Fig1Test, ConnectionCounts) {
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, db_.QueryCo(kCompanyOrgUnit));
+  EXPECT_EQ(co.rels[co.RelIndex("employment")].connections.size(), 5u);
+  EXPECT_EQ(co.rels[co.RelIndex("ownership")].connections.size(), 2u);
+  // e3's skill link is gone with e3.
+  EXPECT_EQ(co.rels[co.RelIndex("empproperty")].connections.size(), 5u);
+  EXPECT_EQ(co.rels[co.RelIndex("projproperty")].connections.size(), 2u);
+}
+
+// Fig. 2: the EMPLOYMENT relationship derived from two different database
+// representations (implicit FK in CDB1, explicit link table in CDB2) yields
+// the same composite object.
+TEST(Fig2Test, RepresentationIndependence) {
+  Database cdb1;
+  CreateCompanyDb(&cdb1);
+  Database cdb2;
+  CreateCompanyDb2(&cdb2);
+
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co1, cdb1.QueryCo(R"(
+    OUT OF Xdept AS (SELECT dno, dname, loc FROM DEPT),
+           Xemp AS (SELECT eno, ename, sal FROM EMP),
+      employment AS (RELATE Xdept, Xemp
+                     USING EMP e2 WHERE Xdept.dno = e2.edno
+                       AND Xemp.eno = e2.eno)
+    TAKE *
+  )"));
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co2, cdb2.QueryCo(R"(
+    OUT OF Xdept AS (SELECT dno, dname, loc FROM DEPT),
+           Xemp AS (SELECT eno, ename, sal FROM EMP),
+      employment AS (RELATE Xdept, Xemp USING DEPTEMP de
+                     WHERE Xdept.dno = de.dedno AND Xemp.eno = de.deeno)
+    TAKE *
+  )"));
+
+  // Same nodes survive reachability and the same pairs are connected.
+  auto pairs = [](const co::CoInstance& co) {
+    const co::CoRelInstance& rel = co.rels[0];
+    std::vector<std::pair<int64_t, int64_t>> out;
+    for (const co::CoConnection& c : rel.connections) {
+      out.emplace_back(co.nodes[rel.parent_node].tuples[c.parent][0].AsInt(),
+                       co.nodes[rel.child_node].tuples[c.child][0].AsInt());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(Ids(co1.nodes[0]), Ids(co2.nodes[0]));
+  EXPECT_EQ(Ids(co1.nodes[1]), Ids(co2.nodes[1]));
+  EXPECT_EQ(pairs(co1), pairs(co2));
+}
+
+// The simpler FK form on CDB1 must agree with the self-join form.
+TEST(Fig2Test, ImplicitForeignKeyForm) {
+  Database db;
+  CreateCompanyDb(&db);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, db.QueryCo(R"(
+    OUT OF Xdept AS DEPT, Xemp AS EMP,
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+    TAKE *
+  )"));
+  EXPECT_EQ(co.rels[0].connections.size(), 5u);
+  EXPECT_EQ(Ids(co.nodes[co.NodeIndex("xemp")]),
+            (std::vector<int64_t>{1, 2, 4, 5, 6}));
+}
+
+}  // namespace
+}  // namespace xnf::testing

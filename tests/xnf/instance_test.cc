@@ -1,0 +1,127 @@
+#include "xnf/instance.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf::co {
+namespace {
+
+// Builds a two-node instance root -> leaf with the given connections.
+CoInstance TwoLevel(int roots, int leaves,
+                    std::vector<std::pair<int, int>> edges) {
+  CoInstance instance;
+  CoNodeInstance root;
+  root.name = "root";
+  root.schema.AddColumn(Column("id", Type::kInt));
+  for (int i = 0; i < roots; ++i) root.tuples.push_back({Value::Int(i)});
+  CoNodeInstance leaf;
+  leaf.name = "leaf";
+  leaf.schema.AddColumn(Column("id", Type::kInt));
+  for (int i = 0; i < leaves; ++i) leaf.tuples.push_back({Value::Int(i)});
+  instance.nodes.push_back(std::move(root));
+  instance.nodes.push_back(std::move(leaf));
+  CoRelInstance rel;
+  rel.name = "r";
+  rel.parent_node = 0;
+  rel.child_node = 1;
+  for (auto [p, c] : edges) rel.connections.push_back({p, c, {}});
+  instance.rels.push_back(std::move(rel));
+  return instance;
+}
+
+TEST(Reachability, DropsUnconnectedLeaves) {
+  CoInstance co = TwoLevel(2, 3, {{0, 0}, {1, 2}});
+  ApplyReachability(&co);
+  EXPECT_EQ(co.nodes[0].tuples.size(), 2u);  // roots always stay
+  EXPECT_EQ(co.nodes[1].tuples.size(), 2u);  // leaf 1 dropped
+  // Connection indices remapped: leaf 2 became index 1.
+  ASSERT_EQ(co.rels[0].connections.size(), 2u);
+  EXPECT_EQ(co.rels[0].connections[1].child, 1);
+}
+
+TEST(Reachability, EmptyRootEmptiesEverything) {
+  CoInstance co = TwoLevel(0, 3, {});
+  ApplyReachability(&co);
+  EXPECT_EQ(co.TotalTuples(), 0u);
+}
+
+TEST(Reachability, DiamondSharingVisitsOnce) {
+  // root0 and root1 both point at leaf0 (instance sharing); leaf kept once.
+  CoInstance co = TwoLevel(2, 1, {{0, 0}, {1, 0}});
+  ApplyReachability(&co);
+  EXPECT_EQ(co.nodes[1].tuples.size(), 1u);
+  EXPECT_EQ(co.rels[0].connections.size(), 2u);
+}
+
+TEST(Reachability, CycleIslandIsPruned) {
+  // Self-relationship on one node plus a root feeding part of it: tuples in
+  // a cycle not fed from the root must vanish.
+  CoInstance instance;
+  CoNodeInstance seed;
+  seed.name = "seed";
+  seed.schema.AddColumn(Column("id", Type::kInt));
+  seed.tuples.push_back({Value::Int(0)});
+  CoNodeInstance n;
+  n.name = "n";
+  n.schema.AddColumn(Column("id", Type::kInt));
+  for (int i = 0; i < 4; ++i) n.tuples.push_back({Value::Int(i)});
+  instance.nodes.push_back(std::move(seed));
+  instance.nodes.push_back(std::move(n));
+  CoRelInstance feed;
+  feed.name = "feed";
+  feed.parent_node = 0;
+  feed.child_node = 1;
+  feed.connections.push_back({0, 0, {}});
+  CoRelInstance loop;
+  loop.name = "loop";
+  loop.parent_node = 1;
+  loop.child_node = 1;
+  loop.connections.push_back({0, 1, {}});  // 0 -> 1 (reachable chain)
+  loop.connections.push_back({2, 3, {}});  // island cycle 2 <-> 3
+  loop.connections.push_back({3, 2, {}});
+  instance.rels.push_back(std::move(feed));
+  instance.rels.push_back(std::move(loop));
+
+  ApplyReachability(&instance);
+  EXPECT_EQ(instance.nodes[1].tuples.size(), 2u);  // 0 and 1 only
+  EXPECT_EQ(instance.rels[1].connections.size(), 1u);
+}
+
+TEST(Reachability, RidsStayParallelAfterPrune) {
+  CoInstance co = TwoLevel(1, 3, {{0, 1}});
+  co.nodes[1].base_table = "leaf";
+  co.nodes[1].rids = {Rid{0, 0}, Rid{0, 1}, Rid{0, 2}};
+  ApplyReachability(&co);
+  ASSERT_EQ(co.nodes[1].tuples.size(), 1u);
+  ASSERT_EQ(co.nodes[1].rids.size(), 1u);
+  EXPECT_EQ(co.nodes[1].rids[0], (Rid{0, 1}));
+  EXPECT_EQ(co.nodes[1].tuples[0][0].AsInt(), 1);
+}
+
+TEST(PruneInstance, RemovesDanglingConnections) {
+  CoInstance co = TwoLevel(2, 2, {{0, 0}, {1, 1}});
+  std::vector<std::vector<char>> keep = {{1, 0}, {1, 1}};  // drop root 1
+  PruneInstance(&co, keep);
+  EXPECT_EQ(co.nodes[0].tuples.size(), 1u);
+  ASSERT_EQ(co.rels[0].connections.size(), 1u);
+  EXPECT_EQ(co.rels[0].connections[0].parent, 0);
+}
+
+TEST(InstanceBasics, IndexLookupsAndCounts) {
+  CoInstance co = TwoLevel(2, 2, {{0, 0}});
+  EXPECT_EQ(co.NodeIndex("ROOT"), 0);
+  EXPECT_EQ(co.NodeIndex("nope"), -1);
+  EXPECT_EQ(co.RelIndex("r"), 0);
+  EXPECT_EQ(co.TotalTuples(), 4u);
+  EXPECT_EQ(co.TotalConnections(), 1u);
+  EXPECT_FALSE(co.ToString().empty());
+}
+
+TEST(InstanceBasics, ResultSetConversion) {
+  CoInstance co = TwoLevel(2, 0, {});
+  ResultSet rs = co.nodes[0].ToResultSet();
+  EXPECT_EQ(rs.rows.size(), 2u);
+  EXPECT_EQ(rs.schema.size(), 1u);
+}
+
+}  // namespace
+}  // namespace xnf::co

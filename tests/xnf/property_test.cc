@@ -1,0 +1,231 @@
+// Property-based tests (parameterized over PRNG seeds) for the core XNF
+// invariants:
+//  - reachability: every non-root tuple in a result has a live parent chain
+//    to a root tuple; root-table tuples always survive;
+//  - monotonicity: removing a connection never adds tuples to the result;
+//  - restriction/pushdown equivalence: filtering candidates first equals
+//    filtering the materialized instance;
+//  - CSE on/off produce identical composite objects;
+//  - random manipulation sequences keep cache and base tables consistent.
+
+#include <random>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xnf/cache.h"
+#include "xnf/manipulate.h"
+
+namespace xnf::testing {
+namespace {
+
+// Builds a random three-level database: groups -> items -> parts, with a
+// fraction of orphans at each level.
+void BuildRandomDb(Database* db, std::mt19937* rng, int groups, int items,
+                   int parts) {
+  MustExecute(db, R"sql(
+    CREATE TABLE grp (gid INT PRIMARY KEY, tag INT);
+    CREATE TABLE item (iid INT PRIMARY KEY, gid INT, weight INT);
+    CREATE TABLE part (pid INT PRIMARY KEY, iid INT, cost INT);
+  )sql");
+  std::uniform_int_distribution<int> tag(0, 4);
+  for (int g = 0; g < groups; ++g) {
+    MustExecute(db, "INSERT INTO grp VALUES (" + std::to_string(g) + ", " +
+                        std::to_string(tag(*rng)) + ")");
+  }
+  std::uniform_int_distribution<int> pick_group(0, groups + groups / 3);
+  std::uniform_int_distribution<int> weight(1, 100);
+  for (int i = 0; i < items; ++i) {
+    int g = pick_group(*rng);  // may exceed range -> orphan (NULL)
+    std::string gid = g < groups ? std::to_string(g) : "NULL";
+    MustExecute(db, "INSERT INTO item VALUES (" + std::to_string(i) + ", " +
+                        gid + ", " + std::to_string(weight(*rng)) + ")");
+  }
+  std::uniform_int_distribution<int> pick_item(0, items + items / 3);
+  for (int p = 0; p < parts; ++p) {
+    int i = pick_item(*rng);
+    std::string iid = i < items ? std::to_string(i) : "NULL";
+    MustExecute(db, "INSERT INTO part VALUES (" + std::to_string(p) + ", " +
+                        iid + ", " + std::to_string(weight(*rng)) + ")");
+  }
+}
+
+const char* kRandomCo = R"(
+  OUT OF G AS grp, I AS item, P AS part,
+    has_item AS (RELATE G, I WHERE G.gid = I.gid),
+    has_part AS (RELATE I, P WHERE I.iid = P.iid)
+  TAKE *
+)";
+
+class ReachabilityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReachabilityProperty, EveryTupleReachableFromRoot) {
+  std::mt19937 rng(GetParam());
+  Database db;
+  BuildRandomDb(&db, &rng, 10, 40, 120);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, db.QueryCo(kRandomCo));
+
+  // Roots: G (no incoming). All G tuples must be present.
+  ASSERT_OK_AND_ASSIGN(ResultSet all_groups,
+                       db.Query("SELECT COUNT(*) FROM grp"));
+  EXPECT_EQ(co.nodes[co.NodeIndex("g")].tuples.size(),
+            static_cast<size_t>(all_groups.rows[0][0].AsInt()));
+
+  // Every item has a connection from a group; every part from an item.
+  auto connected_children = [&](const std::string& rel_name) {
+    const co::CoRelInstance& rel = co.rels[co.RelIndex(rel_name)];
+    std::set<int> children;
+    for (const co::CoConnection& c : rel.connections) children.insert(c.child);
+    return children;
+  };
+  std::set<int> items = connected_children("has_item");
+  EXPECT_EQ(items.size(), co.nodes[co.NodeIndex("i")].tuples.size());
+  std::set<int> parts = connected_children("has_part");
+  EXPECT_EQ(parts.size(), co.nodes[co.NodeIndex("p")].tuples.size());
+
+  // Cross-check against SQL: reachable items = items with valid gid.
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet reachable_items,
+      db.Query("SELECT COUNT(*) FROM item WHERE gid IS NOT NULL"));
+  EXPECT_EQ(co.nodes[co.NodeIndex("i")].tuples.size(),
+            static_cast<size_t>(reachable_items.rows[0][0].AsInt()));
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet reachable_parts,
+      db.Query("SELECT COUNT(*) FROM part p, item i WHERE p.iid = i.iid AND "
+               "i.gid IS NOT NULL"));
+  EXPECT_EQ(co.nodes[co.NodeIndex("p")].tuples.size(),
+            static_cast<size_t>(reachable_parts.rows[0][0].AsInt()));
+}
+
+TEST_P(ReachabilityProperty, EdgeRestrictionNeverAddsTuples) {
+  std::mt19937 rng(GetParam() + 1000);
+  Database db;
+  BuildRandomDb(&db, &rng, 8, 30, 90);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance full, db.QueryCo(kRandomCo));
+  ASSERT_OK_AND_ASSIGN(co::CoInstance restricted, db.QueryCo(R"(
+    OUT OF G AS grp, I AS item, P AS part,
+      has_item AS (RELATE G, I WHERE G.gid = I.gid),
+      has_part AS (RELATE I, P WHERE I.iid = P.iid)
+    WHERE has_item (g, i) SUCH THAT i.weight > 50
+    TAKE *
+  )"));
+  for (size_t n = 0; n < full.nodes.size(); ++n) {
+    EXPECT_LE(restricted.nodes[n].tuples.size(), full.nodes[n].tuples.size());
+    // Every restricted tuple appears in the full instance.
+    std::set<int64_t> full_ids;
+    for (const Row& t : full.nodes[n].tuples) full_ids.insert(t[0].AsInt());
+    for (const Row& t : restricted.nodes[n].tuples) {
+      EXPECT_TRUE(full_ids.count(t[0].AsInt())) << full.nodes[n].name;
+    }
+  }
+}
+
+TEST_P(ReachabilityProperty, RestrictionMatchesManualFilterPlusReachability) {
+  std::mt19937 rng(GetParam() + 2000);
+  Database db;
+  BuildRandomDb(&db, &rng, 8, 30, 90);
+  // Node restriction on items...
+  ASSERT_OK_AND_ASSIGN(co::CoInstance restricted, db.QueryCo(R"(
+    OUT OF G AS grp, I AS item, P AS part,
+      has_item AS (RELATE G, I WHERE G.gid = I.gid),
+      has_part AS (RELATE I, P WHERE I.iid = P.iid)
+    WHERE I x SUCH THAT x.weight <= 70
+    TAKE *
+  )"));
+  // ... must equal building the CO over a pre-filtered item source.
+  ASSERT_OK_AND_ASSIGN(co::CoInstance prefiltered, db.QueryCo(R"(
+    OUT OF G AS grp, I AS (SELECT * FROM item WHERE weight <= 70),
+      P AS part,
+      has_item AS (RELATE G, I WHERE G.gid = I.gid),
+      has_part AS (RELATE I, P WHERE I.iid = P.iid)
+    TAKE *
+  )"));
+  for (size_t n = 0; n < restricted.nodes.size(); ++n) {
+    std::set<int64_t> a, b;
+    for (const Row& t : restricted.nodes[n].tuples) a.insert(t[0].AsInt());
+    for (const Row& t : prefiltered.nodes[n].tuples) b.insert(t[0].AsInt());
+    EXPECT_EQ(a, b) << restricted.nodes[n].name;
+  }
+  EXPECT_EQ(restricted.TotalConnections(), prefiltered.TotalConnections());
+}
+
+TEST_P(ReachabilityProperty, CseOnOffEquivalence) {
+  std::mt19937 rng(GetParam() + 3000);
+  Database db;
+  BuildRandomDb(&db, &rng, 6, 25, 60);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance with_cse, db.QueryCo(kRandomCo));
+  co::Evaluator::Options no_cse;
+  no_cse.use_cse = false;
+  db.set_xnf_options(no_cse);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance without_cse, db.QueryCo(kRandomCo));
+  ASSERT_EQ(with_cse.nodes.size(), without_cse.nodes.size());
+  for (size_t n = 0; n < with_cse.nodes.size(); ++n) {
+    std::multiset<int64_t> a, b;
+    for (const Row& t : with_cse.nodes[n].tuples) a.insert(t[0].AsInt());
+    for (const Row& t : without_cse.nodes[n].tuples) b.insert(t[0].AsInt());
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(with_cse.TotalConnections(), without_cse.TotalConnections());
+}
+
+TEST_P(ReachabilityProperty, RandomManipulationKeepsCacheConsistent) {
+  std::mt19937 rng(GetParam() + 4000);
+  Database db;
+  BuildRandomDb(&db, &rng, 6, 25, 60);
+  ASSERT_OK_AND_ASSIGN(std::unique_ptr<co::CoCache> cache,
+                       db.OpenCo(kRandomCo));
+  co::Manipulator m(cache.get(), db.catalog());
+
+  int rel = cache->RelIndex("has_item");
+  co::CoCache::Node& groups = cache->node(cache->NodeIndex("g"));
+  co::CoCache::Node& items = cache->node(cache->NodeIndex("i"));
+  std::uniform_int_distribution<int> op_dist(0, 3);
+  std::uniform_int_distribution<size_t> gpick(0, groups.tuples.size() - 1);
+  std::uniform_int_distribution<size_t> ipick(0, items.tuples.size() - 1);
+  std::uniform_int_distribution<int> weight(1, 100);
+
+  for (int step = 0; step < 60; ++step) {
+    co::CoCache::Tuple* g = &groups.tuples[gpick(rng)];
+    co::CoCache::Tuple* i = &items.tuples[ipick(rng)];
+    if (!g->alive || !i->alive) continue;
+    switch (op_dist(rng)) {
+      case 0:
+        ASSERT_OK(m.UpdateColumn(i, "weight", Value::Int(weight(rng))));
+        break;
+      case 1:
+        ASSERT_OK(m.Connect(rel, g, i).status());
+        break;
+      case 2:
+        if (!i->in[rel].empty()) {
+          ASSERT_OK(m.Disconnect(i->in[rel][0]));
+        }
+        break;
+      case 3:
+        if (i->in[rel].empty() && i->out.empty() == false) {
+          // Deleting an orphaned item is always legal.
+          ASSERT_OK(m.DeleteTuple(i));
+        }
+        break;
+    }
+  }
+
+  // After re-enforcing reachability (disconnects may have orphaned tuples;
+  // the cache keeps them browsable until refresh), the cache must agree with
+  // a fresh evaluation of the same CO.
+  cache->EnforceReachability();
+  co::CoInstance snap = cache->Snapshot();
+  ASSERT_OK_AND_ASSIGN(co::CoInstance fresh, db.QueryCo(kRandomCo));
+  for (size_t n = 0; n < snap.nodes.size(); ++n) {
+    std::multiset<int64_t> a, b;
+    for (const Row& t : snap.nodes[n].tuples) a.insert(t[0].AsInt());
+    for (const Row& t : fresh.nodes[n].tuples) b.insert(t[0].AsInt());
+    EXPECT_EQ(a, b) << snap.nodes[n].name << " diverged after manipulation";
+  }
+  EXPECT_EQ(snap.TotalConnections(), fresh.TotalConnections());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReachabilityProperty,
+                         ::testing::Values(1, 7, 23, 42, 99, 1234));
+
+}  // namespace
+}  // namespace xnf::testing

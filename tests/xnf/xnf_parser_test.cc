@@ -1,0 +1,169 @@
+#include "xnf/parser.h"
+
+#include "gtest/gtest.h"
+
+namespace xnf::co {
+namespace {
+
+XnfQuery MustParse(const std::string& s) {
+  auto r = Parser::Parse(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString() << " for: " << s;
+  return std::move(r).value();
+}
+
+TEST(XnfParser, IntroductoryExample) {
+  // §3.1 of the paper, verbatim modulo identifier spelling.
+  XnfQuery q = MustParse(R"(
+    OUT OF
+      Xdept AS (SELECT * FROM DEPT WHERE loc = 'NY'),
+      Xemp AS (SELECT * FROM EMP),
+      Xproj AS (SELECT * FROM PROJ),
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+      ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno)
+    TAKE *
+  )");
+  ASSERT_EQ(q.items.size(), 5u);
+  EXPECT_EQ(q.items[0].kind, OutOfItem::Kind::kNodeQuery);
+  EXPECT_EQ(q.items[0].name, "xdept");
+  EXPECT_EQ(q.items[3].kind, OutOfItem::Kind::kRelate);
+  EXPECT_EQ(q.items[3].relate->parent, "xdept");
+  EXPECT_EQ(q.items[3].relate->child, "xemp");
+  EXPECT_TRUE(q.take_all);
+  EXPECT_EQ(q.action, XnfQuery::Action::kTake);
+}
+
+TEST(XnfParser, ShorthandTableNode) {
+  XnfQuery q = MustParse("OUT OF Xemp AS EMP TAKE *");
+  ASSERT_EQ(q.items.size(), 1u);
+  EXPECT_EQ(q.items[0].kind, OutOfItem::Kind::kNodeTable);
+  EXPECT_EQ(q.items[0].table, "emp");
+}
+
+TEST(XnfParser, ViewReference) {
+  XnfQuery q = MustParse("OUT OF ALL_DEPS TAKE *");
+  EXPECT_EQ(q.items[0].kind, OutOfItem::Kind::kViewRef);
+  EXPECT_EQ(q.items[0].name, "all_deps");
+}
+
+TEST(XnfParser, WithAttributesAndUsing) {
+  // §3.2: the membership relationship with an attribute from EMPPROJ.
+  XnfQuery q = MustParse(R"(
+    OUT OF ALL_DEPS,
+      membership AS (RELATE Xproj, Xemp
+                     WITH ATTRIBUTES ep.percentage
+                     USING EMPPROJ ep
+                     WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno)
+    TAKE *
+  )");
+  const RelateSpec& rel = *q.items[1].relate;
+  ASSERT_EQ(rel.attributes.size(), 1u);
+  EXPECT_EQ(rel.attributes[0].name, "percentage");
+  EXPECT_EQ(rel.using_table, "empproj");
+  EXPECT_EQ(rel.using_corr, "ep");
+}
+
+TEST(XnfParser, AttributeAliasAndExpression) {
+  XnfQuery q = MustParse(R"(
+    OUT OF x AS t, r AS (RELATE x, x WITH ATTRIBUTES u.pct * 2 AS double_pct
+                         USING link u WHERE 1 = 1)
+    TAKE *
+  )");
+  EXPECT_EQ(q.items[1].relate->attributes[0].name, "double_pct");
+}
+
+TEST(XnfParser, RoleNamesForCyclicRelationships) {
+  XnfQuery q = MustParse(R"(
+    OUT OF Xemp AS EMP,
+      manages AS (RELATE Xemp mgr, Xemp rpt WHERE mgr.eno = rpt.mgrno)
+    TAKE *
+  )");
+  EXPECT_EQ(q.items[1].relate->parent_corr, "mgr");
+  EXPECT_EQ(q.items[1].relate->child_corr, "rpt");
+}
+
+TEST(XnfParser, NodeRestrictionForms) {
+  XnfQuery q = MustParse(R"(
+    OUT OF ALL_DEPS
+    WHERE Xemp e SUCH THAT e.sal < 2000
+    WHERE Xdept SUCH THAT loc = 'NY'
+    TAKE *
+  )");
+  ASSERT_EQ(q.restrictions.size(), 2u);
+  EXPECT_EQ(q.restrictions[0].kind, Restriction::Kind::kNode);
+  EXPECT_EQ(q.restrictions[0].corr, "e");
+  EXPECT_EQ(q.restrictions[1].corr, "");
+}
+
+TEST(XnfParser, EdgeRestriction) {
+  // §3.3: employment (d, e) SUCH THAT e.sal < d.budget/100.
+  XnfQuery q = MustParse(R"(
+    OUT OF ALL_DEPS
+    WHERE employment (d, e) SUCH THAT e.sal < d.budget / 100
+    TAKE *
+  )");
+  ASSERT_EQ(q.restrictions.size(), 1u);
+  EXPECT_EQ(q.restrictions[0].kind, Restriction::Kind::kEdge);
+  EXPECT_EQ(q.restrictions[0].parent_corr, "d");
+  EXPECT_EQ(q.restrictions[0].child_corr, "e");
+}
+
+TEST(XnfParser, TakeProjectionForms) {
+  XnfQuery q = MustParse(
+      "OUT OF ALL_DEPS TAKE Xdept(*), Xemp(eno, ename), employment");
+  ASSERT_FALSE(q.take_all);
+  ASSERT_EQ(q.take.size(), 3u);
+  EXPECT_TRUE(q.take[0].star_columns);
+  EXPECT_EQ(q.take[1].columns,
+            (std::vector<std::string>{"eno", "ename"}));
+  EXPECT_FALSE(q.take[2].has_column_list);
+}
+
+TEST(XnfParser, DeleteAction) {
+  // §3.7's CO deletion statement.
+  XnfQuery q = MustParse(R"(
+    OUT OF ALL_DEPS
+    WHERE Xemp e SUCH THAT e.sal < 2000
+    DELETE *
+  )");
+  EXPECT_EQ(q.action, XnfQuery::Action::kDelete);
+  EXPECT_TRUE(q.take_all);
+}
+
+TEST(XnfParser, PathExpressionInSuchThat) {
+  // §3.5's COUNT + budget query.
+  XnfQuery q = MustParse(R"(
+    OUT OF EXT_ALL_DEPS_ORG
+    WHERE Xdept d SUCH THAT
+      COUNT(d->employment->projmanagement) > 2 AND d.budget > 1000000
+    TAKE *
+  )");
+  ASSERT_EQ(q.restrictions.size(), 1u);
+  std::string txt = q.restrictions[0].predicate->ToString();
+  EXPECT_NE(txt.find("d->employment->projmanagement"), std::string::npos);
+}
+
+TEST(XnfParser, QualifiedPathInExists) {
+  // §3.5's staff/budget query.
+  XnfQuery q = MustParse(R"(
+    OUT OF EXT_ALL_DEPS_ORG
+    WHERE Xdept d SUCH THAT
+      (EXISTS d->employment->
+        (Xemp e WHERE e.descr = 'staff')->
+        projmanagement->
+        (Xproj p WHERE p.budget > d.budget))
+    TAKE *
+  )");
+  ASSERT_EQ(q.restrictions.size(), 1u);
+}
+
+TEST(XnfParser, Errors) {
+  EXPECT_FALSE(Parser::Parse("OUT OF TAKE *").ok());
+  EXPECT_FALSE(Parser::Parse("OUT OF x AS t").ok());  // missing action
+  EXPECT_FALSE(Parser::Parse("OUT OF x AS (RELATE a) TAKE *").ok());
+  EXPECT_FALSE(
+      Parser::Parse("OUT OF x AS t WHERE x SUCH y = 1 TAKE *").ok());
+  EXPECT_FALSE(Parser::Parse("OUT OF x AS t TAKE * trailing").ok());
+}
+
+}  // namespace
+}  // namespace xnf::co

@@ -1,0 +1,174 @@
+// The XNF semantic rewrite (paper §4.3, Fig. 8; experiment F8): XNF queries
+// lower to one derived SQL query per node/edge output, with common
+// subexpressions shared through node materializations.
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "xnf/evaluator.h"
+#include "xnf/parser.h"
+
+namespace xnf::testing {
+namespace {
+
+const char* kAllDeps = R"(
+  OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ,
+    employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+    ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno)
+  TAKE *
+)";
+
+class XnfRewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override { CreateCompanyDb(&db_); }
+  Database db_;
+};
+
+TEST_F(XnfRewriteTest, OneQueryPerOutputWithCse) {
+  co::Evaluator evaluator(db_.catalog());
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, evaluator.EvaluateText(kAllDeps));
+  (void)co;
+  const co::Evaluator::Stats& stats = evaluator.stats();
+  // Three node queries, two edge queries: m >= 1 outputs of the XNF
+  // operator, each lowered to one SQL query.
+  EXPECT_EQ(stats.node_queries, 3);
+  EXPECT_EQ(stats.edge_queries, 2);
+  // Each edge query reuses two node temps instead of recomputing them.
+  EXPECT_EQ(stats.temp_reuses, 4);
+  EXPECT_EQ(stats.reachability_passes, 1);
+}
+
+TEST_F(XnfRewriteTest, NoCseRecomputesNodeQueries) {
+  co::Evaluator::Options options;
+  options.use_cse = false;
+  co::Evaluator evaluator(db_.catalog(), options);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, evaluator.EvaluateText(kAllDeps));
+  (void)co;
+  const co::Evaluator::Stats& stats = evaluator.stats();
+  // 3 candidate queries + 2 per edge query (parent and child recomputed).
+  EXPECT_EQ(stats.node_queries, 3 + 2 * 2);
+  EXPECT_EQ(stats.temp_reuses, 0);
+}
+
+TEST_F(XnfRewriteTest, CseAndNoCseAgree) {
+  co::Evaluator with_cse(db_.catalog());
+  ASSERT_OK_AND_ASSIGN(co::CoInstance a, with_cse.EvaluateText(kAllDeps));
+  co::Evaluator::Options options;
+  options.use_cse = false;
+  co::Evaluator no_cse(db_.catalog(), options);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance b, no_cse.EvaluateText(kAllDeps));
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (size_t n = 0; n < a.nodes.size(); ++n) {
+    EXPECT_EQ(a.nodes[n].tuples.size(), b.nodes[n].tuples.size());
+  }
+  EXPECT_EQ(a.TotalConnections(), b.TotalConnections());
+}
+
+TEST_F(XnfRewriteTest, ReachabilityAblation) {
+  // Ablation A1: without the reachability pass, unreachable candidates
+  // survive — the result is NOT a well-formed CO (e3 shows up).
+  co::Evaluator::Options options;
+  options.enforce_reachability = false;
+  co::Evaluator evaluator(db_.catalog(), options);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, evaluator.EvaluateText(kAllDeps));
+  EXPECT_EQ(co.nodes[co.NodeIndex("xemp")].tuples.size(), 6u);
+  EXPECT_EQ(evaluator.stats().reachability_passes, 0);
+}
+
+TEST_F(XnfRewriteTest, RestrictionsCountedAndApplied) {
+  co::Evaluator evaluator(db_.catalog());
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, evaluator.EvaluateText(R"(
+    OUT OF Xdept AS DEPT, Xemp AS EMP,
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+    WHERE Xdept d SUCH THAT d.loc = 'NY'
+    WHERE employment (d, e) SUCH THAT e.sal < d.budget / 50
+    TAKE *
+  )"));
+  EXPECT_EQ(evaluator.stats().restrictions_applied, 2);
+  // loc = NY keeps d1, d3; edge restriction keeps employees with
+  // sal < budget/50 = 2000 for d1: e1 (1500) only.
+  EXPECT_EQ(co.nodes[co.NodeIndex("xemp")].tuples.size(), 1u);
+  EXPECT_EQ(co.nodes[co.NodeIndex("xemp")].tuples[0][0].AsInt(), 1);
+}
+
+TEST_F(XnfRewriteTest, EdgeRestrictionDropsConnectionNotParent) {
+  // §3.3: the edge restriction discards the connection and (through
+  // reachability) the child tuple, but not the parent tuple.
+  co::Evaluator evaluator(db_.catalog());
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, evaluator.EvaluateText(R"(
+    OUT OF Xdept AS DEPT, Xemp AS EMP,
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+    WHERE employment (d, e) SUCH THAT e.sal >= 2000
+    TAKE *
+  )"));
+  EXPECT_EQ(co.nodes[co.NodeIndex("xdept")].tuples.size(), 3u);
+  // Employees >= 2000 connected: e2 (2500), e5 (2200).
+  EXPECT_EQ(co.nodes[co.NodeIndex("xemp")].tuples.size(), 2u);
+}
+
+TEST_F(XnfRewriteTest, GeneralNodeQueriesAreNotUpdatable) {
+  co::Evaluator evaluator(db_.catalog());
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, evaluator.EvaluateText(R"(
+    OUT OF per_dept AS (SELECT edno, COUNT(*) AS n FROM EMP
+                        WHERE edno IS NOT NULL GROUP BY edno)
+    TAKE *
+  )"));
+  EXPECT_FALSE(co.nodes[0].updatable());
+  EXPECT_TRUE(co.nodes[0].rids.empty());
+}
+
+TEST_F(XnfRewriteTest, SimpleNodeQueriesAreUpdatable) {
+  co::Evaluator evaluator(db_.catalog());
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, evaluator.EvaluateText(R"(
+    OUT OF ny AS (SELECT dno, dname FROM DEPT WHERE loc = 'NY')
+    TAKE *
+  )"));
+  EXPECT_TRUE(co.nodes[0].updatable());
+  EXPECT_EQ(co.nodes[0].base_table, "dept");
+  EXPECT_EQ(co.nodes[0].rids.size(), co.nodes[0].tuples.size());
+  EXPECT_EQ(co.nodes[0].base_column_map, (std::vector<int>{0, 1}));
+}
+
+TEST_F(XnfRewriteTest, TakeProjectionRemapsWriteProvenance) {
+  co::Evaluator evaluator(db_.catalog());
+  // Project Xemp to (edno, eno): the FK column index moves from 4 to 0.
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, evaluator.EvaluateText(R"(
+    OUT OF Xdept AS DEPT, Xemp AS EMP,
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+    TAKE Xdept(dno, dname), Xemp(edno, eno), employment
+  )"));
+  const co::CoRelInstance& rel = co.rels[0];
+  EXPECT_EQ(rel.write_kind, co::CoRelInstance::WriteKind::kForeignKey);
+  EXPECT_EQ(rel.fk_parent_column, 0);
+  EXPECT_EQ(rel.fk_child_column, 0);
+
+  // Projecting the FK column away demotes the relationship to read-only.
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co2, evaluator.EvaluateText(R"(
+    OUT OF Xdept AS DEPT, Xemp AS EMP,
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+    TAKE Xdept(*), Xemp(eno, ename), employment
+  )"));
+  EXPECT_EQ(co2.rels[0].write_kind, co::CoRelInstance::WriteKind::kNone);
+}
+
+TEST_F(XnfRewriteTest, WriteKindAnalysis) {
+  co::Evaluator evaluator(db_.catalog());
+  ASSERT_OK_AND_ASSIGN(co::CoInstance co, evaluator.EvaluateText(R"(
+    OUT OF Xdept AS DEPT, Xemp AS EMP, Xskills AS SKILLS,
+      employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+      empproperty AS (RELATE Xemp, Xskills USING EMPSKILL es
+                      WHERE Xemp.eno = es.eseno AND Xskills.sno = es.essno),
+      odd AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno AND
+              Xemp.sal > 0)
+    TAKE *
+  )"));
+  EXPECT_EQ(co.rels[co.RelIndex("employment")].write_kind,
+            co::CoRelInstance::WriteKind::kForeignKey);
+  EXPECT_EQ(co.rels[co.RelIndex("empproperty")].write_kind,
+            co::CoRelInstance::WriteKind::kLinkTable);
+  // A multi-conjunct non-USING predicate is not a recognizable FK pattern.
+  EXPECT_EQ(co.rels[co.RelIndex("odd")].write_kind,
+            co::CoRelInstance::WriteKind::kNone);
+}
+
+}  // namespace
+}  // namespace xnf::testing
