@@ -17,6 +17,13 @@ void PrintResult(const xnf::ExecResult& result) {
   switch (result.kind) {
     case xnf::ExecResult::Kind::kRows:
       std::cout << result.rows.ToString();
+      // Executor counters (filled when the result came from a plan drain).
+      if (result.rows.stats.batches_produced > 0) {
+        std::cout << "-- " << result.rows.stats.rows_produced << " row(s) in "
+                  << result.rows.stats.batches_produced << " batch(es), "
+                  << result.rows.stats.buffer_pool_faults
+                  << " buffer-pool fault(s)\n";
+      }
       break;
     case xnf::ExecResult::Kind::kAffected:
       std::cout << result.affected << " row(s) affected";
@@ -75,7 +82,13 @@ int main() {
                   << ", edge queries: " << s.edge_queries
                   << ", temp reuses: " << s.temp_reuses
                   << ", reachability passes: " << s.reachability_passes
-                  << ", restrictions: " << s.restrictions_applied << "\n";
+                  << ", restrictions: " << s.restrictions_applied << "\n"
+                  << "executor: " << s.rows_produced << " row(s) in "
+                  << s.batches_produced << " batch(es)\n";
+        const auto& e = db.last_exec_stats();
+        std::cout << "last SELECT: " << e.rows_produced << " row(s) in "
+                  << e.batches_produced << " batch(es), "
+                  << e.buffer_pool_faults << " buffer-pool fault(s)\n";
       } else {
         std::cout << "unknown command; \\help for help\n";
       }

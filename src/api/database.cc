@@ -215,6 +215,7 @@ Result<ExecResult> Database::Execute(const std::string& text) {
       XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
       (void)rw;
       XNF_ASSIGN_OR_RETURN(result.rows, plan::Execute(&catalog_, graph));
+      exec_stats_ = result.rows.stats;
       result.kind = ExecResult::Kind::kRows;
       return result;
     }

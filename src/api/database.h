@@ -97,6 +97,10 @@ class Database {
   // Stats of the most recent XNF evaluation.
   const co::Evaluator::Stats& last_xnf_stats() const { return xnf_stats_; }
 
+  // Execution counters of the most recent SELECT run through Execute()/
+  // Query() (also available per-result on ResultSet::stats).
+  const ExecStats& last_exec_stats() const { return exec_stats_; }
+
   // Evaluation knobs (benchmarks): defaults are production settings.
   void set_xnf_options(co::Evaluator::Options options) {
     xnf_options_ = options;
@@ -115,6 +119,7 @@ class Database {
   Catalog catalog_;
   co::Evaluator::Options xnf_options_;
   co::Evaluator::Stats xnf_stats_;
+  ExecStats exec_stats_;
   std::unique_ptr<UndoLog> txn_;  // active transaction's undo log
   // Materializations of XNF view components referenced by SQL queries; kept
   // alive until the next statement.

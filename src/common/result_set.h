@@ -1,6 +1,7 @@
 #ifndef XNF_COMMON_RESULT_SET_H_
 #define XNF_COMMON_RESULT_SET_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -9,10 +10,19 @@
 
 namespace xnf {
 
+// Counters from the execution that produced a result. Filled by the
+// executor's batch drain (RunPlan); zero for hand-built row collections.
+struct ExecStats {
+  uint64_t rows_produced = 0;
+  uint64_t batches_produced = 0;
+  uint64_t buffer_pool_faults = 0;
+};
+
 // A fully materialized query result (or any schema'd row collection).
 struct ResultSet {
   Schema schema;
   std::vector<Row> rows;
+  ExecStats stats;
 
   size_t size() const { return rows.size(); }
   bool empty() const { return rows.empty(); }

@@ -177,36 +177,63 @@ Result<int64_t> DmlExecutor::Update(const sql::UpdateStmt& stmt) {
     assignments.push_back(Assignment{i, std::move(e)});
   }
 
-  // Phase 1: plan all updates.
+  // Phase 1: plan all updates, batch-at-a-time. The WHERE predicate and the
+  // assignment expressions are evaluated column-wise over staged chunks of
+  // the scan; assignments see the original column values.
   ExecContext exec_ctx;
   exec_ctx.catalog = catalog_;
+  EvalContext ectx;
+  ectx.exec = &exec_ctx;
   std::vector<std::pair<Rid, Row>> planned;
+  std::vector<Rid> staged_rids;
+  std::vector<Row> staged_rows;
+  auto flush = [&]() -> Status {
+    if (staged_rows.empty()) return Status::Ok();
+    std::vector<const Row*> ptrs;
+    ptrs.reserve(staged_rows.size());
+    for (const Row& r : staged_rows) ptrs.push_back(&r);
+    std::vector<char> keep(staged_rows.size(), 1);
+    if (where) {
+      XNF_RETURN_IF_ERROR(EvalPredicateBatch(*where, ptrs, &ectx, &keep));
+    }
+    std::vector<const Row*> alive;
+    std::vector<size_t> alive_idx;
+    for (size_t i = 0; i < ptrs.size(); ++i) {
+      if (keep[i]) {
+        alive.push_back(ptrs[i]);
+        alive_idx.push_back(i);
+      }
+    }
+    if (!alive.empty()) {
+      std::vector<std::vector<Value>> cols(assignments.size());
+      for (size_t a = 0; a < assignments.size(); ++a) {
+        XNF_ASSIGN_OR_RETURN(cols[a],
+                             EvalExprBatch(*assignments[a].expr, alive, &ectx));
+      }
+      for (size_t j = 0; j < alive.size(); ++j) {
+        Row updated = std::move(staged_rows[alive_idx[j]]);
+        for (size_t a = 0; a < assignments.size(); ++a) {
+          updated[assignments[a].column] = std::move(cols[a][j]);
+        }
+        planned.emplace_back(staged_rids[alive_idx[j]], std::move(updated));
+      }
+    }
+    staged_rids.clear();
+    staged_rows.clear();
+    return Status::Ok();
+  };
   Status status = Status::Ok();
   table->heap->Scan([&](Rid rid, const Row& row) {
-    EvalContext ectx;
-    ectx.row = &row;
-    ectx.exec = &exec_ctx;
-    if (where) {
-      auto keep = EvalPredicate(*where, &ectx);
-      if (!keep.ok()) {
-        status = keep.status();
-        return false;
-      }
-      if (!*keep) return true;
+    staged_rids.push_back(rid);
+    staged_rows.push_back(row);
+    if (staged_rows.size() >= kBatchSize) {
+      status = flush();
+      return status.ok();
     }
-    Row updated = row;
-    for (const Assignment& a : assignments) {
-      auto v = EvalExpr(*a.expr, &ectx);
-      if (!v.ok()) {
-        status = v.status();
-        return false;
-      }
-      updated[a.column] = std::move(*v);
-    }
-    planned.emplace_back(rid, std::move(updated));
     return true;
   });
   XNF_RETURN_IF_ERROR(status);
+  XNF_RETURN_IF_ERROR(flush());
 
   // Phase 2: apply, with rollback on failure.
   std::vector<std::pair<Rid, Row>> applied;  // rid -> old row
@@ -236,24 +263,42 @@ Result<int64_t> DmlExecutor::Delete(const sql::DeleteStmt& stmt) {
   }
   ExecContext exec_ctx;
   exec_ctx.catalog = catalog_;
+  EvalContext ectx;
+  ectx.exec = &exec_ctx;
   std::vector<Rid> victims;
+  // Stage scan chunks and evaluate the WHERE predicate batch-wise.
+  std::vector<Rid> staged_rids;
+  std::vector<Row> staged_rows;
+  auto flush = [&]() -> Status {
+    if (staged_rids.empty()) return Status::Ok();
+    if (where) {
+      std::vector<const Row*> ptrs;
+      ptrs.reserve(staged_rows.size());
+      for (const Row& r : staged_rows) ptrs.push_back(&r);
+      std::vector<char> keep(staged_rows.size(), 1);
+      XNF_RETURN_IF_ERROR(EvalPredicateBatch(*where, ptrs, &ectx, &keep));
+      for (size_t i = 0; i < staged_rids.size(); ++i) {
+        if (keep[i]) victims.push_back(staged_rids[i]);
+      }
+    } else {
+      victims.insert(victims.end(), staged_rids.begin(), staged_rids.end());
+    }
+    staged_rids.clear();
+    staged_rows.clear();
+    return Status::Ok();
+  };
   Status status = Status::Ok();
   table->heap->Scan([&](Rid rid, const Row& row) {
-    if (where) {
-      EvalContext ectx;
-      ectx.row = &row;
-      ectx.exec = &exec_ctx;
-      auto keep = EvalPredicate(*where, &ectx);
-      if (!keep.ok()) {
-        status = keep.status();
-        return false;
-      }
-      if (!*keep) return true;
+    staged_rids.push_back(rid);
+    if (where) staged_rows.push_back(row);
+    if (staged_rids.size() >= kBatchSize) {
+      status = flush();
+      return status.ok();
     }
-    victims.push_back(rid);
     return true;
   });
   XNF_RETURN_IF_ERROR(status);
+  XNF_RETURN_IF_ERROR(flush());
   for (Rid rid : victims) {
     XNF_RETURN_IF_ERROR(DeleteRow(table, rid));
   }

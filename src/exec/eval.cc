@@ -1,5 +1,6 @@
 #include "exec/eval.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/str_util.h"
@@ -84,6 +85,67 @@ Result<Value> EvalArithmetic(sql::BinOp op, const Value& l, const Value& r) {
     default:
       return Status::Internal("not arithmetic");
   }
+}
+
+// Applies a scalar function to already-evaluated argument values. Shared by
+// the scalar and batch evaluation paths (function arguments are always
+// evaluated unconditionally, so batching them is semantics-preserving).
+Result<Value> ApplyFunction(const qgm::Expr& expr, std::vector<Value> args) {
+  const std::string& f = expr.func_name;
+  if (f == "coalesce") {
+    for (Value& a : args) {
+      if (!a.is_null()) return std::move(a);
+    }
+    return Value::Null();
+  }
+  // Remaining functions are NULL-strict.
+  for (const Value& a : args) {
+    if (a.is_null()) return Value::Null();
+  }
+  if (f == "abs") {
+    if (args[0].is_int()) return Value::Int(std::llabs(args[0].AsInt()));
+    return Value::Double(std::fabs(args[0].AsDouble()));
+  }
+  if (f == "mod") return EvalArithmetic(sql::BinOp::kMod, args[0], args[1]);
+  if (f == "floor") {
+    return Value::Int(static_cast<int64_t>(std::floor(args[0].AsDouble())));
+  }
+  if (f == "ceil") {
+    return Value::Int(static_cast<int64_t>(std::ceil(args[0].AsDouble())));
+  }
+  if (f == "round") {
+    return Value::Int(static_cast<int64_t>(std::llround(args[0].AsDouble())));
+  }
+  if (f == "lower") return Value::String(ToLower(args[0].AsString()));
+  if (f == "upper") {
+    std::string s = args[0].AsString();
+    for (char& c : s) c = static_cast<char>(std::toupper(
+                          static_cast<unsigned char>(c)));
+    return Value::String(std::move(s));
+  }
+  if (f == "trim") {
+    const std::string& s = args[0].AsString();
+    size_t b = s.find_first_not_of(" \t\n\r");
+    size_t e = s.find_last_not_of(" \t\n\r");
+    if (b == std::string::npos) return Value::String("");
+    return Value::String(s.substr(b, e - b + 1));
+  }
+  if (f == "length") {
+    return Value::Int(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (f == "substr") {
+    const std::string& s = args[0].AsString();
+    int64_t start = args[1].AsInt();  // 1-based
+    if (start < 1) start = 1;
+    size_t from = static_cast<size_t>(start - 1);
+    if (from >= s.size()) return Value::String("");
+    size_t len = args.size() == 3
+                     ? static_cast<size_t>(std::max<int64_t>(
+                           0, args[2].AsInt()))
+                     : std::string::npos;
+    return Value::String(s.substr(from, len));
+  }
+  return Status::Internal("unknown function at eval time: " + f);
 }
 
 Result<std::vector<Row>> RunSubplan(CompiledSubquery* sub, EvalContext* ctx) {
@@ -190,61 +252,7 @@ Result<Value> EvalExpr(const qgm::Expr& expr, EvalContext* ctx) {
         XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*a, ctx));
         args.push_back(std::move(v));
       }
-      const std::string& f = expr.func_name;
-      if (f == "coalesce") {
-        for (const Value& a : args) {
-          if (!a.is_null()) return a;
-        }
-        return Value::Null();
-      }
-      // Remaining functions are NULL-strict.
-      for (const Value& a : args) {
-        if (a.is_null()) return Value::Null();
-      }
-      if (f == "abs") {
-        if (args[0].is_int()) return Value::Int(std::llabs(args[0].AsInt()));
-        return Value::Double(std::fabs(args[0].AsDouble()));
-      }
-      if (f == "mod") return EvalArithmetic(sql::BinOp::kMod, args[0], args[1]);
-      if (f == "floor") {
-        return Value::Int(static_cast<int64_t>(std::floor(args[0].AsDouble())));
-      }
-      if (f == "ceil") {
-        return Value::Int(static_cast<int64_t>(std::ceil(args[0].AsDouble())));
-      }
-      if (f == "round") {
-        return Value::Int(static_cast<int64_t>(std::llround(args[0].AsDouble())));
-      }
-      if (f == "lower") return Value::String(ToLower(args[0].AsString()));
-      if (f == "upper") {
-        std::string s = args[0].AsString();
-        for (char& c : s) c = static_cast<char>(std::toupper(
-                              static_cast<unsigned char>(c)));
-        return Value::String(std::move(s));
-      }
-      if (f == "trim") {
-        const std::string& s = args[0].AsString();
-        size_t b = s.find_first_not_of(" \t\n\r");
-        size_t e = s.find_last_not_of(" \t\n\r");
-        if (b == std::string::npos) return Value::String("");
-        return Value::String(s.substr(b, e - b + 1));
-      }
-      if (f == "length") {
-        return Value::Int(static_cast<int64_t>(args[0].AsString().size()));
-      }
-      if (f == "substr") {
-        const std::string& s = args[0].AsString();
-        int64_t start = args[1].AsInt();  // 1-based
-        if (start < 1) start = 1;
-        size_t from = static_cast<size_t>(start - 1);
-        if (from >= s.size()) return Value::String("");
-        size_t len = args.size() == 3
-                         ? static_cast<size_t>(std::max<int64_t>(
-                               0, args[2].AsInt()))
-                         : std::string::npos;
-        return Value::String(s.substr(from, len));
-      }
-      return Status::Internal("unknown function at eval time: " + f);
+      return ApplyFunction(expr, std::move(args));
     }
     case K::kAggRef:
       return Status::Internal(
@@ -342,6 +350,230 @@ Result<bool> EvalPredicate(const qgm::Expr& expr, EvalContext* ctx) {
     return Status::InvalidArgument("predicate did not evaluate to a boolean");
   }
   return v.AsBool();
+}
+
+bool ExprHasSubquery(const qgm::Expr& expr) {
+  if (expr.kind == qgm::Expr::Kind::kSubquery) return true;
+  for (const qgm::ExprPtr& a : expr.args) {
+    if (a != nullptr && ExprHasSubquery(*a)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Scalar-per-row fallback for node kinds with conditional evaluation or
+// subquery semantics.
+Result<std::vector<Value>> EvalRowWise(const qgm::Expr& expr,
+                                       const std::vector<const Row*>& rows,
+                                       EvalContext* ctx) {
+  std::vector<Value> out;
+  out.reserve(rows.size());
+  EvalContext local = *ctx;
+  for (const Row* r : rows) {
+    local.row = r;
+    XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, &local));
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Value>> EvalExprBatch(const qgm::Expr& expr,
+                                         const std::vector<const Row*>& rows,
+                                         EvalContext* ctx) {
+  using K = qgm::Expr::Kind;
+  const size_t n = rows.size();
+  std::vector<Value> out;
+  switch (expr.kind) {
+    case K::kLiteral:
+      out.assign(n, expr.literal);
+      return out;
+    case K::kInputRef: {
+      if (n > 0 && (expr.slot < 0 ||
+                    static_cast<size_t>(expr.slot) >= rows[0]->size())) {
+        return Status::Internal("unresolved or out-of-range input slot");
+      }
+      out.reserve(n);
+      for (const Row* r : rows) out.push_back((*r)[expr.slot]);
+      return out;
+    }
+    case K::kParam: {
+      if (ctx->exec->params == nullptr ||
+          static_cast<size_t>(expr.param_index) >= ctx->exec->params->size()) {
+        return Status::Internal("missing correlation parameter");
+      }
+      out.assign(n, (*ctx->exec->params)[expr.param_index]);
+      return out;
+    }
+    case K::kBinary: {
+      if (expr.bin_op == sql::BinOp::kAnd || expr.bin_op == sql::BinOp::kOr) {
+        // Short-circuit semantics (the right side must not be evaluated for
+        // rows where the left side decides): scalar per row.
+        return EvalRowWise(expr, rows, ctx);
+      }
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> l,
+                           EvalExprBatch(*expr.args[0], rows, ctx));
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> r,
+                           EvalExprBatch(*expr.args[1], rows, ctx));
+      out.reserve(n);
+      switch (expr.bin_op) {
+        case sql::BinOp::kEq:
+        case sql::BinOp::kNe:
+        case sql::BinOp::kLt:
+        case sql::BinOp::kLe:
+        case sql::BinOp::kGt:
+        case sql::BinOp::kGe:
+          for (size_t i = 0; i < n; ++i) {
+            XNF_ASSIGN_OR_RETURN(Value v,
+                                 EvalComparison(expr.bin_op, l[i], r[i]));
+            out.push_back(std::move(v));
+          }
+          return out;
+        case sql::BinOp::kConcat:
+          for (size_t i = 0; i < n; ++i) {
+            if (l[i].is_null() || r[i].is_null()) {
+              out.push_back(Value::Null());
+              continue;
+            }
+            if (!l[i].is_string() || !r[i].is_string()) {
+              return Status::InvalidArgument("|| requires strings");
+            }
+            out.push_back(Value::String(l[i].AsString() + r[i].AsString()));
+          }
+          return out;
+        default:
+          for (size_t i = 0; i < n; ++i) {
+            XNF_ASSIGN_OR_RETURN(Value v,
+                                 EvalArithmetic(expr.bin_op, l[i], r[i]));
+            out.push_back(std::move(v));
+          }
+          return out;
+      }
+    }
+    case K::kUnary: {
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> vs,
+                           EvalExprBatch(*expr.args[0], rows, ctx));
+      out.reserve(n);
+      for (Value& v : vs) {
+        if (expr.un_op == sql::UnOp::kNot) {
+          out.push_back(TriboolToValue(Not(ValueToTribool(v))));
+          continue;
+        }
+        if (v.is_null()) {
+          out.push_back(Value::Null());
+        } else if (v.is_int()) {
+          out.push_back(Value::Int(-v.AsInt()));
+        } else if (v.is_double()) {
+          out.push_back(Value::Double(-v.AsDouble()));
+        } else {
+          return Status::InvalidArgument("unary '-' on non-numeric value");
+        }
+      }
+      return out;
+    }
+    case K::kIsNull: {
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> vs,
+                           EvalExprBatch(*expr.args[0], rows, ctx));
+      out.reserve(n);
+      for (const Value& v : vs) {
+        bool is_null = v.is_null();
+        out.push_back(Value::Bool(expr.negated ? !is_null : is_null));
+      }
+      return out;
+    }
+    case K::kLike: {
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> text,
+                           EvalExprBatch(*expr.args[0], rows, ctx));
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> pattern,
+                           EvalExprBatch(*expr.args[1], rows, ctx));
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (text[i].is_null() || pattern[i].is_null()) {
+          out.push_back(Value::Null());
+          continue;
+        }
+        if (!text[i].is_string() || !pattern[i].is_string()) {
+          return Status::InvalidArgument("LIKE requires strings");
+        }
+        bool m = LikeMatch(text[i].AsString(), pattern[i].AsString());
+        out.push_back(Value::Bool(expr.negated ? !m : m));
+      }
+      return out;
+    }
+    case K::kFuncCall: {
+      // Function arguments are evaluated unconditionally in the scalar path
+      // too, so evaluating them column-wise is semantics-preserving.
+      std::vector<std::vector<Value>> arg_cols;
+      arg_cols.reserve(expr.args.size());
+      for (const qgm::ExprPtr& a : expr.args) {
+        XNF_ASSIGN_OR_RETURN(std::vector<Value> col,
+                             EvalExprBatch(*a, rows, ctx));
+        arg_cols.push_back(std::move(col));
+      }
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<Value> args;
+        args.reserve(arg_cols.size());
+        for (std::vector<Value>& col : arg_cols) {
+          args.push_back(std::move(col[i]));
+        }
+        XNF_ASSIGN_OR_RETURN(Value v, ApplyFunction(expr, std::move(args)));
+        out.push_back(std::move(v));
+      }
+      return out;
+    }
+    case K::kCase:     // WHEN arms evaluate conditionally
+    case K::kInList:   // list items evaluate until the first match
+    case K::kSubquery: // CompiledSubquery binding/caching is per outer row
+    case K::kAggRef:   // reports the proper error through the scalar path
+      return EvalRowWise(expr, rows, ctx);
+  }
+  return Status::Internal("unhandled expression kind at batch eval");
+}
+
+Status EvalPredicateBatch(const qgm::Expr& pred,
+                          const std::vector<const Row*>& rows,
+                          EvalContext* ctx, std::vector<char>* keep) {
+  // Compact to the still-alive rows so a predicate is never evaluated on a
+  // row an earlier conjunct already rejected (the scalar loop's behaviour).
+  std::vector<const Row*> alive;
+  std::vector<size_t> alive_index;
+  alive.reserve(rows.size());
+  alive_index.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if ((*keep)[i]) {
+      alive.push_back(rows[i]);
+      alive_index.push_back(i);
+    }
+  }
+  if (alive.empty()) return Status::Ok();
+
+  if (ExprHasSubquery(pred)) {
+    EvalContext local = *ctx;
+    for (size_t j = 0; j < alive.size(); ++j) {
+      local.row = alive[j];
+      XNF_ASSIGN_OR_RETURN(bool ok, EvalPredicate(pred, &local));
+      if (!ok) (*keep)[alive_index[j]] = 0;
+    }
+    return Status::Ok();
+  }
+
+  XNF_ASSIGN_OR_RETURN(std::vector<Value> vals,
+                       EvalExprBatch(pred, alive, ctx));
+  for (size_t j = 0; j < alive.size(); ++j) {
+    const Value& v = vals[j];
+    if (v.is_null()) {
+      (*keep)[alive_index[j]] = 0;
+      continue;
+    }
+    if (!v.is_bool()) {
+      return Status::InvalidArgument("predicate did not evaluate to a boolean");
+    }
+    if (!v.AsBool()) (*keep)[alive_index[j]] = 0;
+  }
+  return Status::Ok();
 }
 
 }  // namespace xnf::exec

@@ -50,6 +50,28 @@ Result<Value> EvalExpr(const qgm::Expr& expr, EvalContext* ctx);
 // Evaluates `expr` as a predicate: NULL and FALSE both reject.
 Result<bool> EvalPredicate(const qgm::Expr& expr, EvalContext* ctx);
 
+// True if `expr` contains a subquery anywhere. Subquery-bearing expressions
+// must be evaluated row-at-a-time through EvalExpr so CompiledSubquery
+// binding/caching semantics are untouched.
+bool ExprHasSubquery(const qgm::Expr& expr);
+
+// Evaluates `expr` once per row, returning one value per row in input order.
+// Subquery-free node kinds without conditional-evaluation semantics are
+// evaluated column-wise over the whole batch; AND/OR, CASE, IN-lists and
+// subqueries fall back to scalar EvalExpr per row (preserving short-circuit
+// and caching behaviour exactly). `ctx->row` is ignored.
+Result<std::vector<Value>> EvalExprBatch(const qgm::Expr& expr,
+                                         const std::vector<const Row*>& rows,
+                                         EvalContext* ctx);
+
+// Applies predicate `pred` to each row, ANDing the outcome into (*keep)[i]
+// (NULL and FALSE both reject). Rows with keep[i] == 0 are skipped entirely,
+// matching the scalar conjunct loop that stops at the first failing
+// predicate. `keep` must have rows.size() entries.
+Status EvalPredicateBatch(const qgm::Expr& pred,
+                          const std::vector<const Row*>& rows,
+                          EvalContext* ctx, std::vector<char>* keep);
+
 }  // namespace xnf::exec
 
 #endif  // XNF_EXEC_EVAL_H_

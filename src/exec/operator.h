@@ -12,6 +12,26 @@
 
 namespace xnf::exec {
 
+// Rows an operator emits per NextBatch() call. Large enough to amortize the
+// per-call virtual dispatch and Status plumbing over many rows, small enough
+// that a batch of slim rows stays cache-resident.
+inline constexpr size_t kBatchSize = 1024;
+
+// A batch of rows flowing between operators (row-vector layout: each row owns
+// its values). An empty batch returned from NextBatch() signals end of
+// stream.
+struct RowBatch {
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+  bool full() const { return rows.size() >= kBatchSize; }
+  void clear() { rows.clear(); }
+  void Add(Row row) { rows.push_back(std::move(row)); }
+  Row& operator[](size_t i) { return rows[i]; }
+  const Row& operator[](size_t i) const { return rows[i]; }
+};
+
 // Per-invocation execution context. `params` carries correlation parameter
 // values when the plan being run is a subplan of an outer query.
 struct ExecContext {
@@ -19,8 +39,10 @@ struct ExecContext {
   const std::vector<Value>* params = nullptr;
 };
 
-// Volcano-style iterator. Open() must fully reset state so plans can be
-// re-executed (correlated subplans are re-opened per outer row).
+// Batch-at-a-time (vectorized volcano) iterator. Open() must fully reset
+// state so plans can be re-executed (correlated subplans are re-opened per
+// outer row); it also resets the row-at-a-time adapter's carry buffer, which
+// is why it is non-virtual and dispatches to OpenImpl().
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -28,22 +50,42 @@ class Operator {
   Operator(const Operator&) = delete;
   Operator& operator=(const Operator&) = delete;
 
-  virtual Status Open(ExecContext* ctx) = 0;
-  // Returns the next row, std::nullopt at end of stream.
-  virtual Result<std::optional<Row>> Next() = 0;
+  Status Open(ExecContext* ctx) {
+    carry_.clear();
+    carry_pos_ = 0;
+    return OpenImpl(ctx);
+  }
+
+  // Clears `out` and fills it with up to kBatchSize rows. An empty `out` on
+  // return means end of stream; subsequent calls keep returning empty.
+  virtual Status NextBatch(RowBatch* out) = 0;
+
   virtual void Close() {}
+
+  // Row-at-a-time adapter over NextBatch() for consumers that genuinely need
+  // single rows (operator-level tests, transition code). Plan drains —
+  // including correlated subplans, which go through RunPlan — use NextBatch()
+  // directly.
+  Result<std::optional<Row>> Next();
 
   const Schema& schema() const { return schema_; }
 
  protected:
   explicit Operator(Schema schema) : schema_(std::move(schema)) {}
 
+  virtual Status OpenImpl(ExecContext* ctx) = 0;
+
   Schema schema_;
+
+ private:
+  RowBatch carry_;  // adapter state for Next()
+  size_t carry_pos_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-// Drains `root` into a materialized result.
+// Drains `root` batch-wise into a materialized result, filling
+// ResultSet::stats (rows/batches produced, buffer-pool faults).
 Result<ResultSet> RunPlan(Operator* root, ExecContext* ctx);
 
 }  // namespace xnf::exec

@@ -4,22 +4,44 @@
 
 namespace xnf::exec {
 
+Result<std::optional<Row>> Operator::Next() {
+  if (carry_pos_ >= carry_.size()) {
+    carry_.clear();
+    carry_pos_ = 0;
+    XNF_RETURN_IF_ERROR(NextBatch(&carry_));
+    if (carry_.empty()) return std::optional<Row>();
+  }
+  return std::optional<Row>(std::move(carry_.rows[carry_pos_++]));
+}
+
 Result<ResultSet> RunPlan(Operator* root, ExecContext* ctx) {
   ResultSet out;
   out.schema = root->schema();
+  const BufferPool* pool =
+      ctx->catalog != nullptr ? ctx->catalog->buffer_pool() : nullptr;
+  uint64_t faults_before = pool != nullptr ? pool->faults() : 0;
   XNF_RETURN_IF_ERROR(root->Open(ctx));
+  RowBatch batch;
   while (true) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, root->Next());
-    if (!row.has_value()) break;
-    out.rows.push_back(std::move(*row));
+    XNF_RETURN_IF_ERROR(root->NextBatch(&batch));
+    if (batch.empty()) break;
+    out.stats.batches_produced++;
+    out.stats.rows_produced += batch.size();
+    out.rows.insert(out.rows.end(),
+                    std::make_move_iterator(batch.rows.begin()),
+                    std::make_move_iterator(batch.rows.end()));
   }
   root->Close();
+  if (pool != nullptr) {
+    out.stats.buffer_pool_faults = pool->faults() - faults_before;
+  }
   return out;
 }
 
 namespace {
 
-// Evaluates subquery-free filters over `row`; true = keep.
+// Evaluates subquery-free filters over `row`; true = keep. Scalar path for
+// operators that assemble one candidate row at a time (join residuals).
 Result<bool> PassesFilters(const std::vector<qgm::ExprPtr>& filters,
                            const Row& row, ExecContext* exec,
                            SubqueryEnv* env = nullptr) {
@@ -34,24 +56,81 @@ Result<bool> PassesFilters(const std::vector<qgm::ExprPtr>& filters,
   return true;
 }
 
+// Pointer view of a batch for the column-wise evaluators.
+std::vector<const Row*> BatchPtrs(const RowBatch& batch) {
+  std::vector<const Row*> ptrs;
+  ptrs.reserve(batch.size());
+  for (const Row& r : batch.rows) ptrs.push_back(&r);
+  return ptrs;
+}
+
+// left ++ right with a single allocation.
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+// Evaluates `filters` batch-wise over `in` and moves passing rows to `out`;
+// `in` is left empty.
+Status FilterAppend(const std::vector<qgm::ExprPtr>& filters,
+                    std::vector<Row>* in, EvalContext* ectx,
+                    std::vector<Row>* out) {
+  if (filters.empty()) {
+    out->insert(out->end(), std::make_move_iterator(in->begin()),
+                std::make_move_iterator(in->end()));
+    in->clear();
+    return Status::Ok();
+  }
+  std::vector<const Row*> ptrs;
+  ptrs.reserve(in->size());
+  for (const Row& r : *in) ptrs.push_back(&r);
+  std::vector<char> keep(in->size(), 1);
+  for (const qgm::ExprPtr& f : filters) {
+    XNF_RETURN_IF_ERROR(EvalPredicateBatch(*f, ptrs, ectx, &keep));
+  }
+  for (size_t i = 0; i < in->size(); ++i) {
+    if (keep[i]) out->push_back(std::move((*in)[i]));
+  }
+  in->clear();
+  return Status::Ok();
+}
+
+// Drains an already-open child into `out`.
+Status DrainChild(Operator* child, std::vector<Row>* out) {
+  RowBatch batch;
+  while (true) {
+    XNF_RETURN_IF_ERROR(child->NextBatch(&batch));
+    if (batch.empty()) return Status::Ok();
+    out->insert(out->end(), std::make_move_iterator(batch.rows.begin()),
+                std::make_move_iterator(batch.rows.end()));
+  }
+}
+
 }  // namespace
 
 // --- ValuesOp ---------------------------------------------------------------
 
-Status ValuesOp::Open(ExecContext*) {
+Status ValuesOp::OpenImpl(ExecContext*) {
   pos_ = 0;
   return Status::Ok();
 }
 
-Result<std::optional<Row>> ValuesOp::Next() {
+Status ValuesOp::NextBatch(RowBatch* out) {
+  out->clear();
   const std::vector<Row>& rows = ext_ != nullptr ? ext_->rows : rows_;
-  if (pos_ >= rows.size()) return std::optional<Row>();
-  return std::optional<Row>(rows[pos_++]);
+  size_t end = std::min(rows.size(), pos_ + kBatchSize);
+  out->rows.reserve(end - pos_);
+  // Copies: the source rows are permanent (re-emitted on every run).
+  for (; pos_ < end; ++pos_) out->rows.push_back(rows[pos_]);
+  return Status::Ok();
 }
 
 // --- SeqScanOp --------------------------------------------------------------
 
-Status SeqScanOp::Open(ExecContext* ctx) {
+Status SeqScanOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   buffered_.clear();
   pos_ = 0;
@@ -59,27 +138,35 @@ Status SeqScanOp::Open(ExecContext* ctx) {
   if (table == nullptr) {
     return Status::NotFound("table '" + table_name_ + "' vanished");
   }
+  EvalContext ectx;
+  ectx.exec = ctx_;
+  std::vector<Row> staged;
+  staged.reserve(filters_.empty() ? 0 : kBatchSize);
   Status status = Status::Ok();
   table->heap->Scan([&](Rid, const Row& row) {
-    auto keep = PassesFilters(filters_, row, ctx_);
-    if (!keep.ok()) {
-      status = keep.status();
-      return false;
+    staged.push_back(row);
+    if (staged.size() >= kBatchSize) {
+      status = FilterAppend(filters_, &staged, &ectx, &buffered_);
+      return status.ok();
     }
-    if (*keep) buffered_.push_back(row);
     return true;
   });
-  return status;
+  XNF_RETURN_IF_ERROR(status);
+  return FilterAppend(filters_, &staged, &ectx, &buffered_);
 }
 
-Result<std::optional<Row>> SeqScanOp::Next() {
-  if (pos_ >= buffered_.size()) return std::optional<Row>();
-  return std::optional<Row>(buffered_[pos_++]);
+Status SeqScanOp::NextBatch(RowBatch* out) {
+  out->clear();
+  size_t end = std::min(buffered_.size(), pos_ + kBatchSize);
+  out->rows.reserve(end - pos_);
+  // Moves: buffered_ is rebuilt by the next Open().
+  for (; pos_ < end; ++pos_) out->rows.push_back(std::move(buffered_[pos_]));
+  return Status::Ok();
 }
 
 // --- IndexLookupOp ----------------------------------------------------------
 
-Status IndexLookupOp::Open(ExecContext* ctx) {
+Status IndexLookupOp::OpenImpl(ExecContext* ctx) {
   buffered_.clear();
   pos_ = 0;
   TableInfo* table = ctx->catalog->GetTable(table_name_);
@@ -114,105 +201,141 @@ Status IndexLookupOp::Open(ExecContext* ctx) {
   return Status::Ok();
 }
 
-Result<std::optional<Row>> IndexLookupOp::Next() {
-  if (pos_ >= buffered_.size()) return std::optional<Row>();
-  return std::optional<Row>(buffered_[pos_++]);
+Status IndexLookupOp::NextBatch(RowBatch* out) {
+  out->clear();
+  size_t end = std::min(buffered_.size(), pos_ + kBatchSize);
+  out->rows.reserve(end - pos_);
+  for (; pos_ < end; ++pos_) out->rows.push_back(std::move(buffered_[pos_]));
+  return Status::Ok();
 }
 
 // --- FilterOp ---------------------------------------------------------------
 
-Status FilterOp::Open(ExecContext* ctx) {
+Status FilterOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   if (env_) env_->ResetCaches();
   return child_->Open(ctx);
 }
 
-Result<std::optional<Row>> FilterOp::Next() {
+Status FilterOp::NextBatch(RowBatch* out) {
+  out->clear();
+  EvalContext ectx;
+  ectx.exec = ctx_;
+  ectx.subqueries = env_.get();
   while (true) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-    if (!row.has_value()) return row;
-    XNF_ASSIGN_OR_RETURN(
-        bool keep, PassesFilters(predicates_, *row, ctx_, env_.get()));
-    if (keep) return row;
+    input_.clear();
+    XNF_RETURN_IF_ERROR(child_->NextBatch(&input_));
+    if (input_.empty()) return Status::Ok();
+    XNF_RETURN_IF_ERROR(
+        FilterAppend(predicates_, &input_.rows, &ectx, &out->rows));
+    if (!out->empty()) return Status::Ok();
   }
 }
 
 // --- ProjectOp --------------------------------------------------------------
 
-Status ProjectOp::Open(ExecContext* ctx) {
+Status ProjectOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   return child_->Open(ctx);
 }
 
-Result<std::optional<Row>> ProjectOp::Next() {
-  XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-  if (!row.has_value()) return row;
-  Row out;
-  out.reserve(exprs_.size());
+Status ProjectOp::NextBatch(RowBatch* out) {
+  out->clear();
+  input_.clear();
+  XNF_RETURN_IF_ERROR(child_->NextBatch(&input_));
+  if (input_.empty()) return Status::Ok();
   EvalContext ectx;
-  ectx.row = &*row;
   ectx.exec = ctx_;
   ectx.subqueries = env_.get();
+  std::vector<const Row*> ptrs = BatchPtrs(input_);
+  // Head expressions evaluate column-wise over the whole batch.
+  std::vector<std::vector<Value>> cols;
+  cols.reserve(exprs_.size());
   for (const qgm::ExprPtr& e : exprs_) {
-    XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*e, &ectx));
-    out.push_back(std::move(v));
+    XNF_ASSIGN_OR_RETURN(std::vector<Value> col,
+                         EvalExprBatch(*e, ptrs, &ectx));
+    cols.push_back(std::move(col));
   }
-  return std::optional<Row>(std::move(out));
+  out->rows.reserve(input_.size());
+  for (size_t i = 0; i < input_.size(); ++i) {
+    Row row;
+    row.reserve(exprs_.size());
+    for (std::vector<Value>& col : cols) row.push_back(std::move(col[i]));
+    out->rows.push_back(std::move(row));
+  }
+  return Status::Ok();
 }
 
 // --- NestedLoopJoinOp -------------------------------------------------------
 
-Status NestedLoopJoinOp::Open(ExecContext* ctx) {
+Status NestedLoopJoinOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   current_left_.reset();
+  left_batch_.clear();
+  left_pos_ = 0;
   right_rows_.clear();
   right_pos_ = 0;
   matched_ = false;
   XNF_RETURN_IF_ERROR(left_->Open(ctx));
   XNF_RETURN_IF_ERROR(right_->Open(ctx));
-  while (true) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
-    if (!row.has_value()) break;
-    right_rows_.push_back(std::move(*row));
-  }
-  return Status::Ok();
+  return DrainChild(right_.get(), &right_rows_);
 }
 
-Result<std::optional<Row>> NestedLoopJoinOp::Next() {
-  while (true) {
-    if (!current_left_.has_value()) {
-      XNF_ASSIGN_OR_RETURN(current_left_, left_->Next());
-      if (!current_left_.has_value()) return std::optional<Row>();
-      right_pos_ = 0;
-      matched_ = false;
+Result<bool> NestedLoopJoinOp::AdvanceLeft() {
+  if (left_pos_ >= left_batch_.size()) {
+    left_batch_.clear();
+    left_pos_ = 0;
+    XNF_RETURN_IF_ERROR(left_->NextBatch(&left_batch_));
+    if (left_batch_.empty()) {
+      current_left_.reset();
+      return false;
     }
-    while (right_pos_ < right_rows_.size()) {
+  }
+  current_left_ = std::move(left_batch_.rows[left_pos_++]);
+  right_pos_ = 0;
+  matched_ = false;
+  return true;
+}
+
+Status NestedLoopJoinOp::NextBatch(RowBatch* out) {
+  out->clear();
+  while (!out->full()) {
+    if (!current_left_.has_value()) {
+      XNF_ASSIGN_OR_RETURN(bool more, AdvanceLeft());
+      if (!more) return Status::Ok();
+    }
+    while (right_pos_ < right_rows_.size() && !out->full()) {
       const Row& right = right_rows_[right_pos_++];
-      Row combined = *current_left_;
-      combined.insert(combined.end(), right.begin(), right.end());
+      Row combined = ConcatRows(*current_left_, right);
       XNF_ASSIGN_OR_RETURN(bool ok,
                            PassesFilters(predicates_, combined, ctx_));
       if (ok) {
         matched_ = true;
-        return std::optional<Row>(std::move(combined));
+        out->Add(std::move(combined));
       }
     }
-    // Left row exhausted.
-    if (left_outer_ && !matched_) {
-      Row padded = *current_left_;
-      padded.resize(padded.size() + right_->schema().size(), Value::Null());
+    if (right_pos_ >= right_rows_.size()) {
+      // Left row exhausted.
+      if (left_outer_ && !matched_) {
+        if (out->full()) return Status::Ok();  // pad on the next call
+        Row padded = std::move(*current_left_);
+        padded.resize(padded.size() + right_->schema().size(), Value::Null());
+        out->Add(std::move(padded));
+      }
       current_left_.reset();
-      return std::optional<Row>(std::move(padded));
     }
-    current_left_.reset();
   }
+  return Status::Ok();
 }
 
 // --- HashJoinOp -------------------------------------------------------------
 
-Status HashJoinOp::Open(ExecContext* ctx) {
+Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   table_.clear();
+  left_batch_.clear();
+  left_key_cols_.clear();
+  left_pos_ = 0;
   current_left_.reset();
   matches_.clear();
   match_pos_ = 0;
@@ -220,77 +343,114 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   XNF_RETURN_IF_ERROR(left_->Open(ctx));
   XNF_RETURN_IF_ERROR(right_->Open(ctx));
   right_width_ = right_->schema().size();
+  EvalContext ectx;
+  ectx.exec = ctx_;
+  RowBatch batch;
   while (true) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
-    if (!row.has_value()) break;
-    EvalContext ectx;
-    ectx.row = &*row;
-    ectx.exec = ctx_;
-    Row key;
-    key.reserve(right_keys_.size());
-    bool has_null = false;
+    XNF_RETURN_IF_ERROR(right_->NextBatch(&batch));
+    if (batch.empty()) break;
+    std::vector<const Row*> ptrs = BatchPtrs(batch);
+    std::vector<std::vector<Value>> key_cols;
+    key_cols.reserve(right_keys_.size());
     for (const qgm::ExprPtr& k : right_keys_) {
-      XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &ectx));
-      if (v.is_null()) has_null = true;
-      key.push_back(std::move(v));
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> col,
+                           EvalExprBatch(*k, ptrs, &ectx));
+      key_cols.push_back(std::move(col));
     }
-    if (has_null) continue;  // NULL keys never match
-    table_.emplace(std::move(key), std::move(*row));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      Row key;
+      key.reserve(key_cols.size());
+      bool has_null = false;
+      for (std::vector<Value>& col : key_cols) {
+        if (col[i].is_null()) has_null = true;
+        key.push_back(std::move(col[i]));
+      }
+      if (has_null) continue;  // NULL keys never match
+      table_.emplace(std::move(key), std::move(batch.rows[i]));
+    }
   }
   return Status::Ok();
 }
 
-Result<std::optional<Row>> HashJoinOp::Next() {
-  while (true) {
-    if (!current_left_.has_value()) {
-      XNF_ASSIGN_OR_RETURN(current_left_, left_->Next());
-      if (!current_left_.has_value()) return std::optional<Row>();
-      matched_ = false;
-      matches_.clear();
-      match_pos_ = 0;
-      EvalContext ectx;
-      ectx.row = &*current_left_;
-      ectx.exec = ctx_;
-      Row key;
-      key.reserve(left_keys_.size());
-      bool has_null = false;
-      for (const qgm::ExprPtr& k : left_keys_) {
-        XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &ectx));
-        if (v.is_null()) has_null = true;
-        key.push_back(std::move(v));
-      }
-      if (!has_null) {
-        auto range = table_.equal_range(key);
-        for (auto it = range.first; it != range.second; ++it) {
-          matches_.push_back(&it->second);
-        }
-      }
+Result<bool> HashJoinOp::AdvanceLeft() {
+  if (left_pos_ >= left_batch_.size()) {
+    left_batch_.clear();
+    left_pos_ = 0;
+    XNF_RETURN_IF_ERROR(left_->NextBatch(&left_batch_));
+    if (left_batch_.empty()) {
+      current_left_.reset();
+      return false;
     }
-    while (match_pos_ < matches_.size()) {
+    // Probe keys column-wise for the whole batch.
+    std::vector<const Row*> ptrs = BatchPtrs(left_batch_);
+    EvalContext ectx;
+    ectx.exec = ctx_;
+    left_key_cols_.clear();
+    left_key_cols_.reserve(left_keys_.size());
+    for (const qgm::ExprPtr& k : left_keys_) {
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> col,
+                           EvalExprBatch(*k, ptrs, &ectx));
+      left_key_cols_.push_back(std::move(col));
+    }
+  }
+  size_t i = left_pos_++;
+  current_left_ = std::move(left_batch_.rows[i]);
+  matched_ = false;
+  matches_.clear();
+  match_pos_ = 0;
+  Row key;
+  key.reserve(left_key_cols_.size());
+  bool has_null = false;
+  for (std::vector<Value>& col : left_key_cols_) {
+    if (col[i].is_null()) has_null = true;
+    key.push_back(std::move(col[i]));
+  }
+  if (!has_null) {
+    auto range = table_.equal_range(key);
+    for (auto it = range.first; it != range.second; ++it) {
+      matches_.push_back(&it->second);
+    }
+  }
+  return true;
+}
+
+Status HashJoinOp::NextBatch(RowBatch* out) {
+  out->clear();
+  while (!out->full()) {
+    if (!current_left_.has_value()) {
+      XNF_ASSIGN_OR_RETURN(bool more, AdvanceLeft());
+      if (!more) return Status::Ok();
+    }
+    while (match_pos_ < matches_.size() && !out->full()) {
       const Row& right = *matches_[match_pos_++];
-      Row combined = *current_left_;
-      combined.insert(combined.end(), right.begin(), right.end());
+      Row combined = ConcatRows(*current_left_, right);
       XNF_ASSIGN_OR_RETURN(bool ok, PassesFilters(residual_, combined, ctx_));
       if (ok) {
         matched_ = true;
-        return std::optional<Row>(std::move(combined));
+        out->Add(std::move(combined));
       }
     }
-    if (left_outer_ && !matched_) {
-      Row padded = *current_left_;
-      padded.resize(padded.size() + right_width_, Value::Null());
+    if (match_pos_ >= matches_.size()) {
+      if (left_outer_ && !matched_) {
+        if (out->full()) return Status::Ok();  // pad on the next call
+        Row padded = std::move(*current_left_);
+        padded.resize(padded.size() + right_width_, Value::Null());
+        out->Add(std::move(padded));
+      }
       current_left_.reset();
-      return std::optional<Row>(std::move(padded));
     }
-    current_left_.reset();
   }
+  return Status::Ok();
 }
 
 // --- IndexNLJoinOp ----------------------------------------------------------
 
-Status IndexNLJoinOp::Open(ExecContext* ctx) {
+Status IndexNLJoinOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   current_left_.reset();
+  left_batch_.clear();
+  left_key_cols_.clear();
+  left_pos_ = 0;
   rids_.clear();
   rid_pos_ = 0;
   table_ = ctx->catalog->GetTable(table_name_);
@@ -310,34 +470,55 @@ Status IndexNLJoinOp::Open(ExecContext* ctx) {
   return left_->Open(ctx);
 }
 
-Result<std::optional<Row>> IndexNLJoinOp::Next() {
-  while (true) {
-    if (!current_left_.has_value()) {
-      XNF_ASSIGN_OR_RETURN(current_left_, left_->Next());
-      if (!current_left_.has_value()) return std::optional<Row>();
-      rids_.clear();
-      rid_pos_ = 0;
-      EvalContext ectx;
-      ectx.row = &*current_left_;
-      ectx.exec = ctx_;
-      Row key;
-      key.reserve(keys_.size());
-      for (const qgm::ExprPtr& k : keys_) {
-        XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &ectx));
-        key.push_back(std::move(v));
-      }
-      rids_ = index_->Lookup(key);
+Result<bool> IndexNLJoinOp::AdvanceLeft() {
+  if (left_pos_ >= left_batch_.size()) {
+    left_batch_.clear();
+    left_pos_ = 0;
+    XNF_RETURN_IF_ERROR(left_->NextBatch(&left_batch_));
+    if (left_batch_.empty()) {
+      current_left_.reset();
+      return false;
     }
-    while (rid_pos_ < rids_.size()) {
+    std::vector<const Row*> ptrs = BatchPtrs(left_batch_);
+    EvalContext ectx;
+    ectx.exec = ctx_;
+    left_key_cols_.clear();
+    left_key_cols_.reserve(keys_.size());
+    for (const qgm::ExprPtr& k : keys_) {
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> col,
+                           EvalExprBatch(*k, ptrs, &ectx));
+      left_key_cols_.push_back(std::move(col));
+    }
+  }
+  size_t i = left_pos_++;
+  current_left_ = std::move(left_batch_.rows[i]);
+  Row key;
+  key.reserve(left_key_cols_.size());
+  for (std::vector<Value>& col : left_key_cols_) {
+    key.push_back(std::move(col[i]));
+  }
+  rids_ = index_->Lookup(key);
+  rid_pos_ = 0;
+  return true;
+}
+
+Status IndexNLJoinOp::NextBatch(RowBatch* out) {
+  out->clear();
+  while (!out->full()) {
+    if (!current_left_.has_value()) {
+      XNF_ASSIGN_OR_RETURN(bool more, AdvanceLeft());
+      if (!more) return Status::Ok();
+    }
+    while (rid_pos_ < rids_.size() && !out->full()) {
       Rid rid = rids_[rid_pos_++];
       XNF_ASSIGN_OR_RETURN(Row right, table_->heap->Read(rid));
-      Row combined = *current_left_;
-      combined.insert(combined.end(), right.begin(), right.end());
+      Row combined = ConcatRows(*current_left_, right);
       XNF_ASSIGN_OR_RETURN(bool ok, PassesFilters(residual_, combined, ctx_));
-      if (ok) return std::optional<Row>(std::move(combined));
+      if (ok) out->Add(std::move(combined));
     }
-    current_left_.reset();
+    if (rid_pos_ >= rids_.size()) current_left_.reset();
   }
+  return Status::Ok();
 }
 
 // --- AggregateOp ------------------------------------------------------------
@@ -414,7 +595,7 @@ Result<Value> AggregateOp::Finalize(const AggState& state,
   return Status::Internal("unhandled aggregate");
 }
 
-Status AggregateOp::Open(ExecContext* ctx) {
+Status AggregateOp::OpenImpl(ExecContext* ctx) {
   groups_.clear();
   pos_ = 0;
   if (env_) env_->ResetCaches();
@@ -434,30 +615,41 @@ Status AggregateOp::Open(ExecContext* ctx) {
   ectx.exec = ctx;
   ectx.subqueries = env_.get();
 
+  RowBatch batch;
   while (true) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-    if (!row.has_value()) break;
-    ectx.row = &*row;
-    Row key;
-    key.reserve(group_keys_.size());
+    XNF_RETURN_IF_ERROR(child_->NextBatch(&batch));
+    if (batch.empty()) break;
+    std::vector<const Row*> ptrs = BatchPtrs(batch);
+    // Group keys column-wise over the batch.
+    std::vector<std::vector<Value>> key_cols;
+    key_cols.reserve(group_keys_.size());
     for (const qgm::ExprPtr& k : group_keys_) {
-      XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k, &ectx));
-      key.push_back(std::move(v));
+      XNF_ASSIGN_OR_RETURN(std::vector<Value> col,
+                           EvalExprBatch(*k, ptrs, &ectx));
+      key_cols.push_back(std::move(col));
     }
-    Group* group;
-    auto it = index.find(key);
-    if (it == index.end()) {
-      index.emplace(std::move(key), groups_.size());
-      groups_.emplace_back();
-      group = &groups_.back();
-      group->representative = *row;
-      group->states.resize(aggs_.size());
-    } else {
-      group = &groups_[it->second];
-    }
-    for (size_t i = 0; i < aggs_.size(); ++i) {
-      XNF_RETURN_IF_ERROR(
-          Accumulate(&group->states[i], aggs_[i], *row, &ectx));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Row& row = batch[i];
+      Row key;
+      key.reserve(key_cols.size());
+      for (std::vector<Value>& col : key_cols) {
+        key.push_back(std::move(col[i]));
+      }
+      Group* group;
+      auto it = index.find(key);
+      if (it == index.end()) {
+        index.emplace(std::move(key), groups_.size());
+        groups_.emplace_back();
+        group = &groups_.back();
+        group->representative = row;
+        group->states.resize(aggs_.size());
+      } else {
+        group = &groups_[it->second];
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        XNF_RETURN_IF_ERROR(
+            Accumulate(&group->states[a], aggs_[a], row, &ectx));
+      }
     }
   }
 
@@ -471,102 +663,119 @@ Status AggregateOp::Open(ExecContext* ctx) {
   return Status::Ok();
 }
 
-Result<std::optional<Row>> AggregateOp::Next() {
-  if (pos_ >= groups_.size()) return std::optional<Row>();
-  const Group& g = groups_[pos_++];
-  Row out = g.representative;
-  for (size_t i = 0; i < aggs_.size(); ++i) {
-    XNF_ASSIGN_OR_RETURN(Value v, Finalize(g.states[i], aggs_[i]));
-    out.push_back(std::move(v));
+Status AggregateOp::NextBatch(RowBatch* out) {
+  out->clear();
+  while (pos_ < groups_.size() && !out->full()) {
+    Group& g = groups_[pos_++];
+    // Moves: groups_ is rebuilt by the next Open().
+    Row row = std::move(g.representative);
+    row.reserve(row.size() + aggs_.size());
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      XNF_ASSIGN_OR_RETURN(Value v, Finalize(g.states[a], aggs_[a]));
+      row.push_back(std::move(v));
+    }
+    out->Add(std::move(row));
   }
-  return std::optional<Row>(std::move(out));
+  return Status::Ok();
 }
 
 // --- SortOp -----------------------------------------------------------------
 
-Status SortOp::Open(ExecContext* ctx) {
+Status SortOp::OpenImpl(ExecContext* ctx) {
   rows_.clear();
   pos_ = 0;
   XNF_RETURN_IF_ERROR(child_->Open(ctx));
-  while (true) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-    if (!row.has_value()) break;
-    rows_.push_back(std::move(*row));
-  }
-  // Precompute key rows.
-  std::vector<std::pair<Row, size_t>> keyed;
-  keyed.reserve(rows_.size());
+  XNF_RETURN_IF_ERROR(DrainChild(child_.get(), &rows_));
+  // Sort keys column-wise over the whole input.
   EvalContext ectx;
   ectx.exec = ctx;
   ectx.subqueries = env_.get();
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    ectx.row = &rows_[i];
-    Row key;
-    key.reserve(keys_.size());
-    for (const Key& k : keys_) {
-      XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*k.expr, &ectx));
-      key.push_back(std::move(v));
-    }
-    keyed.emplace_back(std::move(key), i);
+  std::vector<const Row*> ptrs;
+  ptrs.reserve(rows_.size());
+  for (const Row& r : rows_) ptrs.push_back(&r);
+  std::vector<std::vector<Value>> key_cols;
+  key_cols.reserve(keys_.size());
+  for (const Key& k : keys_) {
+    XNF_ASSIGN_OR_RETURN(std::vector<Value> col,
+                         EvalExprBatch(*k.expr, ptrs, &ectx));
+    key_cols.push_back(std::move(col));
   }
-  std::stable_sort(keyed.begin(), keyed.end(),
-                   [this](const auto& a, const auto& b) {
-                     for (size_t i = 0; i < keys_.size(); ++i) {
-                       int c = a.first[i].TotalOrderCompare(b.first[i]);
-                       if (c != 0) return keys_[i].ascending ? c < 0 : c > 0;
+  std::vector<size_t> order(rows_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this, &key_cols](size_t a, size_t b) {
+                     for (size_t k = 0; k < keys_.size(); ++k) {
+                       int c = key_cols[k][a].TotalOrderCompare(key_cols[k][b]);
+                       if (c != 0) return keys_[k].ascending ? c < 0 : c > 0;
                      }
                      return false;
                    });
   std::vector<Row> sorted;
   sorted.reserve(rows_.size());
-  for (const auto& [key, i] : keyed) sorted.push_back(std::move(rows_[i]));
+  for (size_t i : order) sorted.push_back(std::move(rows_[i]));
   rows_ = std::move(sorted);
   return Status::Ok();
 }
 
-Result<std::optional<Row>> SortOp::Next() {
-  if (pos_ >= rows_.size()) return std::optional<Row>();
-  return std::optional<Row>(std::move(rows_[pos_++]));
+Status SortOp::NextBatch(RowBatch* out) {
+  out->clear();
+  size_t end = std::min(rows_.size(), pos_ + kBatchSize);
+  out->rows.reserve(end - pos_);
+  for (; pos_ < end; ++pos_) out->rows.push_back(std::move(rows_[pos_]));
+  return Status::Ok();
 }
 
 // --- DistinctOp -------------------------------------------------------------
 
-Status DistinctOp::Open(ExecContext* ctx) {
+Status DistinctOp::OpenImpl(ExecContext* ctx) {
   seen_.clear();
   return child_->Open(ctx);
 }
 
-Result<std::optional<Row>> DistinctOp::Next() {
+Status DistinctOp::NextBatch(RowBatch* out) {
+  out->clear();
   while (true) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-    if (!row.has_value()) return row;
-    if (seen_.insert(*row).second) return row;
+    input_.clear();
+    XNF_RETURN_IF_ERROR(child_->NextBatch(&input_));
+    if (input_.empty()) return Status::Ok();
+    for (Row& row : input_.rows) {
+      if (seen_.insert(row).second) out->Add(std::move(row));
+    }
+    if (!out->empty()) return Status::Ok();
   }
 }
 
 // --- LimitOp ----------------------------------------------------------------
 
-Status LimitOp::Open(ExecContext* ctx) {
+Status LimitOp::OpenImpl(ExecContext* ctx) {
   produced_ = 0;
   skipped_ = 0;
   return child_->Open(ctx);
 }
 
-Result<std::optional<Row>> LimitOp::Next() {
-  while (skipped_ < offset_) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-    if (!row.has_value()) return row;
-    ++skipped_;
+Status LimitOp::NextBatch(RowBatch* out) {
+  out->clear();
+  while (produced_ < limit_) {
+    input_.clear();
+    XNF_RETURN_IF_ERROR(child_->NextBatch(&input_));
+    if (input_.empty()) return Status::Ok();
+    size_t i = 0;
+    while (i < input_.size() && skipped_ < offset_) {
+      ++skipped_;
+      ++i;
+    }
+    for (; i < input_.size() && produced_ < limit_; ++i) {
+      out->Add(std::move(input_.rows[i]));
+      ++produced_;
+    }
+    if (!out->empty()) return Status::Ok();
   }
-  if (produced_ >= limit_) return std::optional<Row>();
-  XNF_ASSIGN_OR_RETURN(std::optional<Row> row, child_->Next());
-  if (row.has_value()) ++produced_;
-  return row;
+  return Status::Ok();
 }
 
 // --- UnionOp ----------------------------------------------------------------
 
-Status UnionOp::Open(ExecContext* ctx) {
+Status UnionOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   current_ = 0;
   seen_.clear();
@@ -574,46 +783,53 @@ Status UnionOp::Open(ExecContext* ctx) {
   return Status::Ok();
 }
 
-Result<std::optional<Row>> UnionOp::Next() {
+Status UnionOp::NextBatch(RowBatch* out) {
+  out->clear();
   while (current_ < children_.size()) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, children_[current_]->Next());
-    if (!row.has_value()) {
+    input_.clear();
+    XNF_RETURN_IF_ERROR(children_[current_]->NextBatch(&input_));
+    if (input_.empty()) {
       ++current_;
       continue;
     }
-    if (distinct_ && !seen_.insert(*row).second) continue;
-    return row;
-  }
-  return std::optional<Row>();
-}
-
-}  // namespace xnf::exec
-
-namespace xnf::exec {
-
-// --- IntersectExceptOp --------------------------------------------------
-
-Status IntersectExceptOp::Open(ExecContext* ctx) {
-  right_rows_.clear();
-  emitted_.clear();
-  XNF_RETURN_IF_ERROR(left_->Open(ctx));
-  XNF_RETURN_IF_ERROR(right_->Open(ctx));
-  while (true) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, right_->Next());
-    if (!row.has_value()) break;
-    right_rows_.insert(std::move(*row));
+    for (Row& row : input_.rows) {
+      if (distinct_ && !seen_.insert(row).second) continue;
+      out->Add(std::move(row));
+    }
+    if (!out->empty()) return Status::Ok();
   }
   return Status::Ok();
 }
 
-Result<std::optional<Row>> IntersectExceptOp::Next() {
+// --- IntersectExceptOp ------------------------------------------------------
+
+Status IntersectExceptOp::OpenImpl(ExecContext* ctx) {
+  right_rows_.clear();
+  emitted_.clear();
+  XNF_RETURN_IF_ERROR(left_->Open(ctx));
+  XNF_RETURN_IF_ERROR(right_->Open(ctx));
+  RowBatch batch;
   while (true) {
-    XNF_ASSIGN_OR_RETURN(std::optional<Row> row, left_->Next());
-    if (!row.has_value()) return row;
-    bool in_right = right_rows_.count(*row) > 0;
-    if (in_right == is_except_) continue;  // filtered out
-    if (!emitted_.insert(*row).second) continue;  // distinct semantics
-    return row;
+    XNF_RETURN_IF_ERROR(right_->NextBatch(&batch));
+    if (batch.empty()) break;
+    for (Row& row : batch.rows) right_rows_.insert(std::move(row));
+  }
+  return Status::Ok();
+}
+
+Status IntersectExceptOp::NextBatch(RowBatch* out) {
+  out->clear();
+  while (true) {
+    input_.clear();
+    XNF_RETURN_IF_ERROR(left_->NextBatch(&input_));
+    if (input_.empty()) return Status::Ok();
+    for (Row& row : input_.rows) {
+      bool in_right = right_rows_.count(row) > 0;
+      if (in_right == is_except_) continue;  // filtered out
+      if (!emitted_.insert(row).second) continue;  // distinct semantics
+      out->Add(std::move(row));
+    }
+    if (!out->empty()) return Status::Ok();
   }
 }
 

@@ -23,8 +23,10 @@ class ValuesOp : public Operator {
   ValuesOp(Schema schema, const ResultSet* ext)
       : Operator(std::move(schema)), ext_(ext) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   std::vector<Row> rows_;
@@ -33,7 +35,8 @@ class ValuesOp : public Operator {
 };
 
 // Full scan of a base table with optional pushed-down filters (compiled with
-// slots over the table row alone; must be subquery-free).
+// slots over the table row alone; must be subquery-free). The materialized
+// scan is filtered batch-wise at Open.
 class SeqScanOp : public Operator {
  public:
   SeqScanOp(Schema schema, std::string table_name,
@@ -42,8 +45,10 @@ class SeqScanOp : public Operator {
         table_name_(std::move(table_name)),
         filters_(std::move(filters)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   std::string table_name_;
@@ -65,8 +70,10 @@ class IndexLookupOp : public Operator {
         keys_(std::move(keys)),
         filters_(std::move(filters)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   std::string table_name_;
@@ -77,8 +84,9 @@ class IndexLookupOp : public Operator {
   size_t pos_ = 0;
 };
 
-// Residual predicate filter. Subquery-bearing predicates are evaluated here
-// via the shared SubqueryEnv.
+// Residual predicate filter. Predicates are evaluated batch-wise;
+// subquery-bearing predicates fall back to scalar evaluation per row via the
+// shared SubqueryEnv.
 class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, std::vector<qgm::ExprPtr> predicates,
@@ -88,18 +96,22 @@ class FilterOp : public Operator {
         predicates_(std::move(predicates)),
         env_(std::move(env)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   OperatorPtr child_;
   std::vector<qgm::ExprPtr> predicates_;
   std::shared_ptr<SubqueryEnv> env_;
   ExecContext* ctx_ = nullptr;
+  RowBatch input_;  // reused per-call staging batch
 };
 
-// Projection (the SELECT-box head).
+// Projection (the SELECT-box head). Head expressions are evaluated
+// column-wise over each input batch.
 class ProjectOp : public Operator {
  public:
   ProjectOp(Schema schema, OperatorPtr child, std::vector<qgm::ExprPtr> exprs,
@@ -109,15 +121,18 @@ class ProjectOp : public Operator {
         exprs_(std::move(exprs)),
         env_(std::move(env)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   OperatorPtr child_;
   std::vector<qgm::ExprPtr> exprs_;
   std::shared_ptr<SubqueryEnv> env_;
   ExecContext* ctx_ = nullptr;
+  RowBatch input_;
 };
 
 // Nested-loop join; supports inner and left-outer. The output row is the
@@ -132,19 +147,26 @@ class NestedLoopJoinOp : public Operator {
         predicates_(std::move(predicates)),
         left_outer_(left_outer) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override {
     left_->Close();
     right_->Close();
   }
 
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+
  private:
+  // Pulls the next left row into current_left_; sets done when exhausted.
+  Result<bool> AdvanceLeft();
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<qgm::ExprPtr> predicates_;
   bool left_outer_;
   ExecContext* ctx_ = nullptr;
+  RowBatch left_batch_;
+  size_t left_pos_ = 0;
   std::optional<Row> current_left_;
   std::vector<Row> right_rows_;  // materialized once at Open
   size_t right_pos_ = 0;
@@ -152,6 +174,7 @@ class NestedLoopJoinOp : public Operator {
 };
 
 // Hash equi-join; build side = right. Residual predicates see left ++ right.
+// Probe keys are computed column-wise per left batch.
 class HashJoinOp : public Operator {
  public:
   HashJoinOp(Schema schema, OperatorPtr left, OperatorPtr right,
@@ -166,12 +189,14 @@ class HashJoinOp : public Operator {
         residual_(std::move(residual)),
         left_outer_(left_outer) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override {
     left_->Close();
     right_->Close();
   }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   struct RowHash {
@@ -183,6 +208,9 @@ class HashJoinOp : public Operator {
     }
   };
 
+  // Pulls the next left row + its probe matches; false at end of stream.
+  Result<bool> AdvanceLeft();
+
   OperatorPtr left_;
   OperatorPtr right_;
   std::vector<qgm::ExprPtr> left_keys_;
@@ -191,6 +219,9 @@ class HashJoinOp : public Operator {
   bool left_outer_;
   ExecContext* ctx_ = nullptr;
   std::unordered_multimap<Row, Row, RowHash, RowEq> table_;
+  RowBatch left_batch_;
+  std::vector<std::vector<Value>> left_key_cols_;  // one column per key expr
+  size_t left_pos_ = 0;
   std::optional<Row> current_left_;
   std::vector<const Row*> matches_;
   size_t match_pos_ = 0;
@@ -199,7 +230,8 @@ class HashJoinOp : public Operator {
 };
 
 // Index nested-loop join: for each left row, evaluates `keys` (over the left
-// row) and probes `index_name` on `table_name`. Output = left ++ table row.
+// row, column-wise per batch) and probes `index_name` on `table_name`.
+// Output = left ++ table row.
 class IndexNLJoinOp : public Operator {
  public:
   IndexNLJoinOp(Schema schema, OperatorPtr left, std::string table_name,
@@ -212,11 +244,15 @@ class IndexNLJoinOp : public Operator {
         keys_(std::move(keys)),
         residual_(std::move(residual)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override { left_->Close(); }
 
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
+
  private:
+  Result<bool> AdvanceLeft();
+
   OperatorPtr left_;
   std::string table_name_;
   std::string index_name_;
@@ -225,6 +261,9 @@ class IndexNLJoinOp : public Operator {
   ExecContext* ctx_ = nullptr;
   TableInfo* table_ = nullptr;
   Index* index_ = nullptr;
+  RowBatch left_batch_;
+  std::vector<std::vector<Value>> left_key_cols_;
+  size_t left_pos_ = 0;
   std::optional<Row> current_left_;
   std::vector<Rid> rids_;
   size_t rid_pos_ = 0;
@@ -232,7 +271,8 @@ class IndexNLJoinOp : public Operator {
 
 // Hash aggregation. Output layout: representative input row ++ one value per
 // AggSpec — head expressions then address aggregates at slot
-// (input_width + agg_index).
+// (input_width + agg_index). Input is drained batch-wise at Open with
+// column-wise group-key evaluation.
 class AggregateOp : public Operator {
  public:
   AggregateOp(Schema schema, OperatorPtr child,
@@ -246,9 +286,11 @@ class AggregateOp : public Operator {
         env_(std::move(env)),
         scalar_(scalar) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   struct AggState {
@@ -278,7 +320,8 @@ class AggregateOp : public Operator {
   size_t pos_ = 0;
 };
 
-// Materializing sort.
+// Materializing sort. Sort keys are computed column-wise over the whole
+// input at Open.
 class SortOp : public Operator {
  public:
   struct Key {
@@ -293,9 +336,11 @@ class SortOp : public Operator {
         keys_(std::move(keys)),
         env_(std::move(env)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   OperatorPtr child_;
@@ -311,9 +356,11 @@ class DistinctOp : public Operator {
   explicit DistinctOp(OperatorPtr child) : Operator(child->schema()),
                                            child_(std::move(child)) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   struct RowHash {
@@ -326,6 +373,7 @@ class DistinctOp : public Operator {
   };
   OperatorPtr child_;
   std::unordered_set<Row, RowHash, RowEq> seen_;
+  RowBatch input_;
 };
 
 class LimitOp : public Operator {
@@ -336,9 +384,11 @@ class LimitOp : public Operator {
         limit_(limit),
         offset_(offset) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   OperatorPtr child_;
@@ -346,6 +396,7 @@ class LimitOp : public Operator {
   int64_t offset_;
   int64_t skipped_ = 0;
   int64_t produced_ = 0;
+  RowBatch input_;
 };
 
 // Concatenation of children (UNION ALL); with `distinct` dedups.
@@ -356,11 +407,13 @@ class UnionOp : public Operator {
         children_(std::move(children)),
         distinct_(distinct) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override {
     for (auto& c : children_) c->Close();
   }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   struct RowHash {
@@ -376,6 +429,7 @@ class UnionOp : public Operator {
   ExecContext* ctx_ = nullptr;
   size_t current_ = 0;
   std::unordered_set<Row, RowHash, RowEq> seen_;
+  RowBatch input_;
 };
 
 // SQL INTERSECT / EXCEPT with distinct semantics: deduplicated left rows
@@ -389,12 +443,14 @@ class IntersectExceptOp : public Operator {
         right_(std::move(right)),
         is_except_(is_except) {}
 
-  Status Open(ExecContext* ctx) override;
-  Result<std::optional<Row>> Next() override;
+  Status NextBatch(RowBatch* out) override;
   void Close() override {
     left_->Close();
     right_->Close();
   }
+
+ protected:
+  Status OpenImpl(ExecContext* ctx) override;
 
  private:
   struct RowHash {
@@ -410,6 +466,7 @@ class IntersectExceptOp : public Operator {
   bool is_except_;
   std::unordered_set<Row, RowHash, RowEq> right_rows_;
   std::unordered_set<Row, RowHash, RowEq> emitted_;
+  RowBatch input_;
 };
 
 }  // namespace xnf::exec

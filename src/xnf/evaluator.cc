@@ -127,7 +127,10 @@ Result<ResultSet> Evaluator::RunSelect(const sql::SelectStmt& stmt) {
   XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(stmt));
   XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
   (void)rw;
-  return plan::Execute(catalog_, graph);
+  XNF_ASSIGN_OR_RETURN(ResultSet rs, plan::Execute(catalog_, graph));
+  stats_.rows_produced += rs.stats.rows_produced;
+  stats_.batches_produced += rs.stats.batches_produced;
+  return rs;
 }
 
 Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
@@ -240,13 +243,44 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
         if (check(row)) emit(rid, row);
         XNF_RETURN_IF_ERROR(status);
       }
-    } else {
+    } else if (pred == nullptr) {
       table->heap->Scan([&](Rid rid, const Row& row) {
-        bool keep = check(row);
-        if (!status.ok()) return false;
-        if (keep) emit(rid, row);
+        emit(rid, row);
         return true;
       });
+    } else {
+      // Candidate scan with predicate: stage chunks and evaluate the
+      // predicate batch-wise.
+      std::vector<Rid> staged_rids;
+      std::vector<Row> staged_rows;
+      auto flush = [&]() -> Status {
+        if (staged_rows.empty()) return Status::Ok();
+        std::vector<const Row*> ptrs;
+        ptrs.reserve(staged_rows.size());
+        for (const Row& r : staged_rows) ptrs.push_back(&r);
+        std::vector<char> keep(staged_rows.size(), 1);
+        exec::EvalContext ectx;
+        ectx.exec = &exec_ctx;
+        XNF_RETURN_IF_ERROR(
+            exec::EvalPredicateBatch(*pred, ptrs, &ectx, &keep));
+        for (size_t i = 0; i < staged_rows.size(); ++i) {
+          if (keep[i]) emit(staged_rids[i], staged_rows[i]);
+        }
+        staged_rids.clear();
+        staged_rows.clear();
+        return Status::Ok();
+      };
+      table->heap->Scan([&](Rid rid, const Row& row) {
+        staged_rids.push_back(rid);
+        staged_rows.push_back(row);
+        if (staged_rows.size() >= exec::kBatchSize) {
+          status = flush();
+          return status.ok();
+        }
+        return true;
+      });
+      XNF_RETURN_IF_ERROR(status);
+      XNF_RETURN_IF_ERROR(flush());
     }
     XNF_RETURN_IF_ERROR(status);
     stats_.node_queries++;
@@ -685,6 +719,8 @@ Result<CoInstance> Evaluator::Evaluate(const XnfQuery& query) {
     stats_.temp_reuses += nested.stats().temp_reuses;
     stats_.reachability_passes += nested.stats().reachability_passes;
     stats_.restrictions_applied += nested.stats().restrictions_applied;
+    stats_.rows_produced += nested.stats().rows_produced;
+    stats_.batches_produced += nested.stats().batches_produced;
     return out;
   });
   XNF_ASSIGN_OR_RETURN(CoDef def, resolver.Resolve(query));

@@ -40,6 +40,10 @@ class Evaluator {
     int temp_reuses = 0;         // edge-side reuses of node temps
     int reachability_passes = 0;
     int restrictions_applied = 0;
+    // Executor counters accumulated over every engine query this evaluation
+    // ran (RunSelect drains).
+    uint64_t rows_produced = 0;
+    uint64_t batches_produced = 0;
   };
 
   explicit Evaluator(Catalog* catalog) : catalog_(catalog) {}
