@@ -1,15 +1,20 @@
 // Interactive SQL/XNF shell: type statements terminated by ';'. SELECTs
-// print tables, XNF queries print composite objects, EXPLAIN dumps the QGM.
+// print tables, XNF queries print composite objects, EXPLAIN [ANALYZE]
+// prints the QGM plus the operator tree (ANALYZE with actual counters).
 //
 //   ./build/examples/xnf_shell            # interactive
 //   ./build/examples/xnf_shell < script   # batch
 //
-// Commands: \tables, \views, \stats (last XNF evaluation), \help, \quit.
+// Commands: \tables, \views, \stats, \help, \quit, and dot-style toggles:
+// .timer on|off (wall time per statement), .stats [on|off] (print counters /
+// toggle per-operator collection), .trace on|off (pipeline span timeline).
 
+#include <chrono>
 #include <iostream>
 #include <string>
 
 #include "api/database.h"
+#include "common/trace.h"
 
 namespace {
 
@@ -39,20 +44,45 @@ void PrintResult(const xnf::ExecResult& result) {
   }
 }
 
+void PrintStats(xnf::Database* db) {
+  const auto& s = db->last_xnf_stats();
+  std::cout << "xnf: " << s.node_queries << " node quer(ies), "
+            << s.edge_queries << " edge quer(ies), " << s.temp_reuses
+            << " temp reuse(s), cse " << s.cse_hits << " hit(s)/"
+            << s.cse_misses << " miss(es), " << s.reachability_passes
+            << " reachability pass(es)\n";
+  const auto& e = db->last_exec_stats();
+  std::cout << "last SELECT: " << e.rows_produced << " row(s) in "
+            << e.batches_produced << " batch(es), " << e.buffer_pool_faults
+            << " fault(s), " << e.buffer_pool_evictions << " eviction(s)\n";
+  std::cout << "buffer pool: " << db->buffer_pool()->accesses()
+            << " access(es), " << db->buffer_pool()->faults() << " fault(s), "
+            << db->buffer_pool()->evictions() << " eviction(s) total\n";
+  if (!db->last_plan_profile().empty()) {
+    std::cout << "last plan:\n" << db->last_plan_profile();
+  }
+}
+
 void PrintHelp() {
   std::cout <<
       "SQL:  CREATE TABLE/INDEX/VIEW, INSERT, UPDATE, DELETE, SELECT,\n"
-      "      EXPLAIN SELECT ...\n"
+      "      EXPLAIN [ANALYZE] SELECT ... | OUT OF ...\n"
       "XNF:  OUT OF <components> [WHERE ... SUCH THAT ...]\n"
       "        TAKE ... | DELETE * | UPDATE <node> SET ...\n"
       "      CREATE VIEW name AS OUT OF ...  defines a CO view\n"
-      "Meta: \\tables  \\views  \\stats  \\help  \\quit\n";
+      "Meta: \\tables  \\views  \\stats  \\help  \\quit\n"
+      "      .timer on|off   wall time per statement\n"
+      "      .stats [on|off] print counters / toggle per-operator stats\n"
+      "      .trace on|off   pipeline span timeline per statement\n";
 }
 
 }  // namespace
 
 int main() {
   xnf::Database db;
+  xnf::CollectingTraceSink trace;
+  bool timer = false;
+  bool tracing = false;
   std::cout << "SQL/XNF shell — composite objects over relational data.\n"
             << "Statements end with ';'. \\help for help.\n";
   std::string buffer;
@@ -61,6 +91,25 @@ int main() {
     std::cout << (buffer.empty() ? "xnf> " : "...> ") << std::flush;
     if (!std::getline(std::cin, line)) break;
     // Meta commands act immediately.
+    if (buffer.empty() && !line.empty() && line[0] == '.') {
+      if (line == ".timer on" || line == ".timer off") {
+        timer = line == ".timer on";
+        std::cout << "timer " << (timer ? "on" : "off") << "\n";
+      } else if (line == ".stats") {
+        PrintStats(&db);
+      } else if (line == ".stats on" || line == ".stats off") {
+        db.set_collect_exec_stats(line == ".stats on");
+        std::cout << "per-operator stats "
+                  << (db.collect_exec_stats() ? "on" : "off") << "\n";
+      } else if (line == ".trace on" || line == ".trace off") {
+        tracing = line == ".trace on";
+        db.set_trace_sink(tracing ? &trace : nullptr);
+        std::cout << "trace " << (tracing ? "on" : "off") << "\n";
+      } else {
+        std::cout << "unknown command; \\help for help\n";
+      }
+      continue;
+    }
     if (buffer.empty() && !line.empty() && line[0] == '\\') {
       if (line == "\\quit" || line == "\\q") break;
       if (line == "\\help") {
@@ -77,18 +126,7 @@ int main() {
           std::cout << v << (info->is_xnf ? " [XNF]" : " [SQL]") << "\n";
         }
       } else if (line == "\\stats") {
-        const auto& s = db.last_xnf_stats();
-        std::cout << "node queries: " << s.node_queries
-                  << ", edge queries: " << s.edge_queries
-                  << ", temp reuses: " << s.temp_reuses
-                  << ", reachability passes: " << s.reachability_passes
-                  << ", restrictions: " << s.restrictions_applied << "\n"
-                  << "executor: " << s.rows_produced << " row(s) in "
-                  << s.batches_produced << " batch(es)\n";
-        const auto& e = db.last_exec_stats();
-        std::cout << "last SELECT: " << e.rows_produced << " row(s) in "
-                  << e.batches_produced << " batch(es), "
-                  << e.buffer_pool_faults << " buffer-pool fault(s)\n";
+        PrintStats(&db);
       } else {
         std::cout << "unknown command; \\help for help\n";
       }
@@ -96,11 +134,23 @@ int main() {
     }
     buffer += line + "\n";
     if (buffer.find(';') == std::string::npos) continue;
+    trace.Clear();
+    auto start = std::chrono::steady_clock::now();
     auto result = db.Execute(buffer);
+    auto elapsed = std::chrono::steady_clock::now() - start;
     if (result.ok()) {
       PrintResult(*result);
     } else {
       std::cout << "error: " << result.status().ToString() << "\n";
+    }
+    if (tracing && !trace.spans().empty()) {
+      std::cout << "trace:\n" << trace.ToString();
+    }
+    if (timer) {
+      auto us =
+          std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+              .count();
+      std::cout << "Run Time: " << us / 1000 << "." << us % 1000 << " ms\n";
     }
     buffer.clear();
   }

@@ -2,6 +2,7 @@
 
 #include "common/str_util.h"
 #include "exec/dml.h"
+#include "exec/explain.h"
 #include "exec/operators.h"
 #include "plan/planner.h"
 #include "qgm/builder.h"
@@ -13,6 +14,27 @@
 #include "xnf/parser.h"
 
 namespace xnf {
+
+namespace {
+
+// Splits `text` on newlines into single-column "plan" rows.
+void EmitLines(const std::string& text, ResultSet* out) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    out->rows.push_back({Value::String(text.substr(start, nl - start))});
+    start = nl + 1;
+  }
+}
+
+// "12.3us" — matches the RenderPlan time format.
+std::string FormatUs(uint64_t ns) {
+  return std::to_string(ns / 1000) + "." + std::to_string((ns / 100) % 10) +
+         "us";
+}
+
+}  // namespace
 
 Database::Database(Options options)
     : options_(options), buffer_pool_(options.buffer_pool_pages),
@@ -46,9 +68,21 @@ Result<const ResultSet*> Database::ResolveExtra(const std::string& name) {
 
 Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
   exec::ExecContext ctx;
-  ctx.catalog = catalog_;
+  ctx.catalog = &db_->catalog_;
   ctx.params = &params;
-  return exec::RunPlan(plan_.get(), &ctx);
+  ctx.collect_stats = db_->collect_exec_stats_;
+  Result<ResultSet> rows = [&]() -> Result<ResultSet> {
+    TraceScope span(db_->trace_sink_, "execute", "prepared");
+    return exec::RunPlan(plan_.get(), &ctx);
+  }();
+  if (rows.ok()) {
+    db_->exec_stats_ = rows->stats;
+    if (db_->collect_exec_stats_) {
+      db_->last_plan_profile_ =
+          exec::RenderPlan(plan_.get(), &db_->catalog_, /*analyze=*/true);
+    }
+  }
+  return rows;
 }
 
 Result<std::unique_ptr<PreparedQuery>> Database::Prepare(
@@ -67,7 +101,7 @@ Result<std::unique_ptr<PreparedQuery>> Database::Prepare(
   plan::Planner planner(&catalog_);
   XNF_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.Plan(graph));
   return std::unique_ptr<PreparedQuery>(
-      new PreparedQuery(std::move(plan), &catalog_));
+      new PreparedQuery(std::move(plan), this));
 }
 
 Result<ResultSet> Database::Query(const std::string& select_text) {
@@ -127,9 +161,11 @@ Result<ExecResult> Database::ExecuteScript(const std::string& text) {
 
 Result<ExecResult> Database::Execute(const std::string& text) {
   component_cache_.clear();
+  TraceScope statement_span(trace_sink_, "statement",
+                            trace_sink_ != nullptr ? text : std::string());
 
-  // Dispatch: XNF queries begin with OUT OF; EXPLAIN dumps the rewritten
-  // Query Graph Model of a SELECT.
+  // Dispatch: XNF queries begin with OUT OF; EXPLAIN [ANALYZE] goes through
+  // the parser like any other statement.
   XNF_ASSIGN_OR_RETURN(auto tokens, sql::Lex(text));
   if (!tokens.empty() && tokens[0].Is("out")) {
     return ExecuteXnf(text);
@@ -169,37 +205,11 @@ Result<ExecResult> Database::Execute(const std::string& text) {
     return result;
   }
 
-  if (!tokens.empty() && tokens[0].Is("explain")) {
-    size_t body_offset = tokens.size() > 1 ? tokens[1].offset : text.size();
-    sql::Parser body(text.substr(body_offset));
-    XNF_ASSIGN_OR_RETURN(std::unique_ptr<sql::SelectStmt> select,
-                         body.ParseSelect());
-    qgm::Builder builder(&catalog_, [this](const std::string& name) {
-      return ResolveExtra(name);
-    });
-    XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(*select));
-    XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
-    ExecResult result;
-    result.kind = ExecResult::Kind::kRows;
-    result.rows.schema.AddColumn(Column("plan", Type::kString));
-    std::string dump = graph.ToString();
-    dump += "rewrite: " + std::to_string(rw.views_merged) +
-            " view(s) merged, " + std::to_string(rw.predicates_pushed) +
-            " predicate(s) pushed, " + std::to_string(rw.constants_folded) +
-            " constant(s) folded";
-    size_t start = 0;
-    while (start < dump.size()) {
-      size_t nl = dump.find('\n', start);
-      if (nl == std::string::npos) nl = dump.size();
-      result.rows.rows.push_back(
-          {Value::String(dump.substr(start, nl - start))});
-      start = nl + 1;
-    }
-    return result;
-  }
-
   sql::Parser parser(text);
-  XNF_ASSIGN_OR_RETURN(sql::Statement stmt, parser.ParseStatement());
+  XNF_ASSIGN_OR_RETURN(sql::Statement stmt, [&]() -> Result<sql::Statement> {
+    TraceScope span(trace_sink_, "parse");
+    return parser.ParseStatement();
+  }());
   if (!parser.AtEnd()) {
     return parser.MakeError("unexpected trailing input");
   }
@@ -207,18 +217,13 @@ Result<ExecResult> Database::Execute(const std::string& text) {
   ExecResult result;
   switch (stmt.kind) {
     case sql::Statement::Kind::kSelect: {
-      qgm::Builder builder(&catalog_, [this](const std::string& name) {
-        return ResolveExtra(name);
-      });
-      XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph,
-                           builder.Build(*stmt.select));
-      XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
-      (void)rw;
-      XNF_ASSIGN_OR_RETURN(result.rows, plan::Execute(&catalog_, graph));
+      XNF_ASSIGN_OR_RETURN(result.rows, RunSelect(*stmt.select));
       exec_stats_ = result.rows.stats;
       result.kind = ExecResult::Kind::kRows;
       return result;
     }
+    case sql::Statement::Kind::kExplain:
+      return ExecuteExplain(*stmt.explain);
     case sql::Statement::Kind::kCreateTable: {
       Schema schema;
       for (const sql::ColumnDef& c : stmt.create_table->columns) {
@@ -299,9 +304,153 @@ Result<ExecResult> Database::Execute(const std::string& text) {
   return Status::Internal("unhandled statement kind");
 }
 
+Result<ResultSet> Database::RunSelect(const sql::SelectStmt& select) {
+  qgm::Builder builder(&catalog_, [this](const std::string& name) {
+    return ResolveExtra(name);
+  });
+  XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph,
+                       [&]() -> Result<qgm::QueryGraph> {
+                         TraceScope span(trace_sink_, "qgm-build");
+                         return builder.Build(select);
+                       }());
+  XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw,
+                       [&]() -> Result<qgm::RewriteStats> {
+                         TraceScope span(trace_sink_, "rewrite");
+                         return qgm::Rewrite(&graph, trace_sink_);
+                       }());
+  (void)rw;
+  plan::Planner planner(&catalog_);
+  XNF_ASSIGN_OR_RETURN(exec::OperatorPtr root,
+                       [&]() -> Result<exec::OperatorPtr> {
+                         TraceScope span(trace_sink_, "plan");
+                         return planner.Plan(graph);
+                       }());
+  exec::ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.collect_stats = collect_exec_stats_;
+  Result<ResultSet> rows = [&]() -> Result<ResultSet> {
+    TraceScope span(trace_sink_, "execute");
+    return exec::RunPlan(root.get(), &ctx);
+  }();
+  if (collect_exec_stats_ && rows.ok()) {
+    last_plan_profile_ =
+        exec::RenderPlan(root.get(), &catalog_, /*analyze=*/true);
+  }
+  return rows;
+}
+
+Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& explain) {
+  ExecResult result;
+  result.kind = ExecResult::Kind::kRows;
+  result.rows.schema.AddColumn(Column("plan", Type::kString));
+  std::string dump;
+
+  if (!explain.xnf_text.empty()) {
+    // XNF body: EXPLAIN shows the resolved CO schema graph; ANALYZE
+    // evaluates the query and appends the per-node/per-edge derived-query
+    // profile (§4.3) plus the CSE and reachability counters.
+    XNF_ASSIGN_OR_RETURN(co::XnfQuery query,
+                         co::Parser::Parse(explain.xnf_text));
+    if (explain.analyze) {
+      co::Evaluator evaluator(&catalog_, xnf_options_);
+      evaluator.set_trace_sink(trace_sink_);
+      XNF_ASSIGN_OR_RETURN(co::CoInstance instance, evaluator.Evaluate(query));
+      xnf_stats_ = evaluator.stats();
+      const co::Evaluator::Stats& s = xnf_stats_;
+      dump += "xnf evaluation profile:\n";
+      for (const co::Evaluator::QueryProfile& p : s.profiles) {
+        dump += std::string("  ") +
+                (p.kind == co::Evaluator::QueryProfile::Kind::kNode
+                     ? "node "
+                     : "edge ") +
+                p.name + " access=" + p.access +
+                " rows=" + std::to_string(p.rows) +
+                " time=" + FormatUs(p.time_ns) + "\n";
+      }
+      dump += "queries: " + std::to_string(s.node_queries) + " node, " +
+              std::to_string(s.edge_queries) + " edge\n";
+      dump += "cse: " + std::to_string(s.cse_hits) + " hit(s), " +
+              std::to_string(s.cse_misses) + " miss(es), " +
+              std::to_string(s.temp_reuses) + " temp reuse(s)\n";
+      dump += "reachability passes: " +
+              std::to_string(s.reachability_passes) + "\n";
+      dump += "restrictions applied: " +
+              std::to_string(s.restrictions_applied) + "\n";
+      dump += "result:\n";
+      for (const co::CoNodeInstance& node : instance.nodes) {
+        dump += "  " + node.name + ": " + std::to_string(node.tuples.size()) +
+                " tuple(s)\n";
+      }
+      for (const co::CoRelInstance& rel : instance.rels) {
+        dump += "  " + rel.name + ": " +
+                std::to_string(rel.connections.size()) + " connection(s)\n";
+      }
+    } else {
+      co::Resolver resolver(
+          &catalog_, [this](const co::XnfQuery& q) -> Result<co::CoInstance> {
+            co::Evaluator nested(&catalog_, xnf_options_);
+            return nested.Evaluate(q);
+          });
+      XNF_ASSIGN_OR_RETURN(co::CoDef def, resolver.Resolve(query));
+      dump += "composite object:\n";
+      for (const co::CoNodeDef& n : def.nodes) {
+        dump += "  node " + n.name;
+        if (!n.table.empty()) {
+          dump += " (table " + n.table + ")";
+        } else if (n.premade != nullptr) {
+          dump += " (premade)";
+        } else {
+          dump += " (query)";
+        }
+        dump += "\n";
+      }
+      for (const co::CoRelDef& r : def.rels) {
+        dump += "  edge " + r.name + ": " + r.parent + " -> " + r.child;
+        if (!r.using_table.empty()) dump += " using " + r.using_table;
+        dump += "\n";
+      }
+    }
+    EmitLines(dump, &result.rows);
+    return result;
+  }
+
+  // SQL body: the rewritten Query Graph Model, the rewrite summary, and the
+  // selected operator tree; ANALYZE runs the plan with per-operator
+  // collection and annotates each operator with its actual counters.
+  qgm::Builder builder(&catalog_, [this](const std::string& name) {
+    return ResolveExtra(name);
+  });
+  XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(*explain.select));
+  XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
+  dump = graph.ToString();
+  dump += "rewrite: " + std::to_string(rw.views_merged) +
+          " view(s) merged, " + std::to_string(rw.predicates_pushed) +
+          " predicate(s) pushed, " + std::to_string(rw.constants_folded) +
+          " constant(s) folded\n";
+  plan::Planner planner(&catalog_);
+  XNF_ASSIGN_OR_RETURN(exec::OperatorPtr root, planner.Plan(graph));
+  if (explain.analyze) {
+    exec::ExecContext ctx;
+    ctx.catalog = &catalog_;
+    ctx.collect_stats = true;
+    XNF_ASSIGN_OR_RETURN(ResultSet rows, [&]() -> Result<ResultSet> {
+      TraceScope span(trace_sink_, "execute");
+      return exec::RunPlan(root.get(), &ctx);
+    }());
+    exec_stats_ = rows.stats;
+  }
+  dump += exec::RenderPlan(root.get(), &catalog_, explain.analyze);
+  EmitLines(dump, &result.rows);
+  return result;
+}
+
 Result<ExecResult> Database::ExecuteXnf(const std::string& text) {
-  XNF_ASSIGN_OR_RETURN(co::XnfQuery query, co::Parser::Parse(text));
+  XNF_ASSIGN_OR_RETURN(co::XnfQuery query, [&]() -> Result<co::XnfQuery> {
+    TraceScope span(trace_sink_, "parse");
+    return co::Parser::Parse(text);
+  }());
   co::Evaluator evaluator(&catalog_, xnf_options_);
+  evaluator.set_trace_sink(trace_sink_);
   XNF_ASSIGN_OR_RETURN(co::CoInstance instance, evaluator.Evaluate(query));
   xnf_stats_ = evaluator.stats();
 

@@ -9,6 +9,7 @@
 #include "catalog/undo_log.h"
 #include "common/result_set.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "exec/operator.h"
 #include "storage/buffer_pool.h"
 #include "xnf/cache.h"
@@ -16,6 +17,8 @@
 #include "xnf/instance.h"
 
 namespace xnf {
+
+class Database;
 
 // A compiled parameterized SELECT ('?' placeholders), prepared once and
 // executed many times with different bindings. This is the fast path of the
@@ -28,11 +31,11 @@ class PreparedQuery {
 
  private:
   friend class Database;
-  PreparedQuery(exec::OperatorPtr plan, const Catalog* catalog)
-      : plan_(std::move(plan)), catalog_(catalog) {}
+  PreparedQuery(exec::OperatorPtr plan, Database* db)
+      : plan_(std::move(plan)), db_(db) {}
 
   exec::OperatorPtr plan_;
-  const Catalog* catalog_;
+  Database* db_;  // owning database: catalog access + counter plumbing
 };
 
 // Result of executing one statement.
@@ -106,8 +109,30 @@ class Database {
     xnf_options_ = options;
   }
 
+  // Observability hooks. A trace sink receives spans for every pipeline
+  // stage (statement / parse / qgm-build / rewrite / plan / execute, plus
+  // the XNF evaluator phases). Null = tracing off (the default).
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
+
+  // When on, every SELECT collects per-operator counters (rows, batches,
+  // faults, time) and last_plan_profile() returns the annotated plan of the
+  // most recent one. Off by default: the executor then pays only one
+  // non-virtual branch per batch.
+  void set_collect_exec_stats(bool on) { collect_exec_stats_ = on; }
+  bool collect_exec_stats() const { return collect_exec_stats_; }
+
+  // EXPLAIN ANALYZE-style rendering of the most recent SELECT's operator
+  // tree; empty unless collect_exec_stats(true) was set before the query.
+  const std::string& last_plan_profile() const { return last_plan_profile_; }
+
  private:
+  friend class PreparedQuery;
+
   Result<ExecResult> ExecuteXnf(const std::string& text);
+  Result<ExecResult> ExecuteExplain(const sql::ExplainStmt& explain);
+  // SELECT pipeline (qgm-build -> rewrite -> plan -> execute) with trace
+  // spans and optional per-operator collection.
+  Result<ResultSet> RunSelect(const sql::SelectStmt& select);
   Result<ExecResult> ExecuteCoDelete(const co::CoInstance& instance);
   Result<ExecResult> ExecuteCoUpdate(const co::XnfQuery& query,
                                      co::CoInstance instance);
@@ -120,6 +145,9 @@ class Database {
   co::Evaluator::Options xnf_options_;
   co::Evaluator::Stats xnf_stats_;
   ExecStats exec_stats_;
+  TraceSink* trace_sink_ = nullptr;
+  bool collect_exec_stats_ = false;
+  std::string last_plan_profile_;
   std::unique_ptr<UndoLog> txn_;  // active transaction's undo log
   // Materializations of XNF view components referenced by SQL queries; kept
   // alive until the next statement.

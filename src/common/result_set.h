@@ -16,6 +16,7 @@ struct ExecStats {
   uint64_t rows_produced = 0;
   uint64_t batches_produced = 0;
   uint64_t buffer_pool_faults = 0;
+  uint64_t buffer_pool_evictions = 0;
 };
 
 // A fully materialized query result (or any schema'd row collection).

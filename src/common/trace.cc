@@ -1,0 +1,48 @@
+#include "common/trace.h"
+
+#include <sstream>
+
+namespace xnf {
+
+void CollectingTraceSink::BeginSpan(const std::string& name,
+                                    const std::string& detail) {
+  Span span;
+  span.name = name;
+  span.detail = detail;
+  span.depth = static_cast<int>(open_.size());
+  span.parent = open_.empty() ? -1 : open_.back();
+  spans_.push_back(std::move(span));
+  open_.push_back(static_cast<int>(spans_.size()) - 1);
+}
+
+void CollectingTraceSink::EndSpan(uint64_t duration_ns) {
+  if (open_.empty()) return;  // unbalanced EndSpan; ignore
+  Span& span = spans_[open_.back()];
+  span.duration_ns = duration_ns;
+  span.closed = true;
+  open_.pop_back();
+}
+
+void CollectingTraceSink::Clear() {
+  spans_.clear();
+  open_.clear();
+}
+
+std::string CollectingTraceSink::ToString() const {
+  std::ostringstream out;
+  for (const Span& span : spans_) {
+    for (int i = 0; i < span.depth; ++i) out << "  ";
+    out << span.name;
+    if (span.closed) {
+      out << "  [" << span.duration_ns / 1000 << "."
+          << (span.duration_ns / 100) % 10 << "us]";
+    } else {
+      out << "  [open]";
+    }
+    if (!span.detail.empty()) out << "  " << span.detail;
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xnf

@@ -1,0 +1,90 @@
+#ifndef XNF_COMMON_TRACE_H_
+#define XNF_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xnf {
+
+// Tracing hook for the statement pipeline (parse -> QGM build -> rewrite ->
+// plan -> execute) and the XNF evaluator's per-phase work. Spans nest:
+// BeginSpan/EndSpan calls are strictly bracketed, so a sink can reconstruct
+// the hierarchy from call order alone. A null sink everywhere means tracing
+// is off; call sites guard on the pointer, so the disabled cost is one
+// branch.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // Opens a span. `detail` carries span-specific context (statement text,
+  // node name, ...) and may be empty.
+  virtual void BeginSpan(const std::string& name,
+                         const std::string& detail) = 0;
+
+  // Closes the most recently opened span with its measured wall time.
+  virtual void EndSpan(uint64_t duration_ns) = 0;
+};
+
+// RAII span: times its own lifetime and reports to the sink (if any).
+class TraceScope {
+ public:
+  TraceScope(TraceSink* sink, const char* name, std::string detail = "")
+      : sink_(sink) {
+    if (sink_ != nullptr) {
+      sink_->BeginSpan(name, detail);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if (sink_ != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - start_;
+      sink_->EndSpan(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+  }
+
+ private:
+  TraceSink* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// In-memory sink: records every span with its nesting depth so tests can
+// assert on the hierarchy and the shell can print an indented timeline.
+class CollectingTraceSink : public TraceSink {
+ public:
+  struct Span {
+    std::string name;
+    std::string detail;
+    int depth = 0;       // 0 = top-level
+    int parent = -1;     // index into spans(), -1 for top-level
+    uint64_t duration_ns = 0;
+    bool closed = false;
+  };
+
+  void BeginSpan(const std::string& name, const std::string& detail) override;
+  void EndSpan(uint64_t duration_ns) override;
+
+  const std::vector<Span>& spans() const { return spans_; }
+  void Clear();
+
+  // Indented timeline, one line per span in begin order:
+  //   statement  [..us]  SELECT ...
+  //     parse  [..us]
+  std::string ToString() const;
+
+ private:
+  std::vector<Span> spans_;
+  std::vector<int> open_;  // stack of indices into spans_
+};
+
+}  // namespace xnf
+
+#endif  // XNF_COMMON_TRACE_H_

@@ -1,0 +1,45 @@
+#include "exec/explain.h"
+
+#include <sstream>
+#include <vector>
+
+namespace xnf::exec {
+namespace {
+
+void AppendTimeUs(uint64_t ns, std::ostringstream* out) {
+  *out << ns / 1000 << "." << (ns / 100) % 10 << "us";
+}
+
+void RenderNode(const Operator* op, const Catalog* catalog, bool analyze,
+                int depth, std::ostringstream* out) {
+  for (int i = 0; i < depth; ++i) *out << "  ";
+  *out << op->label();
+  std::string detail = op->detail();
+  if (!detail.empty()) *out << "(" << detail << ")";
+  *out << " ~" << op->EstimateRows(catalog) << " rows";
+  if (analyze) {
+    const OperatorStats& s = op->stats();
+    *out << "  [rows=" << s.rows_out << " batches=" << s.batches_out
+         << " opens=" << s.opens << " faults=" << s.buffer_pool_faults
+         << " time=";
+    AppendTimeUs(s.time_ns, out);
+    *out << "]";
+  }
+  *out << "\n";
+  std::vector<const Operator*> children;
+  op->AppendChildren(&children);
+  for (const Operator* child : children) {
+    RenderNode(child, catalog, analyze, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string RenderPlan(const Operator* root, const Catalog* catalog,
+                       bool analyze) {
+  std::ostringstream out;
+  RenderNode(root, catalog, analyze, 0, &out);
+  return out.str();
+}
+
+}  // namespace xnf::exec

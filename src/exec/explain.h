@@ -1,0 +1,31 @@
+#ifndef XNF_EXEC_EXPLAIN_H_
+#define XNF_EXEC_EXPLAIN_H_
+
+#include <string>
+
+#include "exec/operator.h"
+
+namespace xnf::exec {
+
+// Renders the operator tree rooted at `root` as an indented, deterministic
+// plan listing, one operator per line:
+//
+//   Project(q0.c0, q1.c1) ~33 rows
+//     HashJoin(keys=[q0.c0 = q1.c0]) ~100 rows
+//       SeqScan(item) ~100 rows
+//       SeqScan(part) ~1000 rows
+//
+// With `analyze`, each line additionally carries the collected per-operator
+// counters (the plan must have been executed with
+// ExecContext::collect_stats = true):
+//
+//   ... ~33 rows  [rows=28 batches=1 opens=1 faults=0 time=...]
+//
+// Everything except the time figure is deterministic; golden tests use
+// RenderPlan without `analyze` and counter tests parse the rows= fields.
+std::string RenderPlan(const Operator* root, const Catalog* catalog,
+                       bool analyze);
+
+}  // namespace xnf::exec
+
+#endif  // XNF_EXEC_EXPLAIN_H_

@@ -1,8 +1,10 @@
 #ifndef XNF_EXEC_OPERATOR_H_
 #define XNF_EXEC_OPERATOR_H_
 
+#include <chrono>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
@@ -34,15 +36,32 @@ struct RowBatch {
 
 // Per-invocation execution context. `params` carries correlation parameter
 // values when the plan being run is a subplan of an outer query.
+// `collect_stats` turns on per-operator counter collection (EXPLAIN ANALYZE,
+// .stats); when false the per-batch cost is a single predicted branch.
 struct ExecContext {
   const Catalog* catalog = nullptr;
   const std::vector<Value>* params = nullptr;
+  bool collect_stats = false;
+};
+
+// Per-operator execution counters, cumulative across re-opens of the same
+// plan (so `opens` > 1 identifies the inner side of a nested-loop re-open,
+// and rows_out counts every row the operator ever emitted). Wall time and
+// buffer-pool faults are *inclusive* of children — an operator's NextBatch
+// pulls from its child inside the timed region.
+struct OperatorStats {
+  uint64_t rows_out = 0;
+  uint64_t batches_out = 0;
+  uint64_t opens = 0;
+  uint64_t time_ns = 0;
+  uint64_t buffer_pool_faults = 0;
 };
 
 // Batch-at-a-time (vectorized volcano) iterator. Open() must fully reset
 // state so plans can be re-executed (correlated subplans are re-opened per
-// outer row); it also resets the row-at-a-time adapter's carry buffer, which
-// is why it is non-virtual and dispatches to OpenImpl().
+// outer row); it also resets the row-at-a-time adapter's carry buffer and
+// latches the stats-collection flag, which is why both Open() and
+// NextBatch() are non-virtual and dispatch to *Impl() hooks.
 class Operator {
  public:
   virtual ~Operator() = default;
@@ -53,12 +72,37 @@ class Operator {
   Status Open(ExecContext* ctx) {
     carry_.clear();
     carry_pos_ = 0;
-    return OpenImpl(ctx);
+    collect_ = ctx->collect_stats;
+    if (!collect_) return OpenImpl(ctx);
+    pool_ = ctx->catalog != nullptr ? ctx->catalog->buffer_pool() : nullptr;
+    ++stats_.opens;
+    uint64_t faults_before = pool_ != nullptr ? pool_->faults() : 0;
+    auto start = std::chrono::steady_clock::now();
+    Status status = OpenImpl(ctx);
+    stats_.time_ns += ElapsedNs(start);
+    if (pool_ != nullptr) {
+      stats_.buffer_pool_faults += pool_->faults() - faults_before;
+    }
+    return status;
   }
 
   // Clears `out` and fills it with up to kBatchSize rows. An empty `out` on
   // return means end of stream; subsequent calls keep returning empty.
-  virtual Status NextBatch(RowBatch* out) = 0;
+  Status NextBatch(RowBatch* out) {
+    if (!collect_) return NextBatchImpl(out);
+    uint64_t faults_before = pool_ != nullptr ? pool_->faults() : 0;
+    auto start = std::chrono::steady_clock::now();
+    Status status = NextBatchImpl(out);
+    stats_.time_ns += ElapsedNs(start);
+    if (pool_ != nullptr) {
+      stats_.buffer_pool_faults += pool_->faults() - faults_before;
+    }
+    if (status.ok() && !out->empty()) {
+      stats_.rows_out += out->size();
+      ++stats_.batches_out;
+    }
+    return status;
+  }
 
   virtual void Close() {}
 
@@ -69,23 +113,56 @@ class Operator {
   Result<std::optional<Row>> Next();
 
   const Schema& schema() const { return schema_; }
+  const OperatorStats& stats() const { return stats_; }
+
+  // --- Plan introspection (EXPLAIN) ---------------------------------------
+
+  // Operator kind, e.g. "HashJoin". Stable across runs.
+  virtual std::string label() const = 0;
+
+  // Operator-specific annotation (table name, predicates, join keys, ...).
+  // Empty when there is nothing to say. Stable across runs.
+  virtual std::string detail() const { return ""; }
+
+  // Appends this operator's direct children in plan order (left first).
+  virtual void AppendChildren(std::vector<const Operator*>* /*out*/) const {}
+
+  // Crude deterministic cardinality estimate for EXPLAIN output; cached so
+  // repeated rendering does not re-walk the tree.
+  uint64_t EstimateRows(const Catalog* catalog) const {
+    if (!estimate_.has_value()) estimate_ = EstimateRowsImpl(catalog);
+    return *estimate_;
+  }
 
  protected:
   explicit Operator(Schema schema) : schema_(std::move(schema)) {}
 
   virtual Status OpenImpl(ExecContext* ctx) = 0;
+  virtual Status NextBatchImpl(RowBatch* out) = 0;
+  virtual uint64_t EstimateRowsImpl(const Catalog* catalog) const = 0;
+
+  static uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
 
   Schema schema_;
 
  private:
   RowBatch carry_;  // adapter state for Next()
   size_t carry_pos_ = 0;
+  bool collect_ = false;
+  const BufferPool* pool_ = nullptr;
+  OperatorStats stats_;
+  mutable std::optional<uint64_t> estimate_;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
 // Drains `root` batch-wise into a materialized result, filling
-// ResultSet::stats (rows/batches produced, buffer-pool faults).
+// ResultSet::stats (rows/batches produced, buffer-pool faults/evictions).
 Result<ResultSet> RunPlan(Operator* root, ExecContext* ctx);
 
 }  // namespace xnf::exec

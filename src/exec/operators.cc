@@ -20,6 +20,7 @@ Result<ResultSet> RunPlan(Operator* root, ExecContext* ctx) {
   const BufferPool* pool =
       ctx->catalog != nullptr ? ctx->catalog->buffer_pool() : nullptr;
   uint64_t faults_before = pool != nullptr ? pool->faults() : 0;
+  uint64_t evictions_before = pool != nullptr ? pool->evictions() : 0;
   XNF_RETURN_IF_ERROR(root->Open(ctx));
   RowBatch batch;
   while (true) {
@@ -34,6 +35,7 @@ Result<ResultSet> RunPlan(Operator* root, ExecContext* ctx) {
   root->Close();
   if (pool != nullptr) {
     out.stats.buffer_pool_faults = pool->faults() - faults_before;
+    out.stats.buffer_pool_evictions = pool->evictions() - evictions_before;
   }
   return out;
 }
@@ -118,7 +120,7 @@ Status ValuesOp::OpenImpl(ExecContext*) {
   return Status::Ok();
 }
 
-Status ValuesOp::NextBatch(RowBatch* out) {
+Status ValuesOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   const std::vector<Row>& rows = ext_ != nullptr ? ext_->rows : rows_;
   size_t end = std::min(rows.size(), pos_ + kBatchSize);
@@ -155,7 +157,7 @@ Status SeqScanOp::OpenImpl(ExecContext* ctx) {
   return FilterAppend(filters_, &staged, &ectx, &buffered_);
 }
 
-Status SeqScanOp::NextBatch(RowBatch* out) {
+Status SeqScanOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   size_t end = std::min(buffered_.size(), pos_ + kBatchSize);
   out->rows.reserve(end - pos_);
@@ -201,7 +203,7 @@ Status IndexLookupOp::OpenImpl(ExecContext* ctx) {
   return Status::Ok();
 }
 
-Status IndexLookupOp::NextBatch(RowBatch* out) {
+Status IndexLookupOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   size_t end = std::min(buffered_.size(), pos_ + kBatchSize);
   out->rows.reserve(end - pos_);
@@ -217,7 +219,7 @@ Status FilterOp::OpenImpl(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-Status FilterOp::NextBatch(RowBatch* out) {
+Status FilterOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   EvalContext ectx;
   ectx.exec = ctx_;
@@ -239,7 +241,7 @@ Status ProjectOp::OpenImpl(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-Status ProjectOp::NextBatch(RowBatch* out) {
+Status ProjectOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   input_.clear();
   XNF_RETURN_IF_ERROR(child_->NextBatch(&input_));
@@ -297,7 +299,7 @@ Result<bool> NestedLoopJoinOp::AdvanceLeft() {
   return true;
 }
 
-Status NestedLoopJoinOp::NextBatch(RowBatch* out) {
+Status NestedLoopJoinOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   while (!out->full()) {
     if (!current_left_.has_value()) {
@@ -414,7 +416,7 @@ Result<bool> HashJoinOp::AdvanceLeft() {
   return true;
 }
 
-Status HashJoinOp::NextBatch(RowBatch* out) {
+Status HashJoinOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   while (!out->full()) {
     if (!current_left_.has_value()) {
@@ -502,7 +504,7 @@ Result<bool> IndexNLJoinOp::AdvanceLeft() {
   return true;
 }
 
-Status IndexNLJoinOp::NextBatch(RowBatch* out) {
+Status IndexNLJoinOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   while (!out->full()) {
     if (!current_left_.has_value()) {
@@ -663,7 +665,7 @@ Status AggregateOp::OpenImpl(ExecContext* ctx) {
   return Status::Ok();
 }
 
-Status AggregateOp::NextBatch(RowBatch* out) {
+Status AggregateOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   while (pos_ < groups_.size() && !out->full()) {
     Group& g = groups_[pos_++];
@@ -717,7 +719,7 @@ Status SortOp::OpenImpl(ExecContext* ctx) {
   return Status::Ok();
 }
 
-Status SortOp::NextBatch(RowBatch* out) {
+Status SortOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   size_t end = std::min(rows_.size(), pos_ + kBatchSize);
   out->rows.reserve(end - pos_);
@@ -732,7 +734,7 @@ Status DistinctOp::OpenImpl(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-Status DistinctOp::NextBatch(RowBatch* out) {
+Status DistinctOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   while (true) {
     input_.clear();
@@ -753,7 +755,7 @@ Status LimitOp::OpenImpl(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-Status LimitOp::NextBatch(RowBatch* out) {
+Status LimitOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   while (produced_ < limit_) {
     input_.clear();
@@ -783,7 +785,7 @@ Status UnionOp::OpenImpl(ExecContext* ctx) {
   return Status::Ok();
 }
 
-Status UnionOp::NextBatch(RowBatch* out) {
+Status UnionOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   while (current_ < children_.size()) {
     input_.clear();
@@ -817,7 +819,7 @@ Status IntersectExceptOp::OpenImpl(ExecContext* ctx) {
   return Status::Ok();
 }
 
-Status IntersectExceptOp::NextBatch(RowBatch* out) {
+Status IntersectExceptOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   while (true) {
     input_.clear();
@@ -831,6 +833,208 @@ Status IntersectExceptOp::NextBatch(RowBatch* out) {
     }
     if (!out->empty()) return Status::Ok();
   }
+}
+
+// --- Plan introspection (EXPLAIN) -------------------------------------------
+//
+// detail() strings feed the golden EXPLAIN tests: they must be deterministic
+// functions of the plan alone (no pointers, no volatile state). Cardinality
+// estimates are deliberately crude — fixed selectivity per predicate — since
+// the planner is rule-based; they exist so EXPLAIN can show *why* a plan
+// shape was chosen, not to drive costing.
+
+namespace {
+
+std::string ExprList(const std::vector<qgm::ExprPtr>& exprs) {
+  std::string out;
+  for (const qgm::ExprPtr& e : exprs) {
+    if (!out.empty()) out += ", ";
+    out += e->ToString();
+  }
+  return out;
+}
+
+// One predicate filters roughly two thirds of its input.
+uint64_t Shrink(uint64_t rows, size_t num_predicates) {
+  for (size_t i = 0; i < num_predicates; ++i) rows /= 3;
+  return rows == 0 && num_predicates > 0 ? 1 : rows;
+}
+
+uint64_t TableRows(const Catalog* catalog, const std::string& table_name) {
+  if (catalog == nullptr) return 0;
+  TableInfo* table = catalog->GetTable(table_name);
+  return table == nullptr ? 0 : table->heap->live_count();
+}
+
+bool IndexIsUnique(const Catalog* catalog, const std::string& table_name,
+                   const std::string& index_name) {
+  if (catalog == nullptr) return false;
+  TableInfo* table = catalog->GetTable(table_name);
+  if (table == nullptr) return false;
+  for (const auto& idx : table->indexes) {
+    if (idx->name() == index_name) return idx->unique();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string ValuesOp::detail() const {
+  size_t n = ext_ != nullptr ? ext_->rows.size() : rows_.size();
+  return std::to_string(n) + " row(s)";
+}
+
+uint64_t ValuesOp::EstimateRowsImpl(const Catalog*) const {
+  return ext_ != nullptr ? ext_->rows.size() : rows_.size();
+}
+
+std::string SeqScanOp::detail() const {
+  std::string out = table_name_;
+  if (!filters_.empty()) out += " filter=[" + ExprList(filters_) + "]";
+  return out;
+}
+
+uint64_t SeqScanOp::EstimateRowsImpl(const Catalog* catalog) const {
+  return Shrink(TableRows(catalog, table_name_), filters_.size());
+}
+
+std::string IndexLookupOp::detail() const {
+  std::string out = table_name_ + " via " + index_name_;
+  out += " key=[" + ExprList(keys_) + "]";
+  if (!filters_.empty()) out += " filter=[" + ExprList(filters_) + "]";
+  return out;
+}
+
+uint64_t IndexLookupOp::EstimateRowsImpl(const Catalog* catalog) const {
+  uint64_t rows = TableRows(catalog, table_name_);
+  uint64_t matched = IndexIsUnique(catalog, table_name_, index_name_)
+                         ? (rows > 0 ? 1 : 0)
+                         : rows / 10 + (rows > 0 ? 1 : 0);
+  return Shrink(matched, filters_.size());
+}
+
+std::string FilterOp::detail() const { return ExprList(predicates_); }
+
+uint64_t FilterOp::EstimateRowsImpl(const Catalog* catalog) const {
+  return Shrink(child_->EstimateRows(catalog), predicates_.size());
+}
+
+std::string ProjectOp::detail() const { return ExprList(exprs_); }
+
+uint64_t ProjectOp::EstimateRowsImpl(const Catalog* catalog) const {
+  return child_->EstimateRows(catalog);
+}
+
+std::string NestedLoopJoinOp::detail() const {
+  std::string out;
+  if (!predicates_.empty()) out = "on=[" + ExprList(predicates_) + "]";
+  if (left_outer_) out += out.empty() ? "left outer" : " left outer";
+  return out;
+}
+
+uint64_t NestedLoopJoinOp::EstimateRowsImpl(const Catalog* catalog) const {
+  uint64_t left = left_->EstimateRows(catalog);
+  uint64_t right = right_->EstimateRows(catalog);
+  // Saturate instead of overflowing on pathological cross products.
+  uint64_t product =
+      (left != 0 && right > UINT64_MAX / left) ? UINT64_MAX : left * right;
+  uint64_t rows = Shrink(product, predicates_.size());
+  return left_outer_ ? std::max(rows, left) : rows;
+}
+
+std::string HashJoinOp::detail() const {
+  std::string out = "keys=[";
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += left_keys_[i]->ToString() + " = " + right_keys_[i]->ToString();
+  }
+  out += "]";
+  if (!residual_.empty()) out += " residual=[" + ExprList(residual_) + "]";
+  if (left_outer_) out += " left outer";
+  return out;
+}
+
+uint64_t HashJoinOp::EstimateRowsImpl(const Catalog* catalog) const {
+  uint64_t left = left_->EstimateRows(catalog);
+  uint64_t right = right_->EstimateRows(catalog);
+  // Equi-join heuristic: |L ⋈ R| ≈ |L|·|R| / max(|L|,|R|) = max side wins.
+  uint64_t rows = Shrink(std::max(left, right), residual_.size());
+  return left_outer_ ? std::max(rows, left) : rows;
+}
+
+std::string IndexNLJoinOp::detail() const {
+  std::string out = table_name_ + " via " + index_name_;
+  out += " key=[" + ExprList(keys_) + "]";
+  if (!residual_.empty()) out += " residual=[" + ExprList(residual_) + "]";
+  return out;
+}
+
+uint64_t IndexNLJoinOp::EstimateRowsImpl(const Catalog* catalog) const {
+  uint64_t left = left_->EstimateRows(catalog);
+  uint64_t per_probe =
+      IndexIsUnique(catalog, table_name_, index_name_) ? 1 : 10;
+  uint64_t product =
+      (left != 0 && per_probe > UINT64_MAX / left) ? UINT64_MAX
+                                                   : left * per_probe;
+  return Shrink(product, residual_.size());
+}
+
+std::string AggregateOp::detail() const {
+  std::string out;
+  if (!group_keys_.empty()) out = "group=[" + ExprList(group_keys_) + "]";
+  if (!aggs_.empty()) {
+    if (!out.empty()) out += " ";
+    out += "aggs=" + std::to_string(aggs_.size());
+  }
+  return out;
+}
+
+uint64_t AggregateOp::EstimateRowsImpl(const Catalog* catalog) const {
+  if (scalar_) return 1;
+  uint64_t child = child_->EstimateRows(catalog);
+  return child / 4 + (child > 0 ? 1 : 0);
+}
+
+std::string SortOp::detail() const {
+  std::string out;
+  for (const Key& k : keys_) {
+    if (!out.empty()) out += ", ";
+    out += k.expr->ToString() + (k.ascending ? " asc" : " desc");
+  }
+  return out;
+}
+
+uint64_t SortOp::EstimateRowsImpl(const Catalog* catalog) const {
+  return child_->EstimateRows(catalog);
+}
+
+uint64_t DistinctOp::EstimateRowsImpl(const Catalog* catalog) const {
+  uint64_t child = child_->EstimateRows(catalog);
+  return child / 2 + (child > 0 ? 1 : 0);
+}
+
+std::string LimitOp::detail() const {
+  std::string out = "limit=" + std::to_string(limit_);
+  if (offset_ > 0) out += " offset=" + std::to_string(offset_);
+  return out;
+}
+
+uint64_t LimitOp::EstimateRowsImpl(const Catalog* catalog) const {
+  return std::min(child_->EstimateRows(catalog),
+                  static_cast<uint64_t>(limit_ < 0 ? 0 : limit_));
+}
+
+std::string UnionOp::detail() const { return distinct_ ? "distinct" : "all"; }
+
+uint64_t UnionOp::EstimateRowsImpl(const Catalog* catalog) const {
+  uint64_t sum = 0;
+  for (const auto& c : children_) sum += c->EstimateRows(catalog);
+  return sum;
+}
+
+uint64_t IntersectExceptOp::EstimateRowsImpl(const Catalog* catalog) const {
+  uint64_t left = left_->EstimateRows(catalog);
+  return left / 2 + (left > 0 ? 1 : 0);
 }
 
 }  // namespace xnf::exec

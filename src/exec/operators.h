@@ -23,10 +23,13 @@ class ValuesOp : public Operator {
   ValuesOp(Schema schema, const ResultSet* ext)
       : Operator(std::move(schema)), ext_(ext) {}
 
-  Status NextBatch(RowBatch* out) override;
+  std::string label() const override { return "Values"; }
+  std::string detail() const override;
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   std::vector<Row> rows_;
@@ -45,10 +48,13 @@ class SeqScanOp : public Operator {
         table_name_(std::move(table_name)),
         filters_(std::move(filters)) {}
 
-  Status NextBatch(RowBatch* out) override;
+  std::string label() const override { return "SeqScan"; }
+  std::string detail() const override;
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   std::string table_name_;
@@ -70,10 +76,13 @@ class IndexLookupOp : public Operator {
         keys_(std::move(keys)),
         filters_(std::move(filters)) {}
 
-  Status NextBatch(RowBatch* out) override;
+  std::string label() const override { return "IndexLookup"; }
+  std::string detail() const override;
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   std::string table_name_;
@@ -96,11 +105,17 @@ class FilterOp : public Operator {
         predicates_(std::move(predicates)),
         env_(std::move(env)) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+  std::string label() const override { return "Filter"; }
+  std::string detail() const override;
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   OperatorPtr child_;
@@ -121,11 +136,17 @@ class ProjectOp : public Operator {
         exprs_(std::move(exprs)),
         env_(std::move(env)) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+  std::string label() const override { return "Project"; }
+  std::string detail() const override;
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   OperatorPtr child_;
@@ -147,14 +168,21 @@ class NestedLoopJoinOp : public Operator {
         predicates_(std::move(predicates)),
         left_outer_(left_outer) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override {
     left_->Close();
     right_->Close();
   }
+  std::string label() const override { return "NestedLoopJoin"; }
+  std::string detail() const override;
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   // Pulls the next left row into current_left_; sets done when exhausted.
@@ -189,14 +217,21 @@ class HashJoinOp : public Operator {
         residual_(std::move(residual)),
         left_outer_(left_outer) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override {
     left_->Close();
     right_->Close();
   }
+  std::string label() const override { return "HashJoin"; }
+  std::string detail() const override;
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   struct RowHash {
@@ -244,11 +279,17 @@ class IndexNLJoinOp : public Operator {
         keys_(std::move(keys)),
         residual_(std::move(residual)) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override { left_->Close(); }
+  std::string label() const override { return "IndexNLJoin"; }
+  std::string detail() const override;
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(left_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   Result<bool> AdvanceLeft();
@@ -286,11 +327,17 @@ class AggregateOp : public Operator {
         env_(std::move(env)),
         scalar_(scalar) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+  std::string label() const override { return "Aggregate"; }
+  std::string detail() const override;
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   struct AggState {
@@ -336,11 +383,17 @@ class SortOp : public Operator {
         keys_(std::move(keys)),
         env_(std::move(env)) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+  std::string label() const override { return "Sort"; }
+  std::string detail() const override;
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   OperatorPtr child_;
@@ -356,11 +409,16 @@ class DistinctOp : public Operator {
   explicit DistinctOp(OperatorPtr child) : Operator(child->schema()),
                                            child_(std::move(child)) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+  std::string label() const override { return "Distinct"; }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   struct RowHash {
@@ -384,11 +442,17 @@ class LimitOp : public Operator {
         limit_(limit),
         offset_(offset) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override { child_->Close(); }
+  std::string label() const override { return "Limit"; }
+  std::string detail() const override;
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(child_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   OperatorPtr child_;
@@ -407,13 +471,19 @@ class UnionOp : public Operator {
         children_(std::move(children)),
         distinct_(distinct) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override {
     for (auto& c : children_) c->Close();
+  }
+  std::string label() const override { return "Union"; }
+  std::string detail() const override;
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    for (const auto& c : children_) out->push_back(c.get());
   }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   struct RowHash {
@@ -443,14 +513,22 @@ class IntersectExceptOp : public Operator {
         right_(std::move(right)),
         is_except_(is_except) {}
 
-  Status NextBatch(RowBatch* out) override;
   void Close() override {
     left_->Close();
     right_->Close();
   }
+  std::string label() const override {
+    return is_except_ ? "Except" : "Intersect";
+  }
+  void AppendChildren(std::vector<const Operator*>* out) const override {
+    out->push_back(left_.get());
+    out->push_back(right_.get());
+  }
 
  protected:
   Status OpenImpl(ExecContext* ctx) override;
+  Status NextBatchImpl(RowBatch* out) override;
+  uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
   struct RowHash {

@@ -79,11 +79,16 @@ Result<ExprPtr> CompileExpr(const Expr& expr, const std::vector<size_t>& offsets
   return out;
 }
 
-Result<ResultSet> Execute(const Catalog* catalog, const QueryGraph& graph) {
+Result<ResultSet> Execute(const Catalog* catalog, const QueryGraph& graph,
+                          TraceSink* sink) {
   Planner planner(catalog);
-  XNF_ASSIGN_OR_RETURN(OperatorPtr root, planner.Plan(graph));
+  XNF_ASSIGN_OR_RETURN(OperatorPtr root, [&]() -> Result<OperatorPtr> {
+    TraceScope span(sink, "plan");
+    return planner.Plan(graph);
+  }());
   exec::ExecContext ctx;
   ctx.catalog = catalog;
+  TraceScope span(sink, "execute");
   return exec::RunPlan(root.get(), &ctx);
 }
 

@@ -6,6 +6,7 @@
 
 #include "catalog/catalog.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "exec/operator.h"
 #include "qgm/qgm.h"
 
@@ -45,8 +46,11 @@ Result<qgm::ExprPtr> CompileExpr(const qgm::Expr& expr,
                                  int agg_base = -1);
 
 // End-to-end convenience: build+plan+run are separate elsewhere; this runs a
-// planned tree against the catalog.
-Result<ResultSet> Execute(const Catalog* catalog, const qgm::QueryGraph& graph);
+// planned tree against the catalog. `sink` (optional) wraps the two stages
+// in "plan" / "execute" spans — the XNF evaluator passes its trace sink so
+// every derived node/edge query traces its inner pipeline.
+Result<ResultSet> Execute(const Catalog* catalog, const qgm::QueryGraph& graph,
+                          TraceSink* sink = nullptr);
 
 }  // namespace xnf::plan
 

@@ -175,11 +175,14 @@ void FoldConstants(Box* box, RewriteStats* stats) {
 
 }  // namespace
 
-Result<RewriteStats> Rewrite(QueryGraph* graph) {
+Result<RewriteStats> Rewrite(QueryGraph* graph, TraceSink* sink) {
   RewriteStats stats;
   bool changed = true;
   int guard = 0;
   while (changed && guard++ < 25) {
+    TraceScope round(
+        sink, "rewrite-pass",
+        sink != nullptr ? "round " + std::to_string(guard) : std::string());
     changed = false;
     std::vector<int> refs = CountReferences(*graph);
 
@@ -250,8 +253,11 @@ Result<RewriteStats> Rewrite(QueryGraph* graph) {
   }
 
   // Rule 3: constant folding (single pass, bottom-up per expression).
-  for (auto& box_ptr : graph->boxes) {
-    FoldConstants(box_ptr.get(), &stats);
+  {
+    TraceScope fold(sink, "constant-fold");
+    for (auto& box_ptr : graph->boxes) {
+      FoldConstants(box_ptr.get(), &stats);
+    }
   }
   return stats;
 }

@@ -2,6 +2,7 @@
 #define XNF_QGM_REWRITE_H_
 
 #include "common/status.h"
+#include "common/trace.h"
 #include "qgm/qgm.h"
 
 namespace xnf::qgm {
@@ -22,7 +23,9 @@ struct RewriteStats {
   int constants_folded = 0;
 };
 
-Result<RewriteStats> Rewrite(QueryGraph* graph);
+// `sink` (optional) receives one "rewrite-pass" span per fixpoint round and
+// a "constant-fold" span for the final folding pass.
+Result<RewriteStats> Rewrite(QueryGraph* graph, TraceSink* sink = nullptr);
 
 }  // namespace xnf::qgm
 

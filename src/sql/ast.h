@@ -224,6 +224,15 @@ struct DropStmt {
   std::string name;
 };
 
+// EXPLAIN [ANALYZE] <select or XNF statement>. SQL bodies are parsed in
+// place; XNF bodies ("OUT OF ...") are captured verbatim and handed to the
+// XNF parser by the execution layer (mirroring CREATE VIEW ... AS OUT OF).
+struct ExplainStmt {
+  bool analyze = false;
+  std::unique_ptr<SelectStmt> select;  // null when the body is XNF
+  std::string xnf_text;                // non-empty when the body is XNF
+};
+
 // Tagged union of all parsed SQL statements. XNF statements live in
 // xnf/ast.h and are produced by the XNF parser.
 struct Statement {
@@ -236,6 +245,7 @@ struct Statement {
     kUpdate,
     kDelete,
     kDrop,
+    kExplain,
   };
   Kind kind;
   std::unique_ptr<SelectStmt> select;
@@ -246,6 +256,7 @@ struct Statement {
   std::unique_ptr<UpdateStmt> update;
   std::unique_ptr<DeleteStmt> del;
   std::unique_ptr<DropStmt> drop;
+  std::unique_ptr<ExplainStmt> explain;
 };
 
 }  // namespace xnf::sql

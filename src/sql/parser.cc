@@ -122,6 +122,7 @@ Result<Statement> Parser::ParseStatement() {
       XNF_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
       return stmt;
     }
+    if (t.Is("explain")) return ParseExplain();
     if (t.Is("create")) return ParseCreate();
     if (t.Is("insert")) return ParseInsert();
     if (t.Is("update")) return ParseUpdate();
@@ -132,6 +133,23 @@ Result<Statement> Parser::ParseStatement() {
   if (!result.ok()) return result.status();
   Accept(TokenKind::kSemicolon);
   return result;
+}
+
+Result<Statement> Parser::ParseExplain() {
+  XNF_RETURN_IF_ERROR(ExpectKeyword("explain"));
+  Statement stmt;
+  stmt.kind = Statement::Kind::kExplain;
+  stmt.explain = std::make_unique<ExplainStmt>();
+  stmt.explain->analyze = AcceptKeyword("analyze");
+  if (Peek().Is("out")) {
+    // XNF body: capture the statement text verbatim for the XNF parser.
+    size_t start = CurrentOffset();
+    SkipToStatementEnd();
+    stmt.explain->xnf_text = input_.substr(start, CurrentOffset() - start);
+    return stmt;
+  }
+  XNF_ASSIGN_OR_RETURN(stmt.explain->select, ParseSelect());
+  return stmt;
 }
 
 Result<Type> Parser::ParseType() {

@@ -58,6 +58,7 @@ class Parser {
 
  private:
   Result<Statement> ParseCreate();
+  Result<Statement> ParseExplain();
   Result<Statement> ParseInsert();
   Result<Statement> ParseUpdate();
   Result<Statement> ParseDelete();

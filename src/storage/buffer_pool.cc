@@ -17,6 +17,7 @@ void BufferPool::Touch(PageId id) {
     PageId victim = lru_list_.back();
     lru_list_.pop_back();
     lru_map_.erase(victim);
+    ++evictions_;
   }
 }
 

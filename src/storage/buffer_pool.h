@@ -42,12 +42,17 @@ class BufferPool {
 
   uint64_t accesses() const { return accesses_; }
   uint64_t faults() const { return faults_; }
+  // Pages pushed out by LRU replacement. Always 0 for an unbounded pool;
+  // for a bounded pool faults = cold misses + re-faults on evicted pages,
+  // so evictions tell the two apart.
+  uint64_t evictions() const { return evictions_; }
   size_t resident_pages() const { return lru_map_.size(); }
   size_t capacity() const { return capacity_; }
 
   void ResetCounters() {
     accesses_ = 0;
     faults_ = 0;
+    evictions_ = 0;
   }
 
   // Drops all resident pages (cold cache) and keeps counters.
@@ -57,6 +62,7 @@ class BufferPool {
   size_t capacity_;
   uint64_t accesses_ = 0;
   uint64_t faults_ = 0;
+  uint64_t evictions_ = 0;
   // Front = most recently used.
   std::list<PageId> lru_list_;
   std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> lru_map_;

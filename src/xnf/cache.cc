@@ -1,6 +1,7 @@
 #include "xnf/cache.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/str_util.h"
 #include "sql/parser.h"
@@ -26,6 +27,7 @@ size_t CoCache::Rel::live_count() const {
 
 std::unique_ptr<CoCache> CoCache::Build(CoInstance instance) {
   auto cache = std::make_unique<CoCache>();
+  auto fill_start = std::chrono::steady_clock::now();
   size_t n_rels = instance.rels.size();
 
   cache->nodes_.resize(instance.nodes.size());
@@ -74,8 +76,16 @@ std::unique_ptr<CoCache> CoCache::Build(CoInstance instance) {
       Tuple* child = &cache->nodes_[rel.child_node].tuples[c.child];
       cache->AddConnection(static_cast<int>(r), parent, child,
                            std::move(c.attrs));
+      ++cache->stats_.connections_linked;
     }
   }
+  for (const Node& node : cache->nodes_) {
+    cache->stats_.tuples_linked += node.tuples.size();
+  }
+  cache->stats_.fill_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - fill_start)
+          .count());
   return cache;
 }
 
@@ -119,6 +129,7 @@ void CoCache::RemoveConnection(Connection* conn) {
 
 std::vector<CoCache::Connection*> CoCache::ChildrenByHash(int rel,
                                                           const Tuple& t) {
+  ++stats_.hash_navigations;
   if (!hash_nav_valid_[rel]) {
     hash_nav_[rel].clear();
     for (Connection& c : rels_[rel].connections) {

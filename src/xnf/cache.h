@@ -74,6 +74,17 @@ class CoCache {
     size_t live_count() const;
   };
 
+  // Cache observability: fill cost and navigation traffic. Navigation
+  // counters are single mutable increments on the hot path (~ns-scale next
+  // to the pointer dereference they count; see benchmark C1).
+  struct Stats {
+    uint64_t fill_ns = 0;             // Build(): wiring the pointer structure
+    uint64_t tuples_linked = 0;       // tuples wired at Build()
+    uint64_t connections_linked = 0;  // connections wired at Build()
+    uint64_t pointer_navigations = 0; // Children()/Parents() calls
+    uint64_t hash_navigations = 0;    // ChildrenByHash() calls (ablation A2)
+  };
+
   // Consumes a materialized instance and wires the pointer structure.
   static std::unique_ptr<CoCache> Build(CoInstance instance);
 
@@ -94,11 +105,16 @@ class CoCache {
   // Navigation used by dependent cursors and benchmarks:
   // pointer-based children/parents of `t` across relationship `rel`.
   const std::vector<Connection*>& Children(int rel, const Tuple& t) const {
+    ++stats_.pointer_navigations;
     return t.out[rel];
   }
   const std::vector<Connection*>& Parents(int rel, const Tuple& t) const {
+    ++stats_.pointer_navigations;
     return t.in[rel];
   }
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
 
   // Ablation A2: the same navigation answered through a per-relationship
   // hash index keyed by the parent tuple identity, simulating OID-table
@@ -119,6 +135,8 @@ class CoCache {
  private:
   std::vector<Node> nodes_;
   std::vector<Rel> rels_;
+  // Mutable: navigation is conceptually const (read-only traversal).
+  mutable Stats stats_;
   // Lazy hash navigation indexes (ablation A2).
   std::vector<std::unordered_map<const Tuple*, std::vector<Connection*>>>
       hash_nav_;

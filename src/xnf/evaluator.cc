@@ -1,5 +1,6 @@
 #include "xnf/evaluator.h"
 
+#include <chrono>
 #include <set>
 #include <unordered_map>
 
@@ -17,6 +18,13 @@ namespace xnf::co {
 namespace {
 
 constexpr char kTidColumn[] = "__tid";
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // Splits an AND tree into conjunct pointers (no ownership transfer).
 void SplitConjuncts(const sql::Expr* e, std::vector<const sql::Expr*>* out) {
@@ -125,9 +133,11 @@ Result<ResultSet> Evaluator::RunSelect(const sql::SelectStmt& stmt) {
   };
   qgm::Builder builder(catalog_, resolver);
   XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(stmt));
-  XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
+  XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw,
+                       qgm::Rewrite(&graph, trace_sink_));
   (void)rw;
-  XNF_ASSIGN_OR_RETURN(ResultSet rs, plan::Execute(catalog_, graph));
+  XNF_ASSIGN_OR_RETURN(ResultSet rs,
+                       plan::Execute(catalog_, graph, trace_sink_));
   stats_.rows_produced += rs.stats.rows_produced;
   stats_.batches_produced += rs.stats.batches_produced;
   return rs;
@@ -136,9 +146,15 @@ Result<ResultSet> Evaluator::RunSelect(const sql::SelectStmt& stmt) {
 Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
   CoNodeInstance node;
   node.name = def.name;
+  const uint64_t start_ns = NowNs();
+  auto profile = [&](const char* access, size_t rows) {
+    stats_.profiles.push_back({QueryProfile::Kind::kNode, def.name, access,
+                               rows, NowNs() - start_ns});
+  };
 
   // Pre-materialized component imported from a restricted view reference.
   if (def.premade != nullptr) {
+    profile("premade", def.premade->tuples.size());
     return *def.premade;
   }
 
@@ -284,6 +300,7 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
     }
     XNF_RETURN_IF_ERROR(status);
     stats_.node_queries++;
+    profile(index != nullptr ? "index" : "scan", node.tuples.size());
     return node;
   }
 
@@ -296,6 +313,7 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
   stats_.node_queries++;
   node.schema = rs.schema.WithQualifier(def.name);
   node.tuples = std::move(rs.rows);
+  profile("query", node.tuples.size());
   return node;
 }
 
@@ -308,6 +326,11 @@ Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
   if (rel.parent_node < 0 || rel.child_node < 0) {
     return Status::Internal("relationship partners missing");
   }
+  const uint64_t start_ns = NowNs();
+  auto profile = [&](const char* access, size_t rows) {
+    stats_.profiles.push_back({QueryProfile::Kind::kEdge, def.name, access,
+                               rows, NowNs() - start_ns});
+  };
 
   // Pre-materialized connections: the partner nodes are premade too, so the
   // tuple indices carry over; only the node indices need re-binding.
@@ -315,6 +338,7 @@ Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
     rel = *def.premade;
     rel.parent_node = instance->NodeIndex(def.parent);
     rel.child_node = instance->NodeIndex(def.child);
+    profile("premade", rel.connections.size());
     return rel;
   }
   const CoNodeInstance& parent = instance->nodes[rel.parent_node];
@@ -340,6 +364,7 @@ Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
   add_from(def.parent, def.parent_corr, /*is_temp=*/true);
   add_from(def.child, def.child_corr, /*is_temp=*/true);
   stats_.temp_reuses += 2;
+  stats_.cse_hits += 2;
   sql::SelectItem ptid;
   ptid.expr = sql::Expr::ColRef(def.parent_corr, kTidColumn);
   ptid.alias = "__ptid";
@@ -378,6 +403,7 @@ Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
   }
   (void)parent;
   (void)child;
+  profile("temp-join", rel.connections.size());
   return rel;
 }
 
@@ -387,6 +413,7 @@ Result<CoRelInstance> Evaluator::MaterializeRelNoCse(const CoRelDef& def,
   rel.name = def.name;
   rel.parent_node = instance->NodeIndex(def.parent);
   rel.child_node = instance->NodeIndex(def.child);
+  const uint64_t start_ns = NowNs();
   const CoNodeInstance& parent = instance->nodes[rel.parent_node];
   const CoNodeInstance& child = instance->nodes[rel.child_node];
   for (const RelAttribute& a : def.attributes) {
@@ -449,6 +476,7 @@ Result<CoRelInstance> Evaluator::MaterializeRelNoCse(const CoRelDef& def,
   stats_.edge_queries++;
   // These two extra executions of the node queries are what CSE avoids.
   stats_.node_queries += 2;
+  stats_.cse_misses += 2;
 
   size_t pw = parent.schema.size();
   size_t cw = child.schema.size();
@@ -488,6 +516,8 @@ Result<CoRelInstance> Evaluator::MaterializeRelNoCse(const CoRelDef& def,
                    std::make_move_iterator(row.end()));
     rel.connections.push_back(std::move(c));
   }
+  stats_.profiles.push_back({QueryProfile::Kind::kEdge, def.name, "inline",
+                             rel.connections.size(), NowNs() - start_ns});
   return rel;
 }
 
@@ -602,11 +632,14 @@ Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
   no_cse_defs_.clear();
 
   // Phase 1: node candidates.
-  for (const CoNodeDef& node_def : def.nodes) {
-    XNF_ASSIGN_OR_RETURN(CoNodeInstance node, MaterializeNode(node_def));
-    instance.nodes.push_back(std::move(node));
-    if (!options_.use_cse) {
-      no_cse_defs_.emplace(node_def.name, node_def.Clone());
+  {
+    TraceScope span(trace_sink_, "materialize-nodes");
+    for (const CoNodeDef& node_def : def.nodes) {
+      XNF_ASSIGN_OR_RETURN(CoNodeInstance node, MaterializeNode(node_def));
+      instance.nodes.push_back(std::move(node));
+      if (!options_.use_cse) {
+        no_cse_defs_.emplace(node_def.name, node_def.Clone());
+      }
     }
   }
 
@@ -614,6 +647,7 @@ Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
   // the columns the relationship predicates and attributes actually
   // reference, so the edge joins never copy full-width tuples.
   if (options_.use_cse) {
+    TraceScope span(trace_sink_, "cse-temps");
     std::map<std::string, std::set<std::string>> used_columns;
     std::set<std::string> full_width;  // nodes needing all columns
     for (const CoRelDef& rel : def.rels) {
@@ -680,23 +714,27 @@ Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
   }
 
   // Phase 3: edges.
-  for (const CoRelDef& rel_def : def.rels) {
-    CoRelInstance rel;
-    if (rel_def.premade != nullptr || options_.use_cse) {
-      XNF_ASSIGN_OR_RETURN(rel, MaterializeRel(rel_def, &instance));
-    } else {
-      XNF_ASSIGN_OR_RETURN(rel, MaterializeRelNoCse(rel_def, &instance));
+  {
+    TraceScope span(trace_sink_, "materialize-edges");
+    for (const CoRelDef& rel_def : def.rels) {
+      CoRelInstance rel;
+      if (rel_def.premade != nullptr || options_.use_cse) {
+        XNF_ASSIGN_OR_RETURN(rel, MaterializeRel(rel_def, &instance));
+      } else {
+        XNF_ASSIGN_OR_RETURN(rel, MaterializeRelNoCse(rel_def, &instance));
+      }
+      if (rel_def.premade == nullptr) {
+        AnalyzeRelWrite(rel_def, instance, &rel);
+      }
+      instance.rels.push_back(std::move(rel));
     }
-    if (rel_def.premade == nullptr) {
-      AnalyzeRelWrite(rel_def, instance, &rel);
-    }
-    instance.rels.push_back(std::move(rel));
   }
 
   temps_.clear();
 
   // Phase 4: reachability.
   if (options_.enforce_reachability) {
+    TraceScope span(trace_sink_, "reachability");
     ApplyReachability(&instance);
     stats_.reachability_passes++;
   }
@@ -713,20 +751,35 @@ Result<CoInstance> Evaluator::Evaluate(const XnfQuery& query) {
   // recursively and imported as premade components (full closure, Fig. 6).
   Resolver resolver(catalog_, [this](const XnfQuery& sub) {
     Evaluator nested(catalog_, options_);
+    nested.set_trace_sink(trace_sink_);
     Result<CoInstance> out = nested.Evaluate(sub);
     stats_.node_queries += nested.stats().node_queries;
     stats_.edge_queries += nested.stats().edge_queries;
     stats_.temp_reuses += nested.stats().temp_reuses;
+    stats_.cse_hits += nested.stats().cse_hits;
+    stats_.cse_misses += nested.stats().cse_misses;
     stats_.reachability_passes += nested.stats().reachability_passes;
     stats_.restrictions_applied += nested.stats().restrictions_applied;
     stats_.rows_produced += nested.stats().rows_produced;
     stats_.batches_produced += nested.stats().batches_produced;
+    stats_.profiles.insert(stats_.profiles.end(),
+                           nested.stats().profiles.begin(),
+                           nested.stats().profiles.end());
     return out;
   });
-  XNF_ASSIGN_OR_RETURN(CoDef def, resolver.Resolve(query));
+  XNF_ASSIGN_OR_RETURN(CoDef def, [&]() -> Result<CoDef> {
+    TraceScope span(trace_sink_, "resolve");
+    return resolver.Resolve(query);
+  }());
   XNF_ASSIGN_OR_RETURN(CoInstance instance, Materialize(def));
-  XNF_RETURN_IF_ERROR(ApplyRestrictions(query.restrictions, &instance));
-  XNF_RETURN_IF_ERROR(ApplyTake(query, &instance));
+  {
+    TraceScope span(trace_sink_, "restrictions");
+    XNF_RETURN_IF_ERROR(ApplyRestrictions(query.restrictions, &instance));
+  }
+  {
+    TraceScope span(trace_sink_, "take");
+    XNF_RETURN_IF_ERROR(ApplyTake(query, &instance));
+  }
   return instance;
 }
 

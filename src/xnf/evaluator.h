@@ -9,6 +9,7 @@
 #include "catalog/catalog.h"
 #include "common/result_set.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "xnf/ast.h"
 #include "xnf/co_def.h"
 #include "xnf/instance.h"
@@ -34,16 +35,37 @@ class Evaluator {
     bool enforce_reachability = true;
   };
 
+  // Profile of one derived query (one per CO node / edge, §4.3): how the
+  // candidates or connections were computed and what it cost. Drives the
+  // EXPLAIN ANALYZE OUT OF ... rendering.
+  struct QueryProfile {
+    enum class Kind { kNode, kEdge };
+    Kind kind = Kind::kNode;
+    std::string name;    // component table / relationship name
+    // How the derived query ran: "index" (simple node, fast extraction),
+    // "scan" (simple node, candidate scan), "query" (full engine query),
+    // "premade" (imported from a restricted view reference), "temp-join"
+    // (edge over CSE temps), "inline" (edge recomputing node queries).
+    std::string access;
+    uint64_t rows = 0;   // candidate tuples / connections produced
+    uint64_t time_ns = 0;
+  };
+
   struct Stats {
     int node_queries = 0;        // defining queries executed
     int edge_queries = 0;        // relationship queries executed
     int temp_reuses = 0;         // edge-side reuses of node temps
+    int cse_hits = 0;            // node computations avoided via temps
+    int cse_misses = 0;          // node computations repeated inline (no CSE)
     int reachability_passes = 0;
     int restrictions_applied = 0;
     // Executor counters accumulated over every engine query this evaluation
     // ran (RunSelect drains).
     uint64_t rows_produced = 0;
     uint64_t batches_produced = 0;
+    // One entry per derived query, in evaluation order (nodes before edges;
+    // nested view evaluations are appended when they complete).
+    std::vector<QueryProfile> profiles;
   };
 
   explicit Evaluator(Catalog* catalog) : catalog_(catalog) {}
@@ -63,6 +85,10 @@ class Evaluator {
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
+
+  // Optional tracing: evaluation phases (materialize-nodes, cse-temps,
+  // materialize-edges, reachability, ...) are reported as spans. Null = off.
+  void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
 
  private:
   // Candidate node materialization (with provenance when simple).
@@ -87,6 +113,7 @@ class Evaluator {
   Catalog* catalog_;
   Options options_;
   Stats stats_;
+  TraceSink* trace_sink_ = nullptr;
   // CSE temp store: node name -> materialized candidates (+ __tid column).
   std::map<std::string, ResultSet> temps_;
   // No-CSE mode: node name -> definition (for inline recomputation).
