@@ -7,9 +7,11 @@
 //
 // Commands: \tables, \views, \stats, \help, \quit, and dot-style toggles:
 // .timer on|off (wall time per statement), .stats [on|off] (print counters /
-// toggle per-operator collection), .trace on|off (pipeline span timeline).
+// toggle per-operator collection), .trace on|off (pipeline span timeline),
+// .threads [N] (show / set the intra-query worker count).
 
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -73,7 +75,8 @@ void PrintHelp() {
       "Meta: \\tables  \\views  \\stats  \\help  \\quit\n"
       "      .timer on|off   wall time per statement\n"
       "      .stats [on|off] print counters / toggle per-operator stats\n"
-      "      .trace on|off   pipeline span timeline per statement\n";
+      "      .trace on|off   pipeline span timeline per statement\n"
+      "      .threads [N]    show / set intra-query worker threads\n";
 }
 
 }  // namespace
@@ -105,6 +108,17 @@ int main() {
         tracing = line == ".trace on";
         db.set_trace_sink(tracing ? &trace : nullptr);
         std::cout << "trace " << (tracing ? "on" : "off") << "\n";
+      } else if (line == ".threads") {
+        std::cout << "threads " << db.threads() << "\n";
+      } else if (line.rfind(".threads ", 0) == 0) {
+        char* end = nullptr;
+        long n = std::strtol(line.c_str() + 9, &end, 10);
+        if (end == line.c_str() + 9 || *end != '\0' || n < 0) {
+          std::cout << "usage: .threads [N]  (N >= 1; 0 = hardware)\n";
+        } else {
+          db.set_threads(static_cast<int>(n));
+          std::cout << "threads " << db.threads() << "\n";
+        }
       } else {
         std::cout << "unknown command; \\help for help\n";
       }

@@ -38,7 +38,18 @@ std::string FormatUs(uint64_t ns) {
 
 Database::Database(Options options)
     : options_(options), buffer_pool_(options.buffer_pool_pages),
-      catalog_(&buffer_pool_, options.tuples_per_page) {}
+      catalog_(&buffer_pool_, options.tuples_per_page),
+      exec_pool_(std::make_unique<ThreadPool>(options.threads)) {
+  catalog_.set_exec_pool(exec_pool_.get());
+}
+
+void Database::set_threads(int n) {
+  catalog_.set_exec_pool(nullptr);
+  exec_pool_ = std::make_unique<ThreadPool>(n);
+  catalog_.set_exec_pool(exec_pool_.get());
+}
+
+int Database::threads() const { return exec_pool_->dop(); }
 
 Result<const ResultSet*> Database::ResolveExtra(const std::string& name) {
   // "view.component": materialize the XNF view and expose one node as a

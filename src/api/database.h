@@ -9,6 +9,7 @@
 #include "catalog/undo_log.h"
 #include "common/result_set.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "exec/operator.h"
 #include "storage/buffer_pool.h"
@@ -59,6 +60,10 @@ class Database {
     // 0 = unbounded buffer pool (fault count == distinct pages touched).
     size_t buffer_pool_pages = 0;
     uint32_t tuples_per_page = 64;
+    // Worker threads for intra-query parallelism (morsel scans, hash-join
+    // build, concurrent XNF derived queries). 0 = hardware concurrency;
+    // 1 = serial execution.
+    int threads = 0;
   };
 
   Database() : Database(Options()) {}
@@ -93,6 +98,12 @@ class Database {
 
   Catalog* catalog() { return &catalog_; }
   BufferPool* buffer_pool() { return &buffer_pool_; }
+
+  // Degree of parallelism for intra-query execution. set_threads() replaces
+  // the worker pool (must not be called while queries are running); n <= 0
+  // selects hardware concurrency. threads() reports the effective DOP.
+  void set_threads(int n);
+  int threads() const;
 
   // True while a BEGIN ... COMMIT/ROLLBACK transaction is open.
   bool in_transaction() const { return txn_ != nullptr; }
@@ -142,6 +153,7 @@ class Database {
   Options options_;
   BufferPool buffer_pool_;
   Catalog catalog_;
+  std::unique_ptr<ThreadPool> exec_pool_;  // intra-query workers
   co::Evaluator::Options xnf_options_;
   co::Evaluator::Stats xnf_stats_;
   ExecStats exec_stats_;

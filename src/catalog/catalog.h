@@ -14,6 +14,7 @@
 
 namespace xnf {
 
+class ThreadPool;
 class UndoLog;
 
 // A base table: schema + heap + secondary indexes. Indexes are maintained by
@@ -76,6 +77,12 @@ class Catalog {
 
   BufferPool* buffer_pool() const { return buffer_pool_; }
 
+  // The owning Database's worker pool for intra-query parallelism, or
+  // nullptr (serial execution). Operators and the XNF evaluator reach the
+  // pool through here so the executor needs no extra plumbing.
+  ThreadPool* exec_pool() const { return exec_pool_; }
+  void set_exec_pool(ThreadPool* pool) { exec_pool_ = pool; }
+
   // The undo log of the currently active transaction, or nullptr. Set by
   // the Database facade on BEGIN; consulted by the DML layer so that every
   // write path (SQL DML, XNF cache propagation, CO-level statements)
@@ -85,6 +92,7 @@ class Catalog {
 
  private:
   UndoLog* undo_log_ = nullptr;
+  ThreadPool* exec_pool_ = nullptr;
   BufferPool* buffer_pool_;
   uint32_t tuples_per_page_;
   uint32_t next_file_id_ = 1;

@@ -1,0 +1,74 @@
+#ifndef XNF_COMMON_THREAD_POOL_H_
+#define XNF_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xnf {
+
+// Fixed-size worker pool for intra-query parallelism (morsel-driven scans,
+// parallel hash-join build, concurrent XNF derived queries). One pool per
+// Database; operators reach it through the catalog.
+//
+// The unit of work is a *batch* of independent tasks submitted with
+// RunAll(). The submitting thread participates in its own batch — it claims
+// and runs tasks alongside the workers — so a task may itself call RunAll()
+// (an XNF node query running a parallel scan) without risk of deadlock:
+// every batch makes progress on its caller's thread even when all workers
+// are busy or the pool has zero workers.
+class ThreadPool {
+ public:
+  // `dop` is the degree of parallelism: 1 caller thread + (dop - 1)
+  // workers. dop <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int dop);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total degree of parallelism (always >= 1; 1 means fully serial).
+  int dop() const { return dop_; }
+
+  // Runs every task to completion and returns the Status of the
+  // lowest-indexed failing task (or OK). Task index order — not completion
+  // order — decides which error is reported, so error propagation is
+  // deterministic across worker counts. With dop() == 1 the tasks run
+  // inline on the caller in index order.
+  Status RunAll(std::vector<std::function<Status()>> tasks);
+
+ private:
+  // One RunAll() invocation: tasks are claimed by atomically bumping
+  // `next`; each claimed task writes only its own `statuses` slot.
+  struct Batch {
+    std::vector<std::function<Status()>> tasks;
+    std::vector<Status> statuses;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;  // signalled when done reaches tasks.size()
+  };
+
+  // Claims and runs tasks from `batch` until none are left unclaimed.
+  static void Work(Batch* batch);
+
+  void WorkerLoop();
+
+  int dop_;
+  std::vector<std::thread> workers_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Batch>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_COMMON_THREAD_POOL_H_

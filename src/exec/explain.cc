@@ -23,6 +23,9 @@ void RenderNode(const Operator* op, const Catalog* catalog, bool analyze,
          << " opens=" << s.opens << " faults=" << s.buffer_pool_faults
          << " time=";
     AppendTimeUs(s.time_ns, out);
+    // DOP the operator actually achieved; serial operators stay unmarked so
+    // single-threaded ANALYZE output is unchanged.
+    if (s.dop > 1) *out << " dop=" << s.dop;
     *out << "]";
   }
   *out << "\n";

@@ -55,6 +55,9 @@ struct OperatorStats {
   uint64_t opens = 0;
   uint64_t time_ns = 0;
   uint64_t buffer_pool_faults = 0;
+  // Highest degree of parallelism this operator actually ran with (1 =
+  // serial). Counters above are exact totals merged across all workers.
+  int dop = 1;
 };
 
 // Batch-at-a-time (vectorized volcano) iterator. Open() must fully reset
@@ -140,6 +143,12 @@ class Operator {
   virtual Status OpenImpl(ExecContext* ctx) = 0;
   virtual Status NextBatchImpl(RowBatch* out) = 0;
   virtual uint64_t EstimateRowsImpl(const Catalog* catalog) const = 0;
+
+  // Records the DOP an OpenImpl achieved (parallel scan / build). Latches
+  // the maximum across re-opens.
+  void RecordDop(int dop) {
+    if (dop > stats_.dop) stats_.dop = dop;
+  }
 
   static uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
     return static_cast<uint64_t>(

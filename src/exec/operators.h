@@ -51,6 +51,11 @@ class SeqScanOp : public Operator {
   std::string label() const override { return "SeqScan"; }
   std::string detail() const override;
 
+  // Planner decision: morsel-parallel scan allowed (filters verified
+  // subquery-free). The scan still runs serially when the database has no
+  // worker pool or the table is small.
+  void set_parallel_eligible(bool eligible) { parallel_eligible_ = eligible; }
+
  protected:
   Status OpenImpl(ExecContext* ctx) override;
   Status NextBatchImpl(RowBatch* out) override;
@@ -59,6 +64,7 @@ class SeqScanOp : public Operator {
  private:
   std::string table_name_;
   std::vector<qgm::ExprPtr> filters_;
+  bool parallel_eligible_ = false;
   ExecContext* ctx_ = nullptr;
   std::vector<Row> buffered_;  // materialized at Open (heap scan is callback)
   size_t pos_ = 0;
@@ -228,6 +234,10 @@ class HashJoinOp : public Operator {
     out->push_back(right_.get());
   }
 
+  // Planner decision: parallel partitioned build allowed (key expressions
+  // verified subquery-free).
+  void set_parallel_eligible(bool eligible) { parallel_eligible_ = eligible; }
+
  protected:
   Status OpenImpl(ExecContext* ctx) override;
   Status NextBatchImpl(RowBatch* out) override;
@@ -242,6 +252,11 @@ class HashJoinOp : public Operator {
       return RowsEqual(a, b);
     }
   };
+  // Build table partition: key -> build rows in build-input order. The
+  // per-key vector makes the match order an explicit invariant (input
+  // order) instead of relying on unordered_multimap iteration, which is
+  // what keeps join output independent of the build DOP.
+  using BuildTable = std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>;
 
   // Pulls the next left row + its probe matches; false at end of stream.
   Result<bool> AdvanceLeft();
@@ -252,13 +267,17 @@ class HashJoinOp : public Operator {
   std::vector<qgm::ExprPtr> right_keys_;
   std::vector<qgm::ExprPtr> residual_;
   bool left_outer_;
+  bool parallel_eligible_ = false;
   ExecContext* ctx_ = nullptr;
-  std::unordered_multimap<Row, Row, RowHash, RowEq> table_;
+  // Keys are partitioned by hash so parallel build workers never share a
+  // partition; equal keys always land in the same partition, making probe
+  // results identical at any partition count. Serial builds use 1 partition.
+  std::vector<BuildTable> partitions_;
   RowBatch left_batch_;
   std::vector<std::vector<Value>> left_key_cols_;  // one column per key expr
   size_t left_pos_ = 0;
   std::optional<Row> current_left_;
-  std::vector<const Row*> matches_;
+  const std::vector<Row>* matches_ = nullptr;
   size_t match_pos_ = 0;
   bool matched_ = false;
   size_t right_width_ = 0;

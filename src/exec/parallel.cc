@@ -1,0 +1,131 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/thread_pool.h"
+#include "exec/eval.h"
+
+namespace xnf::exec {
+namespace {
+
+struct MorselOut {
+  std::vector<Row> rows;
+  std::vector<Rid> rids;
+};
+
+// Scans pages [begin, end), staging rows in kBatchSize chunks and running
+// the filters batch-wise — the same kernel sequence as the serial scan, so
+// per-morsel output equals the corresponding slice of a serial scan.
+Status ScanMorsel(const TableHeap& heap, uint32_t begin, uint32_t end,
+                  const std::vector<qgm::ExprPtr>& filters, ExecContext* exec,
+                  bool want_rids, MorselOut* out) {
+  EvalContext ectx;
+  ectx.exec = exec;
+  std::vector<Row> staged;
+  std::vector<Rid> staged_rids;
+  auto flush = [&]() -> Status {
+    if (staged.empty()) return Status::Ok();
+    if (filters.empty()) {
+      out->rows.insert(out->rows.end(),
+                       std::make_move_iterator(staged.begin()),
+                       std::make_move_iterator(staged.end()));
+      if (want_rids) {
+        out->rids.insert(out->rids.end(), staged_rids.begin(),
+                         staged_rids.end());
+      }
+    } else {
+      std::vector<const Row*> ptrs;
+      ptrs.reserve(staged.size());
+      for (const Row& r : staged) ptrs.push_back(&r);
+      std::vector<char> keep(staged.size(), 1);
+      for (const qgm::ExprPtr& f : filters) {
+        XNF_RETURN_IF_ERROR(EvalPredicateBatch(*f, ptrs, &ectx, &keep));
+      }
+      for (size_t i = 0; i < staged.size(); ++i) {
+        if (!keep[i]) continue;
+        out->rows.push_back(std::move(staged[i]));
+        if (want_rids) out->rids.push_back(staged_rids[i]);
+      }
+    }
+    staged.clear();
+    staged_rids.clear();
+    return Status::Ok();
+  };
+  Status status = Status::Ok();
+  heap.ScanRange(begin, end, [&](Rid rid, const Row& row) {
+    staged.push_back(row);
+    if (want_rids) staged_rids.push_back(rid);
+    if (staged.size() >= kBatchSize) {
+      status = flush();
+      return status.ok();
+    }
+    return true;
+  });
+  XNF_RETURN_IF_ERROR(status);
+  return flush();
+}
+
+}  // namespace
+
+Status ParallelFilterScan(const TableInfo& table,
+                          const std::vector<qgm::ExprPtr>& filters,
+                          ExecContext* ctx, std::vector<Row>* rows_out,
+                          std::vector<Rid>* rids_out, int* achieved_dop) {
+  const TableHeap& heap = *table.heap;
+  const uint32_t pages = static_cast<uint32_t>(heap.page_count());
+  const bool want_rids = rids_out != nullptr;
+  ThreadPool* pool =
+      ctx->catalog != nullptr ? ctx->catalog->exec_pool() : nullptr;
+  const int dop = pool != nullptr ? pool->dop() : 1;
+  *achieved_dop = 1;
+
+  if (dop <= 1 || pages < 2 * kMinMorselPages) {
+    MorselOut out;
+    XNF_RETURN_IF_ERROR(
+        ScanMorsel(heap, 0, pages, filters, ctx, want_rids, &out));
+    *rows_out = std::move(out.rows);
+    if (want_rids) *rids_out = std::move(out.rids);
+    return Status::Ok();
+  }
+
+  // Aim for ~4 morsels per worker so fast workers pick up slack from slow
+  // ones, but never below kMinMorselPages pages per morsel.
+  const uint32_t morsel_pages =
+      std::max(kMinMorselPages,
+               pages / (static_cast<uint32_t>(dop) * 4));
+  const size_t n_morsels = (pages + morsel_pages - 1) / morsel_pages;
+  std::vector<MorselOut> outs(n_morsels);
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(n_morsels);
+  for (size_t m = 0; m < n_morsels; ++m) {
+    const uint32_t begin = static_cast<uint32_t>(m) * morsel_pages;
+    const uint32_t end = std::min(pages, begin + morsel_pages);
+    tasks.push_back([&heap, &filters, ctx, want_rids, begin, end,
+                     out = &outs[m]] {
+      return ScanMorsel(heap, begin, end, filters, ctx, want_rids, out);
+    });
+  }
+  XNF_RETURN_IF_ERROR(pool->RunAll(std::move(tasks)));
+  *achieved_dop = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(dop), n_morsels));
+
+  size_t total = 0;
+  for (const MorselOut& o : outs) total += o.rows.size();
+  rows_out->clear();
+  rows_out->reserve(total);
+  if (want_rids) {
+    rids_out->clear();
+    rids_out->reserve(total);
+  }
+  for (MorselOut& o : outs) {
+    rows_out->insert(rows_out->end(), std::make_move_iterator(o.rows.begin()),
+                     std::make_move_iterator(o.rows.end()));
+    if (want_rids) {
+      rids_out->insert(rids_out->end(), o.rids.begin(), o.rids.end());
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace xnf::exec

@@ -1,0 +1,36 @@
+#ifndef XNF_EXEC_PARALLEL_H_
+#define XNF_EXEC_PARALLEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "exec/operator.h"
+#include "qgm/expr.h"
+
+namespace xnf::exec {
+
+// Smallest page range worth handing to a worker; tables below twice this
+// size are scanned serially (the morsel bookkeeping would dominate).
+inline constexpr uint32_t kMinMorselPages = 4;
+
+// Morsel-driven parallel filtering scan of a base table: the paged row
+// store is split into page-range morsels, each worker filters its morsels
+// through the batch predicate kernels, and the per-morsel outputs are
+// concatenated in morsel (= page) order. The output is therefore
+// row-for-row identical to a serial scan at any degree of parallelism.
+//
+// `filters` must be subquery-free (pushed-down scan predicates are by
+// construction). `rids_out` may be null when provenance is not needed.
+// Runs serially — and identically to the pre-parallel code path — when the
+// catalog has no ThreadPool, the pool's DOP is 1, or the table is small;
+// `*achieved_dop` reports the DOP actually used.
+Status ParallelFilterScan(const TableInfo& table,
+                          const std::vector<qgm::ExprPtr>& filters,
+                          ExecContext* ctx, std::vector<Row>* rows_out,
+                          std::vector<Rid>* rids_out, int* achieved_dop);
+
+}  // namespace xnf::exec
+
+#endif  // XNF_EXEC_PARALLEL_H_

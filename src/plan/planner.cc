@@ -113,8 +113,12 @@ Result<OperatorPtr> Planner::PlanBox(const QueryGraph& graph, int box_index) {
       if (table == nullptr) {
         return Status::NotFound("table '" + box.table_name + "' not found");
       }
-      return OperatorPtr(std::make_unique<exec::SeqScanOp>(
-          table->schema, box.table_name, std::vector<ExprPtr>{}));
+      auto scan = std::make_unique<exec::SeqScanOp>(
+          table->schema, box.table_name, std::vector<ExprPtr>{});
+      // A bare table scan has no filters at all, so it is trivially safe to
+      // split into morsels.
+      scan->set_parallel_eligible(true);
+      return OperatorPtr(std::move(scan));
     }
     case Box::Kind::kUnion: {
       std::vector<OperatorPtr> children;
@@ -185,8 +189,12 @@ Result<OperatorPtr> Planner::PlanQuantifierSource(
         q.schema, q.base_table, index->name(), std::move(keys),
         std::move(residual)));
   }
-  return OperatorPtr(std::make_unique<exec::SeqScanOp>(
-      q.schema, q.base_table, std::move(pushed_filters)));
+  auto scan = std::make_unique<exec::SeqScanOp>(q.schema, q.base_table,
+                                                std::move(pushed_filters));
+  // Pushed filters exclude subquery-bearing predicates (see PlanSelect), so
+  // they can be evaluated on any worker thread.
+  scan->set_parallel_eligible(true);
+  return OperatorPtr(std::move(scan));
 }
 
 Result<OperatorPtr> Planner::PlanSelect(const QueryGraph& graph,
@@ -465,10 +473,15 @@ Result<OperatorPtr> Planner::PlanSelect(const QueryGraph& graph,
         rk->type = qi.schema.column(m->column).type;
         right_keys.push_back(std::move(rk));
       }
-      plan = std::make_unique<exec::HashJoinOp>(
+      auto join = std::make_unique<exec::HashJoinOp>(
           combined_schema, std::move(plan), std::move(sources[i]),
           std::move(left_keys), std::move(right_keys),
           std::move(compiled_residual), outer_step);
+      // Build keys are equi conjuncts, which never carry subqueries (those
+      // stay in `residual` above), so the build side can be hashed by
+      // multiple workers.
+      join->set_parallel_eligible(true);
+      plan = std::move(join);
       planned = true;
     }
 

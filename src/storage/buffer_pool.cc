@@ -3,25 +3,27 @@
 namespace xnf {
 
 void BufferPool::Touch(PageId id) {
-  ++accesses_;
+  accesses_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = lru_map_.find(id);
   if (it != lru_map_.end()) {
     // Hit: move to front.
     lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
     return;
   }
-  ++faults_;
+  faults_.fetch_add(1, std::memory_order_relaxed);
   lru_list_.push_front(id);
   lru_map_[id] = lru_list_.begin();
   if (capacity_ != 0 && lru_map_.size() > capacity_) {
     PageId victim = lru_list_.back();
     lru_list_.pop_back();
     lru_map_.erase(victim);
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 void BufferPool::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_list_.clear();
   lru_map_.clear();
 }

@@ -1,9 +1,11 @@
 #ifndef XNF_STORAGE_BUFFER_POOL_H_
 #define XNF_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <unordered_map>
 
 namespace xnf {
@@ -28,6 +30,13 @@ struct PageIdHash {
 // only models which pages would be resident, so that page-fault counts
 // faithfully reflect the I/O behaviour the paper's clustering discussion is
 // about (see DESIGN.md, experiment C4). LRU replacement.
+//
+// Thread safety: Touch() is called concurrently by morsel workers during
+// parallel scans. The counters are atomics and the LRU structures are
+// mutex-guarded, so accesses/faults stay exact totals under any DOP. (For a
+// *bounded* pool the fault count can depend on worker interleaving, because
+// the LRU recency order does; the unbounded default — faults == distinct
+// pages — is interleaving-independent.)
 class BufferPool {
  public:
   // `capacity_pages` == 0 means unbounded (every page resident after first
@@ -40,19 +49,26 @@ class BufferPool {
   // Records an access to `id`; counts a fault if it was not resident.
   void Touch(PageId id);
 
-  uint64_t accesses() const { return accesses_; }
-  uint64_t faults() const { return faults_; }
+  uint64_t accesses() const {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+  uint64_t faults() const { return faults_.load(std::memory_order_relaxed); }
   // Pages pushed out by LRU replacement. Always 0 for an unbounded pool;
   // for a bounded pool faults = cold misses + re-faults on evicted pages,
   // so evictions tell the two apart.
-  uint64_t evictions() const { return evictions_; }
-  size_t resident_pages() const { return lru_map_.size(); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  size_t resident_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lru_map_.size();
+  }
   size_t capacity() const { return capacity_; }
 
   void ResetCounters() {
-    accesses_ = 0;
-    faults_ = 0;
-    evictions_ = 0;
+    accesses_.store(0, std::memory_order_relaxed);
+    faults_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
   }
 
   // Drops all resident pages (cold cache) and keeps counters.
@@ -60,9 +76,10 @@ class BufferPool {
 
  private:
   size_t capacity_;
-  uint64_t accesses_ = 0;
-  uint64_t faults_ = 0;
-  uint64_t evictions_ = 0;
+  std::atomic<uint64_t> accesses_{0};
+  std::atomic<uint64_t> faults_{0};
+  std::atomic<uint64_t> evictions_{0};
+  mutable std::mutex mu_;  // guards lru_list_ / lru_map_
   // Front = most recently used.
   std::list<PageId> lru_list_;
   std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> lru_map_;

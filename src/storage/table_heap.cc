@@ -1,5 +1,7 @@
 #include "storage/table_heap.h"
 
+#include <algorithm>
+
 namespace xnf {
 
 Rid TableHeap::Insert(Row row) {
@@ -71,7 +73,14 @@ Status TableHeap::Restore(Rid rid, Row row) {
 }
 
 void TableHeap::Scan(const std::function<bool(Rid, const Row&)>& fn) const {
-  for (uint32_t p = 0; p < pages_.size(); ++p) {
+  ScanRange(0, static_cast<uint32_t>(pages_.size()), fn);
+}
+
+void TableHeap::ScanRange(
+    uint32_t page_begin, uint32_t page_end,
+    const std::function<bool(Rid, const Row&)>& fn) const {
+  page_end = std::min(page_end, static_cast<uint32_t>(pages_.size()));
+  for (uint32_t p = page_begin; p < page_end; ++p) {
     TouchPage(p);
     const Page& page = pages_[p];
     for (uint32_t s = 0; s < page.slots.size(); ++s) {

@@ -76,6 +76,13 @@ class TableHeap {
   // if `fn` returns false.
   void Scan(const std::function<bool(Rid, const Row&)>& fn) const;
 
+  // Scan restricted to pages [page_begin, page_end) — the unit of a
+  // morsel-driven parallel scan. ScanRange calls on disjoint ranges are safe
+  // to run concurrently (pages are only read; the buffer pool synchronizes
+  // its own accounting).
+  void ScanRange(uint32_t page_begin, uint32_t page_end,
+                 const std::function<bool(Rid, const Row&)>& fn) const;
+
   size_t live_count() const { return live_count_; }
   size_t page_count() const { return pages_.size(); }
   uint32_t file_id() const { return options_.file_id; }

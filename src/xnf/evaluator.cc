@@ -1,12 +1,16 @@
 #include "xnf/evaluator.h"
 
 #include <chrono>
+#include <functional>
 #include <set>
 #include <unordered_map>
+#include <utility>
 
 #include "common/str_util.h"
+#include "common/thread_pool.h"
 #include "exec/eval.h"
 #include "exec/operators.h"
+#include "exec/parallel.h"
 #include "plan/planner.h"
 #include "qgm/builder.h"
 #include "qgm/rewrite.h"
@@ -124,7 +128,22 @@ SimpleNodeInfo AnalyzeSimpleNode(const CoNodeDef& def,
 
 }  // namespace
 
-Result<ResultSet> Evaluator::RunSelect(const sql::SelectStmt& stmt) {
+void Evaluator::MergeStats(const Stats& from, Stats* into) {
+  into->node_queries += from.node_queries;
+  into->edge_queries += from.edge_queries;
+  into->temp_reuses += from.temp_reuses;
+  into->cse_hits += from.cse_hits;
+  into->cse_misses += from.cse_misses;
+  into->reachability_passes += from.reachability_passes;
+  into->restrictions_applied += from.restrictions_applied;
+  into->rows_produced += from.rows_produced;
+  into->batches_produced += from.batches_produced;
+  into->profiles.insert(into->profiles.end(), from.profiles.begin(),
+                        from.profiles.end());
+}
+
+Result<ResultSet> Evaluator::RunSelect(const sql::SelectStmt& stmt,
+                                       Stats* stats) {
   qgm::Builder::ExtraResolver resolver =
       [this](const std::string& name) -> Result<const ResultSet*> {
     auto it = temps_.find(name);
@@ -138,17 +157,18 @@ Result<ResultSet> Evaluator::RunSelect(const sql::SelectStmt& stmt) {
   (void)rw;
   XNF_ASSIGN_OR_RETURN(ResultSet rs,
                        plan::Execute(catalog_, graph, trace_sink_));
-  stats_.rows_produced += rs.stats.rows_produced;
-  stats_.batches_produced += rs.stats.batches_produced;
+  stats->rows_produced += rs.stats.rows_produced;
+  stats->batches_produced += rs.stats.batches_produced;
   return rs;
 }
 
-Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
+Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def,
+                                                  Stats* stats) {
   CoNodeInstance node;
   node.name = def.name;
   const uint64_t start_ns = NowNs();
   auto profile = [&](const char* access, size_t rows) {
-    stats_.profiles.push_back({QueryProfile::Kind::kNode, def.name, access,
+    stats->profiles.push_back({QueryProfile::Kind::kNode, def.name, access,
                                rows, NowNs() - start_ns});
   };
 
@@ -259,47 +279,20 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
         if (check(row)) emit(rid, row);
         XNF_RETURN_IF_ERROR(status);
       }
-    } else if (pred == nullptr) {
-      table->heap->Scan([&](Rid rid, const Row& row) {
-        emit(rid, row);
-        return true;
-      });
     } else {
-      // Candidate scan with predicate: stage chunks and evaluate the
-      // predicate batch-wise.
-      std::vector<Rid> staged_rids;
-      std::vector<Row> staged_rows;
-      auto flush = [&]() -> Status {
-        if (staged_rows.empty()) return Status::Ok();
-        std::vector<const Row*> ptrs;
-        ptrs.reserve(staged_rows.size());
-        for (const Row& r : staged_rows) ptrs.push_back(&r);
-        std::vector<char> keep(staged_rows.size(), 1);
-        exec::EvalContext ectx;
-        ectx.exec = &exec_ctx;
-        XNF_RETURN_IF_ERROR(
-            exec::EvalPredicateBatch(*pred, ptrs, &ectx, &keep));
-        for (size_t i = 0; i < staged_rows.size(); ++i) {
-          if (keep[i]) emit(staged_rids[i], staged_rows[i]);
-        }
-        staged_rids.clear();
-        staged_rows.clear();
-        return Status::Ok();
-      };
-      table->heap->Scan([&](Rid rid, const Row& row) {
-        staged_rids.push_back(rid);
-        staged_rows.push_back(row);
-        if (staged_rows.size() >= exec::kBatchSize) {
-          status = flush();
-          return status.ok();
-        }
-        return true;
-      });
-      XNF_RETURN_IF_ERROR(status);
-      XNF_RETURN_IF_ERROR(flush());
+      // Candidate scan: morsel-parallel when an executor pool is attached,
+      // serial otherwise; output order matches the heap scan either way.
+      std::vector<qgm::ExprPtr> filters;
+      if (pred != nullptr) filters.push_back(std::move(pred));
+      std::vector<Row> rows;
+      std::vector<Rid> rids;
+      int dop = 1;
+      XNF_RETURN_IF_ERROR(exec::ParallelFilterScan(*table, filters, &exec_ctx,
+                                                   &rows, &rids, &dop));
+      for (size_t i = 0; i < rows.size(); ++i) emit(rids[i], rows[i]);
     }
     XNF_RETURN_IF_ERROR(status);
-    stats_.node_queries++;
+    stats->node_queries++;
     profile(index != nullptr ? "index" : "scan", node.tuples.size());
     return node;
   }
@@ -309,8 +302,8 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
     return Status::NotFound("table '" + def.table + "' not found for node '" +
                             def.name + "'");
   }
-  XNF_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*def.query));
-  stats_.node_queries++;
+  XNF_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*def.query, stats));
+  stats->node_queries++;
   node.schema = rs.schema.WithQualifier(def.name);
   node.tuples = std::move(rs.rows);
   profile("query", node.tuples.size());
@@ -318,17 +311,18 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def) {
 }
 
 Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
-                                                CoInstance* instance) {
+                                                const CoInstance& instance,
+                                                Stats* stats) {
   CoRelInstance rel;
   rel.name = def.name;
-  rel.parent_node = instance->NodeIndex(def.parent);
-  rel.child_node = instance->NodeIndex(def.child);
+  rel.parent_node = instance.NodeIndex(def.parent);
+  rel.child_node = instance.NodeIndex(def.child);
   if (rel.parent_node < 0 || rel.child_node < 0) {
     return Status::Internal("relationship partners missing");
   }
   const uint64_t start_ns = NowNs();
   auto profile = [&](const char* access, size_t rows) {
-    stats_.profiles.push_back({QueryProfile::Kind::kEdge, def.name, access,
+    stats->profiles.push_back({QueryProfile::Kind::kEdge, def.name, access,
                                rows, NowNs() - start_ns});
   };
 
@@ -336,13 +330,13 @@ Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
   // tuple indices carry over; only the node indices need re-binding.
   if (def.premade != nullptr) {
     rel = *def.premade;
-    rel.parent_node = instance->NodeIndex(def.parent);
-    rel.child_node = instance->NodeIndex(def.child);
+    rel.parent_node = instance.NodeIndex(def.parent);
+    rel.child_node = instance.NodeIndex(def.child);
     profile("premade", rel.connections.size());
     return rel;
   }
-  const CoNodeInstance& parent = instance->nodes[rel.parent_node];
-  const CoNodeInstance& child = instance->nodes[rel.child_node];
+  const CoNodeInstance& parent = instance.nodes[rel.parent_node];
+  const CoNodeInstance& child = instance.nodes[rel.child_node];
 
   // Attribute schema.
   for (const RelAttribute& a : def.attributes) {
@@ -363,8 +357,8 @@ Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
   // Temps carry a __tid column identifying the candidate tuple.
   add_from(def.parent, def.parent_corr, /*is_temp=*/true);
   add_from(def.child, def.child_corr, /*is_temp=*/true);
-  stats_.temp_reuses += 2;
-  stats_.cse_hits += 2;
+  stats->temp_reuses += 2;
+  stats->cse_hits += 2;
   sql::SelectItem ptid;
   ptid.expr = sql::Expr::ColRef(def.parent_corr, kTidColumn);
   ptid.alias = "__ptid";
@@ -385,8 +379,8 @@ Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
   }
   stmt->where = def.predicate->Clone();
 
-  XNF_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt));
-  stats_.edge_queries++;
+  XNF_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt, stats));
+  stats->edge_queries++;
 
   // Fill attribute types from the result schema.
   for (size_t i = 0; i < rel.attr_schema.size(); ++i) {
@@ -408,14 +402,15 @@ Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
 }
 
 Result<CoRelInstance> Evaluator::MaterializeRelNoCse(const CoRelDef& def,
-                                                     CoInstance* instance) {
+                                                     const CoInstance& instance,
+                                                     Stats* stats) {
   CoRelInstance rel;
   rel.name = def.name;
-  rel.parent_node = instance->NodeIndex(def.parent);
-  rel.child_node = instance->NodeIndex(def.child);
+  rel.parent_node = instance.NodeIndex(def.parent);
+  rel.child_node = instance.NodeIndex(def.child);
   const uint64_t start_ns = NowNs();
-  const CoNodeInstance& parent = instance->nodes[rel.parent_node];
-  const CoNodeInstance& child = instance->nodes[rel.child_node];
+  const CoNodeInstance& parent = instance.nodes[rel.parent_node];
+  const CoNodeInstance& child = instance.nodes[rel.child_node];
   for (const RelAttribute& a : def.attributes) {
     rel.attr_schema.AddColumn(Column(a.name, Type::kNull));
   }
@@ -472,11 +467,11 @@ Result<CoRelInstance> Evaluator::MaterializeRelNoCse(const CoRelDef& def,
   }
   stmt->where = def.predicate->Clone();
 
-  XNF_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt));
-  stats_.edge_queries++;
+  XNF_ASSIGN_OR_RETURN(ResultSet rs, RunSelect(*stmt, stats));
+  stats->edge_queries++;
   // These two extra executions of the node queries are what CSE avoids.
-  stats_.node_queries += 2;
-  stats_.cse_misses += 2;
+  stats->node_queries += 2;
+  stats->cse_misses += 2;
 
   size_t pw = parent.schema.size();
   size_t cw = child.schema.size();
@@ -516,7 +511,7 @@ Result<CoRelInstance> Evaluator::MaterializeRelNoCse(const CoRelDef& def,
                    std::make_move_iterator(row.end()));
     rel.connections.push_back(std::move(c));
   }
-  stats_.profiles.push_back({QueryProfile::Kind::kEdge, def.name, "inline",
+  stats->profiles.push_back({QueryProfile::Kind::kEdge, def.name, "inline",
                              rel.connections.size(), NowNs() - start_ns});
   return rel;
 }
@@ -631,13 +626,47 @@ Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
   temps_.clear();
   no_cse_defs_.clear();
 
+  // The phase structure below is also the dependency order for concurrent
+  // evaluation: every node query is independent of every other node query,
+  // and every edge query depends only on the CSE temps (all node results),
+  // so nodes run concurrently within phase 1 and edges within phase 3, with
+  // a barrier between phases (pool->RunAll is the barrier). Results land in
+  // per-task slots and are merged in definition order, so instance layout,
+  // counters, and profile order are identical at any DOP. CollectingTraceSink
+  // is not thread-safe, so tracing forces serial evaluation.
+  ThreadPool* pool = catalog_ != nullptr ? catalog_->exec_pool() : nullptr;
+  const bool concurrent =
+      pool != nullptr && pool->dop() > 1 && trace_sink_ == nullptr;
+
   // Phase 1: node candidates.
   {
     TraceScope span(trace_sink_, "materialize-nodes");
-    for (const CoNodeDef& node_def : def.nodes) {
-      XNF_ASSIGN_OR_RETURN(CoNodeInstance node, MaterializeNode(node_def));
-      instance.nodes.push_back(std::move(node));
-      if (!options_.use_cse) {
+    if (concurrent && def.nodes.size() > 1) {
+      std::vector<CoNodeInstance> slots(def.nodes.size());
+      std::vector<Stats> task_stats(def.nodes.size());
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(def.nodes.size());
+      for (size_t i = 0; i < def.nodes.size(); ++i) {
+        tasks.push_back([this, &def, &slots, &task_stats, i]() -> Status {
+          XNF_ASSIGN_OR_RETURN(slots[i],
+                               MaterializeNode(def.nodes[i], &task_stats[i]));
+          return Status::Ok();
+        });
+      }
+      XNF_RETURN_IF_ERROR(pool->RunAll(std::move(tasks)));
+      for (size_t i = 0; i < def.nodes.size(); ++i) {
+        MergeStats(task_stats[i], &stats_);
+        instance.nodes.push_back(std::move(slots[i]));
+      }
+    } else {
+      for (const CoNodeDef& node_def : def.nodes) {
+        XNF_ASSIGN_OR_RETURN(CoNodeInstance node,
+                             MaterializeNode(node_def, &stats_));
+        instance.nodes.push_back(std::move(node));
+      }
+    }
+    if (!options_.use_cse) {
+      for (const CoNodeDef& node_def : def.nodes) {
         no_cse_defs_.emplace(node_def.name, node_def.Clone());
       }
     }
@@ -713,20 +742,49 @@ Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
     }
   }
 
-  // Phase 3: edges.
+  // Phase 3: edges. Each edge task reads the (now frozen) nodes and temps
+  // only; AnalyzeRelWrite is read-only against instance and catalog, so it
+  // runs inside the task too.
   {
     TraceScope span(trace_sink_, "materialize-edges");
-    for (const CoRelDef& rel_def : def.rels) {
+    auto materialize_rel = [&](const CoRelDef& rel_def,
+                               Stats* stats) -> Result<CoRelInstance> {
       CoRelInstance rel;
       if (rel_def.premade != nullptr || options_.use_cse) {
-        XNF_ASSIGN_OR_RETURN(rel, MaterializeRel(rel_def, &instance));
+        XNF_ASSIGN_OR_RETURN(rel, MaterializeRel(rel_def, instance, stats));
       } else {
-        XNF_ASSIGN_OR_RETURN(rel, MaterializeRelNoCse(rel_def, &instance));
+        XNF_ASSIGN_OR_RETURN(rel,
+                             MaterializeRelNoCse(rel_def, instance, stats));
       }
       if (rel_def.premade == nullptr) {
         AnalyzeRelWrite(rel_def, instance, &rel);
       }
-      instance.rels.push_back(std::move(rel));
+      return rel;
+    };
+    if (concurrent && def.rels.size() > 1) {
+      std::vector<CoRelInstance> slots(def.rels.size());
+      std::vector<Stats> task_stats(def.rels.size());
+      std::vector<std::function<Status()>> tasks;
+      tasks.reserve(def.rels.size());
+      for (size_t i = 0; i < def.rels.size(); ++i) {
+        tasks.push_back(
+            [&materialize_rel, &def, &slots, &task_stats, i]() -> Status {
+              XNF_ASSIGN_OR_RETURN(
+                  slots[i], materialize_rel(def.rels[i], &task_stats[i]));
+              return Status::Ok();
+            });
+      }
+      XNF_RETURN_IF_ERROR(pool->RunAll(std::move(tasks)));
+      for (size_t i = 0; i < def.rels.size(); ++i) {
+        MergeStats(task_stats[i], &stats_);
+        instance.rels.push_back(std::move(slots[i]));
+      }
+    } else {
+      for (const CoRelDef& rel_def : def.rels) {
+        XNF_ASSIGN_OR_RETURN(CoRelInstance rel,
+                             materialize_rel(rel_def, &stats_));
+        instance.rels.push_back(std::move(rel));
+      }
     }
   }
 

@@ -91,20 +91,33 @@ class Evaluator {
   void set_trace_sink(TraceSink* sink) { trace_sink_ = sink; }
 
  private:
+  // The Materialize* / RunSelect helpers write their counters and profiles
+  // into an explicit `stats` sink rather than stats_ directly so that
+  // independent derived queries can run on pool workers, each into a private
+  // Stats, merged into stats_ in definition order afterwards (keeps profile
+  // order and counter totals identical at any DOP).
+
   // Candidate node materialization (with provenance when simple).
-  Result<CoNodeInstance> MaterializeNode(const CoNodeDef& def);
+  Result<CoNodeInstance> MaterializeNode(const CoNodeDef& def, Stats* stats);
   // Edge materialization against already-materialized candidates.
   Result<CoRelInstance> MaterializeRel(const CoRelDef& def,
-                                       CoInstance* instance);
+                                       const CoInstance& instance,
+                                       Stats* stats);
   // Baseline without common-subexpression reuse: the edge query recomputes
   // the partner node queries inline and endpoints are matched by value.
   Result<CoRelInstance> MaterializeRelNoCse(const CoRelDef& def,
-                                            CoInstance* instance);
+                                            const CoInstance& instance,
+                                            Stats* stats);
   // Derives connect/disconnect provenance (§3.7) from the predicate shape.
   void AnalyzeRelWrite(const CoRelDef& def, const CoInstance& instance,
                        CoRelInstance* rel);
 
-  Result<ResultSet> RunSelect(const sql::SelectStmt& stmt);
+  Result<ResultSet> RunSelect(const sql::SelectStmt& stmt, Stats* stats);
+
+  // Folds a worker task's counters and profiles into `into` (appends
+  // profiles in the order given, so callers merge tasks in definition
+  // order).
+  static void MergeStats(const Stats& from, Stats* into);
 
   Status ApplyRestrictions(const std::vector<Restriction>& restrictions,
                            CoInstance* instance);

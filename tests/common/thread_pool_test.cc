@@ -1,0 +1,115 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.dop(), 4);
+  std::atomic<int> sum{0};
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&sum, i] {
+      sum.fetch_add(i);
+      return Status::Ok();
+    });
+  }
+  ASSERT_OK(pool.RunAll(std::move(tasks)));
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.dop(), 1);
+  int order_check = 0;
+  std::vector<std::function<Status()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&order_check, i] {
+      // With dop 1 tasks run in index order on the caller.
+      EXPECT_EQ(order_check, i);
+      ++order_check;
+      return Status::Ok();
+    });
+  }
+  ASSERT_OK(pool.RunAll(std::move(tasks)));
+  EXPECT_EQ(order_check, 10);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.dop(), 1);
+}
+
+TEST(ThreadPool, EmptyBatchIsOk) {
+  ThreadPool pool(4);
+  EXPECT_OK(pool.RunAll({}));
+}
+
+TEST(ThreadPool, ErrorIsLowestTaskIndexRegardlessOfCompletionOrder) {
+  // Several failing tasks: the reported Status must be the lowest-indexed
+  // failure no matter which worker finishes first.
+  for (int dop : {1, 2, 8}) {
+    ThreadPool pool(dop);
+    std::vector<std::function<Status()>> tasks;
+    for (int i = 0; i < 32; ++i) {
+      tasks.push_back([i]() -> Status {
+        if (i == 7 || i == 3 || i == 30) {
+          return Status::Internal("task" + std::to_string(i));
+        }
+        return Status::Ok();
+      });
+    }
+    Status status = pool.RunAll(std::move(tasks));
+    ASSERT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("task3"), std::string::npos)
+        << "dop=" << dop << ": " << status.ToString();
+  }
+}
+
+TEST(ThreadPool, NestedRunAllDoesNotDeadlock) {
+  // A task that itself submits a batch (an XNF node query running a
+  // parallel scan). Caller participation guarantees progress even when
+  // every worker is blocked inside an outer task.
+  ThreadPool pool(2);
+  std::atomic<int> inner_runs{0};
+  std::vector<std::function<Status()>> outer;
+  for (int i = 0; i < 8; ++i) {
+    outer.push_back([&pool, &inner_runs]() -> Status {
+      std::vector<std::function<Status()>> inner;
+      for (int j = 0; j < 8; ++j) {
+        inner.push_back([&inner_runs] {
+          inner_runs.fetch_add(1);
+          return Status::Ok();
+        });
+      }
+      return pool.RunAll(std::move(inner));
+    });
+  }
+  ASSERT_OK(pool.RunAll(std::move(outer)));
+  EXPECT_EQ(inner_runs.load(), 64);
+}
+
+TEST(ThreadPool, ManySmallBatchesReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    std::vector<std::function<Status()>> tasks;
+    for (int i = 0; i < 5; ++i) {
+      tasks.push_back([&count] {
+        count.fetch_add(1);
+        return Status::Ok();
+      });
+    }
+    ASSERT_OK(pool.RunAll(std::move(tasks)));
+    ASSERT_EQ(count.load(), 5);
+  }
+}
+
+}  // namespace
+}  // namespace xnf::testing

@@ -1,0 +1,70 @@
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "storage/buffer_pool.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+// Morsel workers hammer Touch() concurrently during parallel scans; the
+// counters must stay exact totals. For the unbounded pool the fault count is
+// interleaving-independent too: faults == distinct pages.
+TEST(BufferPoolConcurrency, CountersAreExactUnderConcurrentTouch) {
+  BufferPool pool(0);  // unbounded
+  constexpr int kThreads = 8;
+  constexpr int kTouchesPerThread = 2000;
+  constexpr uint32_t kDistinctPages = 64;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kTouchesPerThread; ++i) {
+        // Every thread walks all pages, offset so first touches interleave.
+        uint32_t page = static_cast<uint32_t>((i + t * 7) % kDistinctPages);
+        pool.Touch({0, page});
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(pool.accesses(),
+            static_cast<uint64_t>(kThreads) * kTouchesPerThread);
+  EXPECT_EQ(pool.faults(), kDistinctPages);
+  EXPECT_EQ(pool.evictions(), 0u);
+  EXPECT_EQ(pool.resident_pages(), kDistinctPages);
+}
+
+TEST(BufferPoolConcurrency, BoundedPoolAccessTotalStaysExact) {
+  // With a bounded pool the fault count depends on interleaving (LRU
+  // recency order does), but accesses must still be exact and faults must
+  // at least cover the cold misses.
+  BufferPool pool(8);
+  constexpr int kThreads = 4;
+  constexpr int kTouchesPerThread = 1000;
+  constexpr uint32_t kDistinctPages = 32;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      for (int i = 0; i < kTouchesPerThread; ++i) {
+        pool.Touch({0, static_cast<uint32_t>((i * (t + 1)) % kDistinctPages)});
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(pool.accesses(),
+            static_cast<uint64_t>(kThreads) * kTouchesPerThread);
+  EXPECT_GE(pool.faults(), kDistinctPages);
+  EXPECT_LE(pool.resident_pages(), 8u);
+  // Every fault makes a page resident and every eviction removes one, so
+  // the books must balance exactly even under contention.
+  EXPECT_EQ(pool.faults(), pool.resident_pages() + pool.evictions());
+}
+
+}  // namespace
+}  // namespace xnf::testing
