@@ -14,8 +14,10 @@
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "api/database.h"
+#include "common/failpoint.h"
 #include "common/trace.h"
 
 namespace {
@@ -76,7 +78,13 @@ void PrintHelp() {
       "      .timer on|off   wall time per statement\n"
       "      .stats [on|off] print counters / toggle per-operator stats\n"
       "      .trace on|off   pipeline span timeline per statement\n"
-      "      .threads [N]    show / set intra-query worker threads\n";
+      "      .threads [N]    show / set intra-query worker threads\n"
+      "      .failpoint              list armed failpoints with hit counts\n"
+      "      .failpoint sites        list the known injection sites\n"
+      "      .failpoint off          disarm all failpoints\n"
+      "      .failpoint <site>=<trigger>[,...]\n"
+      "                      arm sites; triggers: nth(N) every(N)\n"
+      "                      prob(P,SEED) always\n";
 }
 
 }  // namespace
@@ -110,6 +118,26 @@ int main() {
         std::cout << "trace " << (tracing ? "on" : "off") << "\n";
       } else if (line == ".threads") {
         std::cout << "threads " << db.threads() << "\n";
+      } else if (line == ".failpoint") {
+        std::vector<std::string> armed = xnf::Failpoints::Describe();
+        if (armed.empty()) std::cout << "no failpoints armed\n";
+        for (const std::string& fp : armed) std::cout << fp << "\n";
+      } else if (line == ".failpoint sites") {
+        for (const char* site : xnf::Failpoints::KnownSites()) {
+          std::cout << site << "\n";
+        }
+      } else if (line == ".failpoint off") {
+        xnf::Failpoints::DisableAll();
+        std::cout << "all failpoints disarmed\n";
+      } else if (line.rfind(".failpoint ", 0) == 0) {
+        xnf::Status armed = xnf::Failpoints::EnableSpec(line.substr(11));
+        if (armed.ok()) {
+          for (const std::string& fp : xnf::Failpoints::Describe()) {
+            std::cout << fp << "\n";
+          }
+        } else {
+          std::cout << "error: " << armed.ToString() << "\n";
+        }
       } else if (line.rfind(".threads ", 0) == 0) {
         char* end = nullptr;
         long n = std::strtol(line.c_str() + 9, &end, 10);

@@ -1,5 +1,9 @@
 #include "api/database.h"
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "exec/dml.h"
 #include "exec/explain.h"
@@ -41,6 +45,27 @@ Database::Database(Options options)
       catalog_(&buffer_pool_, options.tuples_per_page),
       exec_pool_(std::make_unique<ThreadPool>(options.threads)) {
   catalog_.set_exec_pool(exec_pool_.get());
+  // Fault injection: the Options spec first, then the environment on top
+  // (the env wins on per-site conflicts). Both are no-ops when empty; a
+  // malformed spec aborts construction loudly rather than silently running
+  // without the requested faults.
+  if (!options_.failpoints.empty()) {
+    Status armed = Failpoints::EnableSpec(options_.failpoints);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "sqlxnf: bad failpoint spec: %s\n",
+                   armed.message().c_str());
+      std::abort();
+    }
+  }
+  if (const char* env = std::getenv("SQLXNF_FAILPOINTS");
+      env != nullptr && env[0] != '\0') {
+    Status armed = Failpoints::EnableSpec(env);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "sqlxnf: bad SQLXNF_FAILPOINTS: %s\n",
+                   armed.message().c_str());
+      std::abort();
+    }
+  }
 }
 
 void Database::set_threads(int n) {
@@ -444,11 +469,22 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& explain) {
     exec::ExecContext ctx;
     ctx.catalog = &catalog_;
     ctx.collect_stats = true;
-    XNF_ASSIGN_OR_RETURN(ResultSet rows, [&]() -> Result<ResultSet> {
+    Result<ResultSet> rows = [&]() -> Result<ResultSet> {
       TraceScope span(trace_sink_, "execute");
       return exec::RunPlan(root.get(), &ctx);
-    }());
-    exec_stats_ = rows.stats;
+    }();
+    if (!rows.ok()) {
+      // A failed run still rendered consistent per-operator counters
+      // (RunPlan closes the tree on every path, so opens >= closes): show
+      // the partial profile with the error appended instead of discarding
+      // it — the profile of a failed query is exactly what one wants when
+      // diagnosing the failure. The connection stays usable.
+      dump += exec::RenderPlan(root.get(), &catalog_, /*analyze=*/true);
+      dump += "error: " + rows.status().message() + "\n";
+      EmitLines(dump, &result.rows);
+      return result;
+    }
+    exec_stats_ = rows->stats;
   }
   dump += exec::RenderPlan(root.get(), &catalog_, explain.analyze);
   EmitLines(dump, &result.rows);
@@ -499,20 +535,28 @@ Result<ExecResult> Database::ExecuteCoUpdate(const co::XnfQuery& query,
       planned[t].push_back(std::move(v));
     }
   }
-  // Apply through the cache manipulator (enforces updatability rules).
-  auto cache = co::CoCache::Build(std::move(instance));
+  // Apply through the cache manipulator (enforces updatability rules). The
+  // write-through loop is one statement: a failure part-way rolls every
+  // earlier base-table write back before the error propagates.
+  XNF_ASSIGN_OR_RETURN(auto cache, co::CoCache::Build(std::move(instance)));
   co::Manipulator manipulator(cache.get(), &catalog_);
   co::CoCache::Node& cached = cache->node(n);
+  exec::StatementAtomicity statement(&catalog_);
   size_t t = 0;
   int64_t affected = 0;
   for (co::CoCache::Tuple& tuple : cached.tuples) {
     for (size_t a = 0; a < query.assignments.size(); ++a) {
-      XNF_RETURN_IF_ERROR(manipulator.UpdateColumn(
-          &tuple, query.assignments[a].first, planned[t][a]));
+      Status applied = manipulator.UpdateColumn(
+          &tuple, query.assignments[a].first, planned[t][a]);
+      if (!applied.ok()) {
+        XNF_RETURN_IF_ERROR(statement.Abort());
+        return applied;
+      }
     }
     ++affected;
     ++t;
   }
+  statement.Commit();
   ExecResult result;
   result.kind = ExecResult::Kind::kAffected;
   result.affected = affected;
@@ -532,6 +576,14 @@ Result<ExecResult> Database::ExecuteCoDelete(const co::CoInstance& instance) {
   }
   exec::DmlExecutor dml(&catalog_);
   int64_t affected = 0;
+  // The whole CO deletion — link tuples plus component tuples — is one
+  // statement: if any base-table delete fails, every earlier delete is
+  // rolled back and the CO survives intact.
+  exec::StatementAtomicity statement(&catalog_);
+  auto abort_with = [&](Status cause) -> Result<ExecResult> {
+    XNF_RETURN_IF_ERROR(statement.Abort());
+    return cause;
+  };
 
   // Connections derived from link tables map to link-tuple deletions.
   for (const co::CoRelInstance& rel : instance.rels) {
@@ -544,7 +596,7 @@ Result<ExecResult> Database::ExecuteCoDelete(const co::CoInstance& instance) {
       const Value& pkey = parent.tuples[c.parent][rel.parent_key_column];
       const Value& ckey = child.tuples[c.child][rel.child_key_column];
       std::optional<Rid> victim;
-      link->heap->Scan([&](Rid rid, const Row& row) {
+      Status scanned = link->heap->Scan([&](Rid rid, const Row& row) {
         if (row[rel.link_parent_column].CompareEq(pkey) == Tribool::kTrue &&
             row[rel.link_child_column].CompareEq(ckey) == Tribool::kTrue) {
           victim = rid;
@@ -552,8 +604,10 @@ Result<ExecResult> Database::ExecuteCoDelete(const co::CoInstance& instance) {
         }
         return true;
       });
+      if (!scanned.ok()) return abort_with(scanned);
       if (victim.has_value()) {
-        XNF_RETURN_IF_ERROR(dml.DeleteRow(link, *victim));
+        Status deleted = dml.DeleteRow(link, *victim);
+        if (!deleted.ok()) return abort_with(deleted);
         ++affected;
       }
     }
@@ -563,14 +617,16 @@ Result<ExecResult> Database::ExecuteCoDelete(const co::CoInstance& instance) {
     if (node.tuples.empty()) continue;
     TableInfo* table = catalog_.GetTable(node.base_table);
     if (table == nullptr) {
-      return Status::NotFound("base table '" + node.base_table +
-                              "' not found");
+      return abort_with(Status::NotFound("base table '" + node.base_table +
+                                         "' not found"));
     }
     for (Rid rid : node.rids) {
-      XNF_RETURN_IF_ERROR(dml.DeleteRow(table, rid));
+      Status deleted = dml.DeleteRow(table, rid);
+      if (!deleted.ok()) return abort_with(deleted);
       ++affected;
     }
   }
+  statement.Commit();
 
   ExecResult result;
   result.kind = ExecResult::Kind::kAffected;

@@ -64,6 +64,11 @@ class Database {
     // build, concurrent XNF derived queries). 0 = hardware concurrency;
     // 1 = serial execution.
     int threads = 0;
+    // Failpoint spec ("site=trigger,..."; see common/failpoint.h) armed at
+    // construction. The SQLXNF_FAILPOINTS environment variable is applied
+    // on top. Note the failpoint registry is process-global, not
+    // per-database.
+    std::string failpoints;
   };
 
   Database() : Database(Options()) {}
@@ -104,6 +109,11 @@ class Database {
   // selects hardware concurrency. threads() reports the effective DOP.
   void set_threads(int n);
   int threads() const;
+
+  // True iff the worker pool has no running or queued work. Statements must
+  // leave the pool quiescent on error paths too — the fault-soak harness
+  // asserts this after every injected failure.
+  bool exec_quiescent() const { return exec_pool_->quiescent(); }
 
   // True while a BEGIN ... COMMIT/ROLLBACK transaction is open.
   bool in_transaction() const { return txn_ != nullptr; }

@@ -73,12 +73,14 @@ Status Catalog::CreateIndex(const std::string& index_name,
   } else {
     index = std::make_unique<OrderedIndex>(ToLower(index_name), cols, unique);
   }
-  // Backfill from existing data.
+  // Backfill from existing data. A failed backfill (unique violation,
+  // injected fault) discards the half-built index entirely — it was never
+  // published in table->indexes.
   Status backfill = Status::Ok();
-  table->heap->Scan([&](Rid rid, const Row& row) {
+  XNF_RETURN_IF_ERROR(table->heap->Scan([&](Rid rid, const Row& row) {
     backfill = index->Insert(row, rid);
     return backfill.ok();
-  });
+  }));
   XNF_RETURN_IF_ERROR(backfill);
   table->indexes.push_back(std::move(index));
   return Status::Ok();

@@ -1,5 +1,7 @@
 #include "catalog/undo_log.h"
 
+#include "common/failpoint.h"
+
 namespace xnf {
 
 void UndoLog::RecordInsert(const std::string& table, Rid rid) {
@@ -17,40 +19,49 @@ void UndoLog::RecordUpdate(const std::string& table, Rid rid, Row old_row) {
 }
 
 Status UndoLog::Rollback(Catalog* catalog) {
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    TableInfo* table = catalog->GetTable(it->table);
+  return RollbackTo(catalog, 0);
+}
+
+Status UndoLog::RollbackTo(Catalog* catalog, size_t mark) {
+  // Undo must not fail: suppress fault injection for the whole replay.
+  Failpoints::Suppressor suppress;
+  while (entries_.size() > mark) {
+    Entry entry = std::move(entries_.back());
+    entries_.pop_back();
+    TableInfo* table = catalog->GetTable(entry.table);
     if (table == nullptr) {
-      return Status::Internal("table '" + it->table +
+      return Status::Internal("table '" + entry.table +
                               "' vanished during rollback");
     }
-    switch (it->kind) {
+    switch (entry.kind) {
       case Entry::Kind::kInsert: {
         // Undo an insert: remove the row and its index entries.
-        XNF_ASSIGN_OR_RETURN(Row current, table->heap->Read(it->rid));
-        for (auto& index : table->indexes) index->Erase(current, it->rid);
-        XNF_RETURN_IF_ERROR(table->heap->Delete(it->rid));
+        XNF_ASSIGN_OR_RETURN(Row current, table->heap->Read(entry.rid));
+        for (auto& index : table->indexes) {
+          XNF_RETURN_IF_ERROR(index->Erase(current, entry.rid));
+        }
+        XNF_RETURN_IF_ERROR(table->heap->Delete(entry.rid));
         break;
       }
       case Entry::Kind::kDelete: {
         // Undo a delete: revive the row at its original rid.
-        XNF_RETURN_IF_ERROR(table->heap->Restore(it->rid, it->old_row));
+        XNF_RETURN_IF_ERROR(table->heap->Restore(entry.rid, entry.old_row));
         for (auto& index : table->indexes) {
-          XNF_RETURN_IF_ERROR(index->Insert(it->old_row, it->rid));
+          XNF_RETURN_IF_ERROR(index->Insert(entry.old_row, entry.rid));
         }
         break;
       }
       case Entry::Kind::kUpdate: {
-        XNF_ASSIGN_OR_RETURN(Row current, table->heap->Read(it->rid));
+        XNF_ASSIGN_OR_RETURN(Row current, table->heap->Read(entry.rid));
         for (auto& index : table->indexes) {
-          index->Erase(current, it->rid);
-          XNF_RETURN_IF_ERROR(index->Insert(it->old_row, it->rid));
+          XNF_RETURN_IF_ERROR(index->Erase(current, entry.rid));
+          XNF_RETURN_IF_ERROR(index->Insert(entry.old_row, entry.rid));
         }
-        XNF_RETURN_IF_ERROR(table->heap->Update(it->rid, it->old_row));
+        XNF_RETURN_IF_ERROR(table->heap->Update(entry.rid, entry.old_row));
         break;
       }
     }
   }
-  entries_.clear();
   return Status::Ok();
 }
 

@@ -33,6 +33,13 @@ class UndoLog {
   // caches stay valid across a rollback.
   Status Rollback(Catalog* catalog);
 
+  // Undoes operations recorded after `mark` (a prior size()), most recent
+  // first, truncating the log back to `mark`. Statement-level atomicity:
+  // DML records a savepoint on entry and rolls back to it on failure,
+  // leaving earlier statements of the transaction intact. Runs with
+  // failpoints suppressed — undo is infallible by design.
+  Status RollbackTo(Catalog* catalog, size_t mark);
+
   // Discards the log (the changes stay).
   void Commit() { entries_.clear(); }
 

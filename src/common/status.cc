@@ -22,6 +22,8 @@ const char* StatusCodeName(StatusCode code) {
       return "NotUpdatable";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kFaultInjected:
+      return "FaultInjected";
   }
   return "Unknown";
 }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kConstraintViolation,  // NOT NULL / primary key / reachability violations
   kNotUpdatable,      // view or relationship cannot be written through
   kInternal,          // invariant breakage; indicates a bug
+  kFaultInjected,     // deterministic failpoint fired (tests/soak harness)
 };
 
 // Returns a stable human-readable name for `code` (e.g. "ParseError").
@@ -55,6 +56,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status FaultInjected(std::string m) {
+    return Status(StatusCode::kFaultInjected, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

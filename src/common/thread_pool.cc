@@ -1,6 +1,20 @@
 #include "common/thread_pool.h"
 
+#include "common/failpoint.h"
+
 namespace xnf {
+
+namespace {
+
+// Every dispatch — worker, participating caller, or serial inline — goes
+// through here so the `threadpool.task` failpoint fires identically at any
+// DOP.
+Status Dispatch(const std::function<Status()>& task) {
+  XNF_FAILPOINT("threadpool.task");
+  return task();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int dop) {
   if (dop <= 0) {
@@ -28,7 +42,7 @@ void ThreadPool::Work(Batch* batch) {
   while (true) {
     size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return;
-    batch->statuses[i] = batch->tasks[i]();
+    batch->statuses[i] = Dispatch(batch->tasks[i]);
     // Release so the waiter's acquire on `done` sees the status write.
     if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
       std::lock_guard<std::mutex> lock(batch->mu);
@@ -61,11 +75,21 @@ void ThreadPool::WorkerLoop() {
 Status ThreadPool::RunAll(std::vector<std::function<Status()>> tasks) {
   const size_t n = tasks.size();
   if (n == 0) return Status::Ok();
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  struct InflightGuard {
+    std::atomic<size_t>* counter;
+    ~InflightGuard() { counter->fetch_sub(1, std::memory_order_acq_rel); }
+  } inflight_guard{&inflight_};
   if (workers_.empty() || n == 1) {
+    // Same contract as the parallel path: run everything, report the
+    // lowest-indexed failure. Early-exit here would make a batch's side
+    // effects depend on the DOP.
+    Status first_error = Status::Ok();
     for (std::function<Status()>& t : tasks) {
-      XNF_RETURN_IF_ERROR(t());
+      Status st = Dispatch(t);
+      if (!st.ok() && first_error.ok()) first_error = std::move(st);
     }
-    return Status::Ok();
+    return first_error;
   }
   auto batch = std::make_shared<Batch>();
   batch->tasks = std::move(tasks);

@@ -38,11 +38,23 @@ class ThreadPool {
   int dop() const { return dop_; }
 
   // Runs every task to completion and returns the Status of the
-  // lowest-indexed failing task (or OK). Task index order — not completion
-  // order — decides which error is reported, so error propagation is
-  // deterministic across worker counts. With dop() == 1 the tasks run
-  // inline on the caller in index order.
+  // lowest-indexed failing task (or OK). Every task runs even when an
+  // earlier one fails — in serial mode too, so a batch has the same side
+  // effects at any DOP. Task index order — not completion order — decides
+  // which error is reported, so error propagation is deterministic across
+  // worker counts. With dop() == 1 the tasks run inline on the caller in
+  // index order. Each task dispatch passes the `threadpool.task`
+  // failpoint.
   Status RunAll(std::vector<std::function<Status()>> tasks);
+
+  // True iff no RunAll() batch is executing or queued. The engine must be
+  // quiescent between statements — the soak harness asserts this after
+  // every injected failure.
+  bool quiescent() const {
+    if (inflight_.load(std::memory_order_acquire) != 0) return false;
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    return queue_.empty();
+  }
 
  private:
   // One RunAll() invocation: tasks are claimed by atomically bumping
@@ -63,7 +75,8 @@ class ThreadPool {
 
   int dop_;
   std::vector<std::thread> workers_;
-  std::mutex queue_mu_;
+  std::atomic<size_t> inflight_{0};  // RunAll() calls currently executing
+  mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<Batch>> queue_;
   bool shutdown_ = false;

@@ -1,6 +1,7 @@
 #include "exec/dml.h"
 
 #include "catalog/undo_log.h"
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "exec/eval.h"
 #include "exec/operators.h"
@@ -43,14 +44,48 @@ Result<qgm::ExprPtr> CompileOverTable(const sql::Expr& expr,
 
 }  // namespace
 
+StatementAtomicity::StatementAtomicity(Catalog* catalog)
+    : catalog_(catalog), log_(catalog->undo_log()) {
+  if (log_ == nullptr) {
+    local_ = std::make_unique<UndoLog>();
+    log_ = local_.get();
+    catalog_->set_undo_log(log_);
+  }
+  mark_ = log_->size();
+}
+
+StatementAtomicity::~StatementAtomicity() { (void)Abort(); }
+
+void StatementAtomicity::Commit() {
+  if (done_) return;
+  done_ = true;
+  if (local_ != nullptr) {
+    catalog_->set_undo_log(nullptr);
+    local_->Commit();
+  }
+}
+
+Status StatementAtomicity::Abort() {
+  if (done_) return Status::Ok();
+  done_ = true;
+  if (local_ != nullptr) catalog_->set_undo_log(nullptr);
+  return log_->RollbackTo(catalog_, mark_);
+}
+
 Result<Rid> DmlExecutor::InsertRow(TableInfo* table, Row row) {
   XNF_RETURN_IF_ERROR(table->schema.CheckAndCoerceRow(&row));
-  Rid rid = table->heap->Insert(row);
+  XNF_FAILPOINT("dml.apply.insert");
+  XNF_ASSIGN_OR_RETURN(Rid rid, table->heap->Insert(row));
   for (size_t i = 0; i < table->indexes.size(); ++i) {
     Status st = table->indexes[i]->Insert(row, rid);
     if (!st.ok()) {
-      // Roll back: remove from the indexes already updated and the heap.
-      for (size_t j = 0; j < i; ++j) table->indexes[j]->Erase(row, rid);
+      // Compensate: each row-level op must be atomic on its own, because
+      // undo entries are recorded only for fully-applied ops. Compensation
+      // runs with failpoints suppressed — it must not fail.
+      Failpoints::Suppressor suppress;
+      for (size_t j = 0; j < i; ++j) {
+        (void)table->indexes[j]->Erase(row, rid);
+      }
       (void)table->heap->Delete(rid);
       return st;
     }
@@ -63,29 +98,66 @@ Result<Rid> DmlExecutor::InsertRow(TableInfo* table, Row row) {
 
 Status DmlExecutor::UpdateRow(TableInfo* table, Rid rid, Row new_row) {
   XNF_RETURN_IF_ERROR(table->schema.CheckAndCoerceRow(&new_row));
+  XNF_FAILPOINT("dml.apply.update");
   XNF_ASSIGN_OR_RETURN(Row old_row, table->heap->Read(rid));
+  // Reverts the completed old->new key transitions of indexes [0, upto).
+  auto restore_indexes = [&](size_t upto) {
+    Failpoints::Suppressor suppress;
+    for (size_t j = 0; j < upto; ++j) {
+      (void)table->indexes[j]->Erase(new_row, rid);
+      (void)table->indexes[j]->Insert(old_row, rid);
+    }
+  };
   for (size_t i = 0; i < table->indexes.size(); ++i) {
-    table->indexes[i]->Erase(old_row, rid);
-    Status st = table->indexes[i]->Insert(new_row, rid);
+    Status st = table->indexes[i]->Erase(old_row, rid);
     if (!st.ok()) {
-      // Restore the erased entries.
-      for (size_t j = 0; j <= i; ++j) {
-        table->indexes[j]->Erase(new_row, rid);
-        (void)table->indexes[j]->Insert(old_row, rid);
+      restore_indexes(i);
+      return st;
+    }
+    st = table->indexes[i]->Insert(new_row, rid);
+    if (!st.ok()) {
+      {
+        Failpoints::Suppressor suppress;
+        (void)table->indexes[i]->Insert(old_row, rid);
+      }
+      restore_indexes(i);
+      return st;
+    }
+  }
+  // The heap write goes last; if it fails the indexes (already moved to the
+  // new keys) must be restored too, or they would point at keys the heap
+  // row never took.
+  Status st = table->heap->Update(rid, new_row);
+  if (!st.ok()) {
+    restore_indexes(table->indexes.size());
+    return st;
+  }
+  if (UndoLog* log = catalog_->undo_log(); log != nullptr) {
+    log->RecordUpdate(table->name, rid, std::move(old_row));
+  }
+  return Status::Ok();
+}
+
+Status DmlExecutor::DeleteRow(TableInfo* table, Rid rid) {
+  XNF_FAILPOINT("dml.apply.delete");
+  XNF_ASSIGN_OR_RETURN(Row row, table->heap->Read(rid));
+  for (size_t i = 0; i < table->indexes.size(); ++i) {
+    Status st = table->indexes[i]->Erase(row, rid);
+    if (!st.ok()) {
+      Failpoints::Suppressor suppress;
+      for (size_t j = 0; j < i; ++j) {
+        (void)table->indexes[j]->Insert(row, rid);
       }
       return st;
     }
   }
-  if (UndoLog* log = catalog_->undo_log(); log != nullptr) {
-    log->RecordUpdate(table->name, rid, old_row);
+  Status st = table->heap->Delete(rid);
+  if (!st.ok()) {
+    // Re-add the already-erased index entries: the row is still live.
+    Failpoints::Suppressor suppress;
+    for (auto& index : table->indexes) (void)index->Insert(row, rid);
+    return st;
   }
-  return table->heap->Update(rid, std::move(new_row));
-}
-
-Status DmlExecutor::DeleteRow(TableInfo* table, Rid rid) {
-  XNF_ASSIGN_OR_RETURN(Row row, table->heap->Read(rid));
-  for (auto& index : table->indexes) index->Erase(row, rid);
-  XNF_RETURN_IF_ERROR(table->heap->Delete(rid));
   if (UndoLog* log = catalog_->undo_log(); log != nullptr) {
     log->RecordDelete(table->name, rid, std::move(row));
   }
@@ -137,8 +209,9 @@ Result<int64_t> DmlExecutor::Insert(const sql::InsertStmt& stmt) {
     }
   }
 
-  // Scatter into full-width rows and insert.
-  std::vector<Rid> inserted;
+  // Scatter into full-width rows and insert, atomically as a statement.
+  StatementAtomicity statement(catalog_);
+  int64_t inserted = 0;
   for (Row& src : rows) {
     Row full(schema.size(), Value::Null());
     for (size_t i = 0; i < positions.size(); ++i) {
@@ -146,13 +219,13 @@ Result<int64_t> DmlExecutor::Insert(const sql::InsertStmt& stmt) {
     }
     Result<Rid> rid = InsertRow(table, std::move(full));
     if (!rid.ok()) {
-      // Statement-level rollback of prior inserts.
-      for (Rid r : inserted) (void)DeleteRow(table, r);
+      XNF_RETURN_IF_ERROR(statement.Abort());
       return rid.status();
     }
-    inserted.push_back(*rid);
+    ++inserted;
   }
-  return static_cast<int64_t>(inserted.size());
+  statement.Commit();
+  return inserted;
 }
 
 Result<int64_t> DmlExecutor::Update(const sql::UpdateStmt& stmt) {
@@ -223,7 +296,7 @@ Result<int64_t> DmlExecutor::Update(const sql::UpdateStmt& stmt) {
     return Status::Ok();
   };
   Status status = Status::Ok();
-  table->heap->Scan([&](Rid rid, const Row& row) {
+  XNF_RETURN_IF_ERROR(table->heap->Scan([&](Rid rid, const Row& row) {
     staged_rids.push_back(rid);
     staged_rows.push_back(row);
     if (staged_rows.size() >= kBatchSize) {
@@ -231,24 +304,25 @@ Result<int64_t> DmlExecutor::Update(const sql::UpdateStmt& stmt) {
       return status.ok();
     }
     return true;
-  });
+  }));
   XNF_RETURN_IF_ERROR(status);
   XNF_RETURN_IF_ERROR(flush());
 
-  // Phase 2: apply, with rollback on failure.
-  std::vector<std::pair<Rid, Row>> applied;  // rid -> old row
+  // Phase 2: apply under a statement savepoint. A failure mid-apply (index
+  // fault, heap fault) rolls back the heap rows *and* all secondary-index
+  // entries of the rows already updated, via the undo log.
+  StatementAtomicity statement(catalog_);
+  int64_t applied = 0;
   for (auto& [rid, new_row] : planned) {
-    XNF_ASSIGN_OR_RETURN(Row old_row, table->heap->Read(rid));
     Status st = UpdateRow(table, rid, std::move(new_row));
     if (!st.ok()) {
-      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
-        (void)UpdateRow(table, it->first, std::move(it->second));
-      }
+      XNF_RETURN_IF_ERROR(statement.Abort());
       return st;
     }
-    applied.emplace_back(rid, std::move(old_row));
+    ++applied;
   }
-  return static_cast<int64_t>(applied.size());
+  statement.Commit();
+  return applied;
 }
 
 Result<int64_t> DmlExecutor::Delete(const sql::DeleteStmt& stmt) {
@@ -288,7 +362,7 @@ Result<int64_t> DmlExecutor::Delete(const sql::DeleteStmt& stmt) {
     return Status::Ok();
   };
   Status status = Status::Ok();
-  table->heap->Scan([&](Rid rid, const Row& row) {
+  XNF_RETURN_IF_ERROR(table->heap->Scan([&](Rid rid, const Row& row) {
     staged_rids.push_back(rid);
     if (where) staged_rows.push_back(row);
     if (staged_rids.size() >= kBatchSize) {
@@ -296,12 +370,18 @@ Result<int64_t> DmlExecutor::Delete(const sql::DeleteStmt& stmt) {
       return status.ok();
     }
     return true;
-  });
+  }));
   XNF_RETURN_IF_ERROR(status);
   XNF_RETURN_IF_ERROR(flush());
+  StatementAtomicity statement(catalog_);
   for (Rid rid : victims) {
-    XNF_RETURN_IF_ERROR(DeleteRow(table, rid));
+    Status st = DeleteRow(table, rid);
+    if (!st.ok()) {
+      XNF_RETURN_IF_ERROR(statement.Abort());
+      return st;
+    }
   }
+  statement.Commit();
   return static_cast<int64_t>(victims.size());
 }
 

@@ -1,18 +1,48 @@
 #ifndef XNF_EXEC_DML_H_
 #define XNF_EXEC_DML_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "catalog/undo_log.h"
 #include "common/status.h"
 #include "sql/ast.h"
 
 namespace xnf::exec {
 
+// Statement-level atomicity via undo-log savepoints. Construct before the
+// first write of a statement: records a savepoint on the transaction's
+// undo log, or installs a temporary statement-local log when no
+// transaction is active. On failure call Abort() to roll every write of
+// the statement back (earlier statements of an enclosing transaction stay
+// applied); on success call Commit(). The destructor aborts if neither was
+// called, so an early return cannot leave partial effects behind.
+class StatementAtomicity {
+ public:
+  explicit StatementAtomicity(Catalog* catalog);
+  ~StatementAtomicity();
+  StatementAtomicity(const StatementAtomicity&) = delete;
+  StatementAtomicity& operator=(const StatementAtomicity&) = delete;
+
+  void Commit();
+  Status Abort();
+
+ private:
+  Catalog* catalog_;
+  UndoLog* log_;                     // transaction log or local_.get()
+  std::unique_ptr<UndoLog> local_;   // set when no transaction was active
+  size_t mark_ = 0;
+  bool done_ = false;
+};
+
 // Executes INSERT / UPDATE / DELETE statements against the catalog,
-// maintaining all secondary indexes. Unique-index violations roll back the
-// statement's partial effects.
+// maintaining all secondary indexes. Any mid-statement failure (unique-
+// index violation, injected fault) rolls the statement's partial effects
+// back via a StatementAtomicity savepoint; the row-level helpers are each
+// atomic on their own (they compensate partial index changes internally),
+// which is what lets the savepoint replay assume full-op granularity.
 class DmlExecutor {
  public:
   explicit DmlExecutor(Catalog* catalog) : catalog_(catalog) {}

@@ -20,8 +20,8 @@ void RenderNode(const Operator* op, const Catalog* catalog, bool analyze,
   if (analyze) {
     const OperatorStats& s = op->stats();
     *out << "  [rows=" << s.rows_out << " batches=" << s.batches_out
-         << " opens=" << s.opens << " faults=" << s.buffer_pool_faults
-         << " time=";
+         << " opens=" << s.opens << " closes=" << s.closes
+         << " faults=" << s.buffer_pool_faults << " time=";
     AppendTimeUs(s.time_ns, out);
     // DOP the operator actually achieved; serial operators stay unmarked so
     // single-threaded ANALYZE output is unchanged.

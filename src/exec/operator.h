@@ -53,6 +53,10 @@ struct OperatorStats {
   uint64_t rows_out = 0;
   uint64_t batches_out = 0;
   uint64_t opens = 0;
+  // Close() calls. RunPlan closes the plan on error paths too, so after any
+  // drain — successful or failed — opens >= closes holds per operator (an
+  // open that failed mid-way is still closed exactly once).
+  uint64_t closes = 0;
   uint64_t time_ns = 0;
   uint64_t buffer_pool_faults = 0;
   // Highest degree of parallelism this operator actually ran with (1 =
@@ -107,7 +111,13 @@ class Operator {
     return status;
   }
 
-  virtual void Close() {}
+  // Releases per-execution resources and closes children. Safe to call on
+  // a plan whose Open() failed part-way (operators tolerate closing in any
+  // state), which is how error drains keep stats consistent.
+  void Close() {
+    if (collect_) ++stats_.closes;
+    CloseImpl();
+  }
 
   // Row-at-a-time adapter over NextBatch() for consumers that genuinely need
   // single rows (operator-level tests, transition code). Plan drains —
@@ -142,6 +152,7 @@ class Operator {
 
   virtual Status OpenImpl(ExecContext* ctx) = 0;
   virtual Status NextBatchImpl(RowBatch* out) = 0;
+  virtual void CloseImpl() {}
   virtual uint64_t EstimateRowsImpl(const Catalog* catalog) const = 0;
 
   // Records the DOP an OpenImpl achieved (parallel scan / build). Latches

@@ -26,18 +26,25 @@ Result<ResultSet> RunPlan(Operator* root, ExecContext* ctx) {
       ctx->catalog != nullptr ? ctx->catalog->buffer_pool() : nullptr;
   uint64_t faults_before = pool != nullptr ? pool->faults() : 0;
   uint64_t evictions_before = pool != nullptr ? pool->evictions() : 0;
-  XNF_RETURN_IF_ERROR(root->Open(ctx));
-  RowBatch batch;
-  while (true) {
-    XNF_RETURN_IF_ERROR(root->NextBatch(&batch));
-    if (batch.empty()) break;
-    out.stats.batches_produced++;
-    out.stats.rows_produced += batch.size();
-    out.rows.insert(out.rows.end(),
-                    std::make_move_iterator(batch.rows.begin()),
-                    std::make_move_iterator(batch.rows.end()));
+  // The plan is closed on every path, including failed opens and drains:
+  // operators holding resources (pins, build tables) release them, and the
+  // per-operator close counter stays consistent with opens for EXPLAIN
+  // ANALYZE of a failed statement.
+  Status status = root->Open(ctx);
+  if (status.ok()) {
+    RowBatch batch;
+    while (true) {
+      status = root->NextBatch(&batch);
+      if (!status.ok() || batch.empty()) break;
+      out.stats.batches_produced++;
+      out.stats.rows_produced += batch.size();
+      out.rows.insert(out.rows.end(),
+                      std::make_move_iterator(batch.rows.begin()),
+                      std::make_move_iterator(batch.rows.end()));
+    }
   }
   root->Close();
+  XNF_RETURN_IF_ERROR(status);
   if (pool != nullptr) {
     out.stats.buffer_pool_faults = pool->faults() - faults_before;
     out.stats.buffer_pool_evictions = pool->evictions() - evictions_before;
@@ -160,14 +167,14 @@ Status SeqScanOp::OpenImpl(ExecContext* ctx) {
   std::vector<Row> staged;
   staged.reserve(filters_.empty() ? 0 : kBatchSize);
   Status status = Status::Ok();
-  table->heap->Scan([&](Rid, const Row& row) {
+  XNF_RETURN_IF_ERROR(table->heap->Scan([&](Rid, const Row& row) {
     staged.push_back(row);
     if (staged.size() >= kBatchSize) {
       status = FilterAppend(filters_, &staged, &ectx, &buffered_);
       return status.ok();
     }
     return true;
-  });
+  }));
   XNF_RETURN_IF_ERROR(status);
   return FilterAppend(filters_, &staged, &ectx, &buffered_);
 }

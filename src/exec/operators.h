@@ -111,7 +111,7 @@ class FilterOp : public Operator {
         predicates_(std::move(predicates)),
         env_(std::move(env)) {}
 
-  void Close() override { child_->Close(); }
+  void CloseImpl() override { child_->Close(); }
   std::string label() const override { return "Filter"; }
   std::string detail() const override;
   void AppendChildren(std::vector<const Operator*>* out) const override {
@@ -142,7 +142,7 @@ class ProjectOp : public Operator {
         exprs_(std::move(exprs)),
         env_(std::move(env)) {}
 
-  void Close() override { child_->Close(); }
+  void CloseImpl() override { child_->Close(); }
   std::string label() const override { return "Project"; }
   std::string detail() const override;
   void AppendChildren(std::vector<const Operator*>* out) const override {
@@ -174,7 +174,7 @@ class NestedLoopJoinOp : public Operator {
         predicates_(std::move(predicates)),
         left_outer_(left_outer) {}
 
-  void Close() override {
+  void CloseImpl() override {
     left_->Close();
     right_->Close();
   }
@@ -223,7 +223,7 @@ class HashJoinOp : public Operator {
         residual_(std::move(residual)),
         left_outer_(left_outer) {}
 
-  void Close() override {
+  void CloseImpl() override {
     left_->Close();
     right_->Close();
   }
@@ -298,7 +298,7 @@ class IndexNLJoinOp : public Operator {
         keys_(std::move(keys)),
         residual_(std::move(residual)) {}
 
-  void Close() override { left_->Close(); }
+  void CloseImpl() override { left_->Close(); }
   std::string label() const override { return "IndexNLJoin"; }
   std::string detail() const override;
   void AppendChildren(std::vector<const Operator*>* out) const override {
@@ -346,7 +346,7 @@ class AggregateOp : public Operator {
         env_(std::move(env)),
         scalar_(scalar) {}
 
-  void Close() override { child_->Close(); }
+  void CloseImpl() override { child_->Close(); }
   std::string label() const override { return "Aggregate"; }
   std::string detail() const override;
   void AppendChildren(std::vector<const Operator*>* out) const override {
@@ -402,7 +402,7 @@ class SortOp : public Operator {
         keys_(std::move(keys)),
         env_(std::move(env)) {}
 
-  void Close() override { child_->Close(); }
+  void CloseImpl() override { child_->Close(); }
   std::string label() const override { return "Sort"; }
   std::string detail() const override;
   void AppendChildren(std::vector<const Operator*>* out) const override {
@@ -428,7 +428,7 @@ class DistinctOp : public Operator {
   explicit DistinctOp(OperatorPtr child) : Operator(child->schema()),
                                            child_(std::move(child)) {}
 
-  void Close() override { child_->Close(); }
+  void CloseImpl() override { child_->Close(); }
   std::string label() const override { return "Distinct"; }
   void AppendChildren(std::vector<const Operator*>* out) const override {
     out->push_back(child_.get());
@@ -461,7 +461,7 @@ class LimitOp : public Operator {
         limit_(limit),
         offset_(offset) {}
 
-  void Close() override { child_->Close(); }
+  void CloseImpl() override { child_->Close(); }
   std::string label() const override { return "Limit"; }
   std::string detail() const override;
   void AppendChildren(std::vector<const Operator*>* out) const override {
@@ -490,7 +490,7 @@ class UnionOp : public Operator {
         children_(std::move(children)),
         distinct_(distinct) {}
 
-  void Close() override {
+  void CloseImpl() override {
     for (auto& c : children_) c->Close();
   }
   std::string label() const override { return "Union"; }
@@ -532,7 +532,7 @@ class IntersectExceptOp : public Operator {
         right_(std::move(right)),
         is_except_(is_except) {}
 
-  void Close() override {
+  void CloseImpl() override {
     left_->Close();
     right_->Close();
   }

@@ -53,7 +53,7 @@ Status ScanMorsel(const TableHeap& heap, uint32_t begin, uint32_t end,
     return Status::Ok();
   };
   Status status = Status::Ok();
-  heap.ScanRange(begin, end, [&](Rid rid, const Row& row) {
+  XNF_RETURN_IF_ERROR(heap.ScanRange(begin, end, [&](Rid rid, const Row& row) {
     staged.push_back(row);
     if (want_rids) staged_rids.push_back(rid);
     if (staged.size() >= kBatchSize) {
@@ -61,10 +61,25 @@ Status ScanMorsel(const TableHeap& heap, uint32_t begin, uint32_t end,
       return status.ok();
     }
     return true;
-  });
+  }));
   XNF_RETURN_IF_ERROR(status);
   return flush();
 }
+
+// Pins a morsel's page range for the task's lifetime. The unpin lives in a
+// destructor so it runs on *every* exit path — in particular when the scan
+// or a sibling task fails and RunAll returns the error; leaking these pins
+// would exempt the pages from eviction forever.
+struct MorselPinGuard {
+  const TableHeap& heap;
+  uint32_t begin;
+  uint32_t end;
+  MorselPinGuard(const TableHeap& h, uint32_t b, uint32_t e)
+      : heap(h), begin(b), end(e) {
+    heap.PinRange(begin, end);
+  }
+  ~MorselPinGuard() { heap.UnpinRange(begin, end); }
+};
 
 }  // namespace
 
@@ -103,6 +118,7 @@ Status ParallelFilterScan(const TableInfo& table,
     const uint32_t end = std::min(pages, begin + morsel_pages);
     tasks.push_back([&heap, &filters, ctx, want_rids, begin, end,
                      out = &outs[m]] {
+      MorselPinGuard pins(heap, begin, end);
       return ScanMorsel(heap, begin, end, filters, ctx, want_rids, out);
     });
   }

@@ -1,24 +1,69 @@
 #include "storage/buffer_pool.h"
 
+#include "common/failpoint.h"
+
 namespace xnf {
 
-void BufferPool::Touch(PageId id) {
+Status BufferPool::Touch(PageId id) {
+  XNF_FAILPOINT("bufferpool.read");
   accesses_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = lru_map_.find(id);
   if (it != lru_map_.end()) {
     // Hit: move to front.
     lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
-    return;
+    return Status::Ok();
   }
   faults_.fetch_add(1, std::memory_order_relaxed);
   lru_list_.push_front(id);
   lru_map_[id] = lru_list_.begin();
   if (capacity_ != 0 && lru_map_.size() > capacity_) {
-    PageId victim = lru_list_.back();
-    lru_list_.pop_back();
-    lru_map_.erase(victim);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    // Pick the least-recently-used unpinned victim. If every page is
+    // pinned the pool runs over capacity until pins drain.
+    auto victim = lru_list_.end();
+    for (auto rit = lru_list_.rbegin(); rit != lru_list_.rend(); ++rit) {
+      if (pins_.find(*rit) == pins_.end()) {
+        victim = std::next(rit).base();
+        break;
+      }
+    }
+    if (victim != lru_list_.end()) {
+      XNF_FAILPOINT("bufferpool.evict");
+      lru_map_.erase(*victim);
+      lru_list_.erase(victim);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Status::Ok();
+}
+
+void BufferPool::Pin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[id];
+}
+
+void BufferPool::Unpin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(id);
+  if (it == pins_.end()) return;
+  if (--it->second == 0) pins_.erase(it);
+}
+
+void BufferPool::PinRange(uint32_t file, uint32_t page_begin,
+                          uint32_t page_end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t p = page_begin; p < page_end; ++p) {
+    ++pins_[PageId{file, p}];
+  }
+}
+
+void BufferPool::UnpinRange(uint32_t file, uint32_t page_begin,
+                            uint32_t page_end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (uint32_t p = page_begin; p < page_end; ++p) {
+    auto it = pins_.find(PageId{file, p});
+    if (it == pins_.end()) continue;
+    if (--it->second == 0) pins_.erase(it);
   }
 }
 

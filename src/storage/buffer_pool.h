@@ -8,6 +8,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/status.h"
+
 namespace xnf {
 
 // Identifies a page within the whole database: (file id, page number).
@@ -47,7 +49,30 @@ class BufferPool {
   BufferPool& operator=(const BufferPool&) = delete;
 
   // Records an access to `id`; counts a fault if it was not resident.
-  void Touch(PageId id);
+  // Fails only under fault injection: the `bufferpool.read` failpoint
+  // models a failed page read (fires before any state change), and
+  // `bufferpool.evict` models a failed write-back of the LRU victim (the
+  // new page is already resident and its fault counted; the victim stays
+  // resident, leaving the pool transiently over capacity — the invariant
+  // faults == resident + evictions holds on both paths).
+  Status Touch(PageId id);
+
+  // Pins exempt a page from eviction; they do not count an access or make
+  // the page resident (the next Touch faults it in as usual). Morsel
+  // workers pin their page range for the duration of the morsel. Unpin of
+  // an unpinned page is a no-op. Pins nest (count per page).
+  void Pin(PageId id);
+  void Unpin(PageId id);
+  // Range forms take the pool lock once for the whole range — morsel
+  // workers pin dozens of pages at a time, and per-page locking is
+  // measurable next to an in-memory scan.
+  void PinRange(uint32_t file, uint32_t page_begin, uint32_t page_end);
+  void UnpinRange(uint32_t file, uint32_t page_begin, uint32_t page_end);
+  // Distinct pages currently pinned; 0 when the engine is quiescent.
+  size_t pinned_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pins_.size();
+  }
 
   uint64_t accesses() const {
     return accesses_.load(std::memory_order_relaxed);
@@ -79,10 +104,11 @@ class BufferPool {
   std::atomic<uint64_t> accesses_{0};
   std::atomic<uint64_t> faults_{0};
   std::atomic<uint64_t> evictions_{0};
-  mutable std::mutex mu_;  // guards lru_list_ / lru_map_
+  mutable std::mutex mu_;  // guards lru_list_ / lru_map_ / pins_
   // Front = most recently used.
   std::list<PageId> lru_list_;
   std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> lru_map_;
+  std::unordered_map<PageId, int, PageIdHash> pins_;  // page -> pin count
 };
 
 }  // namespace xnf

@@ -1,5 +1,7 @@
 #include "storage/index.h"
 
+#include "common/failpoint.h"
+
 namespace xnf {
 
 namespace {
@@ -14,6 +16,7 @@ bool KeyHasNull(const Row& key) {
 }  // namespace
 
 Status HashIndex::Insert(const Row& row, Rid rid) {
+  XNF_FAILPOINT("index.insert");
   Row key = ExtractKey(row);
   if (KeyHasNull(key)) return Status::Ok();  // NULL keys are not indexed
   if (unique() && map_.find(key) != map_.end()) {
@@ -24,15 +27,17 @@ Status HashIndex::Insert(const Row& row, Rid rid) {
   return Status::Ok();
 }
 
-void HashIndex::Erase(const Row& row, Rid rid) {
+Status HashIndex::Erase(const Row& row, Rid rid) {
+  XNF_FAILPOINT("index.erase");
   Row key = ExtractKey(row);
   auto range = map_.equal_range(key);
   for (auto it = range.first; it != range.second; ++it) {
     if (it->second == rid) {
       map_.erase(it);
-      return;
+      break;
     }
   }
+  return Status::Ok();
 }
 
 std::vector<Rid> HashIndex::Lookup(const Row& key) const {
@@ -46,6 +51,7 @@ std::vector<Rid> HashIndex::Lookup(const Row& key) const {
 }
 
 Status OrderedIndex::Insert(const Row& row, Rid rid) {
+  XNF_FAILPOINT("index.insert");
   Row key = ExtractKey(row);
   if (KeyHasNull(key)) return Status::Ok();
   if (unique() && map_.find(key) != map_.end()) {
@@ -56,15 +62,17 @@ Status OrderedIndex::Insert(const Row& row, Rid rid) {
   return Status::Ok();
 }
 
-void OrderedIndex::Erase(const Row& row, Rid rid) {
+Status OrderedIndex::Erase(const Row& row, Rid rid) {
+  XNF_FAILPOINT("index.erase");
   Row key = ExtractKey(row);
   auto range = map_.equal_range(key);
   for (auto it = range.first; it != range.second; ++it) {
     if (it->second == rid) {
       map_.erase(it);
-      return;
+      break;
     }
   }
+  return Status::Ok();
 }
 
 std::vector<Rid> OrderedIndex::Lookup(const Row& key) const {

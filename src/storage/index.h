@@ -41,10 +41,12 @@ class Index {
     return key;
   }
 
-  // Inserts (key of `row`) -> rid. Fails on duplicate key if unique.
+  // Inserts (key of `row`) -> rid. Fails on duplicate key if unique, or
+  // when the `index.insert` failpoint fires (no entry is added).
   virtual Status Insert(const Row& row, Rid rid) = 0;
   // Removes the entry for (key of `row`, rid). Missing entries are ignored.
-  virtual void Erase(const Row& row, Rid rid) = 0;
+  // Fails only when the `index.erase` failpoint fires (entry retained).
+  virtual Status Erase(const Row& row, Rid rid) = 0;
 
   // All rids whose key equals `key` exactly (NULL keys are never indexed for
   // lookup purposes: SQL equality with NULL is unknown).
@@ -65,7 +67,7 @@ class HashIndex : public Index {
 
   Kind kind() const override { return Kind::kHash; }
   Status Insert(const Row& row, Rid rid) override;
-  void Erase(const Row& row, Rid rid) override;
+  Status Erase(const Row& row, Rid rid) override;
   std::vector<Rid> Lookup(const Row& key) const override;
   size_t entry_count() const override { return map_.size(); }
 
@@ -88,7 +90,7 @@ class OrderedIndex : public Index {
 
   Kind kind() const override { return Kind::kOrdered; }
   Status Insert(const Row& row, Rid rid) override;
-  void Erase(const Row& row, Rid rid) override;
+  Status Erase(const Row& row, Rid rid) override;
   std::vector<Rid> Lookup(const Row& key) const override;
   size_t entry_count() const override { return map_.size(); }
 

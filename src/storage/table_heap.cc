@@ -2,15 +2,20 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace xnf {
 
-Rid TableHeap::Insert(Row row) {
-  if (pages_.empty() ||
-      pages_.back().slots.size() >= options_.tuples_per_page) {
-    pages_.emplace_back();
-  }
-  uint32_t page = static_cast<uint32_t>(pages_.size() - 1);
-  TouchPage(page);
+Result<Rid> TableHeap::Insert(Row row) {
+  XNF_FAILPOINT("heap.append");
+  // Touch the target page before mutating so a pool error (injected read
+  // failure, failed victim write-back) leaves the heap unchanged.
+  bool need_page = pages_.empty() ||
+                   pages_.back().slots.size() >= options_.tuples_per_page;
+  uint32_t page = static_cast<uint32_t>(need_page ? pages_.size()
+                                                  : pages_.size() - 1);
+  XNF_RETURN_IF_ERROR(TouchPage(page));
+  if (need_page) pages_.emplace_back();
   Page& p = pages_.back();
   p.slots.push_back(std::move(row));
   ++live_count_;
@@ -18,6 +23,7 @@ Rid TableHeap::Insert(Row row) {
 }
 
 Result<Row> TableHeap::Read(Rid rid) const {
+  XNF_FAILPOINT("heap.read");
   if (rid.page >= pages_.size() ||
       rid.slot >= pages_[rid.page].slots.size() ||
       !pages_[rid.page].slots[rid.slot].has_value()) {
@@ -25,7 +31,7 @@ Result<Row> TableHeap::Read(Rid rid) const {
                             std::to_string(rid.page) + ", " +
                             std::to_string(rid.slot) + ")");
   }
-  TouchPage(rid.page);
+  XNF_RETURN_IF_ERROR(TouchPage(rid.page));
   return *pages_[rid.page].slots[rid.slot];
 }
 
@@ -36,27 +42,30 @@ bool TableHeap::IsLive(Rid rid) const {
 }
 
 Status TableHeap::Update(Rid rid, Row row) {
+  XNF_FAILPOINT("heap.write");
   if (!IsLive(rid)) {
     return Status::NotFound("update of dead rid (" + std::to_string(rid.page) +
                             ", " + std::to_string(rid.slot) + ")");
   }
-  TouchPage(rid.page);
+  XNF_RETURN_IF_ERROR(TouchPage(rid.page));
   pages_[rid.page].slots[rid.slot] = std::move(row);
   return Status::Ok();
 }
 
 Status TableHeap::Delete(Rid rid) {
+  XNF_FAILPOINT("heap.write");
   if (!IsLive(rid)) {
     return Status::NotFound("delete of dead rid (" + std::to_string(rid.page) +
                             ", " + std::to_string(rid.slot) + ")");
   }
-  TouchPage(rid.page);
+  XNF_RETURN_IF_ERROR(TouchPage(rid.page));
   pages_[rid.page].slots[rid.slot].reset();
   --live_count_;
   return Status::Ok();
 }
 
 Status TableHeap::Restore(Rid rid, Row row) {
+  XNF_FAILPOINT("heap.write");
   if (rid.page >= pages_.size() ||
       rid.slot >= pages_[rid.page].slots.size()) {
     return Status::NotFound("restore of unknown rid (" +
@@ -66,28 +75,41 @@ Status TableHeap::Restore(Rid rid, Row row) {
   if (pages_[rid.page].slots[rid.slot].has_value()) {
     return Status::InvalidArgument("restore of a live slot");
   }
-  TouchPage(rid.page);
+  XNF_RETURN_IF_ERROR(TouchPage(rid.page));
   pages_[rid.page].slots[rid.slot] = std::move(row);
   ++live_count_;
   return Status::Ok();
 }
 
-void TableHeap::Scan(const std::function<bool(Rid, const Row&)>& fn) const {
-  ScanRange(0, static_cast<uint32_t>(pages_.size()), fn);
+Status TableHeap::Scan(const std::function<bool(Rid, const Row&)>& fn) const {
+  return ScanRange(0, static_cast<uint32_t>(pages_.size()), fn);
 }
 
-void TableHeap::ScanRange(
+Status TableHeap::ScanRange(
     uint32_t page_begin, uint32_t page_end,
     const std::function<bool(Rid, const Row&)>& fn) const {
   page_end = std::min(page_end, static_cast<uint32_t>(pages_.size()));
   for (uint32_t p = page_begin; p < page_end; ++p) {
-    TouchPage(p);
+    XNF_RETURN_IF_ERROR(TouchPage(p));
     const Page& page = pages_[p];
     for (uint32_t s = 0; s < page.slots.size(); ++s) {
       if (!page.slots[s].has_value()) continue;
-      if (!fn(Rid{p, s}, *page.slots[s])) return;
+      if (!fn(Rid{p, s}, *page.slots[s])) return Status::Ok();
     }
   }
+  return Status::Ok();
+}
+
+void TableHeap::PinRange(uint32_t page_begin, uint32_t page_end) const {
+  if (options_.buffer_pool == nullptr) return;
+  page_end = std::min(page_end, static_cast<uint32_t>(pages_.size()));
+  options_.buffer_pool->PinRange(options_.file_id, page_begin, page_end);
+}
+
+void TableHeap::UnpinRange(uint32_t page_begin, uint32_t page_end) const {
+  if (options_.buffer_pool == nullptr) return;
+  page_end = std::min(page_end, static_cast<uint32_t>(pages_.size()));
+  options_.buffer_pool->UnpinRange(options_.file_id, page_begin, page_end);
 }
 
 }  // namespace xnf

@@ -37,6 +37,11 @@ struct RidHash {
 // tuple slots (a simplification of byte-budgeted pages that keeps the paging
 // behaviour, which is what the experiments need). All page accesses are
 // reported to the optional BufferPool for fault accounting.
+//
+// Every accessor can fail under fault injection: the `heap.append`,
+// `heap.read`, and `heap.write` failpoints fire before any mutation, and
+// pool Touch errors (`bufferpool.*` sites) propagate, so a failed call
+// never leaves a partial page change behind.
 class TableHeap {
  public:
   struct Options {
@@ -54,7 +59,7 @@ class TableHeap {
   TableHeap& operator=(TableHeap&&) = default;
 
   // Appends a row; returns its Rid.
-  Rid Insert(Row row);
+  Result<Rid> Insert(Row row);
 
   // Reads the row at `rid`. Fails with kNotFound for deleted/invalid rids.
   Result<Row> Read(Rid rid) const;
@@ -73,15 +78,23 @@ class TableHeap {
   Status Restore(Rid rid, Row row);
 
   // Calls `fn(rid, row)` for every live tuple in page/slot order; stops early
-  // if `fn` returns false.
-  void Scan(const std::function<bool(Rid, const Row&)>& fn) const;
+  // if `fn` returns false. Fails only if a page read fails (fault
+  // injection); rows visited before the failure have been delivered.
+  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const;
 
   // Scan restricted to pages [page_begin, page_end) — the unit of a
   // morsel-driven parallel scan. ScanRange calls on disjoint ranges are safe
   // to run concurrently (pages are only read; the buffer pool synchronizes
   // its own accounting).
-  void ScanRange(uint32_t page_begin, uint32_t page_end,
-                 const std::function<bool(Rid, const Row&)>& fn) const;
+  Status ScanRange(uint32_t page_begin, uint32_t page_end,
+                   const std::function<bool(Rid, const Row&)>& fn) const;
+
+  // Pins/unpins pages [page_begin, page_end) in the buffer pool (no-ops
+  // without a pool). Morsel workers pin their range for the duration of the
+  // morsel so concurrent scans cannot evict pages under them; the unpin
+  // must run on every exit path, including errors.
+  void PinRange(uint32_t page_begin, uint32_t page_end) const;
+  void UnpinRange(uint32_t page_begin, uint32_t page_end) const;
 
   size_t live_count() const { return live_count_; }
   size_t page_count() const { return pages_.size(); }
@@ -92,10 +105,11 @@ class TableHeap {
     std::vector<std::optional<Row>> slots;
   };
 
-  void TouchPage(uint32_t page) const {
+  Status TouchPage(uint32_t page) const {
     if (options_.buffer_pool != nullptr) {
-      options_.buffer_pool->Touch(PageId{options_.file_id, page});
+      return options_.buffer_pool->Touch(PageId{options_.file_id, page});
     }
+    return Status::Ok();
   }
 
   Options options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "sql/parser.h"
 #include "xnf/scalar_eval.h"
@@ -25,13 +26,16 @@ size_t CoCache::Rel::live_count() const {
   return n;
 }
 
-std::unique_ptr<CoCache> CoCache::Build(CoInstance instance) {
+Result<std::unique_ptr<CoCache>> CoCache::Build(CoInstance instance) {
   auto cache = std::make_unique<CoCache>();
   auto fill_start = std::chrono::steady_clock::now();
   size_t n_rels = instance.rels.size();
 
   cache->nodes_.resize(instance.nodes.size());
   for (size_t n = 0; n < instance.nodes.size(); ++n) {
+    // A fill failure mid-way destroys `cache` on return — the partially
+    // wired structure never escapes.
+    XNF_FAILPOINT("cocache.fill");
     CoNodeInstance& src = instance.nodes[n];
     Node& node = cache->nodes_[n];
     node.name = src.name;
@@ -56,6 +60,7 @@ std::unique_ptr<CoCache> CoCache::Build(CoInstance instance) {
   cache->hash_nav_.resize(n_rels);
   cache->hash_nav_valid_.assign(n_rels, false);
   for (size_t r = 0; r < n_rels; ++r) {
+    XNF_FAILPOINT("cocache.fill");
     CoRelInstance& src = instance.rels[r];
     Rel& rel = cache->rels_[r];
     rel.name = src.name;

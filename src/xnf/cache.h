@@ -86,7 +86,10 @@ class CoCache {
   };
 
   // Consumes a materialized instance and wires the pointer structure.
-  static std::unique_ptr<CoCache> Build(CoInstance instance);
+  // Fails only under fault injection (`cocache.fill`, checked per node and
+  // per relationship); a failed fill discards the partially-wired cache —
+  // a partial CO must never be handed to cursors or write-through.
+  static Result<std::unique_ptr<CoCache>> Build(CoInstance instance);
 
   int NodeIndex(const std::string& name) const;
   int RelIndex(const std::string& name) const;

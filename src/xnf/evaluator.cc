@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 #include "exec/eval.h"
@@ -164,6 +165,7 @@ Result<ResultSet> Evaluator::RunSelect(const sql::SelectStmt& stmt,
 
 Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def,
                                                   Stats* stats) {
+  XNF_FAILPOINT("xnf.node.query");
   CoNodeInstance node;
   node.name = def.name;
   const uint64_t start_ns = NowNs();
@@ -313,6 +315,7 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def,
 Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
                                                 const CoInstance& instance,
                                                 Stats* stats) {
+  XNF_FAILPOINT("xnf.edge.query");
   CoRelInstance rel;
   rel.name = def.name;
   rel.parent_node = instance.NodeIndex(def.parent);
@@ -404,6 +407,7 @@ Result<CoRelInstance> Evaluator::MaterializeRel(const CoRelDef& def,
 Result<CoRelInstance> Evaluator::MaterializeRelNoCse(const CoRelDef& def,
                                                      const CoInstance& instance,
                                                      Stats* stats) {
+  XNF_FAILPOINT("xnf.edge.query");
   CoRelInstance rel;
   rel.name = def.name;
   rel.parent_node = instance.NodeIndex(def.parent);
@@ -626,6 +630,21 @@ Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
   temps_.clear();
   no_cse_defs_.clear();
 
+  // A failed phase must not leave CSE temps or node definitions behind:
+  // a later Evaluate() on the same Evaluator would resolve "__co_" temp
+  // references against stale results from the failed run. The guard clears
+  // both on every early (error) return and is dismissed on success.
+  struct TempsGuard {
+    Evaluator* ev;
+    bool dismissed = false;
+    ~TempsGuard() {
+      if (!dismissed) {
+        ev->temps_.clear();
+        ev->no_cse_defs_.clear();
+      }
+    }
+  } temps_guard{this};
+
   // The phase structure below is also the dependency order for concurrent
   // evaluation: every node query is independent of every other node query,
   // and every edge query depends only on the CSE temps (all node results),
@@ -660,8 +679,13 @@ Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
       }
     } else {
       for (const CoNodeDef& node_def : def.nodes) {
+        // Per-node Stats merged only on success, like the concurrent path:
+        // a failed query must not leave its partial counters (temp reuses,
+        // CSE hits) in the reported stats.
+        Stats task_stats;
         XNF_ASSIGN_OR_RETURN(CoNodeInstance node,
-                             MaterializeNode(node_def, &stats_));
+                             MaterializeNode(node_def, &task_stats));
+        MergeStats(task_stats, &stats_);
         instance.nodes.push_back(std::move(node));
       }
     }
@@ -781,8 +805,10 @@ Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
       }
     } else {
       for (const CoRelDef& rel_def : def.rels) {
+        Stats task_stats;
         XNF_ASSIGN_OR_RETURN(CoRelInstance rel,
-                             materialize_rel(rel_def, &stats_));
+                             materialize_rel(rel_def, &task_stats));
+        MergeStats(task_stats, &stats_);
         instance.rels.push_back(std::move(rel));
       }
     }
@@ -796,6 +822,7 @@ Result<CoInstance> Evaluator::Materialize(const CoDef& def) {
     ApplyReachability(&instance);
     stats_.reachability_passes++;
   }
+  temps_guard.dismissed = true;
   return instance;
 }
 

@@ -240,14 +240,14 @@ Status Manipulator::Disconnect(CoCache::Connection* conn) {
       const Value& ckey = conn->child->values[rel.child_key_column];
       // Delete one matching link row.
       std::optional<Rid> victim;
-      link->heap->Scan([&](Rid rid, const Row& row) {
+      XNF_RETURN_IF_ERROR(link->heap->Scan([&](Rid rid, const Row& row) {
         if (row[rel.link_parent_column].CompareEq(pkey) == Tribool::kTrue &&
             row[rel.link_child_column].CompareEq(ckey) == Tribool::kTrue) {
           victim = rid;
           return false;
         }
         return true;
-      });
+      }));
       if (!victim.has_value()) {
         return Status::NotFound(
             "no link tuple found for this connection in '" + rel.link_table +

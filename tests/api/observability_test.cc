@@ -67,23 +67,23 @@ TEST_F(Observability, ExplainAnalyzeCountsJoinRows) {
   std::string all =
       PlanText(&db_, std::string("EXPLAIN ANALYZE ") + kThreeWayJoin);
   EXPECT_NE(all.find("SeqScan(emp) ~6 rows  "
-                     "[rows=6 batches=1 opens=1 faults=0 time="),
+                     "[rows=6 batches=1 opens=1 closes=1 faults=0 time="),
             std::string::npos)
       << all;
   EXPECT_NE(all.find("SeqScan(proj) ~2 rows  "
-                     "[rows=2 batches=1 opens=1 faults=0 time="),
+                     "[rows=2 batches=1 opens=1 closes=1 faults=0 time="),
             std::string::npos)
       << all;
   EXPECT_NE(all.find("IndexNLJoin(dept via dept_pk key=[q0.c4]) ~6 rows  "
-                     "[rows=5 batches=1 opens=1 faults=0 time="),
+                     "[rows=5 batches=1 opens=1 closes=1 faults=0 time="),
             std::string::npos)
       << all;
   EXPECT_NE(all.find("HashJoin(keys=[q1.c0 = q2.c3]) ~6 rows  "
-                     "[rows=5 batches=1 opens=1 faults=0 time="),
+                     "[rows=5 batches=1 opens=1 closes=1 faults=0 time="),
             std::string::npos)
       << all;
   EXPECT_NE(all.find("Project(q0.c1, q1.c1, q2.c1) ~6 rows  "
-                     "[rows=5 batches=1 opens=1 faults=0 time="),
+                     "[rows=5 batches=1 opens=1 closes=1 faults=0 time="),
             std::string::npos)
       << all;
   // ANALYZE actually ran the statement: the counters land on the database.

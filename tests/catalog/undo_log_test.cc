@@ -15,7 +15,7 @@ class UndoLogTest : public ::testing::Test {
     s.AddColumn(Column("v", Type::kInt));
     ASSERT_TRUE(catalog_.CreateTable("t", s).ok());
     table_ = catalog_.GetTable("t");
-    r1_ = table_->heap->Insert({Value::Int(1), Value::Int(10)});
+    r1_ = *table_->heap->Insert({Value::Int(1), Value::Int(10)});
     ASSERT_TRUE(table_->indexes[0]->Insert({Value::Int(1), Value::Int(10)},
                                            r1_).ok());
   }
@@ -27,7 +27,7 @@ class UndoLogTest : public ::testing::Test {
 
 TEST_F(UndoLogTest, UndoInsert) {
   UndoLog log;
-  Rid r2 = table_->heap->Insert({Value::Int(2), Value::Int(20)});
+  Rid r2 = *table_->heap->Insert({Value::Int(2), Value::Int(20)});
   ASSERT_TRUE(
       table_->indexes[0]->Insert({Value::Int(2), Value::Int(20)}, r2).ok());
   log.RecordInsert("t", r2);
@@ -40,7 +40,7 @@ TEST_F(UndoLogTest, UndoInsert) {
 TEST_F(UndoLogTest, UndoDeleteRevivesAtSameRid) {
   UndoLog log;
   Row old = {Value::Int(1), Value::Int(10)};
-  table_->indexes[0]->Erase(old, r1_);
+  ASSERT_TRUE(table_->indexes[0]->Erase(old, r1_).ok());
   ASSERT_TRUE(table_->heap->Delete(r1_).ok());
   log.RecordDelete("t", r1_, old);
   ASSERT_TRUE(log.Rollback(&catalog_).ok());
@@ -67,12 +67,12 @@ TEST_F(UndoLogTest, MixedSequenceUndoneInReverse) {
   Row old1 = {Value::Int(1), Value::Int(10)};
   log.RecordUpdate("t", r1_, old1);
   ASSERT_TRUE(table_->heap->Update(r1_, {Value::Int(1), Value::Int(11)}).ok());
-  Rid r2 = table_->heap->Insert({Value::Int(2), Value::Int(20)});
+  Rid r2 = *table_->heap->Insert({Value::Int(2), Value::Int(20)});
   ASSERT_TRUE(
       table_->indexes[0]->Insert({Value::Int(2), Value::Int(20)}, r2).ok());
   log.RecordInsert("t", r2);
   Row current1 = {Value::Int(1), Value::Int(11)};
-  table_->indexes[0]->Erase(current1, r1_);
+  ASSERT_TRUE(table_->indexes[0]->Erase(current1, r1_).ok());
   ASSERT_TRUE(table_->heap->Delete(r1_).ok());
   log.RecordDelete("t", r1_, current1);
 
@@ -96,7 +96,7 @@ TEST_F(UndoLogTest, CommitDiscardsEntries) {
 
 TEST(TableHeapRestore, RejectsLiveAndUnknownSlots) {
   TableHeap heap;
-  Rid rid = heap.Insert({Value::Int(1)});
+  Rid rid = *heap.Insert({Value::Int(1)});
   EXPECT_EQ(heap.Restore(rid, {Value::Int(2)}).code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(heap.Restore(Rid{5, 5}, {Value::Int(2)}).code(),

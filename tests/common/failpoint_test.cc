@@ -1,0 +1,141 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace xnf {
+namespace {
+
+// Every test disarms on exit: the registry is process-global and a leaked
+// failpoint would poison unrelated tests in this binary.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::DisableAll(); }
+};
+
+Status Hit(const char* site) {
+  XNF_FAILPOINT(site);
+  return Status::Ok();
+}
+
+TEST_F(FailpointTest, DisarmedSitesAreFree) {
+  EXPECT_FALSE(Failpoints::armed());
+  EXPECT_TRUE(Hit("heap.append").ok());
+  EXPECT_EQ(Failpoints::hits("heap.append"), 0u);
+}
+
+TEST_F(FailpointTest, NthFiresExactlyOnce) {
+  ASSERT_TRUE(Failpoints::Enable("heap.append", "nth(3)").ok());
+  EXPECT_TRUE(Failpoints::armed());
+  EXPECT_TRUE(Hit("heap.append").ok());
+  EXPECT_TRUE(Hit("heap.append").ok());
+  Status third = Hit("heap.append");
+  EXPECT_EQ(third.code(), StatusCode::kFaultInjected);
+  EXPECT_NE(third.message().find("heap.append"), std::string::npos);
+  // Fires exactly once: hit 4 and beyond pass.
+  EXPECT_TRUE(Hit("heap.append").ok());
+  EXPECT_EQ(Failpoints::hits("heap.append"), 4u);
+  EXPECT_EQ(Failpoints::fires("heap.append"), 1u);
+}
+
+TEST_F(FailpointTest, EveryFiresPeriodically) {
+  ASSERT_TRUE(Failpoints::Enable("index.insert", "every(2)").ok());
+  int fired = 0;
+  for (int i = 0; i < 6; ++i) {
+    if (!Hit("index.insert").ok()) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryTime) {
+  ASSERT_TRUE(Failpoints::Enable("bufferpool.read", "always").ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Hit("bufferpool.read").code(), StatusCode::kFaultInjected);
+  }
+}
+
+TEST_F(FailpointTest, ProbIsDeterministicPerSeed) {
+  auto run = [this]() {
+    Failpoints::DisableAll();
+    EXPECT_TRUE(Failpoints::Enable("heap.write", "prob(0.5,42)").ok());
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(!Hit("heap.write").ok());
+    return pattern;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // p=0.5 over 64 trials: at least one fire and one pass, overwhelmingly.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
+}
+
+TEST_F(FailpointTest, SpecParsesMultipleSites) {
+  ASSERT_TRUE(
+      Failpoints::EnableSpec(" heap.append = nth(1) , index.erase = always ")
+          .ok());
+  EXPECT_FALSE(Hit("heap.append").ok());
+  EXPECT_FALSE(Hit("index.erase").ok());
+  std::vector<std::string> lines = Failpoints::Describe();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "heap.append nth(1) hits=1 fires=1");
+  EXPECT_EQ(lines[1], "index.erase always hits=1 fires=1");
+}
+
+TEST_F(FailpointTest, SpecRejectsGarbage) {
+  EXPECT_FALSE(Failpoints::EnableSpec("no.such.site=always").ok());
+  EXPECT_FALSE(Failpoints::EnableSpec("heap.append").ok());
+  EXPECT_FALSE(Failpoints::EnableSpec("heap.append=nth(0)").ok());
+  EXPECT_FALSE(Failpoints::EnableSpec("heap.append=nth(x)").ok());
+  EXPECT_FALSE(Failpoints::EnableSpec("heap.append=prob(1.5,1)").ok());
+  EXPECT_FALSE(Failpoints::EnableSpec("heap.append=prob(0.5)").ok());
+  EXPECT_FALSE(Failpoints::EnableSpec("heap.append=sometimes").ok());
+  // Empty spec is a no-op, not an error.
+  EXPECT_TRUE(Failpoints::EnableSpec("").ok());
+}
+
+TEST_F(FailpointTest, ReEnableResetsCounters) {
+  ASSERT_TRUE(Failpoints::Enable("heap.append", "nth(1)").ok());
+  EXPECT_FALSE(Hit("heap.append").ok());
+  ASSERT_TRUE(Failpoints::Enable("heap.append", "nth(2)").ok());
+  EXPECT_EQ(Failpoints::hits("heap.append"), 0u);
+  EXPECT_TRUE(Hit("heap.append").ok());
+  EXPECT_FALSE(Hit("heap.append").ok());
+}
+
+TEST_F(FailpointTest, DisableStopsFiring) {
+  ASSERT_TRUE(Failpoints::Enable("heap.append", "always").ok());
+  EXPECT_FALSE(Hit("heap.append").ok());
+  EXPECT_TRUE(Failpoints::Disable("heap.append"));
+  EXPECT_FALSE(Failpoints::Disable("heap.append"));
+  EXPECT_FALSE(Failpoints::armed());
+  EXPECT_TRUE(Hit("heap.append").ok());
+}
+
+TEST_F(FailpointTest, SuppressorMutesAndDoesNotCountHits) {
+  ASSERT_TRUE(Failpoints::Enable("heap.append", "nth(2)").ok());
+  {
+    Failpoints::Suppressor suppress;
+    for (int i = 0; i < 10; ++i) EXPECT_TRUE(Hit("heap.append").ok());
+  }
+  // The schedule is undisturbed: hit 1 passes, hit 2 fires.
+  EXPECT_EQ(Failpoints::hits("heap.append"), 0u);
+  EXPECT_TRUE(Hit("heap.append").ok());
+  EXPECT_FALSE(Hit("heap.append").ok());
+}
+
+TEST_F(FailpointTest, KnownSitesAreSortedAndQueryable) {
+  const std::vector<const char*>& sites = Failpoints::KnownSites();
+  EXPECT_FALSE(sites.empty());
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end(),
+                             [](const char* a, const char* b) {
+                               return std::string(a) < b;
+                             }));
+  for (const char* site : sites) EXPECT_TRUE(Failpoints::IsKnownSite(site));
+  EXPECT_FALSE(Failpoints::IsKnownSite("bogus"));
+}
+
+}  // namespace
+}  // namespace xnf

@@ -39,7 +39,7 @@ TEST(HashIndex, EraseSpecificRid) {
   HashIndex index("idx", {0}, false);
   ASSERT_TRUE(index.Insert(R(1, "a"), Rid{0, 0}).ok());
   ASSERT_TRUE(index.Insert(R(1, "b"), Rid{0, 1}).ok());
-  index.Erase(R(1, "a"), Rid{0, 0});
+  ASSERT_TRUE(index.Erase(R(1, "a"), Rid{0, 0}).ok());
   auto rids = index.Lookup({Value::Int(1)});
   ASSERT_EQ(rids.size(), 1u);
   EXPECT_EQ(rids[0], (Rid{0, 1}));

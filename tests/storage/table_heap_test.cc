@@ -9,7 +9,7 @@ Row MakeRow(int64_t id) { return {Value::Int(id), Value::String("r")}; }
 
 TEST(TableHeap, InsertRead) {
   TableHeap heap;
-  Rid rid = heap.Insert(MakeRow(1));
+  Rid rid = *heap.Insert(MakeRow(1));
   auto row = heap.Read(rid);
   ASSERT_TRUE(row.ok());
   EXPECT_EQ((*row)[0].AsInt(), 1);
@@ -20,15 +20,15 @@ TEST(TableHeap, PagesFillAtConfiguredCapacity) {
   TableHeap::Options opts;
   opts.tuples_per_page = 4;
   TableHeap heap(opts);
-  for (int i = 0; i < 9; ++i) heap.Insert(MakeRow(i));
+  for (int i = 0; i < 9; ++i) ASSERT_TRUE(heap.Insert(MakeRow(i)).ok());
   EXPECT_EQ(heap.page_count(), 3u);
   EXPECT_EQ(heap.live_count(), 9u);
 }
 
 TEST(TableHeap, DeleteTombstones) {
   TableHeap heap;
-  Rid a = heap.Insert(MakeRow(1));
-  Rid b = heap.Insert(MakeRow(2));
+  Rid a = *heap.Insert(MakeRow(1));
+  Rid b = *heap.Insert(MakeRow(2));
   ASSERT_TRUE(heap.Delete(a).ok());
   EXPECT_FALSE(heap.IsLive(a));
   EXPECT_TRUE(heap.IsLive(b));
@@ -39,7 +39,7 @@ TEST(TableHeap, DeleteTombstones) {
 
 TEST(TableHeap, UpdateInPlace) {
   TableHeap heap;
-  Rid rid = heap.Insert(MakeRow(1));
+  Rid rid = *heap.Insert(MakeRow(1));
   ASSERT_TRUE(heap.Update(rid, MakeRow(42)).ok());
   auto row = heap.Read(rid);
   ASSERT_TRUE(row.ok());
@@ -50,25 +50,25 @@ TEST(TableHeap, UpdateInPlace) {
 TEST(TableHeap, ScanSkipsDeletedAndStopsEarly) {
   TableHeap heap;
   std::vector<Rid> rids;
-  for (int i = 0; i < 10; ++i) rids.push_back(heap.Insert(MakeRow(i)));
+  for (int i = 0; i < 10; ++i) rids.push_back(*heap.Insert(MakeRow(i)));
   ASSERT_TRUE(heap.Delete(rids[3]).ok());
   ASSERT_TRUE(heap.Delete(rids[7]).ok());
 
   int seen = 0;
-  heap.Scan([&](Rid, const Row& row) {
+  ASSERT_TRUE(heap.Scan([&](Rid, const Row& row) {
     EXPECT_NE(row[0].AsInt(), 3);
     EXPECT_NE(row[0].AsInt(), 7);
     ++seen;
     return true;
-  });
+  }).ok());
   EXPECT_EQ(seen, 8);
 
   // Early stop.
   seen = 0;
-  heap.Scan([&](Rid, const Row&) {
+  ASSERT_TRUE(heap.Scan([&](Rid, const Row&) {
     ++seen;
     return seen < 3;
-  });
+  }).ok());
   EXPECT_EQ(seen, 3);
 }
 
@@ -79,14 +79,14 @@ TEST(TableHeap, BufferPoolAccounting) {
   opts.buffer_pool = &pool;
   opts.file_id = 7;
   TableHeap heap(opts);
-  for (int i = 0; i < 8; ++i) heap.Insert(MakeRow(i));  // 4 pages
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(heap.Insert(MakeRow(i)).ok());  // 4 pages
   pool.ResetCounters();
   pool.Clear();
-  heap.Scan([](Rid, const Row&) { return true; });
+  ASSERT_TRUE(heap.Scan([](Rid, const Row&) { return true; }).ok());
   EXPECT_EQ(pool.accesses(), 4u);
   EXPECT_EQ(pool.faults(), 4u);  // cold cache: every page faults
   // Second scan with capacity 2 < 4 pages: everything faults again (LRU).
-  heap.Scan([](Rid, const Row&) { return true; });
+  ASSERT_TRUE(heap.Scan([](Rid, const Row&) { return true; }).ok());
   EXPECT_EQ(pool.faults(), 8u);
 }
 
