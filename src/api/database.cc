@@ -45,6 +45,11 @@ Database::Database(Options options)
       catalog_(&buffer_pool_, options.tuples_per_page),
       exec_pool_(std::make_unique<ThreadPool>(options.threads)) {
   catalog_.set_exec_pool(exec_pool_.get());
+  ExecConfig exec_config;
+  exec_config.use_indexes = options.use_indexes;
+  exec_config.use_rewrite = options.use_rewrite;
+  exec_config.scalar_eval = options.scalar_eval;
+  catalog_.set_exec_config(exec_config);
   // Fault injection: the Options spec first, then the environment on top
   // (the env wins on per-site conflicts). Both are no-ops when empty; a
   // malformed spec aborts construction loudly rather than silently running
@@ -132,8 +137,10 @@ Result<std::unique_ptr<PreparedQuery>> Database::Prepare(
   }
   qgm::Builder builder(&catalog_);
   XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(*stmt));
-  XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
-  (void)rw;
+  if (catalog_.exec_config().use_rewrite) {
+    XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
+    (void)rw;
+  }
   plan::Planner planner(&catalog_);
   XNF_ASSIGN_OR_RETURN(exec::OperatorPtr plan, planner.Plan(graph));
   return std::unique_ptr<PreparedQuery>(
@@ -351,6 +358,9 @@ Result<ResultSet> Database::RunSelect(const sql::SelectStmt& select) {
                        }());
   XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw,
                        [&]() -> Result<qgm::RewriteStats> {
+                         if (!catalog_.exec_config().use_rewrite) {
+                           return qgm::RewriteStats{};
+                         }
                          TraceScope span(trace_sink_, "rewrite");
                          return qgm::Rewrite(&graph, trace_sink_);
                        }());
@@ -457,7 +467,10 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& explain) {
     return ResolveExtra(name);
   });
   XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(*explain.select));
-  XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw, qgm::Rewrite(&graph));
+  qgm::RewriteStats rw;
+  if (catalog_.exec_config().use_rewrite) {
+    XNF_ASSIGN_OR_RETURN(rw, qgm::Rewrite(&graph));
+  }
   dump = graph.ToString();
   dump += "rewrite: " + std::to_string(rw.views_merged) +
           " view(s) merged, " + std::to_string(rw.predicates_pushed) +

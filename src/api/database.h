@@ -69,6 +69,12 @@ class Database {
     // on top. Note the failpoint registry is process-global, not
     // per-database.
     std::string failpoints;
+    // Execution-strategy knobs (see ExecConfig in catalog/catalog.h). The
+    // differential fuzz harness runs the same statements with every
+    // combination; production code leaves the defaults alone.
+    bool use_indexes = true;
+    bool use_rewrite = true;
+    bool scalar_eval = false;
   };
 
   Database() : Database(Options()) {}

@@ -41,6 +41,23 @@ struct ViewInfo {
   bool is_xnf = false;
 };
 
+// Execution-strategy knobs consulted by the planner, the QGM rewriter, and
+// the batch expression evaluator. Defaults are the production settings; the
+// differential fuzz harness flips them to cross-check every point of the
+// configuration matrix against the same query text.
+struct ExecConfig {
+  // Planner may select index access paths (IndexLookup / index nested-loop
+  // join). Off forces scans + hash/nested-loop joins.
+  bool use_indexes = true;
+  // QGM rewrite passes (view merging, predicate pushdown, constant folding)
+  // run between build and plan. Off plans the raw graph.
+  bool use_rewrite = true;
+  // Force row-at-a-time expression evaluation: EvalExprBatch /
+  // EvalPredicateBatch delegate to the scalar interpreter per row instead of
+  // evaluating column-wise.
+  bool scalar_eval = false;
+};
+
 // Name-to-object registry for one database. Names are case-insensitive.
 class Catalog {
  public:
@@ -83,6 +100,12 @@ class Catalog {
   ThreadPool* exec_pool() const { return exec_pool_; }
   void set_exec_pool(ThreadPool* pool) { exec_pool_ = pool; }
 
+  // Execution-strategy knobs; see ExecConfig. Reached through the catalog
+  // (like exec_pool) so the planner, rewriter call sites, and expression
+  // evaluator need no extra plumbing.
+  const ExecConfig& exec_config() const { return exec_config_; }
+  void set_exec_config(ExecConfig config) { exec_config_ = config; }
+
   // The undo log of the currently active transaction, or nullptr. Set by
   // the Database facade on BEGIN; consulted by the DML layer so that every
   // write path (SQL DML, XNF cache propagation, CO-level statements)
@@ -91,6 +114,7 @@ class Catalog {
   void set_undo_log(UndoLog* log) { undo_log_ = log; }
 
  private:
+  ExecConfig exec_config_;
   UndoLog* undo_log_ = nullptr;
   ThreadPool* exec_pool_ = nullptr;
   BufferPool* buffer_pool_;

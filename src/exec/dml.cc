@@ -186,8 +186,10 @@ Result<int64_t> DmlExecutor::Insert(const sql::InsertStmt& stmt) {
   if (stmt.select != nullptr) {
     qgm::Builder builder(catalog_);
     XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(*stmt.select));
-    XNF_ASSIGN_OR_RETURN(qgm::RewriteStats stats, qgm::Rewrite(&graph));
-    (void)stats;
+    if (catalog_->exec_config().use_rewrite) {
+      XNF_ASSIGN_OR_RETURN(qgm::RewriteStats stats, qgm::Rewrite(&graph));
+      (void)stats;
+    }
     XNF_ASSIGN_OR_RETURN(ResultSet rs, plan::Execute(catalog_, graph));
     if (rs.schema.size() != positions.size()) {
       return Status::InvalidArgument(

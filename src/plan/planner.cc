@@ -159,7 +159,9 @@ Result<OperatorPtr> Planner::PlanQuantifierSource(
   if (table == nullptr) {
     return Status::NotFound("table '" + q.base_table + "' not found");
   }
-  for (size_t i = 0; i < pushed_filters.size(); ++i) {
+  size_t considered =
+      catalog_->exec_config().use_indexes ? pushed_filters.size() : 0;
+  for (size_t i = 0; i < considered; ++i) {
     const Expr& pred = *pushed_filters[i];
     if (pred.kind != Expr::Kind::kBinary || pred.bin_op != sql::BinOp::kEq) {
       continue;
@@ -427,7 +429,8 @@ Result<OperatorPtr> Planner::PlanSelect(const QueryGraph& graph,
     // Try index nested-loop join: inner side base table with an index on an
     // equi column.
     bool planned = false;
-    if (!outer_step && qi.input_box < 0 && !equi.empty()) {
+    if (!outer_step && qi.input_box < 0 && !equi.empty() &&
+        catalog_->exec_config().use_indexes) {
       TableInfo* table = catalog_->GetTable(qi.base_table);
       if (table != nullptr) {
         for (size_t e = 0; e < equi.size() && !planned; ++e) {

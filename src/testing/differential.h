@@ -1,0 +1,75 @@
+#ifndef XNF_TESTING_DIFFERENTIAL_H_
+#define XNF_TESTING_DIFFERENTIAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "testing/generator.h"
+
+namespace xnf::testing {
+
+// One engine configuration of the differential matrix. Configurations with
+// the same (use_indexes, use_rewrite) pair must produce bit-identical row
+// sequences: the executed plan is the same, and parallelism/batching/CSE are
+// implementation strategies that may not change observable order. Across
+// groups only multiset equality (plus ORDER BY sortedness) is required.
+struct EngineConfig {
+  int threads = 1;
+  bool scalar_eval = false;  // scalar (row-at-a-time) expression evaluation
+  bool use_cse = true;       // XNF edge queries over CSE temps vs inline
+  bool use_indexes = true;
+  bool use_rewrite = true;
+
+  // Group key for the bit-identical comparison.
+  int PlanGroup() const { return (use_indexes ? 2 : 0) | (use_rewrite ? 1 : 0); }
+  std::string Label() const;
+};
+
+// The default matrix: every (use_indexes, use_rewrite) plan group, crossed
+// with serial/parallel execution, batch/scalar evaluation, and CSE on/off.
+std::vector<EngineConfig> DefaultMatrix();
+
+// A detected divergence: which statement (index into the script), what the
+// disagreement was, and between which parties.
+struct Divergence {
+  int statement = -1;          // -1 = end-of-script table-state check
+  std::string statement_text;  // empty for end-of-script checks
+  std::string description;
+};
+
+// Runs one script through the reference interpreter and every engine
+// configuration, comparing statement-by-statement and the final base-table
+// state. Returns the first divergence, or nullopt if all parties agree.
+std::optional<Divergence> RunScript(const std::vector<std::string>& statements,
+                                    const std::vector<EngineConfig>& configs);
+
+// Greedily removes statements while the script still diverges. The result
+// is 1-minimal: removing any single remaining statement makes the
+// divergence disappear.
+std::vector<std::string> MinimizeScript(
+    const std::vector<std::string>& statements,
+    const std::vector<EngineConfig>& configs);
+
+struct FuzzReport {
+  uint64_t seed = 0;
+  bool ok = true;
+  Divergence divergence;                // when !ok
+  std::vector<std::string> minimized;   // minimized reproducer (when !ok)
+  std::string artifact_path;            // written artifact file, if any
+};
+
+// Generates the case for `seed`, runs it, and on divergence minimizes the
+// script and (if the SQLXNF_FUZZ_ARTIFACT environment variable names a file)
+// writes a replayable artifact: the seed, the divergence, and the minimized
+// statements.
+FuzzReport RunSeed(uint64_t seed, const GenOptions& gen = GenOptions(),
+                   const std::vector<EngineConfig>& configs = DefaultMatrix());
+
+// Renders an artifact body (also used by the fuzz_runner binary).
+std::string RenderArtifact(const FuzzReport& report);
+
+}  // namespace xnf::testing
+
+#endif  // XNF_TESTING_DIFFERENTIAL_H_

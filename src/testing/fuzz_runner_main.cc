@@ -1,0 +1,112 @@
+// Standalone differential fuzzer.
+//
+// Usage:
+//   fuzz_runner [--seeds=N] [--start=S] [--seed=X] [--statements=K]
+//               [--tables=T] [--links=L] [--rows=R]
+//
+//   --seeds=N       run seeds [start, start+N) (default 100)
+//   --start=S       first seed of the range (default 0)
+//   --seed=X        run exactly one seed (replay mode; overrides the range)
+//   --statements=K  random statements per case (default 14)
+//   --tables=T      base tables per case (default 3, clamped to [2, 4])
+//   --links=L       link tables per case (default 1)
+//   --rows=R        initial rows per table (default 24; small values stress
+//                   empty-input edge cases)
+//
+// Every divergence is minimized and printed as a replayable artifact; when
+// SQLXNF_FUZZ_ARTIFACT names a file, artifacts are appended there too. Exit
+// status is the number of diverging seeds (capped at 125).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "testing/differential.h"
+#include "testing/generator.h"
+
+namespace {
+
+bool ParseFlag(const char* arg, const char* name, long long* out) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  char* end = nullptr;
+  long long v = std::strtoll(arg + n + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long seeds = 100;
+  long long start = 0;
+  long long single = -1;
+  long long statements = -1;
+  long long tables = -1;
+  long long links = -1;
+  long long rows = -1;
+  for (int i = 1; i < argc; ++i) {
+    long long v = 0;
+    if (ParseFlag(argv[i], "--seeds", &v)) {
+      seeds = v;
+    } else if (ParseFlag(argv[i], "--start", &v)) {
+      start = v;
+    } else if (ParseFlag(argv[i], "--seed", &v)) {
+      single = v;
+    } else if (ParseFlag(argv[i], "--statements", &v)) {
+      statements = v;
+    } else if (ParseFlag(argv[i], "--tables", &v)) {
+      tables = v;
+    } else if (ParseFlag(argv[i], "--links", &v)) {
+      links = v;
+    } else if (ParseFlag(argv[i], "--rows", &v)) {
+      rows = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      std::fprintf(stderr,
+                   "usage: fuzz_runner [--seeds=N] [--start=S] [--seed=X] "
+                   "[--statements=K] [--tables=T] [--links=L] [--rows=R]\n");
+      return 125;
+    }
+  }
+  if (single >= 0) {
+    start = single;
+    seeds = 1;
+  }
+
+  xnf::testing::GenOptions gen;
+  if (statements > 0) gen.statements = static_cast<int>(statements);
+  if (tables > 0) gen.tables = static_cast<int>(tables);
+  if (links >= 0) gen.link_tables = static_cast<int>(links);
+  if (rows >= 0) gen.rows_per_table = static_cast<int>(rows);
+
+  long long failures = 0;
+  for (long long s = start; s < start + seeds; ++s) {
+    xnf::testing::FuzzReport report =
+        xnf::testing::RunSeed(static_cast<uint64_t>(s), gen);
+    if (report.ok) {
+      if ((s - start + 1) % 50 == 0 || s + 1 == start + seeds) {
+        std::fprintf(stderr, "[fuzz] %lld/%lld seeds ok\n", s - start + 1,
+                     seeds);
+      }
+      continue;
+    }
+    ++failures;
+    std::fprintf(stderr, "[fuzz] seed %lld DIVERGED\n", s);
+    std::string artifact = xnf::testing::RenderArtifact(report);
+    std::fwrite(artifact.data(), 1, artifact.size(), stdout);
+    std::fputc('\n', stdout);
+    if (!report.artifact_path.empty()) {
+      std::fprintf(stderr, "[fuzz] artifact appended to %s\n",
+                   report.artifact_path.c_str());
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "[fuzz] %lld of %lld seeds diverged\n", failures,
+                 seeds);
+  }
+  return static_cast<int>(failures > 125 ? 125 : failures);
+}

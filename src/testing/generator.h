@@ -1,0 +1,39 @@
+#ifndef XNF_TESTING_GENERATOR_H_
+#define XNF_TESTING_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xnf::testing {
+
+// Tuning knobs for the grammar-driven statement generator. The defaults are
+// sized so one case runs in well under a second through the whole
+// configuration matrix.
+struct GenOptions {
+  int tables = 3;           // base tables t0..t{n-1} (clamped to [2, 4])
+  int link_tables = 1;      // l{i}_{i+1} link tables (clamped to tables - 1)
+  int rows_per_table = 24;  // initial data volume per table
+  int statements = 14;      // random statements after the schema/data prologue
+  bool enable_xnf = true;   // XNF TAKE queries and CO UPDATE/DELETE
+  bool enable_dml = true;   // INSERT/UPDATE/DELETE
+  bool enable_ddl = true;   // mid-script CREATE INDEX / CREATE VIEW
+};
+
+// One generated script: a deterministic schema/data prologue followed by
+// random statements. Statements are plain SQL/XNF text — the differential
+// harness re-parses them when it needs ORDER BY metadata, so scripts are
+// fully self-contained and replayable from an artifact file.
+struct FuzzCase {
+  std::vector<std::string> statements;
+};
+
+// Deterministically generates a case from a seed: same (seed, options) ->
+// same statements on every platform. Randomness comes from an internal
+// splitmix64 stream, not from <random> distribution templates (whose output
+// is implementation-defined).
+FuzzCase GenerateCase(uint64_t seed, const GenOptions& options = GenOptions());
+
+}  // namespace xnf::testing
+
+#endif  // XNF_TESTING_GENERATOR_H_

@@ -1,0 +1,131 @@
+#include "testing/reference.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/str_util.h"
+#include "testing/reference_internal.h"
+
+namespace xnf::testing {
+namespace {
+
+// First bare identifier of a statement, lowercased ("" if none). Mirrors the
+// engine's dispatch in api/database.cc: a statement whose first token is
+// "out" goes to the XNF path, everything else to the SQL parser.
+std::string FirstWord(const std::string& text) {
+  size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  std::string word;
+  while (i < text.size() &&
+         (std::isalpha(static_cast<unsigned char>(text[i])) ||
+          text[i] == '_')) {
+    word.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(text[i]))));
+    ++i;
+  }
+  return word;
+}
+
+}  // namespace
+
+ReferenceEngine::ReferenceEngine() : state_(std::make_unique<refi::State>()) {}
+ReferenceEngine::~ReferenceEngine() = default;
+
+RefOutcome ReferenceEngine::Execute(const std::string& statement) {
+  if (FirstWord(statement) == "out") {
+    return refi::ExecuteXnfStatement(state_.get(), statement);
+  }
+  return refi::ExecuteSqlStatement(state_.get(), statement);
+}
+
+std::string ReferenceEngine::Canonicalize(const co::CoInstance& co) {
+  // Convert to the reference CO shape and reuse its renderer so both sides
+  // are formatted by exactly one code path.
+  refi::RefCo ref;
+  for (const co::CoNodeInstance& n : co.nodes) {
+    refi::RefNode node;
+    node.name = n.name;
+    node.tuples = n.tuples;
+    ref.nodes.push_back(std::move(node));
+  }
+  for (const co::CoRelInstance& r : co.rels) {
+    refi::RefRel rel;
+    rel.name = r.name;
+    rel.parent_node = r.parent_node;
+    rel.child_node = r.child_node;
+    for (const co::CoConnection& c : r.connections) {
+      refi::RefConn conn;
+      conn.parent = c.parent;
+      conn.child = c.child;
+      conn.attrs = c.attrs;
+      rel.conns.push_back(std::move(conn));
+    }
+    ref.rels.push_back(std::move(rel));
+  }
+  return refi::RenderCanonicalCo(ref);
+}
+
+std::vector<std::string> ReferenceEngine::TableNames() const {
+  return state_->table_order;
+}
+
+const std::vector<Row>* ReferenceEngine::TableRows(
+    const std::string& name) const {
+  auto it = state_->tables.find(ToLower(name));
+  if (it == state_->tables.end()) return nullptr;
+  return &it->second.rows;
+}
+
+namespace refi {
+
+int RefCo::NodeIndex(const std::string& name) const {
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int RefCo::RelIndex(const std::string& name) const {
+  for (size_t i = 0; i < rels.size(); ++i) {
+    if (rels[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RenderCanonicalCo(const RefCo& co) {
+  std::string out;
+  for (const RefNode& n : co.nodes) {
+    out += "node " + n.name + "\n";
+    std::vector<std::string> tuples;
+    tuples.reserve(n.tuples.size());
+    for (const Row& t : n.tuples) tuples.push_back(RowToString(t));
+    std::sort(tuples.begin(), tuples.end());
+    for (const std::string& t : tuples) out += "  " + t + "\n";
+  }
+  for (const RefRel& r : co.rels) {
+    out += "rel " + r.name + "\n";
+    // Connections are rendered by endpoint *content*, not tuple index:
+    // tuple order (hence indices) varies across engine configurations, and
+    // generated node tuples always include their unique key, so content is
+    // an exact identity.
+    std::vector<std::string> conns;
+    conns.reserve(r.conns.size());
+    const RefNode& p = co.nodes[r.parent_node];
+    const RefNode& c = co.nodes[r.child_node];
+    for (const RefConn& conn : r.conns) {
+      conns.push_back(RowToString(p.tuples[conn.parent]) + "|" +
+                      RowToString(c.tuples[conn.child]) + "|" +
+                      RowToString(conn.attrs));
+    }
+    std::sort(conns.begin(), conns.end());
+    for (const std::string& s : conns) out += "  " + s + "\n";
+  }
+  return out;
+}
+
+}  // namespace refi
+}  // namespace xnf::testing

@@ -1,0 +1,82 @@
+#ifndef XNF_TESTING_REFERENCE_H_
+#define XNF_TESTING_REFERENCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "xnf/instance.h"
+
+namespace xnf::testing {
+
+// Result of executing one statement through the reference interpreter.
+// Mirrors ExecResult closely enough for the differential harness to compare
+// outcomes: kind, ok/error (boolean agreement only — messages are free-form),
+// rows / affected count / canonical CO rendering.
+struct RefOutcome {
+  enum class Kind { kNone, kRows, kAffected, kCo };
+  Kind kind = Kind::kNone;
+  bool ok = true;
+  std::string error;  // status rendering when !ok
+
+  std::vector<Row> rows;  // kRows (already ordered per ORDER BY if present)
+  // ORDER BY metadata for the harness: output position + ascending flag per
+  // ORDER BY key of the statement. full_order means every output position is
+  // a key, so engine row sequences are directly comparable (ties are full
+  // duplicates, which sorting makes adjacent on both sides).
+  std::vector<std::pair<int, bool>> order_keys;
+  bool full_order = false;
+
+  int64_t affected = 0;      // kAffected
+  std::string co_canonical;  // kCo: order-insensitive rendering
+
+  static RefOutcome Error(const Status& st) {
+    RefOutcome o;
+    o.ok = false;
+    o.error = st.ToString();
+    return o;
+  }
+};
+
+namespace refi {
+struct State;
+}
+
+// A naive, single-threaded interpreter for the SQL/XNF subset the fuzz
+// generator emits. It shares the engine's parsers and Value/Schema
+// primitives but evaluates ASTs directly — no QGM, no rewrite, no plans, no
+// indexes — so behavioural agreement with the engine is evidence, not shared
+// code. reference_sql.cc documents the mirrored SQL semantics,
+// reference_xnf.cc the composite-object pipeline.
+class ReferenceEngine {
+ public:
+  ReferenceEngine();
+  ~ReferenceEngine();
+  ReferenceEngine(const ReferenceEngine&) = delete;
+  ReferenceEngine& operator=(const ReferenceEngine&) = delete;
+
+  RefOutcome Execute(const std::string& statement);
+
+  // Canonical order-insensitive rendering of an engine composite object: per
+  // node, sorted tuple renderings; per relationship, sorted
+  // "parent-tuple|child-tuple|attrs" triples. Node tuples always carry their
+  // unique key column in generated queries, so content identifies tuples and
+  // two instances are semantically equal iff their renderings match.
+  static std::string Canonicalize(const co::CoInstance& co);
+
+  // End-of-script state inspection: base-table names (creation order) and
+  // rows for comparing against an engine's `SELECT * FROM t`.
+  std::vector<std::string> TableNames() const;
+  const std::vector<Row>* TableRows(const std::string& name) const;
+
+ private:
+  std::unique_ptr<refi::State> state_;
+};
+
+}  // namespace xnf::testing
+
+#endif  // XNF_TESTING_REFERENCE_H_

@@ -153,9 +153,11 @@ Result<ResultSet> Evaluator::RunSelect(const sql::SelectStmt& stmt,
   };
   qgm::Builder builder(catalog_, resolver);
   XNF_ASSIGN_OR_RETURN(qgm::QueryGraph graph, builder.Build(stmt));
-  XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw,
-                       qgm::Rewrite(&graph, trace_sink_));
-  (void)rw;
+  if (catalog_->exec_config().use_rewrite) {
+    XNF_ASSIGN_OR_RETURN(qgm::RewriteStats rw,
+                         qgm::Rewrite(&graph, trace_sink_));
+    (void)rw;
+  }
   XNF_ASSIGN_OR_RETURN(ResultSet rs,
                        plan::Execute(catalog_, graph, trace_sink_));
   stats->rows_produced += rs.stats.rows_produced;

@@ -191,6 +191,10 @@ TEST_P(SqlOracle, DistinctMatchesReference) {
   std::set<std::pair<int64_t, int64_t>> ref;
   for (const auto& row : data.r) ref.insert({row[0], row[1]});
   EXPECT_EQ(rs.rows.size(), ref.size());
+  // The normalized rendering must itself be duplicate-free.
+  std::vector<std::string> normalized = NormalizedRows(rs);
+  EXPECT_EQ(std::unique(normalized.begin(), normalized.end()),
+            normalized.end());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SqlOracle,

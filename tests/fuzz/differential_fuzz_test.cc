@@ -1,0 +1,81 @@
+// Differential fuzz smoke tests: a fixed band of seeds through the full
+// configuration matrix on every test run. The standalone fuzz_runner binary
+// covers wide seed ranges; this test keeps a regression-sized slice in the
+// default suite so the harness itself (generator determinism, reference
+// interpreter, comparison policy) cannot rot unnoticed.
+
+#include "testing/differential.h"
+
+#include <cstdint>
+
+#include "gtest/gtest.h"
+#include "testing/generator.h"
+
+namespace xnf::testing {
+namespace {
+
+TEST(GeneratorTest, Deterministic) {
+  GenOptions gen;
+  FuzzCase a = GenerateCase(1234, gen);
+  FuzzCase b = GenerateCase(1234, gen);
+  ASSERT_EQ(a.statements, b.statements);
+  ASSERT_FALSE(a.statements.empty());
+  FuzzCase c = GenerateCase(1235, gen);
+  EXPECT_NE(a.statements, c.statements);
+}
+
+TEST(GeneratorTest, PrologueCreatesTables) {
+  FuzzCase c = GenerateCase(7);
+  ASSERT_FALSE(c.statements.empty());
+  EXPECT_NE(c.statements[0].find("CREATE TABLE"), std::string::npos);
+}
+
+class DifferentialSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialSeedTest, SeedAgrees) {
+  FuzzReport report = RunSeed(GetParam());
+  EXPECT_TRUE(report.ok) << "seed " << report.seed << " diverged:\n"
+                         << RenderArtifact(report);
+}
+
+INSTANTIATE_TEST_SUITE_P(Band, DifferentialSeedTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+// A second band with heavier scripts: more statements per case exercises
+// longer DDL/DML interleavings and view-over-view chains.
+TEST(DifferentialFuzzTest, LongScripts) {
+  GenOptions gen;
+  gen.statements = 30;
+  for (uint64_t seed = 1000; seed < 1010; ++seed) {
+    FuzzReport report = RunSeed(seed, gen);
+    EXPECT_TRUE(report.ok) << "seed " << report.seed << " diverged:\n"
+                           << RenderArtifact(report);
+  }
+}
+
+// Minimization sanity: a script that diverges must stay divergent through
+// MinimizeScript, and the minimized script must reproduce on its own. A
+// deliberately broken "engine matrix" is simulated by comparing against a
+// statement the reference rejects but the engine accepts, so this exercises
+// the machinery without depending on a real engine bug existing.
+TEST(DifferentialFuzzTest, MinimizerKeepsDivergence) {
+  // EXPLAIN is engine-only surface: the reference interpreter rejects it by
+  // design, so it makes a stable, intentional status divergence.
+  std::vector<std::string> script = {
+      "CREATE TABLE mz (a INT PRIMARY KEY, b INT)",
+      "INSERT INTO mz VALUES (1, 2)",
+      "SELECT a FROM mz",
+      "EXPLAIN SELECT a FROM mz",
+      "SELECT b FROM mz",
+  };
+  auto configs = DefaultMatrix();
+  auto div = RunScript(script, configs);
+  ASSERT_TRUE(div.has_value());
+  std::vector<std::string> minimized = MinimizeScript(script, configs);
+  ASSERT_FALSE(minimized.empty());
+  EXPECT_LT(minimized.size(), script.size());
+  EXPECT_TRUE(RunScript(minimized, configs).has_value());
+}
+
+}  // namespace
+}  // namespace xnf::testing

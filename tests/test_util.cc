@@ -103,4 +103,25 @@ std::vector<std::string> StringColumn(const ResultSet& rs, size_t col) {
   return out;
 }
 
+std::vector<std::string> NormalizedRows(const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(RowToString(row));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> NormalizedRows(const ResultSet& rs) {
+  return NormalizedRows(rs.rows);
+}
+
+std::multiset<int64_t> ColumnMultiset(const std::vector<Row>& rows,
+                                      size_t col) {
+  std::multiset<int64_t> out;
+  for (const Row& row : rows) {
+    if (!row[col].is_null()) out.insert(row[col].AsInt());
+  }
+  return out;
+}
+
 }  // namespace xnf::testing

@@ -1,7 +1,9 @@
 #ifndef XNF_TESTS_TEST_UTIL_H_
 #define XNF_TESTS_TEST_UTIL_H_
 
+#include <algorithm>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,17 @@ std::vector<int64_t> IntColumn(const ResultSet& rs, size_t col);
 
 // Collects one STRING column.
 std::vector<std::string> StringColumn(const ResultSet& rs, size_t col);
+
+// Canonical, order-insensitive view of a result: each row rendered with
+// RowToString, then sorted. Two results are multiset-equal iff their
+// normalized renderings are equal.
+std::vector<std::string> NormalizedRows(const ResultSet& rs);
+std::vector<std::string> NormalizedRows(const std::vector<Row>& rows);
+
+// Multiset of one INT column over raw rows (CO node tuples, result rows).
+// NULLs are excluded, matching the common "collect the PK column" use.
+std::multiset<int64_t> ColumnMultiset(const std::vector<Row>& rows,
+                                      size_t col);
 
 // Sorted copy helper.
 template <typename T>

@@ -1,0 +1,180 @@
+// CO-level UPDATE and DELETE through XNF views: structurally spliced
+// views-over-views and restricted views imported via materialization
+// (premade components). Write provenance — base-table rids, column maps,
+// and relationship-column classification — must survive both composition
+// paths (§3.7 over §3.2 views).
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+class CoWriteViewsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CreateCompanyDb(&db_);
+    MustExecute(&db_, R"(
+      CREATE VIEW ALL_DEPS AS
+        OUT OF Xdept AS DEPT, Xemp AS EMP, Xproj AS PROJ,
+          employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno),
+          ownership AS (RELATE Xdept, Xproj WHERE Xdept.dno = Xproj.pdno)
+        TAKE *
+    )");
+    MustExecute(&db_, R"(
+      CREATE VIEW ALL_DEPS_ORG AS
+        OUT OF ALL_DEPS,
+          membership AS (RELATE Xproj, Xemp
+                         USING EMPPROJ ep
+                         WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno)
+        TAKE *
+    )");
+    // Restricted views compose via materialization: the importer keeps the
+    // premade components' base-table provenance.
+    MustExecute(&db_, R"(
+      CREATE VIEW LOW_PAID AS
+        OUT OF Xemp AS EMP
+        WHERE Xemp e SUCH THAT e.sal < 2000
+        TAKE *
+    )");
+    MustExecute(&db_, R"(
+      CREATE VIEW NY_ORG AS
+        OUT OF Xdept AS DEPT, Xemp AS EMP,
+          employment AS (RELATE Xdept, Xemp WHERE Xdept.dno = Xemp.edno)
+        WHERE Xdept d SUCH THAT d.loc = 'NY'
+        TAKE *
+    )");
+  }
+
+  int64_t QueryInt(const std::string& sql) {
+    auto rs = db_.Query(sql);
+    EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+    if (!rs.ok() || rs->rows.empty() || rs->rows[0][0].is_null()) return -1;
+    return rs->rows[0][0].AsInt();
+  }
+
+  Database db_;
+};
+
+TEST_F(CoWriteViewsTest, UpdateThroughViewOverView) {
+  // ALL_DEPS_ORG splices ALL_DEPS structurally; employment makes e1,e2
+  // (dept 1) and e4,e5,e6 (dept 2) reachable, e3 stays outside.
+  auto r = db_.Execute(R"(
+    OUT OF ALL_DEPS_ORG
+    WHERE Xemp e SUCH THAT e.sal < 2000
+    UPDATE Xemp SET sal = sal + 100
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->affected, 3);  // e1 (1500), e4 (1800), e6 (900)
+  EXPECT_EQ(QueryInt("SELECT sal FROM EMP WHERE eno = 1"), 1600);
+  EXPECT_EQ(QueryInt("SELECT sal FROM EMP WHERE eno = 4"), 1900);
+  EXPECT_EQ(QueryInt("SELECT sal FROM EMP WHERE eno = 6"), 1000);
+  // Unreachable e3 is not part of the CO, so it is untouched.
+  EXPECT_EQ(QueryInt("SELECT sal FROM EMP WHERE eno = 3"), 1000);
+}
+
+TEST_F(CoWriteViewsTest, UpdateRejectsRelationshipColumnThroughViewOverView) {
+  auto r = db_.Execute("OUT OF ALL_DEPS_ORG UPDATE Xemp SET edno = 1");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotUpdatable);
+  // Nothing was written.
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM EMP WHERE edno = 1"), 2);
+}
+
+TEST_F(CoWriteViewsTest, UpdateThroughRestrictedView) {
+  // LOW_PAID is materialized and imported premade; its single node keeps
+  // EMP provenance, so the CO update writes through. All four low-paid
+  // employees are roots (no relationships), including unassigned e3.
+  auto r = db_.Execute("OUT OF LOW_PAID UPDATE Xemp SET sal = sal * 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->affected, 4);  // e1, e3, e4, e6
+  EXPECT_EQ(QueryInt("SELECT sal FROM EMP WHERE eno = 1"), 3000);
+  EXPECT_EQ(QueryInt("SELECT sal FROM EMP WHERE eno = 3"), 2000);
+  EXPECT_EQ(QueryInt("SELECT sal FROM EMP WHERE eno = 4"), 3600);
+  EXPECT_EQ(QueryInt("SELECT sal FROM EMP WHERE eno = 6"), 1800);
+  EXPECT_EQ(QueryInt("SELECT sal FROM EMP WHERE eno = 2"), 2500);
+}
+
+TEST_F(CoWriteViewsTest, RestrictedViewKeepsRelationshipColumnProtection) {
+  // The premade import preserves the relationship's write classification:
+  // edno still defines employment inside NY_ORG.
+  auto r = db_.Execute("OUT OF NY_ORG UPDATE Xemp SET edno = 2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotUpdatable);
+
+  // Non-relationship columns write through normally: NY departments are
+  // d1 and d3; only d1 has employees (e1, e2).
+  auto ok = db_.Execute("OUT OF NY_ORG UPDATE Xemp SET descr = 'ny'");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->affected, 2);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM EMP WHERE descr = 'ny'"), 2);
+}
+
+TEST_F(CoWriteViewsTest, DeleteThroughViewOverView) {
+  // Restricting to dept 1 keeps e1, e2 (employment), p1 (ownership), and
+  // membership's EMPPROJ rows (1,1) and (2,1). CO DELETE removes the link
+  // rows first, then the node rows: 2 + (1 dept + 2 emp + 1 proj) = 6.
+  auto r = db_.Execute(R"(
+    OUT OF ALL_DEPS_ORG
+    WHERE Xdept d SUCH THAT d.dno = 1
+    DELETE *
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->affected, 6);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM DEPT"), 2);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM EMP"), 4);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM PROJ"), 1);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM EMPPROJ"), 2);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM EMP WHERE eno = 3"), 1);
+}
+
+TEST_F(CoWriteViewsTest, DeleteThroughRestrictedViewWithLinkRelationship) {
+  MustExecute(&db_, R"(
+    CREATE VIEW P1_TEAM AS
+      OUT OF Xproj AS PROJ, Xemp AS EMP,
+        membership AS (RELATE Xproj, Xemp
+                       USING EMPPROJ ep
+                       WHERE Xproj.pno = ep.eppno AND Xemp.eno = ep.epeno)
+      WHERE Xproj z SUCH THAT z.pno = 1
+      TAKE *
+  )");
+  // p1's team is e1 and e2; deleting the premade CO removes the two
+  // EMPPROJ link rows plus p1, e1, e2.
+  auto r = db_.Execute("OUT OF P1_TEAM DELETE *");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->affected, 5);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM PROJ"), 1);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM EMP"), 4);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM EMPPROJ"), 2);
+}
+
+TEST_F(CoWriteViewsTest, NonUpdatableNodeThroughRestrictedViewRejected) {
+  // DISTINCT forces the general (full-query) node path: no base-table
+  // provenance, so neither CO UPDATE nor CO DELETE may touch it — also not
+  // after a premade import.
+  MustExecute(&db_, R"(
+    CREATE VIEW LOCS AS
+      OUT OF Xd AS (SELECT DISTINCT loc FROM DEPT)
+      WHERE Xd z SUCH THAT z.loc = 'NY'
+      TAKE *
+  )");
+  auto up = db_.Execute("OUT OF LOCS UPDATE Xd SET loc = 'LA'");
+  ASSERT_FALSE(up.ok());
+  EXPECT_EQ(up.status().code(), StatusCode::kNotUpdatable);
+  auto del = db_.Execute("OUT OF LOCS DELETE *");
+  ASSERT_FALSE(del.ok());
+  EXPECT_EQ(del.status().code(), StatusCode::kNotUpdatable);
+  EXPECT_EQ(QueryInt("SELECT COUNT(*) FROM DEPT"), 3);
+}
+
+TEST_F(CoWriteViewsTest, ViewOverRestrictedViewRejectedAtCreateTime) {
+  // CREATE VIEW resolves without a materializer, so a body referencing a
+  // restricted view cannot be composed structurally and must be rejected
+  // up front — not at first use.
+  auto r = db_.Execute("CREATE VIEW L2 AS OUT OF LOW_PAID TAKE *");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotSupported);
+}
+
+}  // namespace
+}  // namespace xnf::testing

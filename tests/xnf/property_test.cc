@@ -112,8 +112,7 @@ TEST_P(ReachabilityProperty, EdgeRestrictionNeverAddsTuples) {
   for (size_t n = 0; n < full.nodes.size(); ++n) {
     EXPECT_LE(restricted.nodes[n].tuples.size(), full.nodes[n].tuples.size());
     // Every restricted tuple appears in the full instance.
-    std::set<int64_t> full_ids;
-    for (const Row& t : full.nodes[n].tuples) full_ids.insert(t[0].AsInt());
+    std::multiset<int64_t> full_ids = ColumnMultiset(full.nodes[n].tuples, 0);
     for (const Row& t : restricted.nodes[n].tuples) {
       EXPECT_TRUE(full_ids.count(t[0].AsInt())) << full.nodes[n].name;
     }
@@ -141,10 +140,9 @@ TEST_P(ReachabilityProperty, RestrictionMatchesManualFilterPlusReachability) {
     TAKE *
   )"));
   for (size_t n = 0; n < restricted.nodes.size(); ++n) {
-    std::set<int64_t> a, b;
-    for (const Row& t : restricted.nodes[n].tuples) a.insert(t[0].AsInt());
-    for (const Row& t : prefiltered.nodes[n].tuples) b.insert(t[0].AsInt());
-    EXPECT_EQ(a, b) << restricted.nodes[n].name;
+    EXPECT_EQ(ColumnMultiset(restricted.nodes[n].tuples, 0),
+              ColumnMultiset(prefiltered.nodes[n].tuples, 0))
+        << restricted.nodes[n].name;
   }
   EXPECT_EQ(restricted.TotalConnections(), prefiltered.TotalConnections());
 }
@@ -160,10 +158,8 @@ TEST_P(ReachabilityProperty, CseOnOffEquivalence) {
   ASSERT_OK_AND_ASSIGN(co::CoInstance without_cse, db.QueryCo(kRandomCo));
   ASSERT_EQ(with_cse.nodes.size(), without_cse.nodes.size());
   for (size_t n = 0; n < with_cse.nodes.size(); ++n) {
-    std::multiset<int64_t> a, b;
-    for (const Row& t : with_cse.nodes[n].tuples) a.insert(t[0].AsInt());
-    for (const Row& t : without_cse.nodes[n].tuples) b.insert(t[0].AsInt());
-    EXPECT_EQ(a, b);
+    EXPECT_EQ(ColumnMultiset(with_cse.nodes[n].tuples, 0),
+              ColumnMultiset(without_cse.nodes[n].tuples, 0));
   }
   EXPECT_EQ(with_cse.TotalConnections(), without_cse.TotalConnections());
 }
@@ -216,10 +212,9 @@ TEST_P(ReachabilityProperty, RandomManipulationKeepsCacheConsistent) {
   co::CoInstance snap = cache->Snapshot();
   ASSERT_OK_AND_ASSIGN(co::CoInstance fresh, db.QueryCo(kRandomCo));
   for (size_t n = 0; n < snap.nodes.size(); ++n) {
-    std::multiset<int64_t> a, b;
-    for (const Row& t : snap.nodes[n].tuples) a.insert(t[0].AsInt());
-    for (const Row& t : fresh.nodes[n].tuples) b.insert(t[0].AsInt());
-    EXPECT_EQ(a, b) << snap.nodes[n].name << " diverged after manipulation";
+    EXPECT_EQ(ColumnMultiset(snap.nodes[n].tuples, 0),
+              ColumnMultiset(fresh.nodes[n].tuples, 0))
+        << snap.nodes[n].name << " diverged after manipulation";
   }
   EXPECT_EQ(snap.TotalConnections(), fresh.TotalConnections());
 }
