@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <random>
+#include <tuple>
 
 #include "benchmark/benchmark.h"
 #include "util.h"
@@ -24,11 +25,15 @@ struct ClusterContext {
   std::unique_ptr<PreparedQuery> emps_of_dept;
 };
 
-// `clustered` controls the physical insertion order of employees.
-ClusterContext& GetContext(bool clustered, size_t pool_pages) {
-  static std::map<std::pair<bool, size_t>, std::unique_ptr<ClusterContext>>
+// `clustered` controls the physical insertion order of employees;
+// `columnar` the physical layout (heap pages vs. per-column row-group
+// pages — the C4 variant over the column store).
+ClusterContext& GetContext(bool clustered, size_t pool_pages,
+                           bool columnar = false) {
+  static std::map<std::tuple<bool, size_t, bool>,
+                  std::unique_ptr<ClusterContext>>
       cache;
-  auto key = std::make_pair(clustered, pool_pages);
+  auto key = std::make_tuple(clustered, pool_pages, columnar);
   auto it = cache.find(key);
   if (it != cache.end()) return *it->second;
 
@@ -36,6 +41,8 @@ ClusterContext& GetContext(bool clustered, size_t pool_pages) {
   Database::Options db_options;
   db_options.buffer_pool_pages = pool_pages;
   db_options.tuples_per_page = 16;
+  db_options.default_storage =
+      columnar ? StorageKind::kColumn : StorageKind::kRow;
   ctx->db = std::make_unique<Database>(db_options);
   Check(ctx->db->ExecuteScript(R"sql(
     CREATE TABLE dept (dno INT PRIMARY KEY, budget INT);
@@ -75,9 +82,10 @@ ClusterContext& GetContext(bool clustered, size_t pool_pages) {
   return ref;
 }
 
-void RunExtraction(benchmark::State& state, bool clustered) {
+void RunExtraction(benchmark::State& state, bool clustered,
+                   bool columnar = false) {
   size_t pool_pages = static_cast<size_t>(state.range(0));
-  ClusterContext& ctx = GetContext(clustered, pool_pages);
+  ClusterContext& ctx = GetContext(clustered, pool_pages, columnar);
   BufferPool* pool = ctx.db->buffer_pool();
   pool->ResetCounters();
   int dept = 0;
@@ -108,11 +116,27 @@ void BM_ExtractTableScattered(benchmark::State& state) {
   state.SetLabel("children scattered across pages");
 }
 
+// C4 over the column store: the extraction is SELECT *, so every column
+// segment of a touched row group faults in. With 3 emp columns a group
+// costs 3 pages — clustering matters the same way, scaled by the column
+// count (a projection benchmark is bench_scan.cc's job).
+void BM_ExtractCoClusteredColumnar(benchmark::State& state) {
+  RunExtraction(state, /*clustered=*/true, /*columnar=*/true);
+  state.SetLabel("columnar row groups, children contiguous");
+}
+
+void BM_ExtractTableScatteredColumnar(benchmark::State& state) {
+  RunExtraction(state, /*clustered=*/false, /*columnar=*/true);
+  state.SetLabel("columnar row groups, children scattered");
+}
+
 // Sweep the buffer pool size (in pages). With 16 tuples/page and 64
 // employees per department, a clustered extraction touches ~4 pages; a
 // scattered one touches up to 64 distinct pages.
 BENCHMARK(BM_ExtractCoClustered)->Arg(32)->Arg(128)->Arg(512);
 BENCHMARK(BM_ExtractTableScattered)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_ExtractCoClusteredColumnar)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_ExtractTableScatteredColumnar)->Arg(32)->Arg(128)->Arg(512);
 
 }  // namespace
 }  // namespace xnf::bench

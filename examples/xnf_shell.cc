@@ -79,6 +79,8 @@ void PrintHelp() {
       "      .stats [on|off] print counters / toggle per-operator stats\n"
       "      .trace on|off   pipeline span timeline per statement\n"
       "      .threads [N]    show / set intra-query worker threads\n"
+      "      .storage [row|column]   show / set the default table layout\n"
+      "                      (CREATE TABLE ... USING row|column overrides)\n"
       "      .failpoint              list armed failpoints with hit counts\n"
       "      .failpoint sites        list the known injection sites\n"
       "      .failpoint off          disarm all failpoints\n"
@@ -138,6 +140,19 @@ int main() {
         } else {
           std::cout << "error: " << armed.ToString() << "\n";
         }
+      } else if (line == ".storage") {
+        std::cout << "default storage "
+                  << xnf::StorageKindName(db.catalog()->default_storage())
+                  << "\n";
+      } else if (line == ".storage row" || line == ".storage column") {
+        db.catalog()->set_default_storage(line == ".storage row"
+                                              ? xnf::StorageKind::kRow
+                                              : xnf::StorageKind::kColumn);
+        std::cout << "default storage "
+                  << xnf::StorageKindName(db.catalog()->default_storage())
+                  << "\n";
+      } else if (line.rfind(".storage", 0) == 0) {
+        std::cout << "usage: .storage [row|column]\n";
       } else if (line.rfind(".threads ", 0) == 0) {
         char* end = nullptr;
         long n = std::strtol(line.c_str() + 9, &end, 10);
@@ -160,7 +175,7 @@ int main() {
         for (const std::string& t : db.catalog()->TableNames()) {
           xnf::TableInfo* info = db.catalog()->GetTable(t);
           std::cout << t << " (" << info->schema.ToString() << ") — "
-                    << info->heap->live_count() << " row(s)\n";
+                    << info->storage->live_count() << " row(s)\n";
         }
       } else if (line == "\\views") {
         for (const std::string& v : db.catalog()->ViewNames()) {

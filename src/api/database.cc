@@ -71,6 +71,24 @@ Database::Database(Options options)
       std::abort();
     }
   }
+  // Default table layout: explicit option > SQLXNF_STORAGE env > row. An
+  // unknown env value aborts loudly for the same reason a bad failpoint
+  // spec does — silently running the wrong layout would invalidate a whole
+  // CI matrix leg.
+  if (options_.default_storage.has_value()) {
+    catalog_.set_default_storage(*options_.default_storage);
+  } else if (const char* env = std::getenv("SQLXNF_STORAGE");
+             env != nullptr && env[0] != '\0') {
+    std::string value = env;
+    if (value == "row") {
+      catalog_.set_default_storage(StorageKind::kRow);
+    } else if (value == "column") {
+      catalog_.set_default_storage(StorageKind::kColumn);
+    } else {
+      std::fprintf(stderr, "sqlxnf: bad SQLXNF_STORAGE: %s\n", env);
+      std::abort();
+    }
+  }
 }
 
 void Database::set_threads(int n) {
@@ -275,8 +293,14 @@ Result<ExecResult> Database::Execute(const std::string& text) {
         col.primary_key = c.primary_key;
         schema.AddColumn(std::move(col));
       }
-      XNF_RETURN_IF_ERROR(
-          catalog_.CreateTable(stmt.create_table->name, std::move(schema)));
+      std::optional<StorageKind> storage;
+      if (stmt.create_table->storage == sql::StorageClause::kRow) {
+        storage = StorageKind::kRow;
+      } else if (stmt.create_table->storage == sql::StorageClause::kColumn) {
+        storage = StorageKind::kColumn;
+      }
+      XNF_RETURN_IF_ERROR(catalog_.CreateTable(stmt.create_table->name,
+                                               std::move(schema), storage));
       result.kind = ExecResult::Kind::kNone;
       result.message = "table created";
       return result;
@@ -609,7 +633,7 @@ Result<ExecResult> Database::ExecuteCoDelete(const co::CoInstance& instance) {
       const Value& pkey = parent.tuples[c.parent][rel.parent_key_column];
       const Value& ckey = child.tuples[c.child][rel.child_key_column];
       std::optional<Rid> victim;
-      Status scanned = link->heap->Scan([&](Rid rid, const Row& row) {
+      Status scanned = link->storage->Scan([&](Rid rid, const Row& row) {
         if (row[rel.link_parent_column].CompareEq(pkey) == Tribool::kTrue &&
             row[rel.link_child_column].CompareEq(ckey) == Tribool::kTrue) {
           victim = rid;

@@ -2,6 +2,7 @@
 #define XNF_API_DATABASE_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,12 @@ class Database {
     bool use_indexes = true;
     bool use_rewrite = true;
     bool scalar_eval = false;
+    // Physical layout for CREATE TABLE without a USING clause. Unset means:
+    // the SQLXNF_STORAGE environment variable ("row"/"column") if present,
+    // else row storage. An explicit value here wins over the environment (so
+    // the fuzz matrix and layout-sensitive tests stay pinned under a
+    // SQLXNF_STORAGE=column CI run).
+    std::optional<StorageKind> default_storage;
   };
 
   Database() : Database(Options()) {}

@@ -13,7 +13,8 @@ Index* TableInfo::FindIndexOn(const std::vector<size_t>& columns) const {
   return nullptr;
 }
 
-Status Catalog::CreateTable(const std::string& name, Schema schema) {
+Status Catalog::CreateTable(const std::string& name, Schema schema,
+                            std::optional<StorageKind> storage) {
   std::string key = ToLower(name);
   if (NameExists(key)) {
     return Status::AlreadyExists("object '" + name + "' already exists");
@@ -21,11 +22,20 @@ Status Catalog::CreateTable(const std::string& name, Schema schema) {
   auto info = std::make_unique<TableInfo>();
   info->name = key;
   info->schema = schema.WithQualifier(key);
-  TableHeap::Options opts;
-  opts.tuples_per_page = tuples_per_page_;
-  opts.buffer_pool = buffer_pool_;
-  opts.file_id = next_file_id_++;
-  info->heap = std::make_unique<TableHeap>(opts);
+  StorageKind kind = storage.value_or(default_storage_);
+  if (kind == StorageKind::kColumn) {
+    ColumnStore::Options opts;
+    opts.rows_per_group = tuples_per_page_;
+    opts.buffer_pool = buffer_pool_;
+    opts.file_id = next_file_id_++;
+    info->storage = std::make_unique<ColumnStore>(info->schema, opts);
+  } else {
+    TableHeap::Options opts;
+    opts.tuples_per_page = tuples_per_page_;
+    opts.buffer_pool = buffer_pool_;
+    opts.file_id = next_file_id_++;
+    info->storage = std::make_unique<TableHeap>(opts);
+  }
   // Primary keys get an implicit unique hash index.
   if (auto pk = info->schema.PrimaryKeyIndex(); pk.has_value()) {
     info->indexes.push_back(std::make_unique<HashIndex>(
@@ -77,7 +87,7 @@ Status Catalog::CreateIndex(const std::string& index_name,
   // injected fault) discards the half-built index entirely — it was never
   // published in table->indexes.
   Status backfill = Status::Ok();
-  XNF_RETURN_IF_ERROR(table->heap->Scan([&](Rid rid, const Row& row) {
+  XNF_RETURN_IF_ERROR(table->storage->Scan([&](Rid rid, const Row& row) {
     backfill = index->Insert(row, rid);
     return backfill.ok();
   }));

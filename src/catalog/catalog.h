@@ -2,6 +2,7 @@
 #define XNF_CATALOG_CATALOG_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -9,20 +10,24 @@
 #include "common/schema.h"
 #include "common/status.h"
 #include "storage/buffer_pool.h"
+#include "storage/column_store.h"
 #include "storage/index.h"
 #include "storage/table_heap.h"
+#include "storage/table_storage.h"
 
 namespace xnf {
 
 class ThreadPool;
 class UndoLog;
 
-// A base table: schema + heap + secondary indexes. Indexes are maintained by
-// the DML execution layer (see exec/dml.cc).
+// A base table: schema + physical storage + secondary indexes. Storage is
+// row- or column-oriented per table (CREATE TABLE ... USING); every engine
+// layer goes through the TableStorage interface and is layout-agnostic.
+// Indexes are maintained by the DML execution layer (see exec/dml.cc).
 struct TableInfo {
   std::string name;
   Schema schema;
-  std::unique_ptr<TableHeap> heap;
+  std::unique_ptr<TableStorage> storage;
   std::vector<std::unique_ptr<Index>> indexes;
 
   // Returns the first index whose leading key columns are exactly `columns`,
@@ -61,9 +66,11 @@ struct ExecConfig {
 // Name-to-object registry for one database. Names are case-insensitive.
 class Catalog {
  public:
-  // `buffer_pool` (optional, not owned) is attached to all created heaps so
-  // page-fault accounting spans the whole database; `tuples_per_page`
-  // configures the page capacity of every created heap.
+  // `buffer_pool` (optional, not owned) is attached to all created storage
+  // so page-fault accounting spans the whole database; `tuples_per_page`
+  // configures the page capacity of every created heap (and the row-group
+  // size of every columnar table, keeping rids and morsel ranges aligned
+  // across layouts).
   explicit Catalog(BufferPool* buffer_pool = nullptr,
                    uint32_t tuples_per_page = 64)
       : buffer_pool_(buffer_pool), tuples_per_page_(tuples_per_page) {}
@@ -71,7 +78,10 @@ class Catalog {
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
 
-  Status CreateTable(const std::string& name, Schema schema);
+  // Creates a table with the given physical layout; `storage` == nullopt
+  // picks the catalog default (set_default_storage, initially row).
+  Status CreateTable(const std::string& name, Schema schema,
+                     std::optional<StorageKind> storage = std::nullopt);
   Status DropTable(const std::string& name);
   // nullptr if absent.
   TableInfo* GetTable(const std::string& name) const;
@@ -93,6 +103,10 @@ class Catalog {
   std::vector<std::string> ViewNames() const;
 
   BufferPool* buffer_pool() const { return buffer_pool_; }
+
+  // Layout used when CREATE TABLE has no USING clause.
+  StorageKind default_storage() const { return default_storage_; }
+  void set_default_storage(StorageKind kind) { default_storage_ = kind; }
 
   // The owning Database's worker pool for intra-query parallelism, or
   // nullptr (serial execution). Operators and the XNF evaluator reach the
@@ -119,6 +133,7 @@ class Catalog {
   ThreadPool* exec_pool_ = nullptr;
   BufferPool* buffer_pool_;
   uint32_t tuples_per_page_;
+  StorageKind default_storage_ = StorageKind::kRow;
   uint32_t next_file_id_ = 1;
   std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
   std::unordered_map<std::string, ViewInfo> views_;

@@ -36,28 +36,28 @@ Status UndoLog::RollbackTo(Catalog* catalog, size_t mark) {
     switch (entry.kind) {
       case Entry::Kind::kInsert: {
         // Undo an insert: remove the row and its index entries.
-        XNF_ASSIGN_OR_RETURN(Row current, table->heap->Read(entry.rid));
+        XNF_ASSIGN_OR_RETURN(Row current, table->storage->Read(entry.rid));
         for (auto& index : table->indexes) {
           XNF_RETURN_IF_ERROR(index->Erase(current, entry.rid));
         }
-        XNF_RETURN_IF_ERROR(table->heap->Delete(entry.rid));
+        XNF_RETURN_IF_ERROR(table->storage->Delete(entry.rid));
         break;
       }
       case Entry::Kind::kDelete: {
         // Undo a delete: revive the row at its original rid.
-        XNF_RETURN_IF_ERROR(table->heap->Restore(entry.rid, entry.old_row));
+        XNF_RETURN_IF_ERROR(table->storage->Restore(entry.rid, entry.old_row));
         for (auto& index : table->indexes) {
           XNF_RETURN_IF_ERROR(index->Insert(entry.old_row, entry.rid));
         }
         break;
       }
       case Entry::Kind::kUpdate: {
-        XNF_ASSIGN_OR_RETURN(Row current, table->heap->Read(entry.rid));
+        XNF_ASSIGN_OR_RETURN(Row current, table->storage->Read(entry.rid));
         for (auto& index : table->indexes) {
           XNF_RETURN_IF_ERROR(index->Erase(current, entry.rid));
           XNF_RETURN_IF_ERROR(index->Insert(entry.old_row, entry.rid));
         }
-        XNF_RETURN_IF_ERROR(table->heap->Update(entry.rid, entry.old_row));
+        XNF_RETURN_IF_ERROR(table->storage->Update(entry.rid, entry.old_row));
         break;
       }
     }

@@ -85,6 +85,9 @@ const std::vector<const char*>& Failpoints::KnownSites() {
       "bufferpool.evict",  //
       "bufferpool.read",   //
       "cocache.fill",      //
+      "column.append",     //
+      "column.read",       //
+      "column.write",      //
       "dml.apply.delete",  //
       "dml.apply.insert",  //
       "dml.apply.update",  //

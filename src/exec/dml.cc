@@ -75,7 +75,7 @@ Status StatementAtomicity::Abort() {
 Result<Rid> DmlExecutor::InsertRow(TableInfo* table, Row row) {
   XNF_RETURN_IF_ERROR(table->schema.CheckAndCoerceRow(&row));
   XNF_FAILPOINT("dml.apply.insert");
-  XNF_ASSIGN_OR_RETURN(Rid rid, table->heap->Insert(row));
+  XNF_ASSIGN_OR_RETURN(Rid rid, table->storage->Insert(row));
   for (size_t i = 0; i < table->indexes.size(); ++i) {
     Status st = table->indexes[i]->Insert(row, rid);
     if (!st.ok()) {
@@ -86,7 +86,7 @@ Result<Rid> DmlExecutor::InsertRow(TableInfo* table, Row row) {
       for (size_t j = 0; j < i; ++j) {
         (void)table->indexes[j]->Erase(row, rid);
       }
-      (void)table->heap->Delete(rid);
+      (void)table->storage->Delete(rid);
       return st;
     }
   }
@@ -99,7 +99,7 @@ Result<Rid> DmlExecutor::InsertRow(TableInfo* table, Row row) {
 Status DmlExecutor::UpdateRow(TableInfo* table, Rid rid, Row new_row) {
   XNF_RETURN_IF_ERROR(table->schema.CheckAndCoerceRow(&new_row));
   XNF_FAILPOINT("dml.apply.update");
-  XNF_ASSIGN_OR_RETURN(Row old_row, table->heap->Read(rid));
+  XNF_ASSIGN_OR_RETURN(Row old_row, table->storage->Read(rid));
   // Reverts the completed old->new key transitions of indexes [0, upto).
   auto restore_indexes = [&](size_t upto) {
     Failpoints::Suppressor suppress;
@@ -127,7 +127,7 @@ Status DmlExecutor::UpdateRow(TableInfo* table, Rid rid, Row new_row) {
   // The heap write goes last; if it fails the indexes (already moved to the
   // new keys) must be restored too, or they would point at keys the heap
   // row never took.
-  Status st = table->heap->Update(rid, new_row);
+  Status st = table->storage->Update(rid, new_row);
   if (!st.ok()) {
     restore_indexes(table->indexes.size());
     return st;
@@ -140,7 +140,7 @@ Status DmlExecutor::UpdateRow(TableInfo* table, Rid rid, Row new_row) {
 
 Status DmlExecutor::DeleteRow(TableInfo* table, Rid rid) {
   XNF_FAILPOINT("dml.apply.delete");
-  XNF_ASSIGN_OR_RETURN(Row row, table->heap->Read(rid));
+  XNF_ASSIGN_OR_RETURN(Row row, table->storage->Read(rid));
   for (size_t i = 0; i < table->indexes.size(); ++i) {
     Status st = table->indexes[i]->Erase(row, rid);
     if (!st.ok()) {
@@ -151,7 +151,7 @@ Status DmlExecutor::DeleteRow(TableInfo* table, Rid rid) {
       return st;
     }
   }
-  Status st = table->heap->Delete(rid);
+  Status st = table->storage->Delete(rid);
   if (!st.ok()) {
     // Re-add the already-erased index entries: the row is still live.
     Failpoints::Suppressor suppress;
@@ -298,7 +298,7 @@ Result<int64_t> DmlExecutor::Update(const sql::UpdateStmt& stmt) {
     return Status::Ok();
   };
   Status status = Status::Ok();
-  XNF_RETURN_IF_ERROR(table->heap->Scan([&](Rid rid, const Row& row) {
+  XNF_RETURN_IF_ERROR(table->storage->Scan([&](Rid rid, const Row& row) {
     staged_rids.push_back(rid);
     staged_rows.push_back(row);
     if (staged_rows.size() >= kBatchSize) {
@@ -364,7 +364,7 @@ Result<int64_t> DmlExecutor::Delete(const sql::DeleteStmt& stmt) {
     return Status::Ok();
   };
   Status status = Status::Ok();
-  XNF_RETURN_IF_ERROR(table->heap->Scan([&](Rid rid, const Row& row) {
+  XNF_RETURN_IF_ERROR(table->storage->Scan([&](Rid rid, const Row& row) {
     staged_rids.push_back(rid);
     if (where) staged_rows.push_back(row);
     if (staged_rids.size() >= kBatchSize) {

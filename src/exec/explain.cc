@@ -26,6 +26,12 @@ void RenderNode(const Operator* op, const Catalog* catalog, bool analyze,
     // DOP the operator actually achieved; serial operators stay unmarked so
     // single-threaded ANALYZE output is unchanged.
     if (s.dop > 1) *out << " dop=" << s.dop;
+    // Late-materialization counters; only columnar scans ever set these, so
+    // row-table ANALYZE output is unchanged.
+    if (s.columns_decoded > 0 || s.columns_skipped > 0) {
+      *out << " cols=" << s.columns_decoded << "/"
+           << s.columns_decoded + s.columns_skipped;
+    }
     *out << "]";
   }
   *out << "\n";

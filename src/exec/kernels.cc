@@ -1,0 +1,295 @@
+#include "exec/kernels.h"
+
+namespace xnf::exec {
+
+std::optional<CmpOp> CmpOpFromBinOp(sql::BinOp op) {
+  switch (op) {
+    case sql::BinOp::kEq:
+      return CmpOp::kEq;
+    case sql::BinOp::kNe:
+      return CmpOp::kNe;
+    case sql::BinOp::kLt:
+      return CmpOp::kLt;
+    case sql::BinOp::kLe:
+      return CmpOp::kLe;
+    case sql::BinOp::kGt:
+      return CmpOp::kGt;
+    case sql::BinOp::kGe:
+      return CmpOp::kGe;
+    default:
+      return std::nullopt;
+  }
+}
+
+CmpOp SwapCmp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    case CmpOp::kEq:
+    case CmpOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+namespace {
+
+// Comparison functors instantiating one branch-free loop per (op, lane).
+struct EqOp {
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a == b;
+  }
+};
+struct NeOp {
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a != b;
+  }
+};
+struct LtOp {
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a < b;
+  }
+};
+struct LeOp {
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a <= b;
+  }
+};
+struct GtOp {
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a > b;
+  }
+};
+struct GeOp {
+  template <typename T>
+  static bool Apply(T a, T b) {
+    return a >= b;
+  }
+};
+
+inline char NotNullBit(const uint64_t* nulls, size_t i) {
+  return static_cast<char>(((nulls[i >> 6] >> (i & 63)) & 1) ^ 1);
+}
+
+// The no-nulls loop is split out so the common all-valid segment
+// vectorizes without the bitmap extraction in the body.
+template <typename Op, typename ColT, typename ConstT>
+void FilterLoop(const ColT* col, const uint64_t* nulls, size_t n, ConstT c,
+                char* sel) {
+  if (nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      sel[i] = static_cast<char>(
+          sel[i] & (Op::Apply(static_cast<ConstT>(col[i]), c) ? 1 : 0));
+    }
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      sel[i] = static_cast<char>(
+          sel[i] & NotNullBit(nulls, i) &
+          (Op::Apply(static_cast<ConstT>(col[i]), c) ? 1 : 0));
+    }
+  }
+}
+
+template <typename Op>
+void FilterI64(const int64_t* col, const uint64_t* nulls, size_t n, int64_t c,
+               char* sel) {
+  FilterLoop<Op, int64_t, int64_t>(col, nulls, n, c, sel);
+}
+template <typename Op>
+void FilterF64(const double* col, const uint64_t* nulls, size_t n, double c,
+               char* sel) {
+  FilterLoop<Op, double, double>(col, nulls, n, c, sel);
+}
+template <typename Op>
+void FilterI64F64(const int64_t* col, const uint64_t* nulls, size_t n,
+                  double c, char* sel) {
+  FilterLoop<Op, int64_t, double>(col, nulls, n, c, sel);
+}
+
+void FilterCode(const uint32_t* codes, const uint64_t* nulls, size_t n,
+                const char* verdict, char* sel) {
+  if (nulls == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      sel[i] = static_cast<char>(sel[i] & verdict[codes[i]]);
+    }
+  } else {
+    // NULL slots carry placeholder code 0; mask before the table load is
+    // unnecessary (code 0 is always a valid dictionary entry) but the null
+    // bit must veto the verdict.
+    for (size_t i = 0; i < n; ++i) {
+      sel[i] =
+          static_cast<char>(sel[i] & NotNullBit(nulls, i) & verdict[codes[i]]);
+    }
+  }
+}
+
+void FilterNull(const uint64_t* nulls, size_t n, bool keep_null, char* sel) {
+  const char want = keep_null ? 1 : 0;
+  if (nulls == nullptr) {
+    // No bitmap: every row is non-NULL.
+    if (keep_null) {
+      for (size_t i = 0; i < n; ++i) sel[i] = 0;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    char is_null = static_cast<char>((nulls[i >> 6] >> (i & 63)) & 1);
+    sel[i] = static_cast<char>(sel[i] & (is_null == want ? 1 : 0));
+  }
+}
+
+// Arithmetic functors. Integer forms compute in uint64: wraparound is
+// defined, and the bit pattern matches two's-complement — rows the scalar
+// evaluator would never have touched (already-filtered, NULL) are computed
+// here branch-free, so the kernel must not be able to trap.
+struct AddArith {
+  static int64_t I(int64_t a, int64_t b) {
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+  }
+  static double F(double a, double b) { return a + b; }
+};
+struct SubArith {
+  static int64_t I(int64_t a, int64_t b) {
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+  }
+  static double F(double a, double b) { return a - b; }
+};
+struct MulArith {
+  static int64_t I(int64_t a, int64_t b) {
+    return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                                static_cast<uint64_t>(b));
+  }
+  static double F(double a, double b) { return a * b; }
+};
+
+template <typename Op>
+void ArithI64(const int64_t* col, size_t n, int64_t c, bool col_left,
+              int64_t* out) {
+  if (col_left) {
+    for (size_t i = 0; i < n; ++i) out[i] = Op::I(col[i], c);
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = Op::I(c, col[i]);
+  }
+}
+template <typename Op>
+void ArithF64(const double* col, size_t n, double c, bool col_left,
+              double* out) {
+  if (col_left) {
+    for (size_t i = 0; i < n; ++i) out[i] = Op::F(col[i], c);
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = Op::F(c, col[i]);
+  }
+}
+template <typename Op>
+void ArithI64F64(const int64_t* col, size_t n, double c, bool col_left,
+                 double* out) {
+  if (col_left) {
+    for (size_t i = 0; i < n; ++i) out[i] = Op::F(static_cast<double>(col[i]), c);
+  } else {
+    for (size_t i = 0; i < n; ++i) out[i] = Op::F(c, static_cast<double>(col[i]));
+  }
+}
+
+}  // namespace
+
+void RegisterComparisonKernels(KernelRegistry* r) {
+  r->i64_filter_[static_cast<int>(CmpOp::kEq)] = FilterI64<EqOp>;
+  r->i64_filter_[static_cast<int>(CmpOp::kNe)] = FilterI64<NeOp>;
+  r->i64_filter_[static_cast<int>(CmpOp::kLt)] = FilterI64<LtOp>;
+  r->i64_filter_[static_cast<int>(CmpOp::kLe)] = FilterI64<LeOp>;
+  r->i64_filter_[static_cast<int>(CmpOp::kGt)] = FilterI64<GtOp>;
+  r->i64_filter_[static_cast<int>(CmpOp::kGe)] = FilterI64<GeOp>;
+  r->f64_filter_[static_cast<int>(CmpOp::kEq)] = FilterF64<EqOp>;
+  r->f64_filter_[static_cast<int>(CmpOp::kNe)] = FilterF64<NeOp>;
+  r->f64_filter_[static_cast<int>(CmpOp::kLt)] = FilterF64<LtOp>;
+  r->f64_filter_[static_cast<int>(CmpOp::kLe)] = FilterF64<LeOp>;
+  r->f64_filter_[static_cast<int>(CmpOp::kGt)] = FilterF64<GtOp>;
+  r->f64_filter_[static_cast<int>(CmpOp::kGe)] = FilterF64<GeOp>;
+  r->i64_f64_filter_[static_cast<int>(CmpOp::kEq)] = FilterI64F64<EqOp>;
+  r->i64_f64_filter_[static_cast<int>(CmpOp::kNe)] = FilterI64F64<NeOp>;
+  r->i64_f64_filter_[static_cast<int>(CmpOp::kLt)] = FilterI64F64<LtOp>;
+  r->i64_f64_filter_[static_cast<int>(CmpOp::kLe)] = FilterI64F64<LeOp>;
+  r->i64_f64_filter_[static_cast<int>(CmpOp::kGt)] = FilterI64F64<GtOp>;
+  r->i64_f64_filter_[static_cast<int>(CmpOp::kGe)] = FilterI64F64<GeOp>;
+  r->code_filter_ = FilterCode;
+}
+
+void RegisterArithmeticKernels(KernelRegistry* r) {
+  r->i64_add_ = ArithI64<AddArith>;
+  r->i64_sub_ = ArithI64<SubArith>;
+  r->i64_mul_ = ArithI64<MulArith>;
+  r->f64_add_ = ArithF64<AddArith>;
+  r->f64_sub_ = ArithF64<SubArith>;
+  r->f64_mul_ = ArithF64<MulArith>;
+  r->i64_f64_add_ = ArithI64F64<AddArith>;
+  r->i64_f64_sub_ = ArithI64F64<SubArith>;
+  r->i64_f64_mul_ = ArithI64F64<MulArith>;
+}
+
+void RegisterNullKernels(KernelRegistry* r) { r->null_filter_ = FilterNull; }
+
+KernelRegistry::KernelRegistry() {
+  RegisterComparisonKernels(this);
+  RegisterArithmeticKernels(this);
+  RegisterNullKernels(this);
+}
+
+const KernelRegistry& KernelRegistry::Get() {
+  static const KernelRegistry registry;
+  return registry;
+}
+
+KernelRegistry::I64ArithFn KernelRegistry::i64_arith(sql::BinOp op) const {
+  switch (op) {
+    case sql::BinOp::kAdd:
+      return i64_add_;
+    case sql::BinOp::kSub:
+      return i64_sub_;
+    case sql::BinOp::kMul:
+      return i64_mul_;
+    default:
+      return nullptr;
+  }
+}
+
+KernelRegistry::F64ArithFn KernelRegistry::f64_arith(sql::BinOp op) const {
+  switch (op) {
+    case sql::BinOp::kAdd:
+      return f64_add_;
+    case sql::BinOp::kSub:
+      return f64_sub_;
+    case sql::BinOp::kMul:
+      return f64_mul_;
+    default:
+      return nullptr;
+  }
+}
+
+KernelRegistry::I64F64ArithFn KernelRegistry::i64_f64_arith(
+    sql::BinOp op) const {
+  switch (op) {
+    case sql::BinOp::kAdd:
+      return i64_f64_add_;
+    case sql::BinOp::kSub:
+      return i64_f64_sub_;
+    case sql::BinOp::kMul:
+      return i64_f64_mul_;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace xnf::exec

@@ -1,0 +1,108 @@
+#ifndef XNF_EXEC_KERNELS_H_
+#define XNF_EXEC_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "sql/ast.h"
+
+namespace xnf::exec {
+
+// Comparison operators of the columnar filter kernels, normalized so the
+// column is always the left operand (SwapCmp rewrites `lit op col`).
+enum class CmpOp { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+inline constexpr int kCmpOpCount = 6;
+
+// kEq..kGe map; nullopt for non-comparison BinOps.
+std::optional<CmpOp> CmpOpFromBinOp(sql::BinOp op);
+
+// The operator with operands swapped: a op b == b SwapCmp(op) a.
+CmpOp SwapCmp(CmpOp op);
+
+// SIMD-friendly columnar kernels: tight branch-free loops over plain value
+// lanes that the compiler auto-vectorizes. All filter kernels AND into a
+// selection vector (`sel[i] &= verdict(i) && !null(i)`), mirroring SQL
+// three-valued logic — a NULL operand makes the comparison unknown, and
+// WHERE rejects unknown exactly like false. Rows already 0 in `sel` stay 0,
+// so kernels compose as ordered conjuncts.
+//
+// Kernels are looked up through a registry (one function pointer per
+// (operation, lane) pair, populated by per-family registration functions —
+// the AggregateFunctionFactory pattern) so the scan compiler dispatches
+// once per filter per morsel, not per row.
+class KernelRegistry {
+ public:
+  // --- Filter kernels: sel[i] &= (col[i] cmp c) & !null(i) --------------
+  // `nulls` is a bitmap (bit i set = row i NULL) or nullptr for none.
+  using I64FilterFn = void (*)(const int64_t* col, const uint64_t* nulls,
+                               size_t n, int64_t c, char* sel);
+  using F64FilterFn = void (*)(const double* col, const uint64_t* nulls,
+                               size_t n, double c, char* sel);
+  // INT column against a DOUBLE constant: widened per SQL mixed-numeric
+  // comparison rules ((double)col[i] cmp c).
+  using I64F64FilterFn = void (*)(const int64_t* col, const uint64_t* nulls,
+                                  size_t n, double c, char* sel);
+  // Dictionary-coded strings: `verdict[code]` is the precomputed outcome of
+  // comparing dictionary entry `code` with the constant, so the per-row
+  // work is a table load — no string compare in the loop.
+  using CodeFilterFn = void (*)(const uint32_t* codes, const uint64_t* nulls,
+                                size_t n, const char* verdict, char* sel);
+  // IS [NOT] NULL: sel[i] &= (null(i) == keep_null).
+  using NullFilterFn = void (*)(const uint64_t* nulls, size_t n,
+                                bool keep_null, char* sel);
+
+  // --- Arithmetic kernels: out[i] = col[i] op c (or c op col[i]) --------
+  // Feed a comparison kernel with a derived lane, e.g. `(a + 5) < 10`.
+  // Integer arithmetic wraps (computed in uint64) so evaluating rows the
+  // scalar path would have skipped cannot introduce undefined behaviour.
+  // NULL rows produce garbage lanes; the downstream comparison masks them
+  // out through the column's null bitmap.
+  using I64ArithFn = void (*)(const int64_t* col, size_t n, int64_t c,
+                              bool col_left, int64_t* out);
+  using F64ArithFn = void (*)(const double* col, size_t n, double c,
+                              bool col_left, double* out);
+  using I64F64ArithFn = void (*)(const int64_t* col, size_t n, double c,
+                                 bool col_left, double* out);
+
+  static const KernelRegistry& Get();
+
+  I64FilterFn i64_filter(CmpOp op) const {
+    return i64_filter_[static_cast<int>(op)];
+  }
+  F64FilterFn f64_filter(CmpOp op) const {
+    return f64_filter_[static_cast<int>(op)];
+  }
+  I64F64FilterFn i64_f64_filter(CmpOp op) const {
+    return i64_f64_filter_[static_cast<int>(op)];
+  }
+  CodeFilterFn code_filter() const { return code_filter_; }
+  NullFilterFn null_filter() const { return null_filter_; }
+
+  // nullptr for non-kernelized ops (division/modulo have error semantics
+  // that must stay row-at-a-time).
+  I64ArithFn i64_arith(sql::BinOp op) const;
+  F64ArithFn f64_arith(sql::BinOp op) const;
+  I64F64ArithFn i64_f64_arith(sql::BinOp op) const;
+
+ private:
+  friend void RegisterComparisonKernels(KernelRegistry* registry);
+  friend void RegisterArithmeticKernels(KernelRegistry* registry);
+  friend void RegisterNullKernels(KernelRegistry* registry);
+
+  KernelRegistry();
+
+  I64FilterFn i64_filter_[kCmpOpCount] = {};
+  F64FilterFn f64_filter_[kCmpOpCount] = {};
+  I64F64FilterFn i64_f64_filter_[kCmpOpCount] = {};
+  CodeFilterFn code_filter_ = nullptr;
+  NullFilterFn null_filter_ = nullptr;
+  I64ArithFn i64_add_ = nullptr, i64_sub_ = nullptr, i64_mul_ = nullptr;
+  F64ArithFn f64_add_ = nullptr, f64_sub_ = nullptr, f64_mul_ = nullptr;
+  I64F64ArithFn i64_f64_add_ = nullptr, i64_f64_sub_ = nullptr,
+                i64_f64_mul_ = nullptr;
+};
+
+}  // namespace xnf::exec
+
+#endif  // XNF_EXEC_KERNELS_H_

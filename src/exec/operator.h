@@ -62,6 +62,11 @@ struct OperatorStats {
   // Highest degree of parallelism this operator actually ran with (1 =
   // serial). Counters above are exact totals merged across all workers.
   int dop = 1;
+  // Columnar late materialization (SeqScan over a column table): segments
+  // decoded into values vs. segments the scan never decoded. Both stay 0
+  // for row tables — a heap page always materializes whole tuples.
+  uint64_t columns_decoded = 0;
+  uint64_t columns_skipped = 0;
 };
 
 // Batch-at-a-time (vectorized volcano) iterator. Open() must fully reset
@@ -159,6 +164,12 @@ class Operator {
   // the maximum across re-opens.
   void RecordDop(int dop) {
     if (dop > stats_.dop) stats_.dop = dop;
+  }
+
+  // Accumulates columnar late-materialization counters across re-opens.
+  void RecordColumns(uint64_t decoded, uint64_t skipped) {
+    stats_.columns_decoded += decoded;
+    stats_.columns_skipped += skipped;
   }
 
   static uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {

@@ -156,10 +156,15 @@ Status SeqScanOp::OpenImpl(ExecContext* ctx) {
     // Morsel-driven scan; falls back to the identical serial kernel when no
     // pool is attached or the table is small. Output order is page order at
     // any DOP, so downstream operators see the same stream either way.
-    int dop = 1;
-    XNF_RETURN_IF_ERROR(ParallelFilterScan(*table, filters_, ctx, &buffered_,
-                                           /*rids_out=*/nullptr, &dop));
-    RecordDop(dop);
+    // Columnar tables additionally get the kernel-filter + late-
+    // materialization path inside ParallelFilterScan.
+    ScanStats scan_stats;
+    XNF_RETURN_IF_ERROR(ParallelFilterScan(
+        *table, filters_,
+        referenced_.has_value() ? &*referenced_ : nullptr, ctx, &buffered_,
+        /*rids_out=*/nullptr, &scan_stats));
+    RecordDop(scan_stats.dop);
+    RecordColumns(scan_stats.columns_decoded, scan_stats.columns_skipped);
     return Status::Ok();
   }
   EvalContext ectx;
@@ -167,7 +172,7 @@ Status SeqScanOp::OpenImpl(ExecContext* ctx) {
   std::vector<Row> staged;
   staged.reserve(filters_.empty() ? 0 : kBatchSize);
   Status status = Status::Ok();
-  XNF_RETURN_IF_ERROR(table->heap->Scan([&](Rid, const Row& row) {
+  XNF_RETURN_IF_ERROR(table->storage->Scan([&](Rid, const Row& row) {
     staged.push_back(row);
     if (staged.size() >= kBatchSize) {
       status = FilterAppend(filters_, &staged, &ectx, &buffered_);
@@ -218,7 +223,7 @@ Status IndexLookupOp::OpenImpl(ExecContext* ctx) {
     key.push_back(std::move(v));
   }
   for (Rid rid : index->Lookup(key)) {
-    XNF_ASSIGN_OR_RETURN(Row row, table->heap->Read(rid));
+    XNF_ASSIGN_OR_RETURN(Row row, table->storage->Read(rid));
     XNF_ASSIGN_OR_RETURN(bool keep, PassesFilters(filters_, row, ctx));
     if (keep) buffered_.push_back(std::move(row));
   }
@@ -665,7 +670,7 @@ Status IndexNLJoinOp::NextBatchImpl(RowBatch* out) {
     }
     while (rid_pos_ < rids_.size() && !out->full()) {
       Rid rid = rids_[rid_pos_++];
-      XNF_ASSIGN_OR_RETURN(Row right, table_->heap->Read(rid));
+      XNF_ASSIGN_OR_RETURN(Row right, table_->storage->Read(rid));
       Row combined = ConcatRows(*current_left_, right);
       XNF_ASSIGN_OR_RETURN(bool ok, PassesFilters(residual_, combined, ctx_));
       if (ok) out->Add(std::move(combined));
@@ -1015,7 +1020,7 @@ uint64_t Shrink(uint64_t rows, size_t num_predicates) {
 uint64_t TableRows(const Catalog* catalog, const std::string& table_name) {
   if (catalog == nullptr) return 0;
   TableInfo* table = catalog->GetTable(table_name);
-  return table == nullptr ? 0 : table->heap->live_count();
+  return table == nullptr ? 0 : table->storage->live_count();
 }
 
 bool IndexIsUnique(const Catalog* catalog, const std::string& table_name,
@@ -1042,6 +1047,9 @@ uint64_t ValuesOp::EstimateRowsImpl(const Catalog*) const {
 
 std::string SeqScanOp::detail() const {
   std::string out = table_name_;
+  // Row storage is the default and stays unannotated so existing EXPLAIN
+  // output is unchanged.
+  if (storage_kind_ == StorageKind::kColumn) out += " storage=column";
   if (!filters_.empty()) out += " filter=[" + ExprList(filters_) + "]";
   return out;
 }

@@ -56,6 +56,16 @@ class SeqScanOp : public Operator {
   // worker pool or the table is small.
   void set_parallel_eligible(bool eligible) { parallel_eligible_ = eligible; }
 
+  // Planner decision: per-table-column bitmap of columns the rest of the
+  // plan may read (filters included). Columnar scans skip decoding columns
+  // outside the set and emit NULL placeholders there; row scans ignore it.
+  void set_referenced(std::vector<char> referenced) {
+    referenced_ = std::move(referenced);
+  }
+
+  // Storage layout of the scanned table (EXPLAIN annotation).
+  void set_storage_kind(StorageKind kind) { storage_kind_ = kind; }
+
  protected:
   Status OpenImpl(ExecContext* ctx) override;
   Status NextBatchImpl(RowBatch* out) override;
@@ -65,6 +75,8 @@ class SeqScanOp : public Operator {
   std::string table_name_;
   std::vector<qgm::ExprPtr> filters_;
   bool parallel_eligible_ = false;
+  std::optional<std::vector<char>> referenced_;
+  StorageKind storage_kind_ = StorageKind::kRow;
   ExecContext* ctx_ = nullptr;
   std::vector<Row> buffered_;  // materialized at Open (heap scan is callback)
   size_t pos_ = 0;

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 #include "common/thread_pool.h"
 #include "exec/eval.h"
+#include "exec/kernels.h"
+#include "storage/column_store.h"
 
 namespace xnf::exec {
 namespace {
@@ -12,12 +15,14 @@ namespace {
 struct MorselOut {
   std::vector<Row> rows;
   std::vector<Rid> rids;
+  uint64_t columns_decoded = 0;
+  uint64_t columns_skipped = 0;
 };
 
 // Scans pages [begin, end), staging rows in kBatchSize chunks and running
 // the filters batch-wise — the same kernel sequence as the serial scan, so
 // per-morsel output equals the corresponding slice of a serial scan.
-Status ScanMorsel(const TableHeap& heap, uint32_t begin, uint32_t end,
+Status ScanMorsel(const TableStorage& storage, uint32_t begin, uint32_t end,
                   const std::vector<qgm::ExprPtr>& filters, ExecContext* exec,
                   bool want_rids, MorselOut* out) {
   EvalContext ectx;
@@ -53,15 +58,16 @@ Status ScanMorsel(const TableHeap& heap, uint32_t begin, uint32_t end,
     return Status::Ok();
   };
   Status status = Status::Ok();
-  XNF_RETURN_IF_ERROR(heap.ScanRange(begin, end, [&](Rid rid, const Row& row) {
-    staged.push_back(row);
-    if (want_rids) staged_rids.push_back(rid);
-    if (staged.size() >= kBatchSize) {
-      status = flush();
-      return status.ok();
-    }
-    return true;
-  }));
+  XNF_RETURN_IF_ERROR(
+      storage.ScanRange(begin, end, [&](Rid rid, const Row& row) {
+        staged.push_back(row);
+        if (want_rids) staged_rids.push_back(rid);
+        if (staged.size() >= kBatchSize) {
+          status = flush();
+          return status.ok();
+        }
+        return true;
+      }));
   XNF_RETURN_IF_ERROR(status);
   return flush();
 }
@@ -71,34 +77,497 @@ Status ScanMorsel(const TableHeap& heap, uint32_t begin, uint32_t end,
 // or a sibling task fails and RunAll returns the error; leaking these pins
 // would exempt the pages from eviction forever.
 struct MorselPinGuard {
-  const TableHeap& heap;
+  const TableStorage& storage;
   uint32_t begin;
   uint32_t end;
-  MorselPinGuard(const TableHeap& h, uint32_t b, uint32_t e)
-      : heap(h), begin(b), end(e) {
-    heap.PinRange(begin, end);
+  MorselPinGuard(const TableStorage& s, uint32_t b, uint32_t e)
+      : storage(s), begin(b), end(e) {
+    storage.PinRange(begin, end);
   }
-  ~MorselPinGuard() { heap.UnpinRange(begin, end); }
+  ~MorselPinGuard() { storage.UnpinRange(begin, end); }
 };
+
+// --- Columnar kernel path ----------------------------------------------
+
+// One scan filter compiled to kernel dispatch. Only filters whose constant
+// side is a *literal* are kernelized: a literal can neither error at
+// runtime nor change type between rows, so evaluating it over a whole
+// group — including rows an earlier conjunct already rejected — is
+// observationally identical to the scalar conjunct loop, which skips them.
+struct KernelFilter {
+  enum class Kind {
+    kCmpI64,     // int64 lane vs int64 constant
+    kCmpF64,     // double lane vs double constant
+    kCmpI64F64,  // int64 lane widened vs double constant (mixed numeric)
+    kCmpCode,    // dictionary codes vs per-code verdict table
+    kIsNull,     // null-bitmap test (IS [NOT] NULL)
+    kRejectAll,  // statically-unknown comparison (NULL literal or
+                 // type-mismatched literal): three-valued logic makes the
+                 // predicate unknown for every row, and WHERE rejects it
+  };
+  Kind kind = Kind::kRejectAll;
+  size_t column = 0;
+  CmpOp cmp = CmpOp::kEq;
+  int64_t i64_const = 0;
+  double f64_const = 0.0;
+  std::vector<char> verdict;  // kCmpCode: outcome per dictionary code
+  bool keep_null = false;     // kIsNull: IS NULL vs IS NOT NULL
+  // Optional arithmetic pre-stage: lane = col (arith_op) literal.
+  bool has_arith = false;
+  sql::BinOp arith_op = sql::BinOp::kAdd;
+  bool arith_col_left = true;
+  bool arith_is_int = false;  // INT column with an INT literal
+  int64_t arith_i64 = 0;
+  double arith_f64 = 0.0;
+};
+
+struct ColumnScanPlan {
+  const ColumnStore* store = nullptr;
+  std::vector<KernelFilter> kernels;  // compiled prefix of the filters
+  size_t kernel_filter_count = 0;     // how many filters the prefix covers
+  std::vector<char> need_values;      // per column: decode values, not just
+                                      // the null bitmap
+  std::vector<char> materialize;      // per column: emit into output rows
+};
+
+// A scan-level InputRef: pushed scan filters are compiled with quantifier
+// offset zero, so `slot` is the table column index.
+bool AsColumnRef(const qgm::Expr& e, size_t ncols, size_t* column) {
+  if (e.kind != qgm::Expr::Kind::kInputRef) return false;
+  if (e.slot < 0 || static_cast<size_t>(e.slot) >= ncols) return false;
+  *column = static_cast<size_t>(e.slot);
+  return true;
+}
+
+// Compiles `lane cmp literal` where the lane is a raw column (lane_type is
+// the column type) or an arithmetic result (kInt/kDouble). Returns false
+// only when the comparison must stay scalar (overflowed dictionary).
+bool CompileCmp(const ColumnStore& store, size_t column, Type lane_type,
+                CmpOp cmp, const Value& lit, KernelFilter* out) {
+  out->column = column;
+  out->cmp = cmp;
+  // NULL literal: the comparison is unknown for every row.
+  if (lit.is_null()) {
+    out->kind = KernelFilter::Kind::kRejectAll;
+    return true;
+  }
+  switch (lane_type) {
+    case Type::kBool:
+      // BOOL compares only with BOOL (as 0/1); anything else is unknown.
+      if (lit.is_bool()) {
+        out->kind = KernelFilter::Kind::kCmpI64;
+        out->i64_const = lit.AsBool() ? 1 : 0;
+      } else {
+        out->kind = KernelFilter::Kind::kRejectAll;
+      }
+      return true;
+    case Type::kInt:
+      if (lit.is_int()) {
+        out->kind = KernelFilter::Kind::kCmpI64;
+        out->i64_const = lit.AsInt();
+      } else if (lit.is_double()) {
+        out->kind = KernelFilter::Kind::kCmpI64F64;
+        out->f64_const = lit.AsDouble();
+      } else {
+        out->kind = KernelFilter::Kind::kRejectAll;
+      }
+      return true;
+    case Type::kDouble:
+      if (lit.is_numeric()) {
+        out->kind = KernelFilter::Kind::kCmpF64;
+        out->f64_const = lit.AsDouble();
+      } else {
+        out->kind = KernelFilter::Kind::kRejectAll;
+      }
+      return true;
+    case Type::kString: {
+      if (!lit.is_string()) {
+        out->kind = KernelFilter::Kind::kRejectAll;
+        return true;
+      }
+      // Once a dictionary overflowed, codes are segment-local and not
+      // comparable table-wide; leave the filter to the scalar path.
+      if (store.DictOverflowed(column)) return false;
+      const std::vector<std::string>& dict = store.Dictionary(column);
+      const std::string& s = lit.AsString();
+      out->kind = KernelFilter::Kind::kCmpCode;
+      out->verdict.resize(dict.size());
+      for (size_t code = 0; code < dict.size(); ++code) {
+        bool v = false;
+        switch (cmp) {
+          case CmpOp::kEq: v = dict[code] == s; break;
+          case CmpOp::kNe: v = dict[code] != s; break;
+          case CmpOp::kLt: v = dict[code] < s; break;
+          case CmpOp::kLe: v = dict[code] <= s; break;
+          case CmpOp::kGt: v = dict[code] > s; break;
+          case CmpOp::kGe: v = dict[code] >= s; break;
+        }
+        out->verdict[code] = v ? 1 : 0;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+// Matches `col (+|-|*) literal` / `literal (+|-|*) col` over a numeric
+// column with a numeric literal — the only arithmetic shapes with no
+// runtime error path (division/modulo keep their divide-by-zero error and
+// stay scalar). Fills the arith fields of `out` and the lane type the
+// comparison will see.
+bool AsArithLane(const qgm::Expr& e, const ColumnStore& store,
+                 KernelFilter* out, Type* lane_type) {
+  if (e.kind != qgm::Expr::Kind::kBinary) return false;
+  if (e.bin_op != sql::BinOp::kAdd && e.bin_op != sql::BinOp::kSub &&
+      e.bin_op != sql::BinOp::kMul) {
+    return false;
+  }
+  size_t column = 0;
+  const qgm::Expr* lit = nullptr;
+  bool col_left = false;
+  if (AsColumnRef(*e.args[0], store.num_columns(), &column) &&
+      e.args[1]->kind == qgm::Expr::Kind::kLiteral) {
+    lit = e.args[1].get();
+    col_left = true;
+  } else if (AsColumnRef(*e.args[1], store.num_columns(), &column) &&
+             e.args[0]->kind == qgm::Expr::Kind::kLiteral) {
+    lit = e.args[0].get();
+  } else {
+    return false;
+  }
+  Type col_type = store.schema().column(column).type;
+  if (col_type != Type::kInt && col_type != Type::kDouble) return false;
+  // A NULL or non-numeric literal makes the scalar evaluator produce NULL
+  // or an error per alive row — not kernelizable.
+  if (!lit->literal.is_numeric()) return false;
+  out->column = column;
+  out->has_arith = true;
+  out->arith_op = e.bin_op;
+  out->arith_col_left = col_left;
+  out->arith_is_int = col_type == Type::kInt && lit->literal.is_int();
+  if (out->arith_is_int) {
+    out->arith_i64 = lit->literal.AsInt();
+  } else {
+    out->arith_f64 = lit->literal.AsDouble();
+  }
+  *lane_type = out->arith_is_int ? Type::kInt : Type::kDouble;
+  return true;
+}
+
+// Compiles one filter; false = not kernelizable, so it and everything
+// after it stay on the scalar batch path (conjunct order is preserved).
+bool CompileFilter(const qgm::Expr& f, const ColumnStore& store,
+                   KernelFilter* out) {
+  using K = qgm::Expr::Kind;
+  if (f.kind == K::kIsNull) {
+    size_t column = 0;
+    if (f.args.empty() ||
+        !AsColumnRef(*f.args[0], store.num_columns(), &column)) {
+      return false;
+    }
+    out->kind = KernelFilter::Kind::kIsNull;
+    out->column = column;
+    out->keep_null = !f.negated;
+    return true;
+  }
+  if (f.kind != K::kBinary || f.args.size() != 2) return false;
+  std::optional<CmpOp> cmp = CmpOpFromBinOp(f.bin_op);
+  if (!cmp.has_value()) return false;
+  const qgm::Expr& l = *f.args[0];
+  const qgm::Expr& r = *f.args[1];
+  size_t column = 0;
+  if (AsColumnRef(l, store.num_columns(), &column) &&
+      r.kind == K::kLiteral) {
+    Type lane = store.schema().column(column).type;
+    return CompileCmp(store, column, lane, *cmp, r.literal, out);
+  }
+  if (AsColumnRef(r, store.num_columns(), &column) &&
+      l.kind == K::kLiteral) {
+    Type lane = store.schema().column(column).type;
+    return CompileCmp(store, column, lane, SwapCmp(*cmp), l.literal, out);
+  }
+  KernelFilter arith;
+  Type lane = Type::kNull;
+  if (AsArithLane(l, store, &arith, &lane) && r.kind == K::kLiteral) {
+    if (!CompileCmp(store, arith.column, lane, *cmp, r.literal, out)) {
+      return false;
+    }
+  } else if (AsArithLane(r, store, &arith, &lane) && l.kind == K::kLiteral) {
+    if (!CompileCmp(store, arith.column, lane, SwapCmp(*cmp), l.literal,
+                    out)) {
+      return false;
+    }
+  } else {
+    return false;
+  }
+  out->has_arith = arith.has_arith;
+  out->arith_op = arith.arith_op;
+  out->arith_col_left = arith.arith_col_left;
+  out->arith_is_int = arith.arith_is_int;
+  out->arith_i64 = arith.arith_i64;
+  out->arith_f64 = arith.arith_f64;
+  out->column = arith.column;
+  return true;
+}
+
+ColumnScanPlan BuildColumnScanPlan(const ColumnStore& store,
+                                   const std::vector<qgm::ExprPtr>& filters,
+                                   const std::vector<char>* referenced) {
+  ColumnScanPlan plan;
+  plan.store = &store;
+  const size_t ncols = store.num_columns();
+  // Kernelize the longest prefix: stopping at the first non-kernelizable
+  // filter keeps conjunct order — and with it skip/error semantics —
+  // identical to the scalar loop.
+  for (const qgm::ExprPtr& f : filters) {
+    KernelFilter k;
+    if (!CompileFilter(*f, store, &k)) break;
+    plan.kernels.push_back(std::move(k));
+    ++plan.kernel_filter_count;
+  }
+  plan.materialize.assign(ncols, referenced == nullptr ? 1 : 0);
+  if (referenced != nullptr) {
+    for (size_t c = 0; c < ncols && c < referenced->size(); ++c) {
+      plan.materialize[c] = (*referenced)[c];
+    }
+    // Scalar-path filters evaluate against the gathered rows: any column
+    // they reference must be materialized regardless of what the rest of
+    // the plan reads.
+    for (size_t i = plan.kernel_filter_count; i < filters.size(); ++i) {
+      qgm::VisitExpr(*filters[i], [&](const qgm::Expr& e) {
+        if (e.kind == qgm::Expr::Kind::kInputRef && e.slot >= 0 &&
+            static_cast<size_t>(e.slot) < ncols) {
+          plan.materialize[e.slot] = 1;
+        }
+      });
+    }
+  }
+  // IS NULL kernels read only the null bitmap; everything else needs the
+  // segment's values decoded.
+  plan.need_values = plan.materialize;
+  for (const KernelFilter& k : plan.kernels) {
+    if (k.kind != KernelFilter::Kind::kIsNull &&
+        k.kind != KernelFilter::Kind::kRejectAll) {
+      plan.need_values[k.column] = 1;
+    }
+  }
+  return plan;
+}
+
+// Columnar morsel: per row group, run the kernel prefix on column views,
+// gather survivors with only the needed columns decoded (late
+// materialization — unreferenced columns come back as NULL placeholders),
+// then run any remaining filters batch-wise on the gathered rows.
+Status ColumnScanMorsel(const ColumnScanPlan& plan,
+                        const std::vector<qgm::ExprPtr>& filters,
+                        uint32_t begin, uint32_t end, ExecContext* exec,
+                        bool want_rids, MorselOut* out) {
+  const ColumnStore& store = *plan.store;
+  const size_t ncols = store.num_columns();
+  const KernelRegistry& reg = KernelRegistry::Get();
+  EvalContext ectx;
+  ectx.exec = exec;
+
+  std::vector<ColumnStore::ViewScratch> scratch(ncols);
+  std::vector<ColumnStore::ColumnView> views(ncols);
+  std::vector<char> viewed(ncols, 0);
+  std::vector<char> sel;
+  std::vector<int64_t> arith_i64;
+  std::vector<double> arith_f64;
+  std::vector<Row> staged;
+  std::vector<uint32_t> staged_slots;
+
+  for (uint32_t g = begin; g < end; ++g) {
+    ColumnStore::GroupInfo info;
+    XNF_RETURN_IF_ERROR(store.ReadGroupInfo(g, &info));
+    if (info.rows == 0) continue;
+    std::fill(viewed.begin(), viewed.end(), 0);
+    auto view_col = [&](size_t c) -> Status {
+      if (viewed[c]) return Status::Ok();
+      XNF_RETURN_IF_ERROR(store.ViewColumn(g, c, &scratch[c], &views[c],
+                                           plan.need_values[c] != 0));
+      viewed[c] = 1;
+      return Status::Ok();
+    };
+
+    // Seed the selection vector from the tombstone bitmap.
+    sel.assign(info.rows, 1);
+    size_t alive = info.rows;
+    if (info.tombstones != nullptr) {
+      alive = 0;
+      for (size_t i = 0; i < info.rows; ++i) {
+        sel[i] = static_cast<char>(
+            ((info.tombstones[i >> 6] >> (i & 63)) & 1) ^ 1);
+        alive += static_cast<size_t>(sel[i]);
+      }
+    }
+
+    for (const KernelFilter& k : plan.kernels) {
+      // Mirror EvalPredicateBatch: once no row is alive, later filters do
+      // not run (kernelized filters cannot error, so this is purely a
+      // work-skip, not an observable difference).
+      if (alive == 0) break;
+      switch (k.kind) {
+        case KernelFilter::Kind::kRejectAll:
+          std::fill(sel.begin(), sel.end(), 0);
+          break;
+        case KernelFilter::Kind::kIsNull: {
+          XNF_RETURN_IF_ERROR(view_col(k.column));
+          reg.null_filter()(views[k.column].nulls, info.rows, k.keep_null,
+                            sel.data());
+          break;
+        }
+        default: {
+          XNF_RETURN_IF_ERROR(view_col(k.column));
+          const ColumnStore::ColumnView& v = views[k.column];
+          const int64_t* ints = v.ints;
+          const double* doubles = v.doubles;
+          if (k.has_arith) {
+            // Derived lane: col (op) literal over the whole group. NULL
+            // and dead rows compute well-defined garbage the comparison
+            // masks out through the null bitmap / selection vector.
+            if (k.arith_is_int) {
+              arith_i64.resize(info.rows);
+              reg.i64_arith(k.arith_op)(v.ints, info.rows, k.arith_i64,
+                                        k.arith_col_left, arith_i64.data());
+              ints = arith_i64.data();
+            } else if (v.type == Type::kInt) {
+              arith_f64.resize(info.rows);
+              reg.i64_f64_arith(k.arith_op)(v.ints, info.rows, k.arith_f64,
+                                            k.arith_col_left,
+                                            arith_f64.data());
+              doubles = arith_f64.data();
+            } else {
+              arith_f64.resize(info.rows);
+              reg.f64_arith(k.arith_op)(v.doubles, info.rows, k.arith_f64,
+                                        k.arith_col_left, arith_f64.data());
+              doubles = arith_f64.data();
+            }
+          }
+          switch (k.kind) {
+            case KernelFilter::Kind::kCmpI64:
+              reg.i64_filter(k.cmp)(ints, v.nulls, info.rows, k.i64_const,
+                                    sel.data());
+              break;
+            case KernelFilter::Kind::kCmpI64F64:
+              reg.i64_f64_filter(k.cmp)(ints, v.nulls, info.rows,
+                                        k.f64_const, sel.data());
+              break;
+            case KernelFilter::Kind::kCmpF64:
+              reg.f64_filter(k.cmp)(doubles, v.nulls, info.rows,
+                                    k.f64_const, sel.data());
+              break;
+            case KernelFilter::Kind::kCmpCode:
+              reg.code_filter()(v.codes, v.nulls, info.rows,
+                                k.verdict.data(), sel.data());
+              break;
+            default:
+              break;
+          }
+        }
+      }
+      alive = 0;
+      for (size_t i = 0; i < info.rows; ++i) {
+        alive += static_cast<size_t>(sel[i]);
+      }
+    }
+
+    if (alive != 0) {
+      staged.clear();
+      staged_slots.clear();
+      staged.reserve(alive);
+      staged_slots.reserve(alive);
+      for (size_t c = 0; c < ncols; ++c) {
+        if (plan.materialize[c]) XNF_RETURN_IF_ERROR(view_col(c));
+      }
+      for (size_t i = 0; i < info.rows; ++i) {
+        if (!sel[i]) continue;
+        Row row(ncols);
+        for (size_t c = 0; c < ncols; ++c) {
+          if (plan.materialize[c]) {
+            row[c] = ColumnStore::ViewValue(views[c], i);
+          }
+        }
+        staged.push_back(std::move(row));
+        staged_slots.push_back(static_cast<uint32_t>(i));
+      }
+      if (plan.kernel_filter_count < filters.size()) {
+        std::vector<const Row*> ptrs;
+        ptrs.reserve(staged.size());
+        for (const Row& r : staged) ptrs.push_back(&r);
+        std::vector<char> keep(staged.size(), 1);
+        for (size_t fi = plan.kernel_filter_count; fi < filters.size();
+             ++fi) {
+          XNF_RETURN_IF_ERROR(
+              EvalPredicateBatch(*filters[fi], ptrs, &ectx, &keep));
+        }
+        for (size_t i = 0; i < staged.size(); ++i) {
+          if (!keep[i]) continue;
+          out->rows.push_back(std::move(staged[i]));
+          if (want_rids) out->rids.push_back(Rid{g, staged_slots[i]});
+        }
+      } else {
+        for (size_t i = 0; i < staged.size(); ++i) {
+          out->rows.push_back(std::move(staged[i]));
+          if (want_rids) out->rids.push_back(Rid{g, staged_slots[i]});
+        }
+      }
+    }
+
+    uint64_t decoded = 0;
+    for (char v : viewed) decoded += static_cast<uint64_t>(v);
+    out->columns_decoded += decoded;
+    out->columns_skipped += ncols - decoded;
+  }
+  return Status::Ok();
+}
 
 }  // namespace
 
 Status ParallelFilterScan(const TableInfo& table,
                           const std::vector<qgm::ExprPtr>& filters,
+                          const std::vector<char>* referenced,
                           ExecContext* ctx, std::vector<Row>* rows_out,
-                          std::vector<Rid>* rids_out, int* achieved_dop) {
-  const TableHeap& heap = *table.heap;
-  const uint32_t pages = static_cast<uint32_t>(heap.page_count());
+                          std::vector<Rid>* rids_out, ScanStats* stats) {
+  const TableStorage& storage = *table.storage;
+  const uint32_t pages = static_cast<uint32_t>(storage.page_count());
   const bool want_rids = rids_out != nullptr;
   ThreadPool* pool =
       ctx->catalog != nullptr ? ctx->catalog->exec_pool() : nullptr;
   const int dop = pool != nullptr ? pool->dop() : 1;
-  *achieved_dop = 1;
+  *stats = ScanStats{};
+
+  // Columnar fast path: kernel prefix + late materialization. Forced
+  // scalar evaluation falls back to the generic row-materializing scan so
+  // ExecConfig::scalar_eval remains a whole-pipeline row-at-a-time
+  // baseline for the differential harness.
+  const ColumnStore* column_store = storage.AsColumnStore();
+  const bool force_scalar =
+      ctx->catalog != nullptr && ctx->catalog->exec_config().scalar_eval;
+  const bool columnar = column_store != nullptr && !force_scalar;
+  ColumnScanPlan column_plan;
+  if (columnar) {
+    column_plan = BuildColumnScanPlan(*column_store, filters, referenced);
+  }
+
+  auto run_morsel = [&](uint32_t begin, uint32_t end,
+                        MorselOut* out) -> Status {
+    if (columnar) {
+      return ColumnScanMorsel(column_plan, filters, begin, end, ctx,
+                              want_rids, out);
+    }
+    return ScanMorsel(storage, begin, end, filters, ctx, want_rids, out);
+  };
+  auto add_counters = [&](const MorselOut& out) {
+    stats->columns_decoded += out.columns_decoded;
+    stats->columns_skipped += out.columns_skipped;
+  };
 
   if (dop <= 1 || pages < 2 * kMinMorselPages) {
     MorselOut out;
-    XNF_RETURN_IF_ERROR(
-        ScanMorsel(heap, 0, pages, filters, ctx, want_rids, &out));
+    XNF_RETURN_IF_ERROR(run_morsel(0, pages, &out));
+    add_counters(out);
     *rows_out = std::move(out.rows);
     if (want_rids) *rids_out = std::move(out.rids);
     return Status::Ok();
@@ -116,14 +585,13 @@ Status ParallelFilterScan(const TableInfo& table,
   for (size_t m = 0; m < n_morsels; ++m) {
     const uint32_t begin = static_cast<uint32_t>(m) * morsel_pages;
     const uint32_t end = std::min(pages, begin + morsel_pages);
-    tasks.push_back([&heap, &filters, ctx, want_rids, begin, end,
-                     out = &outs[m]] {
-      MorselPinGuard pins(heap, begin, end);
-      return ScanMorsel(heap, begin, end, filters, ctx, want_rids, out);
+    tasks.push_back([&storage, &run_morsel, begin, end, out = &outs[m]] {
+      MorselPinGuard pins(storage, begin, end);
+      return run_morsel(begin, end, out);
     });
   }
   XNF_RETURN_IF_ERROR(pool->RunAll(std::move(tasks)));
-  *achieved_dop = static_cast<int>(
+  stats->dop = static_cast<int>(
       std::min<size_t>(static_cast<size_t>(dop), n_morsels));
 
   size_t total = 0;
@@ -135,6 +603,7 @@ Status ParallelFilterScan(const TableInfo& table,
     rids_out->reserve(total);
   }
   for (MorselOut& o : outs) {
+    add_counters(o);
     rows_out->insert(rows_out->end(), std::make_move_iterator(o.rows.begin()),
                      std::make_move_iterator(o.rows.end()));
     if (want_rids) {

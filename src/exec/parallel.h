@@ -15,21 +15,45 @@ namespace xnf::exec {
 // size are scanned serially (the morsel bookkeeping would dominate).
 inline constexpr uint32_t kMinMorselPages = 4;
 
-// Morsel-driven parallel filtering scan of a base table: the paged row
-// store is split into page-range morsels, each worker filters its morsels
-// through the batch predicate kernels, and the per-morsel outputs are
-// concatenated in morsel (= page) order. The output is therefore
-// row-for-row identical to a serial scan at any degree of parallelism.
+// What a filtering scan actually did — DOP plus the columnar
+// late-materialization counters (0 for row tables: a heap page always
+// materializes whole tuples).
+struct ScanStats {
+  int dop = 1;
+  // Column segments decoded into values, and segments skipped, summed over
+  // all row groups the scan visited. A skipped segment's page is never
+  // touched (modulo the group header) — the fault counters agree.
+  uint64_t columns_decoded = 0;
+  uint64_t columns_skipped = 0;
+};
+
+// Morsel-driven parallel filtering scan of a base table: storage is split
+// into page-range morsels (row-store pages or columnar row groups), each
+// worker filters its morsels, and the per-morsel outputs are concatenated
+// in morsel (= page) order. The output is therefore row-for-row identical
+// to a serial scan at any degree of parallelism and for either layout.
+//
+// For columnar tables (unless ExecConfig::scalar_eval forces the scalar
+// interpreter) a kernelizable prefix of `filters` — `col cmp literal`,
+// `(col arith literal) cmp literal`, `col IS [NOT] NULL` — runs on the
+// column segments through the SIMD kernel registry before any row is
+// materialized; survivors are gathered with only the `referenced` columns
+// decoded (late materialization), remaining filters running batch-wise on
+// the gathered rows. `referenced` is a per-table-column bitmap from the
+// planner's projection walk (nullptr = all columns; ignored for row
+// tables); unreferenced columns come back as NULL placeholders the rest of
+// the plan has been proven never to read.
 //
 // `filters` must be subquery-free (pushed-down scan predicates are by
 // construction). `rids_out` may be null when provenance is not needed.
 // Runs serially — and identically to the pre-parallel code path — when the
 // catalog has no ThreadPool, the pool's DOP is 1, or the table is small;
-// `*achieved_dop` reports the DOP actually used.
+// `stats->dop` reports the DOP actually used.
 Status ParallelFilterScan(const TableInfo& table,
                           const std::vector<qgm::ExprPtr>& filters,
+                          const std::vector<char>* referenced,
                           ExecContext* ctx, std::vector<Row>* rows_out,
-                          std::vector<Rid>* rids_out, int* achieved_dop);
+                          std::vector<Rid>* rids_out, ScanStats* stats);
 
 }  // namespace xnf::exec
 

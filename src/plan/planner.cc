@@ -116,8 +116,10 @@ Result<OperatorPtr> Planner::PlanBox(const QueryGraph& graph, int box_index) {
       auto scan = std::make_unique<exec::SeqScanOp>(
           table->schema, box.table_name, std::vector<ExprPtr>{});
       // A bare table scan has no filters at all, so it is trivially safe to
-      // split into morsels.
+      // split into morsels. Its whole row is the box output, so every
+      // column is referenced — no pruning.
       scan->set_parallel_eligible(true);
+      scan->set_storage_kind(table->storage->kind());
       return OperatorPtr(std::move(scan));
     }
     case Box::Kind::kUnion: {
@@ -147,7 +149,7 @@ Result<OperatorPtr> Planner::PlanBox(const QueryGraph& graph, int box_index) {
 
 Result<OperatorPtr> Planner::PlanQuantifierSource(
     const QueryGraph& graph, const qgm::Quantifier& q,
-    std::vector<ExprPtr> pushed_filters) {
+    std::vector<ExprPtr> pushed_filters, std::vector<char> referenced) {
   if (q.input_box >= 0) {
     XNF_ASSIGN_OR_RETURN(OperatorPtr source, PlanBox(graph, q.input_box));
     if (pushed_filters.empty()) return source;
@@ -196,6 +198,8 @@ Result<OperatorPtr> Planner::PlanQuantifierSource(
   // Pushed filters exclude subquery-bearing predicates (see PlanSelect), so
   // they can be evaluated on any worker thread.
   scan->set_parallel_eligible(true);
+  scan->set_storage_kind(table->storage->kind());
+  if (!referenced.empty()) scan->set_referenced(std::move(referenced));
   return OperatorPtr(std::move(scan));
 }
 
@@ -344,9 +348,44 @@ Result<OperatorPtr> Planner::PlanSelect(const QueryGraph& graph,
         }
       }
     }
+    // Columns of quantifier i the rest of the box reads. Pushed filters are
+    // excluded on purpose: the columnar scan decides itself which filter
+    // columns it must decode, and kernelized filters need no materialized
+    // values at all. Everything else — remaining predicates, head, grouping,
+    // aggregates, ordering, outer-join conditions, subquery bindings — pins
+    // its columns.
+    std::vector<char> referenced(box.quantifiers[i].schema.size(), 0);
+    auto mark = [&](const Expr& e) {
+      qgm::VisitExpr(e, [&](const Expr& node) {
+        if (node.kind == Expr::Kind::kInputRef &&
+            node.quantifier == static_cast<int>(i) && node.column >= 0 &&
+            static_cast<size_t>(node.column) < referenced.size()) {
+          referenced[node.column] = 1;
+        }
+      });
+    };
+    for (const PredInfo& p : preds) {
+      bool pushed_here = false;
+      for (const Expr* raw : pushed_raw[i]) pushed_here |= raw == p.expr;
+      if (!pushed_here) mark(*p.expr);
+    }
+    for (const qgm::HeadExpr& h : box.head) mark(*h.expr);
+    for (const ExprPtr& g : box.group_by) mark(*g);
+    for (const qgm::AggSpec& a : box.aggs) {
+      if (a.arg != nullptr) mark(*a.arg);
+    }
+    if (box.having != nullptr) mark(*box.having);
+    for (const qgm::OrderKey& k : box.order_by) {
+      if (k.head_index < 0 && k.expr != nullptr) mark(*k.expr);
+    }
+    for (const ExprPtr& p : box.outer_join_predicates) mark(*p);
+    for (const qgm::BoxSubquery& sub : box.subqueries) {
+      for (const ExprPtr& b : sub.param_bindings) mark(*b);
+    }
     XNF_ASSIGN_OR_RETURN(
         sources[i],
-        PlanQuantifierSource(graph, box.quantifiers[i], std::move(pushed)));
+        PlanQuantifierSource(graph, box.quantifiers[i], std::move(pushed),
+                             std::move(referenced)));
   }
 
   // Join the quantifiers left-deep following the computed join order.

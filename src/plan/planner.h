@@ -31,9 +31,14 @@ class Planner {
   Result<exec::OperatorPtr> PlanBox(const qgm::QueryGraph& graph, int box);
   Result<exec::OperatorPtr> PlanSelect(const qgm::QueryGraph& graph,
                                        const qgm::Box& box);
+  // `referenced` is the per-column bitmap of `q`'s columns the rest of the
+  // box reads (pushed filters excluded — the scan handles its own filter
+  // columns); empty = prune nothing. Columnar scans use it for late
+  // materialization.
   Result<exec::OperatorPtr> PlanQuantifierSource(
       const qgm::QueryGraph& graph, const qgm::Quantifier& q,
-      std::vector<qgm::ExprPtr> pushed_filters);
+      std::vector<qgm::ExprPtr> pushed_filters,
+      std::vector<char> referenced);
 
   const Catalog* catalog_;
 };

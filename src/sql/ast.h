@@ -180,9 +180,14 @@ struct ColumnDef {
   bool primary_key = false;
 };
 
+// Physical layout requested by CREATE TABLE ... USING {row|column};
+// kDefault means no clause (the engine default applies).
+enum class StorageClause { kDefault, kRow, kColumn };
+
 struct CreateTableStmt {
   std::string name;
   std::vector<ColumnDef> columns;
+  StorageClause storage = StorageClause::kDefault;
 };
 
 struct CreateIndexStmt {

@@ -216,6 +216,15 @@ Result<Statement> Parser::ParseCreate() {
       ct->columns.push_back(std::move(col));
     } while (Accept(TokenKind::kComma));
     XNF_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    if (AcceptKeyword("using")) {
+      if (AcceptKeyword("row")) {
+        ct->storage = StorageClause::kRow;
+      } else if (AcceptKeyword("column")) {
+        ct->storage = StorageClause::kColumn;
+      } else {
+        return MakeError("expected ROW or COLUMN after USING");
+      }
+    }
     Statement stmt;
     stmt.kind = Statement::Kind::kCreateTable;
     stmt.create_table = std::move(ct);

@@ -4,19 +4,34 @@
 
 namespace xnf {
 
-Status BufferPool::Touch(PageId id) {
+const char* PageKindName(PageKind kind) {
+  switch (kind) {
+    case PageKind::kHeap:
+      return "heap";
+    case PageKind::kIndex:
+      return "index";
+    case PageKind::kColumn:
+      return "column";
+  }
+  return "?";
+}
+
+Status BufferPool::Touch(PageId id, PageKind kind) {
   XNF_FAILPOINT("bufferpool.read");
+  KindCounters& kc = by_kind_[static_cast<int>(kind)];
   accesses_.fetch_add(1, std::memory_order_relaxed);
+  kc.accesses.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = lru_map_.find(id);
   if (it != lru_map_.end()) {
     // Hit: move to front.
-    lru_list_.splice(lru_list_.begin(), lru_list_, it->second);
+    lru_list_.splice(lru_list_.begin(), lru_list_, it->second.it);
     return Status::Ok();
   }
   faults_.fetch_add(1, std::memory_order_relaxed);
+  kc.faults.fetch_add(1, std::memory_order_relaxed);
   lru_list_.push_front(id);
-  lru_map_[id] = lru_list_.begin();
+  lru_map_[id] = Resident{lru_list_.begin(), kind};
   if (capacity_ != 0 && lru_map_.size() > capacity_) {
     // Pick the least-recently-used unpinned victim. If every page is
     // pinned the pool runs over capacity until pins drain.
@@ -29,9 +44,13 @@ Status BufferPool::Touch(PageId id) {
     }
     if (victim != lru_list_.end()) {
       XNF_FAILPOINT("bufferpool.evict");
-      lru_map_.erase(*victim);
+      auto vit = lru_map_.find(*victim);
+      PageKind victim_kind = vit->second.kind;
+      lru_map_.erase(vit);
       lru_list_.erase(victim);
       evictions_.fetch_add(1, std::memory_order_relaxed);
+      by_kind_[static_cast<int>(victim_kind)].evictions.fetch_add(
+          1, std::memory_order_relaxed);
     }
   }
   return Status::Ok();

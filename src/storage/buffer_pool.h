@@ -28,6 +28,17 @@ struct PageIdHash {
   }
 };
 
+// What a page stores. Accounting is split by kind so experiments can
+// attribute faults: a CO-clustering run wants heap faults, a columnar scan
+// wants column faults, and mixing them would blur both numbers. kIndex is
+// reserved for paged indexes (the current in-memory indexes touch no
+// pages, so its counters stay zero).
+enum class PageKind { kHeap = 0, kIndex = 1, kColumn = 2 };
+inline constexpr int kPageKindCount = 3;
+
+// "heap" / "index" / "column".
+const char* PageKindName(PageKind kind);
+
 // Simulated buffer pool. The data itself always lives in memory; the pool
 // only models which pages would be resident, so that page-fault counts
 // faithfully reflect the I/O behaviour the paper's clustering discussion is
@@ -48,14 +59,15 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  // Records an access to `id`; counts a fault if it was not resident.
-  // Fails only under fault injection: the `bufferpool.read` failpoint
-  // models a failed page read (fires before any state change), and
-  // `bufferpool.evict` models a failed write-back of the LRU victim (the
-  // new page is already resident and its fault counted; the victim stays
-  // resident, leaving the pool transiently over capacity — the invariant
-  // faults == resident + evictions holds on both paths).
-  Status Touch(PageId id);
+  // Records an access to `id`; counts a fault if it was not resident, under
+  // both the total and the per-`kind` counters. Fails only under fault
+  // injection: the `bufferpool.read` failpoint models a failed page read
+  // (fires before any state change), and `bufferpool.evict` models a failed
+  // write-back of the LRU victim (the new page is already resident and its
+  // fault counted; the victim stays resident, leaving the pool transiently
+  // over capacity — the invariant faults == resident + evictions holds on
+  // both paths).
+  Status Touch(PageId id, PageKind kind = PageKind::kHeap);
 
   // Pins exempt a page from eviction; they do not count an access or make
   // the page resident (the next Touch faults it in as usual). Morsel
@@ -84,6 +96,24 @@ class BufferPool {
   uint64_t evictions() const {
     return evictions_.load(std::memory_order_relaxed);
   }
+
+  // Per-kind breakdowns. Each total above equals the sum over kinds (the
+  // pair is incremented together under the same access).
+  uint64_t accesses(PageKind kind) const {
+    return by_kind_[static_cast<int>(kind)].accesses.load(
+        std::memory_order_relaxed);
+  }
+  uint64_t faults(PageKind kind) const {
+    return by_kind_[static_cast<int>(kind)].faults.load(
+        std::memory_order_relaxed);
+  }
+  // Evictions are attributed to the *victim's* kind (the page written
+  // back), not the kind of the access that forced it out.
+  uint64_t evictions(PageKind kind) const {
+    return by_kind_[static_cast<int>(kind)].evictions.load(
+        std::memory_order_relaxed);
+  }
+
   size_t resident_pages() const {
     std::lock_guard<std::mutex> lock(mu_);
     return lru_map_.size();
@@ -94,20 +124,38 @@ class BufferPool {
     accesses_.store(0, std::memory_order_relaxed);
     faults_.store(0, std::memory_order_relaxed);
     evictions_.store(0, std::memory_order_relaxed);
+    for (KindCounters& k : by_kind_) {
+      k.accesses.store(0, std::memory_order_relaxed);
+      k.faults.store(0, std::memory_order_relaxed);
+      k.evictions.store(0, std::memory_order_relaxed);
+    }
   }
 
   // Drops all resident pages (cold cache) and keeps counters.
   void Clear();
 
  private:
+  struct KindCounters {
+    std::atomic<uint64_t> accesses{0};
+    std::atomic<uint64_t> faults{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+  // A resident page remembers its kind so an eviction can be attributed to
+  // the victim even though only the evicting access is in scope.
+  struct Resident {
+    std::list<PageId>::iterator it;
+    PageKind kind = PageKind::kHeap;
+  };
+
   size_t capacity_;
   std::atomic<uint64_t> accesses_{0};
   std::atomic<uint64_t> faults_{0};
   std::atomic<uint64_t> evictions_{0};
+  KindCounters by_kind_[kPageKindCount];
   mutable std::mutex mu_;  // guards lru_list_ / lru_map_ / pins_
   // Front = most recently used.
   std::list<PageId> lru_list_;
-  std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> lru_map_;
+  std::unordered_map<PageId, Resident, PageIdHash> lru_map_;
   std::unordered_map<PageId, int, PageIdHash> pins_;  // page -> pin count
 };
 

@@ -1,0 +1,209 @@
+#ifndef XNF_STORAGE_COLUMN_STORE_H_
+#define XNF_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "storage/buffer_pool.h"
+#include "storage/table_storage.h"
+
+namespace xnf {
+
+// Columnar implementation of TableStorage. Rows are grouped into fixed-size
+// row groups (one group holds `rows_per_group` rows — the same tuple count
+// a heap page holds, so Rid{group, offset} is dense and page-range morsels
+// carry over unchanged). Within a group every column is a separate segment
+// with its own buffer-pool page: page id = group * num_columns + column,
+// tagged PageKind::kColumn. A scan that needs only k of n columns
+// therefore touches k pages per group — the late-materialization win the
+// fault counters measure.
+//
+// Per-column encodings:
+//   - INT / BOOL segments store int64 arrays (BOOL as 0/1), DOUBLE
+//     segments store double arrays.
+//   - STRING columns are dictionary-encoded against a table-wide,
+//     append-only, first-seen-order dictionary; segments store uint32
+//     codes. When the dictionary reaches `max_dict_entries` the column
+//     overflows: new distinct strings are stored per segment and addressed
+//     with kOverflowBit-tagged codes (reads stay exact; only the
+//     code-comparing fast path turns itself off).
+//   - When a group fills, null-free numeric segments with enough repeated
+//     adjacent values are RLE-compressed. Updates decompress the group
+//     back to plain ("unsealing") before writing.
+//   - NULLs live in a per-segment bitmap; deletes in a per-group tombstone
+//     bitmap (stored with the group's first column page).
+//
+// Failpoints: `column.append` fires before Insert mutates,
+// `column.write` before Update/Delete/Restore, and `column.read` on every
+// group or column-view read. Pool Touch errors propagate. A failed call
+// never leaves a partial change behind.
+class ColumnStore : public TableStorage {
+ public:
+  struct Options {
+    uint32_t rows_per_group = 64;       // rid.page = row-group index
+    BufferPool* buffer_pool = nullptr;  // not owned; may be null
+    uint32_t file_id = 0;
+    // Per-column dictionary cap; pushing a column past it activates the
+    // overflow fallback. Tests shrink this to force the corner.
+    uint32_t max_dict_entries = 1u << 16;
+  };
+
+  // `schema` supplies the per-column types the segments are laid out with.
+  ColumnStore(Schema schema, Options options);
+
+  ColumnStore(const ColumnStore&) = delete;
+  ColumnStore& operator=(const ColumnStore&) = delete;
+
+  StorageKind kind() const override { return StorageKind::kColumn; }
+  const ColumnStore* AsColumnStore() const override { return this; }
+
+  Result<Rid> Insert(Row row) override;
+  Result<Row> Read(Rid rid) const override;
+  bool IsLive(Rid rid) const override;
+  Status Update(Rid rid, Row row) override;
+  Status Delete(Rid rid) override;
+  Status Restore(Rid rid, Row row) override;
+  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const override;
+  Status ScanRange(uint32_t page_begin, uint32_t page_end,
+                   const std::function<bool(Rid, const Row&)>& fn)
+      const override;
+  void PinRange(uint32_t page_begin, uint32_t page_end) const override;
+  void UnpinRange(uint32_t page_begin, uint32_t page_end) const override;
+  size_t live_count() const override { return live_count_; }
+  size_t page_count() const override { return groups_.size(); }
+  uint32_t file_id() const override { return options_.file_id; }
+
+  // --- Columnar access (the batch scan's zero-copy path) -----------------
+
+  // Overflowed dictionary codes: (code & kOverflowBit) indexes the
+  // segment's overflow list instead of the dictionary.
+  static constexpr uint32_t kOverflowBit = 0x80000000u;
+
+  // A decoded, read-only view of one column within one row group. For
+  // plain segments the pointers alias segment storage (zero-copy); RLE
+  // segments are expanded into the caller's scratch. Pointers stay valid
+  // until the store is next mutated.
+  struct ColumnView {
+    Type type = Type::kNull;
+    const int64_t* ints = nullptr;     // INT / BOOL (0/1) columns
+    const double* doubles = nullptr;   // DOUBLE columns
+    const uint32_t* codes = nullptr;   // STRING columns (dict codes)
+    const std::vector<std::string>* dict = nullptr;      // for codes
+    const std::vector<std::string>* overflow = nullptr;  // kOverflowBit codes
+    const uint64_t* nulls = nullptr;   // bitmap, bit i set = row i NULL
+    size_t rows = 0;
+
+    bool IsNull(size_t i) const {
+      return nulls != nullptr && ((nulls[i >> 6] >> (i & 63)) & 1) != 0;
+    }
+  };
+
+  // Caller-owned decode buffer; reuse one per column across groups.
+  struct ViewScratch {
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+  };
+
+  struct GroupInfo {
+    size_t rows = 0;                    // appended rows (incl. tombstoned)
+    size_t live = 0;
+    const uint64_t* tombstones = nullptr;  // bitmap; null = none
+  };
+
+  size_t num_columns() const { return schema_.size(); }
+  const Schema& schema() const { return schema_; }
+
+  // Reads a group's header (row count + tombstones): fires `column.read`
+  // and touches the group's first column page. The scan path calls this
+  // once per group even when no column is referenced (COUNT(*)).
+  Status ReadGroupInfo(uint32_t group, GroupInfo* out) const;
+
+  // Decodes one column of one group: fires `column.read` and touches that
+  // column's page. `scratch` may be shared across calls for the same
+  // column; when `decode_values` is false only type/nulls/rows are filled
+  // (enough for IS NULL kernels — no RLE expansion).
+  Status ViewColumn(uint32_t group, size_t column, ViewScratch* scratch,
+                    ColumnView* out, bool decode_values = true) const;
+
+  // Materializes one value out of a view (NULL-aware; strings decode
+  // through the dictionary / overflow list).
+  static Value ViewValue(const ColumnView& view, size_t i);
+
+  // Dictionary introspection for the kernel planner: the code for `s` (if
+  // the column ever stored it), the dictionary itself, and whether the
+  // column overflowed (overflow disables code-comparison kernels).
+  std::optional<uint32_t> DictCode(size_t column, const std::string& s) const;
+  const std::vector<std::string>& Dictionary(size_t column) const;
+  bool DictOverflowed(size_t column) const;
+
+  // Encoding statistics (tests, benchmarks).
+  struct Compression {
+    uint64_t rle_segments = 0;    // currently RLE-encoded segments
+    uint64_t plain_segments = 0;  // materialized (non-RLE) segments
+    uint64_t dict_entries = 0;    // across all column dictionaries
+    uint64_t overflow_values = 0; // strings stored outside a dictionary
+  };
+  Compression CompressionStats() const;
+
+ private:
+  struct Segment {
+    enum class Enc { kPlain, kRle };
+    Enc enc = Enc::kPlain;
+    std::vector<int64_t> ints;       // INT / BOOL, plain
+    std::vector<double> doubles;     // DOUBLE, plain
+    std::vector<uint32_t> codes;     // STRING (always plain)
+    std::vector<std::string> overflow;
+    std::vector<int64_t> rle_ints;   // RLE runs (values)
+    std::vector<double> rle_doubles;
+    std::vector<uint32_t> rle_lens;  // RLE runs (lengths)
+    std::vector<uint64_t> nulls;     // empty = no NULLs in segment
+  };
+  struct Group {
+    std::vector<Segment> cols;
+    std::vector<uint64_t> tombstones;  // empty = no deletes in group
+    uint32_t rows = 0;
+  };
+  struct Dict {
+    std::vector<std::string> values;
+    std::unordered_map<std::string, uint32_t> index;
+    bool overflowed = false;
+  };
+
+  uint32_t PageFor(uint32_t group, size_t column) const {
+    return group * static_cast<uint32_t>(schema_.size()) +
+           static_cast<uint32_t>(column);
+  }
+  Status TouchPage(uint32_t group, size_t column) const;
+  Status TouchGroupPages(uint32_t group) const;  // all columns
+  Status CheckRowTypes(const Row& row) const;
+  void AppendToGroup(Group* g, const Row& row);
+  void WriteInPlace(Group* g, uint32_t slot, const Row& row);
+  void SealGroup(Group* g);    // attempt RLE on full, null-free segments
+  void UnsealGroup(Group* g);  // expand RLE back to plain before writes
+  uint32_t EncodeString(size_t column, const std::string& s, Segment* seg);
+  Value ValueAt(const Group& g, size_t column, uint32_t slot) const;
+
+  static bool GetBit(const std::vector<uint64_t>& bits, size_t i) {
+    size_t w = i >> 6;
+    return w < bits.size() && ((bits[w] >> (i & 63)) & 1) != 0;
+  }
+  // Bitmaps are empty (no bits set) or sized for a full group, so view
+  // consumers can index any row without bounds checks.
+  void SetBit(std::vector<uint64_t>* bits, size_t i, bool value) const;
+
+  Schema schema_;
+  Options options_;
+  std::vector<Group> groups_;
+  std::vector<Dict> dicts_;  // one per column; used by STRING columns only
+  size_t live_count_ = 0;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_STORAGE_COLUMN_STORE_H_

@@ -10,39 +10,21 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "storage/buffer_pool.h"
+#include "storage/table_storage.h"
 
 namespace xnf {
 
-// Record identifier: page number + slot within the page. Stable across
-// updates; invalidated by delete.
-struct Rid {
-  uint32_t page = 0;
-  uint32_t slot = 0;
-
-  bool operator==(const Rid& other) const {
-    return page == other.page && slot == other.slot;
-  }
-  bool operator<(const Rid& other) const {
-    return page != other.page ? page < other.page : slot < other.slot;
-  }
-};
-
-struct RidHash {
-  size_t operator()(const Rid& r) const {
-    return (static_cast<size_t>(r.page) << 32) ^ r.slot;
-  }
-};
-
-// A slotted-page heap of rows for one table. Pages hold a fixed number of
-// tuple slots (a simplification of byte-budgeted pages that keeps the paging
-// behaviour, which is what the experiments need). All page accesses are
-// reported to the optional BufferPool for fault accounting.
+// A slotted-page heap of rows for one table: the row-store implementation
+// of TableStorage. Pages hold a fixed number of tuple slots (a
+// simplification of byte-budgeted pages that keeps the paging behaviour,
+// which is what the experiments need). All page accesses are reported to
+// the optional BufferPool for fault accounting.
 //
 // Every accessor can fail under fault injection: the `heap.append`,
 // `heap.read`, and `heap.write` failpoints fire before any mutation, and
 // pool Touch errors (`bufferpool.*` sites) propagate, so a failed call
 // never leaves a partial page change behind.
-class TableHeap {
+class TableHeap : public TableStorage {
  public:
   struct Options {
     uint32_t tuples_per_page = 64;
@@ -58,47 +40,50 @@ class TableHeap {
   TableHeap(TableHeap&&) = default;
   TableHeap& operator=(TableHeap&&) = default;
 
+  StorageKind kind() const override { return StorageKind::kRow; }
+
   // Appends a row; returns its Rid.
-  Result<Rid> Insert(Row row);
+  Result<Rid> Insert(Row row) override;
 
   // Reads the row at `rid`. Fails with kNotFound for deleted/invalid rids.
-  Result<Row> Read(Rid rid) const;
+  Result<Row> Read(Rid rid) const override;
 
   // True iff `rid` refers to a live tuple.
-  bool IsLive(Rid rid) const;
+  bool IsLive(Rid rid) const override;
 
   // Replaces the row at `rid` in place.
-  Status Update(Rid rid, Row row);
+  Status Update(Rid rid, Row row) override;
 
   // Tombstones the row at `rid`.
-  Status Delete(Rid rid);
+  Status Delete(Rid rid) override;
 
   // Revives a tombstoned slot with `row` (transaction rollback of a delete).
   // Fails if the slot never existed or is currently live.
-  Status Restore(Rid rid, Row row);
+  Status Restore(Rid rid, Row row) override;
 
   // Calls `fn(rid, row)` for every live tuple in page/slot order; stops early
   // if `fn` returns false. Fails only if a page read fails (fault
   // injection); rows visited before the failure have been delivered.
-  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const;
+  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const override;
 
   // Scan restricted to pages [page_begin, page_end) — the unit of a
   // morsel-driven parallel scan. ScanRange calls on disjoint ranges are safe
   // to run concurrently (pages are only read; the buffer pool synchronizes
   // its own accounting).
   Status ScanRange(uint32_t page_begin, uint32_t page_end,
-                   const std::function<bool(Rid, const Row&)>& fn) const;
+                   const std::function<bool(Rid, const Row&)>& fn)
+      const override;
 
   // Pins/unpins pages [page_begin, page_end) in the buffer pool (no-ops
   // without a pool). Morsel workers pin their range for the duration of the
   // morsel so concurrent scans cannot evict pages under them; the unpin
   // must run on every exit path, including errors.
-  void PinRange(uint32_t page_begin, uint32_t page_end) const;
-  void UnpinRange(uint32_t page_begin, uint32_t page_end) const;
+  void PinRange(uint32_t page_begin, uint32_t page_end) const override;
+  void UnpinRange(uint32_t page_begin, uint32_t page_end) const override;
 
-  size_t live_count() const { return live_count_; }
-  size_t page_count() const { return pages_.size(); }
-  uint32_t file_id() const { return options_.file_id; }
+  size_t live_count() const override { return live_count_; }
+  size_t page_count() const override { return pages_.size(); }
+  uint32_t file_id() const override { return options_.file_id; }
 
  private:
   struct Page {
@@ -107,7 +92,8 @@ class TableHeap {
 
   Status TouchPage(uint32_t page) const {
     if (options_.buffer_pool != nullptr) {
-      return options_.buffer_pool->Touch(PageId{options_.file_id, page});
+      return options_.buffer_pool->Touch(PageId{options_.file_id, page},
+                                         PageKind::kHeap);
     }
     return Status::Ok();
   }

@@ -1,0 +1,120 @@
+#ifndef XNF_STORAGE_TABLE_STORAGE_H_
+#define XNF_STORAGE_TABLE_STORAGE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace xnf {
+
+class ColumnStore;
+
+// Record identifier: page number + slot within the page. Stable across
+// updates; invalidated by delete. For the columnar store the "page" is the
+// row-group index and the "slot" is the row's offset within the group, so
+// rids stay dense and page-range morsels work identically for both layouts.
+struct Rid {
+  uint32_t page = 0;
+  uint32_t slot = 0;
+
+  bool operator==(const Rid& other) const {
+    return page == other.page && slot == other.slot;
+  }
+  bool operator<(const Rid& other) const {
+    return page != other.page ? page < other.page : slot < other.slot;
+  }
+};
+
+struct RidHash {
+  size_t operator()(const Rid& r) const {
+    return (static_cast<size_t>(r.page) << 32) ^ r.slot;
+  }
+};
+
+// Physical layout of a base table. Selected per table with
+// CREATE TABLE ... USING {row|column}; the catalog default applies
+// otherwise.
+enum class StorageKind { kRow, kColumn };
+
+// "row" / "column".
+const char* StorageKindName(StorageKind kind);
+
+// Abstract physical storage of one table. The contract every engine layer
+// (DML, undo log, index backfill, XNF cache fill, scans) is written
+// against:
+//
+//   - Insert appends and returns a dense Rid; rids are assigned in append
+//     order and Scan delivers live tuples in rid order, so scans over
+//     different storage kinds are row-for-row identical streams.
+//   - Delete tombstones (the rid stays addressable for Restore); Restore
+//     revives a tombstoned rid with the supplied row (transaction
+//     rollback).
+//   - page_count() is the unit of ScanRange/PinRange: a morsel-driven
+//     parallel scan splits [0, page_count()) and may run disjoint
+//     ScanRange calls concurrently (implementations must be read-only
+//     thread-safe there).
+//   - Every accessor can fail under fault injection (the heap.* /
+//     column.* failpoints and propagated bufferpool.* errors); a failed
+//     call never leaves a partial page change behind.
+class TableStorage {
+ public:
+  virtual ~TableStorage() = default;
+
+  TableStorage() = default;
+  TableStorage(const TableStorage&) = delete;
+  TableStorage& operator=(const TableStorage&) = delete;
+  TableStorage(TableStorage&&) = default;
+  TableStorage& operator=(TableStorage&&) = default;
+
+  virtual StorageKind kind() const = 0;
+
+  // Non-null iff this table is columnar; the batch scan path downcasts
+  // through here to reach the zero-copy column views.
+  virtual const ColumnStore* AsColumnStore() const { return nullptr; }
+
+  // Appends a row; returns its Rid.
+  virtual Result<Rid> Insert(Row row) = 0;
+
+  // Reads the row at `rid`. Fails with kNotFound for deleted/invalid rids.
+  virtual Result<Row> Read(Rid rid) const = 0;
+
+  // True iff `rid` refers to a live tuple.
+  virtual bool IsLive(Rid rid) const = 0;
+
+  // Replaces the row at `rid` in place.
+  virtual Status Update(Rid rid, Row row) = 0;
+
+  // Tombstones the row at `rid`.
+  virtual Status Delete(Rid rid) = 0;
+
+  // Revives a tombstoned slot with `row` (transaction rollback of a
+  // delete). Fails if the slot never existed or is currently live.
+  virtual Status Restore(Rid rid, Row row) = 0;
+
+  // Calls `fn(rid, row)` for every live tuple in rid order; stops early if
+  // `fn` returns false. Fails only if a page read fails (fault injection);
+  // rows visited before the failure have been delivered.
+  virtual Status Scan(const std::function<bool(Rid, const Row&)>& fn) const = 0;
+
+  // Scan restricted to pages [page_begin, page_end) — the unit of a
+  // morsel-driven parallel scan. ScanRange calls on disjoint ranges are
+  // safe to run concurrently.
+  virtual Status ScanRange(
+      uint32_t page_begin, uint32_t page_end,
+      const std::function<bool(Rid, const Row&)>& fn) const = 0;
+
+  // Pins/unpins the buffer-pool pages backing [page_begin, page_end) so
+  // concurrent scans cannot evict them mid-morsel; no-ops without a pool.
+  virtual void PinRange(uint32_t page_begin, uint32_t page_end) const = 0;
+  virtual void UnpinRange(uint32_t page_begin, uint32_t page_end) const = 0;
+
+  virtual size_t live_count() const = 0;
+  virtual size_t page_count() const = 0;
+  virtual uint32_t file_id() const = 0;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_STORAGE_TABLE_STORAGE_H_

@@ -21,6 +21,12 @@ struct EngineConfig {
   bool use_cse = true;       // XNF edge queries over CSE temps vs inline
   bool use_indexes = true;
   bool use_rewrite = true;
+  // Default storage layout for tables created without a USING clause. NOT
+  // part of PlanGroup: the storage engine (and with it the columnar kernel
+  // + late-materialization scan path) must not change observable results,
+  // so a columnar engine must agree bit-identically with the row engines of
+  // its plan group.
+  bool column_storage = false;
 
   // Group key for the bit-identical comparison.
   int PlanGroup() const { return (use_indexes ? 2 : 0) | (use_rewrite ? 1 : 0); }
@@ -28,7 +34,8 @@ struct EngineConfig {
 };
 
 // The default matrix: every (use_indexes, use_rewrite) plan group, crossed
-// with serial/parallel execution, batch/scalar evaluation, and CSE on/off.
+// with serial/parallel execution, batch/scalar evaluation, CSE on/off, and
+// row/columnar default storage (one columnar member per plan group).
 std::vector<EngineConfig> DefaultMatrix();
 
 // A detected divergence: which statement (index into the script), what the

@@ -143,6 +143,12 @@ class Generator {
         ddl += ", " + t.fk_col + " INT";
       }
       ddl += ")";
+      // Mix explicit storage clauses into every matrix member: a USING
+      // clause overrides the engine's default layout, so row-default
+      // engines also exercise columnar tables (and vice versa).
+      if (rng_.Chance(30)) {
+        ddl += rng_.Chance(50) ? " USING column" : " USING row";
+      }
       tables_.push_back(std::move(t));
       Emit(std::move(ddl));
     }
@@ -151,7 +157,9 @@ class Generator {
       l.parent = i;
       l.child = i + 1;
       l.name = "l" + std::to_string(i) + "_" + std::to_string(i + 1);
-      Emit("CREATE TABLE " + l.name + " (pa INT, cb INT)");
+      std::string ddl = "CREATE TABLE " + l.name + " (pa INT, cb INT)";
+      if (rng_.Chance(30)) ddl += " USING column";
+      Emit(std::move(ddl));
       links_.push_back(std::move(l));
     }
     // Some upfront secondary indexes so index-assisted plans have material

@@ -279,7 +279,7 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def,
 
     if (index != nullptr) {
       for (Rid rid : index->Lookup({index_key})) {
-        XNF_ASSIGN_OR_RETURN(Row row, table->heap->Read(rid));
+        XNF_ASSIGN_OR_RETURN(Row row, table->storage->Read(rid));
         if (check(row)) emit(rid, row);
         XNF_RETURN_IF_ERROR(status);
       }
@@ -290,9 +290,10 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def,
       if (pred != nullptr) filters.push_back(std::move(pred));
       std::vector<Row> rows;
       std::vector<Rid> rids;
-      int dop = 1;
-      XNF_RETURN_IF_ERROR(exec::ParallelFilterScan(*table, filters, &exec_ctx,
-                                                   &rows, &rids, &dop));
+      exec::ScanStats scan_stats;
+      XNF_RETURN_IF_ERROR(exec::ParallelFilterScan(
+          *table, filters, /*referenced=*/nullptr, &exec_ctx, &rows, &rids,
+          &scan_stats));
       for (size_t i = 0; i < rows.size(); ++i) emit(rids[i], rows[i]);
     }
     XNF_RETURN_IF_ERROR(status);

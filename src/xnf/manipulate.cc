@@ -47,7 +47,7 @@ Status Manipulator::PropagateCellUpdate(CoCache::Node* node,
     return Status::NotFound("base table '" + node->base_table +
                             "' not found");
   }
-  XNF_ASSIGN_OR_RETURN(Row base_row, table->heap->Read(tuple->rid));
+  XNF_ASSIGN_OR_RETURN(Row base_row, table->storage->Read(tuple->rid));
   base_row[node->base_column_map[column]] = value;
   exec::DmlExecutor dml(catalog_);
   return dml.UpdateRow(table, tuple->rid, std::move(base_row));
@@ -136,7 +136,7 @@ Result<CoCache::Tuple*> Manipulator::InsertTuple(int node_index, Row values) {
   XNF_ASSIGN_OR_RETURN(Rid rid, dml.InsertRow(table, std::move(base_row)));
 
   // Read back (coercions may have normalized values).
-  XNF_ASSIGN_OR_RETURN(Row stored, table->heap->Read(rid));
+  XNF_ASSIGN_OR_RETURN(Row stored, table->storage->Read(rid));
   CoCache::Tuple tuple;
   tuple.values.reserve(values.size());
   for (size_t c = 0; c < values.size(); ++c) {
@@ -240,7 +240,7 @@ Status Manipulator::Disconnect(CoCache::Connection* conn) {
       const Value& ckey = conn->child->values[rel.child_key_column];
       // Delete one matching link row.
       std::optional<Rid> victim;
-      XNF_RETURN_IF_ERROR(link->heap->Scan([&](Rid rid, const Row& row) {
+      XNF_RETURN_IF_ERROR(link->storage->Scan([&](Rid rid, const Row& row) {
         if (row[rel.link_parent_column].CompareEq(pkey) == Tribool::kTrue &&
             row[rel.link_child_column].CompareEq(ckey) == Tribool::kTrue) {
           victim = rid;

@@ -118,6 +118,9 @@ TEST(DatabaseApi, BufferPoolOptionsRespected) {
   Database::Options options;
   options.buffer_pool_pages = 4;
   options.tuples_per_page = 2;
+  // The exact fault count below assumes the heap layout; pin it so the
+  // SQLXNF_STORAGE=column CI lane doesn't change the page math.
+  options.default_storage = StorageKind::kRow;
   Database db(options);
   MustExecute(&db, "CREATE TABLE t (a INT)");
   for (int i = 0; i < 20; ++i) {

@@ -32,7 +32,16 @@ int FindSpan(const std::vector<CollectingTraceSink::Span>& spans,
 class Observability : public ::testing::Test {
  protected:
   void SetUp() override { CreateCompanyDb(&db_); }
-  Database db_;
+
+  // The golden counter strings below (faults=0, no cols= marker) assume the
+  // row layout; pin it so the SQLXNF_STORAGE=column CI lane doesn't reshape
+  // the rendered plans.
+  static Database::Options RowLayout() {
+    Database::Options o;
+    o.default_storage = StorageKind::kRow;
+    return o;
+  }
+  Database db_{RowLayout()};
 };
 
 constexpr char kThreeWayJoin[] =

@@ -50,8 +50,8 @@ TEST(Catalog, IndexBackfillsExistingRows) {
   Catalog catalog;
   ASSERT_TRUE(catalog.CreateTable("t", TwoColumns()).ok());
   TableInfo* t = catalog.GetTable("t");
-  ASSERT_TRUE(t->heap->Insert({Value::Int(1), Value::String("a")}).ok());
-  ASSERT_TRUE(t->heap->Insert({Value::Int(2), Value::String("b")}).ok());
+  ASSERT_TRUE(t->storage->Insert({Value::Int(1), Value::String("a")}).ok());
+  ASSERT_TRUE(t->storage->Insert({Value::Int(2), Value::String("b")}).ok());
   ASSERT_TRUE(
       catalog.CreateIndex("t_v", "t", {"v"}, false, Index::Kind::kHash).ok());
   Index* idx = t->FindIndexOn({1});
@@ -65,8 +65,8 @@ TEST(Catalog, UniqueIndexBackfillFailureRejectsIndex) {
   s.AddColumn(Column("v", Type::kInt));
   ASSERT_TRUE(catalog.CreateTable("t", s).ok());
   TableInfo* t = catalog.GetTable("t");
-  ASSERT_TRUE(t->heap->Insert({Value::Int(7)}).ok());
-  ASSERT_TRUE(t->heap->Insert({Value::Int(7)}).ok());
+  ASSERT_TRUE(t->storage->Insert({Value::Int(7)}).ok());
+  ASSERT_TRUE(t->storage->Insert({Value::Int(7)}).ok());
   Status st = catalog.CreateIndex("t_v", "t", {"v"}, true,
                                   Index::Kind::kHash);
   EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
@@ -120,10 +120,10 @@ TEST(Catalog, HeapsShareBufferPool) {
   ASSERT_TRUE(catalog.CreateTable("t1", TwoColumns()).ok());
   ASSERT_TRUE(catalog.CreateTable("t2", TwoColumns()).ok());
   ASSERT_TRUE(catalog.GetTable("t1")
-                  ->heap->Insert({Value::Int(1), Value::String("x")})
+                  ->storage->Insert({Value::Int(1), Value::String("x")})
                   .ok());
   ASSERT_TRUE(catalog.GetTable("t2")
-                  ->heap->Insert({Value::Int(1), Value::String("x")})
+                  ->storage->Insert({Value::Int(1), Value::String("x")})
                   .ok());
   EXPECT_EQ(pool.accesses(), 2u);
   // Distinct file ids: two distinct pages resident.

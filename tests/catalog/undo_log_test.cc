@@ -15,7 +15,7 @@ class UndoLogTest : public ::testing::Test {
     s.AddColumn(Column("v", Type::kInt));
     ASSERT_TRUE(catalog_.CreateTable("t", s).ok());
     table_ = catalog_.GetTable("t");
-    r1_ = *table_->heap->Insert({Value::Int(1), Value::Int(10)});
+    r1_ = *table_->storage->Insert({Value::Int(1), Value::Int(10)});
     ASSERT_TRUE(table_->indexes[0]->Insert({Value::Int(1), Value::Int(10)},
                                            r1_).ok());
   }
@@ -27,12 +27,12 @@ class UndoLogTest : public ::testing::Test {
 
 TEST_F(UndoLogTest, UndoInsert) {
   UndoLog log;
-  Rid r2 = *table_->heap->Insert({Value::Int(2), Value::Int(20)});
+  Rid r2 = *table_->storage->Insert({Value::Int(2), Value::Int(20)});
   ASSERT_TRUE(
       table_->indexes[0]->Insert({Value::Int(2), Value::Int(20)}, r2).ok());
   log.RecordInsert("t", r2);
   ASSERT_TRUE(log.Rollback(&catalog_).ok());
-  EXPECT_FALSE(table_->heap->IsLive(r2));
+  EXPECT_FALSE(table_->storage->IsLive(r2));
   EXPECT_TRUE(table_->indexes[0]->Lookup({Value::Int(2)}).empty());
   EXPECT_TRUE(log.empty());
 }
@@ -41,10 +41,10 @@ TEST_F(UndoLogTest, UndoDeleteRevivesAtSameRid) {
   UndoLog log;
   Row old = {Value::Int(1), Value::Int(10)};
   ASSERT_TRUE(table_->indexes[0]->Erase(old, r1_).ok());
-  ASSERT_TRUE(table_->heap->Delete(r1_).ok());
+  ASSERT_TRUE(table_->storage->Delete(r1_).ok());
   log.RecordDelete("t", r1_, old);
   ASSERT_TRUE(log.Rollback(&catalog_).ok());
-  auto row = table_->heap->Read(r1_);
+  auto row = table_->storage->Read(r1_);
   ASSERT_TRUE(row.ok());
   EXPECT_EQ((*row)[1].AsInt(), 10);
   EXPECT_EQ(table_->indexes[0]->Lookup({Value::Int(1)}).size(), 1u);
@@ -54,9 +54,9 @@ TEST_F(UndoLogTest, UndoUpdateRestoresOldRow) {
   UndoLog log;
   Row old = {Value::Int(1), Value::Int(10)};
   log.RecordUpdate("t", r1_, old);
-  ASSERT_TRUE(table_->heap->Update(r1_, {Value::Int(1), Value::Int(99)}).ok());
+  ASSERT_TRUE(table_->storage->Update(r1_, {Value::Int(1), Value::Int(99)}).ok());
   ASSERT_TRUE(log.Rollback(&catalog_).ok());
-  auto row = table_->heap->Read(r1_);
+  auto row = table_->storage->Read(r1_);
   ASSERT_TRUE(row.ok());
   EXPECT_EQ((*row)[1].AsInt(), 10);
 }
@@ -66,22 +66,22 @@ TEST_F(UndoLogTest, MixedSequenceUndoneInReverse) {
   // update r1, insert r2, delete r1.
   Row old1 = {Value::Int(1), Value::Int(10)};
   log.RecordUpdate("t", r1_, old1);
-  ASSERT_TRUE(table_->heap->Update(r1_, {Value::Int(1), Value::Int(11)}).ok());
-  Rid r2 = *table_->heap->Insert({Value::Int(2), Value::Int(20)});
+  ASSERT_TRUE(table_->storage->Update(r1_, {Value::Int(1), Value::Int(11)}).ok());
+  Rid r2 = *table_->storage->Insert({Value::Int(2), Value::Int(20)});
   ASSERT_TRUE(
       table_->indexes[0]->Insert({Value::Int(2), Value::Int(20)}, r2).ok());
   log.RecordInsert("t", r2);
   Row current1 = {Value::Int(1), Value::Int(11)};
   ASSERT_TRUE(table_->indexes[0]->Erase(current1, r1_).ok());
-  ASSERT_TRUE(table_->heap->Delete(r1_).ok());
+  ASSERT_TRUE(table_->storage->Delete(r1_).ok());
   log.RecordDelete("t", r1_, current1);
 
   ASSERT_TRUE(log.Rollback(&catalog_).ok());
-  EXPECT_EQ(table_->heap->live_count(), 1u);
-  auto row = table_->heap->Read(r1_);
+  EXPECT_EQ(table_->storage->live_count(), 1u);
+  auto row = table_->storage->Read(r1_);
   ASSERT_TRUE(row.ok());
   EXPECT_EQ((*row)[1].AsInt(), 10);
-  EXPECT_FALSE(table_->heap->IsLive(r2));
+  EXPECT_FALSE(table_->storage->IsLive(r2));
 }
 
 TEST_F(UndoLogTest, CommitDiscardsEntries) {
@@ -91,7 +91,7 @@ TEST_F(UndoLogTest, CommitDiscardsEntries) {
   log.Commit();
   EXPECT_TRUE(log.empty());
   // Row untouched.
-  EXPECT_TRUE(table_->heap->IsLive(r1_));
+  EXPECT_TRUE(table_->storage->IsLive(r1_));
 }
 
 TEST(TableHeapRestore, RejectsLiveAndUnknownSlots) {

@@ -261,7 +261,7 @@ class BatchScanTest : public ::testing::Test {
   void SetUp() override {
     ASSERT_TRUE(catalog_.CreateTable("t", IntSchema({"id", "v"})).ok());
     TableInfo* t = catalog_.GetTable("t");
-    for (const Row& row : MakeRows(kRows)) ASSERT_TRUE(t->heap->Insert(row).ok());
+    for (const Row& row : MakeRows(kRows)) ASSERT_TRUE(t->storage->Insert(row).ok());
     ASSERT_TRUE(catalog_.CreateIndex("t_id", "t", {"id"}, /*unique=*/true,
                                      Index::Kind::kHash)
                     .ok());
@@ -315,7 +315,7 @@ TEST_F(BatchScanTest, BufferPoolFaultCounterFlowsIntoStats) {
   Catalog catalog(&pool);
   ASSERT_TRUE(catalog.CreateTable("t", IntSchema({"id", "v"})).ok());
   TableInfo* t = catalog.GetTable("t");
-  for (const Row& row : MakeRows(256)) ASSERT_TRUE(t->heap->Insert(row).ok());
+  for (const Row& row : MakeRows(256)) ASSERT_TRUE(t->storage->Insert(row).ok());
   pool.Clear();  // cold cache: the scan itself must fault the pages in
   SeqScanOp scan(IntSchema({"id", "v"}), "t", {});
   ExecContext ctx;

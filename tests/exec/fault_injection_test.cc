@@ -33,7 +33,15 @@ class FaultInjection : public ::testing::Test {
     return db_.catalog()->GetTable(table)->indexes[index]->Lookup({key}).size();
   }
 
-  Database db_;
+  // These tests target the heap.* failpoints and rid-level heap state, so
+  // the row layout is pinned: under SQLXNF_STORAGE=column the equivalent
+  // seams are covered by the column.* sites (column_store_test.cc).
+  static Database::Options RowLayout() {
+    Database::Options o;
+    o.default_storage = StorageKind::kRow;
+    return o;
+  }
+  Database db_{RowLayout()};
 };
 
 TEST_F(FaultInjection, MultiRowInsertRollsBackAllRows) {
@@ -49,7 +57,7 @@ TEST_F(FaultInjection, MultiRowInsertRollsBackAllRows) {
             (std::vector<int64_t>{1, 2, 3}));
   EXPECT_EQ(IndexEntries("t", 0, Value::Int(4)), 0u);
   EXPECT_EQ(IndexEntries("t", 1, Value::Int(40)), 0u);
-  EXPECT_EQ(db_.catalog()->GetTable("t")->heap->live_count(), 3u);
+  EXPECT_EQ(db_.catalog()->GetTable("t")->storage->live_count(), 3u);
 }
 
 TEST_F(FaultInjection, UpdateIndexInsertFailureRestoresHeapAndIndexes) {

@@ -57,16 +57,16 @@ std::string DumpState(Database* db) {
   std::ostringstream out;
   for (const std::string& name : db->catalog()->TableNames()) {
     TableInfo* table = db->catalog()->GetTable(name);
-    out << "table " << name << " live=" << table->heap->live_count() << "\n";
+    out << "table " << name << " live=" << table->storage->live_count() << "\n";
     std::vector<std::string> rows;
-    Status scanned = table->heap->Scan([&](Rid rid, const Row& row) {
+    Status scanned = table->storage->Scan([&](Rid rid, const Row& row) {
       rows.push_back(RowToString(row));
       // Index invariant: every live row is findable under every index, and
       // every rid an index returns for this key is live.
       for (const auto& index : table->indexes) {
         bool found = false;
         for (Rid r : index->Lookup(index->ExtractKey(row))) {
-          EXPECT_TRUE(table->heap->IsLive(r))
+          EXPECT_TRUE(table->storage->IsLive(r))
               << name << "." << index->name() << " holds a dead rid";
           if (r == rid) found = true;
         }

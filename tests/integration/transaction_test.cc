@@ -62,7 +62,7 @@ TEST_F(TransactionTest, RollbackRevivesRowsAtOriginalRids) {
   MustExecute(&db_, "BEGIN");
   MustExecute(&db_, "DELETE FROM t WHERE id = 1");
   MustExecute(&db_, "ROLLBACK");
-  auto row = db_.catalog()->GetTable("t")->heap->Read(rid);
+  auto row = db_.catalog()->GetTable("t")->storage->Read(rid);
   ASSERT_TRUE(row.ok());
   EXPECT_EQ((*row)[0].AsInt(), 1);
 }
