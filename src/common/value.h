@@ -26,6 +26,24 @@ const char* TypeName(Type type);
 // Three-valued logic result of SQL predicates: NULL is "unknown".
 enum class Tribool { kFalse = 0, kTrue = 1, kUnknown = 2 };
 
+// Wrapping two's-complement INT arithmetic, computed through uint64 so
+// signed overflow is defined behavior. Every integer evaluator — the scalar
+// row engine, the reference interpreter, and the columnar kernels — must go
+// through these so overflowing expressions stay bit-identical across
+// engines (the differential harness compares them directly).
+inline int64_t WrappingAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrappingSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+inline int64_t WrappingMul(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) *
+                              static_cast<uint64_t>(b));
+}
+
 // A single SQL value. NULL is represented by the monostate alternative and
 // compares per SQL semantics (comparisons involving NULL yield kUnknown).
 class Value {

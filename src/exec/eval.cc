@@ -59,13 +59,13 @@ Result<Value> EvalArithmetic(sql::BinOp op, const Value& l, const Value& r) {
   bool ints = l.is_int() && r.is_int();
   switch (op) {
     case sql::BinOp::kAdd:
-      return ints ? Value::Int(l.AsInt() + r.AsInt())
+      return ints ? Value::Int(WrappingAdd(l.AsInt(), r.AsInt()))
                   : Value::Double(l.AsDouble() + r.AsDouble());
     case sql::BinOp::kSub:
-      return ints ? Value::Int(l.AsInt() - r.AsInt())
+      return ints ? Value::Int(WrappingSub(l.AsInt(), r.AsInt()))
                   : Value::Double(l.AsDouble() - r.AsDouble());
     case sql::BinOp::kMul:
-      return ints ? Value::Int(l.AsInt() * r.AsInt())
+      return ints ? Value::Int(WrappingMul(l.AsInt(), r.AsInt()))
                   : Value::Double(l.AsDouble() * r.AsDouble());
     case sql::BinOp::kDiv:
       if (ints) {

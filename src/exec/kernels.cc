@@ -1,5 +1,7 @@
 #include "exec/kernels.h"
 
+#include "common/value.h"
+
 namespace xnf::exec {
 
 std::optional<CmpOp> CmpOpFromBinOp(sql::BinOp op) {
@@ -149,29 +151,20 @@ void FilterNull(const uint64_t* nulls, size_t n, bool keep_null, char* sel) {
   }
 }
 
-// Arithmetic functors. Integer forms compute in uint64: wraparound is
-// defined, and the bit pattern matches two's-complement — rows the scalar
+// Arithmetic functors. Integer forms wrap (WrappingAdd et al., shared with
+// the scalar evaluator and the reference interpreter): rows the scalar
 // evaluator would never have touched (already-filtered, NULL) are computed
 // here branch-free, so the kernel must not be able to trap.
 struct AddArith {
-  static int64_t I(int64_t a, int64_t b) {
-    return static_cast<int64_t>(static_cast<uint64_t>(a) +
-                                static_cast<uint64_t>(b));
-  }
+  static int64_t I(int64_t a, int64_t b) { return WrappingAdd(a, b); }
   static double F(double a, double b) { return a + b; }
 };
 struct SubArith {
-  static int64_t I(int64_t a, int64_t b) {
-    return static_cast<int64_t>(static_cast<uint64_t>(a) -
-                                static_cast<uint64_t>(b));
-  }
+  static int64_t I(int64_t a, int64_t b) { return WrappingSub(a, b); }
   static double F(double a, double b) { return a - b; }
 };
 struct MulArith {
-  static int64_t I(int64_t a, int64_t b) {
-    return static_cast<int64_t>(static_cast<uint64_t>(a) *
-                                static_cast<uint64_t>(b));
-  }
+  static int64_t I(int64_t a, int64_t b) { return WrappingMul(a, b); }
   static double F(double a, double b) { return a * b; }
 };
 

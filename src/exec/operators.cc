@@ -709,7 +709,7 @@ Status AggregateOp::Accumulate(AggState* state, const qgm::AggSpec& spec,
         XNF_ASSIGN_OR_RETURN(
             state->sum, [&]() -> Result<Value> {
               if (state->sum.is_int() && v.is_int()) {
-                return Value::Int(state->sum.AsInt() + v.AsInt());
+                return Value::Int(WrappingAdd(state->sum.AsInt(), v.AsInt()));
               }
               return Value::Double(state->sum.AsDouble() + v.AsDouble());
             }());

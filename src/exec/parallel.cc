@@ -189,6 +189,14 @@ bool CompileCmp(const ColumnStore& store, size_t column, Type lane_type,
       // comparable table-wide; leave the filter to the scalar path.
       if (store.DictOverflowed(column)) return false;
       const std::vector<std::string>& dict = store.Dictionary(column);
+      // An empty dictionary means every stored value is NULL (the NULL
+      // placeholder code 0 has no entry, so a verdict table sized to the
+      // dictionary would be indexed out of bounds): the comparison is
+      // unknown for every row, and WHERE rejects unknown.
+      if (dict.empty()) {
+        out->kind = KernelFilter::Kind::kRejectAll;
+        return true;
+      }
       const std::string& s = lit.AsString();
       out->kind = KernelFilter::Kind::kCmpCode;
       out->verdict.resize(dict.size());

@@ -314,6 +314,14 @@ Result<Rid> ColumnStore::Insert(Row row) {
       groups_.empty() || groups_.back().rows >= options_.rows_per_group;
   uint32_t group = static_cast<uint32_t>(need_group ? groups_.size()
                                                    : groups_.size() - 1);
+  // Buffer-pool page ids are group * num_columns + column in 32 bits
+  // (PageFor, and the range arithmetic in Pin/UnpinRange): refuse to grow
+  // past that space rather than letting ids wrap and collide across groups.
+  if (need_group &&
+      (static_cast<uint64_t>(groups_.size()) + 1) * schema_.size() >
+          std::numeric_limits<uint32_t>::max()) {
+    return Status::NotSupported("columnar table exceeds the 32-bit page-id space");
+  }
   XNF_RETURN_IF_ERROR(TouchGroupPages(group));
   if (need_group) {
     groups_.emplace_back();

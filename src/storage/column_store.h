@@ -1,7 +1,9 @@
 #ifndef XNF_STORAGE_COLUMN_STORE_H_
 #define XNF_STORAGE_COLUMN_STORE_H_
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -175,9 +177,14 @@ class ColumnStore : public TableStorage {
     bool overflowed = false;
   };
 
+  // Page ids are group-major; Insert refuses to create a group whose pages
+  // would not fit uint32, so the 64-bit product here can never truncate
+  // (wrapped ids would collide across groups in the buffer pool's
+  // residency/pin maps).
   uint32_t PageFor(uint32_t group, size_t column) const {
-    return group * static_cast<uint32_t>(schema_.size()) +
-           static_cast<uint32_t>(column);
+    uint64_t page = static_cast<uint64_t>(group) * schema_.size() + column;
+    assert(page <= std::numeric_limits<uint32_t>::max());
+    return static_cast<uint32_t>(page);
   }
   Status TouchPage(uint32_t group, size_t column) const;
   Status TouchGroupPages(uint32_t group) const;  // all columns

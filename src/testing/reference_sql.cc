@@ -95,13 +95,13 @@ Result<Value> Arith(BinOp op, const Value& l, const Value& r) {
   bool ints = l.is_int() && r.is_int();
   switch (op) {
     case BinOp::kAdd:
-      return ints ? Value::Int(l.AsInt() + r.AsInt())
+      return ints ? Value::Int(WrappingAdd(l.AsInt(), r.AsInt()))
                   : Value::Double(l.AsDouble() + r.AsDouble());
     case BinOp::kSub:
-      return ints ? Value::Int(l.AsInt() - r.AsInt())
+      return ints ? Value::Int(WrappingSub(l.AsInt(), r.AsInt()))
                   : Value::Double(l.AsDouble() - r.AsDouble());
     case BinOp::kMul:
-      return ints ? Value::Int(l.AsInt() * r.AsInt())
+      return ints ? Value::Int(WrappingMul(l.AsInt(), r.AsInt()))
                   : Value::Double(l.AsDouble() * r.AsDouble());
     case BinOp::kDiv:
       if (ints) {
@@ -258,7 +258,7 @@ Result<Value> EvalAggregate(State* st, const Expr& e, const GroupCtx& group) {
     Value acc = vals[0];
     for (size_t i = 1; i < vals.size(); ++i) {
       if (acc.is_int() && vals[i].is_int()) {
-        acc = Value::Int(acc.AsInt() + vals[i].AsInt());
+        acc = Value::Int(WrappingAdd(acc.AsInt(), vals[i].AsInt()));
       } else {
         acc = Value::Double(acc.AsDouble() + vals[i].AsDouble());
       }
