@@ -1,0 +1,168 @@
+// ABBA overhead check for the metrics subsystem: the same workload runs
+// against two databases — Options::collect_metrics off (A) and on (B) — in
+// A B B A order per round, so slow clock/thermal drift cancels out of the
+// comparison. The workload leans on the instrumented hot paths: columnar
+// kernel scans, row-engine scans, inserts, and the per-statement profile
+// wrapper.
+//
+//   ./metrics_overhead                         print the measured overhead
+//   ./metrics_overhead --check                 exit 1 if overhead > 2%
+//   ./metrics_overhead --threshold=1.5         override the 2% gate
+//   ./metrics_overhead --rounds=N              ABBA rounds (default 9)
+//   ./metrics_overhead --snapshot=<file>       dump sqlxnf_metrics of the
+//                                              last metrics-on run
+//
+// Results are recorded in EXPERIMENTS.md ("Metrics overhead").
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "util.h"
+
+namespace xnf::bench {
+namespace {
+
+constexpr int kRows = 20000;
+constexpr int kQueriesPerRun = 60;
+
+std::unique_ptr<Database> MakeDb(bool metrics) {
+  Database::Options o;
+  o.collect_metrics = metrics;
+  o.threads = 1;  // single-threaded: the steadiest timing baseline
+  auto db = std::make_unique<Database>(o);
+  Check(db->Execute("CREATE TABLE tc (a INT, b INT, s VARCHAR) USING column")
+            .status(),
+        "create tc");
+  Check(db->Execute("CREATE TABLE tr (a INT, b INT) USING row").status(),
+        "create tr");
+  std::vector<Row> rows;
+  rows.reserve(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    rows.push_back({Value::Int(i), Value::Int(i % 97),
+                    Value::String(i % 5 == 0 ? "hot" : "cold")});
+  }
+  BulkInsert(db.get(), "tc", rows);
+  std::vector<Row> rrows;
+  rrows.reserve(kRows);
+  for (int i = 0; i < kRows; ++i) {
+    rrows.push_back({Value::Int(i), Value::Int(i % 97)});
+  }
+  BulkInsert(db.get(), "tr", rrows);
+  return db;
+}
+
+// One timed pass: kernelized columnar scans, a dictionary filter, row-engine
+// scans, and a few DML statements — every statement goes through the full
+// Execute() profile wrapper.
+double RunWorkload(Database* db) {
+  auto start = std::chrono::steady_clock::now();
+  for (int q = 0; q < kQueriesPerRun; ++q) {
+    auto r1 = db->Query("SELECT a FROM tc WHERE a > 10000 AND b < 50");
+    Check(r1.status(), "columnar scan");
+    auto r2 = db->Query("SELECT a FROM tc WHERE s = 'hot' AND a < 5000");
+    Check(r2.status(), "dict scan");
+    auto r3 = db->Query("SELECT a FROM tr WHERE a > 15000");
+    Check(r3.status(), "row scan");
+  }
+  for (int i = 0; i < 50; ++i) {
+    Check(db->Execute("INSERT INTO tr VALUES (" + std::to_string(100000 + i) +
+                      ", 1)")
+              .status(),
+          "insert");
+  }
+  Check(db->Execute("DELETE FROM tr WHERE a >= 100000").status(), "delete");
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+int Main(int argc, char** argv) {
+  bool check = false;
+  double threshold = 2.0;
+  int rounds = 9;
+  std::string snapshot_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      rounds = std::atoi(arg.c_str() + 9);
+    } else if (arg.rfind("--snapshot=", 0) == 0) {
+      snapshot_path = arg.substr(11);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<Database> off = MakeDb(/*metrics=*/false);
+  std::unique_ptr<Database> on = MakeDb(/*metrics=*/true);
+  // Warmup: fault every page in, populate dictionaries, warm the allocator.
+  RunWorkload(off.get());
+  RunWorkload(on.get());
+
+  // Per-round ABBA ratios, gated on the *median*: a single scheduler spike
+  // on a shared CI machine lands in one round and is voted out, where a
+  // sum over all rounds would absorb it into the verdict.
+  double t_off = 0, t_on = 0;
+  std::vector<double> ratios;
+  ratios.reserve(rounds);
+  for (int r = 0; r < rounds; ++r) {
+    double off_r = 0, on_r = 0;
+    off_r += RunWorkload(off.get());  // A
+    on_r += RunWorkload(on.get());    // B
+    on_r += RunWorkload(on.get());    // B
+    off_r += RunWorkload(off.get());  // A
+    t_off += off_r;
+    t_on += on_r;
+    ratios.push_back((on_r - off_r) / off_r * 100.0);
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double overhead_pct = ratios[ratios.size() / 2];
+  std::printf("metrics-off: %.3fs  metrics-on: %.3fs  median overhead: "
+              "%+.2f%%  rounds:", t_off, t_on, overhead_pct);
+  for (double r : ratios) std::printf(" %+.2f%%", r);
+  std::printf("  (%d ABBA rounds, %d rows, %d queries/run)\n", rounds, kRows,
+              kQueriesPerRun);
+
+  if (!snapshot_path.empty()) {
+    auto rows = on->Query(
+        "SELECT name, kind, bucket_lo, bucket_hi, value FROM sqlxnf_metrics");
+    Check(rows.status(), "snapshot query");
+    std::ofstream out(snapshot_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", snapshot_path.c_str());
+      return 2;
+    }
+    out << "name,kind,bucket_lo,bucket_hi,value\n";
+    for (const Row& row : rows->rows) {
+      out << row[0].AsString() << "," << row[1].AsString() << ","
+          << (row[2].is_null() ? "" : std::to_string(row[2].AsInt())) << ","
+          << (row[3].is_null() ? "" : std::to_string(row[3].AsInt())) << ","
+          << row[4].AsInt() << "\n";
+    }
+    std::printf("wrote %zu metric rows to %s\n", rows->rows.size(),
+                snapshot_path.c_str());
+  }
+
+  if (check && overhead_pct > threshold) {
+    std::fprintf(stderr,
+                 "FAIL: metrics overhead %.2f%% exceeds the %.2f%% gate\n",
+                 overhead_pct, threshold);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace xnf::bench
+
+int main(int argc, char** argv) { return xnf::bench::Main(argc, argv); }

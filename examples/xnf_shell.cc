@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -67,6 +68,45 @@ void PrintStats(xnf::Database* db) {
   }
 }
 
+// .metrics [filter]: the engine metrics registry, optionally restricted to
+// names containing `filter` (same data as SELECT * FROM sqlxnf_metrics).
+void PrintMetrics(xnf::Database* db, const std::string& filter) {
+  if (db->metrics() == nullptr) {
+    std::cout << "metrics collection is off\n";
+    return;
+  }
+  size_t printed = 0;
+  for (const auto& s : db->metrics()->Snapshot()) {
+    if (!filter.empty() && s.name.find(filter) == std::string::npos) continue;
+    std::cout << s.name << " [" << s.kind << "]";
+    if (s.bucket_lo.has_value()) {
+      std::cout << " " << *s.bucket_lo << ".." << *s.bucket_hi;
+    }
+    std::cout << " = " << s.value << "\n";
+    ++printed;
+  }
+  if (printed == 0) std::cout << "(no matching metrics)\n";
+}
+
+// .history: the retained statement ring, oldest first (same data as
+// SELECT * FROM sqlxnf_statements).
+void PrintHistory(xnf::Database* db) {
+  if (db->statement_history().empty()) {
+    std::cout << "(no statements recorded)\n";
+    return;
+  }
+  for (const auto& p : db->statement_history()) {
+    std::cout << "#" << p.seq << " " << p.kind << " " << p.latency_us
+              << "us rows=" << p.rows << " pages=" << p.heap_pages << "h/"
+              << p.index_pages << "i/" << p.column_pages << "c dop=" << p.dop;
+    if (p.scan_filters > 0) {
+      std::cout << " kernel=" << p.kernel_filters << "/" << p.scan_filters;
+    }
+    if (!p.error.empty()) std::cout << " error=" << p.error;
+    std::cout << "\n";
+  }
+}
+
 void PrintHelp() {
   std::cout <<
       "SQL:  CREATE TABLE/INDEX/VIEW, INSERT, UPDATE, DELETE, SELECT,\n"
@@ -78,6 +118,12 @@ void PrintHelp() {
       "      .timer on|off   wall time per statement\n"
       "      .stats [on|off] print counters / toggle per-operator stats\n"
       "      .trace on|off   pipeline span timeline per statement\n"
+      "      .trace json <file>      export collected spans as Chrome\n"
+      "                      trace-event JSON (Perfetto / about://tracing)\n"
+      "      .metrics [filter]       engine metrics registry (also\n"
+      "                      SELECT * FROM sqlxnf_metrics)\n"
+      "      .history        recent statements (also sqlxnf_statements;\n"
+      "                      sqlxnf_storage / sqlxnf_bufferpool likewise)\n"
       "      .threads [N]    show / set intra-query worker threads\n"
       "      .storage [row|column]   show / set the default table layout\n"
       "                      (CREATE TABLE ... USING row|column overrides)\n"
@@ -118,6 +164,26 @@ int main() {
         tracing = line == ".trace on";
         db.set_trace_sink(tracing ? &trace : nullptr);
         std::cout << "trace " << (tracing ? "on" : "off") << "\n";
+      } else if (line.rfind(".trace json ", 0) == 0) {
+        std::string path = line.substr(12);
+        std::ofstream out(path);
+        if (!out) {
+          std::cout << "error: cannot open " << path << "\n";
+        } else {
+          out << trace.ToChromeTraceJson();
+          std::cout << "wrote " << trace.spans().size() << " span(s) to "
+                    << path;
+          if (trace.dropped_spans() > 0) {
+            std::cout << " (" << trace.dropped_spans() << " dropped)";
+          }
+          std::cout << "\n";
+        }
+      } else if (line == ".metrics") {
+        PrintMetrics(&db, "");
+      } else if (line.rfind(".metrics ", 0) == 0) {
+        PrintMetrics(&db, line.substr(9));
+      } else if (line == ".history") {
+        PrintHistory(&db);
       } else if (line == ".threads") {
         std::cout << "threads " << db.threads() << "\n";
       } else if (line == ".failpoint") {

@@ -1,5 +1,7 @@
 #include "api/database.h"
 
+#include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -36,6 +38,53 @@ void EmitLines(const std::string& text, ResultSet* out) {
 std::string FormatUs(uint64_t ns) {
   return std::to_string(ns / 1000) + "." + std::to_string((ns / 100) % 10) +
          "us";
+}
+
+// FNV-1a 64 of the statement text: a stable, platform-independent identity
+// for sqlxnf_statements (the text itself may hold user data; the hash does
+// not).
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+// Statement kind from the leading keyword(s); the stmt.latency_us.<kind>
+// histogram family and the sqlxnf_statements `kind` column. XNF statements
+// are refined by ExecuteXnf (xnf_take / xnf_update / xnf_delete).
+std::string StatementKindOf(const std::string& text) {
+  size_t pos = 0;
+  auto word = [&]() {
+    while (pos < text.size() &&
+           !std::isalpha(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    std::string w;
+    while (pos < text.size() &&
+           std::isalpha(static_cast<unsigned char>(text[pos]))) {
+      w.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(text[pos]))));
+      ++pos;
+    }
+    return w;
+  };
+  std::string first = word();
+  if (first.empty()) return "other";
+  if (first == "create" || first == "drop") {
+    std::string second = word();
+    if (second == "table" || second == "index" || second == "view") {
+      return first + "_" + second;
+    }
+    return first;
+  }
+  if (first == "begin" || first == "commit" || first == "rollback") {
+    return "txn";
+  }
+  if (first == "out") return "xnf";
+  return first;  // select / insert / update / delete / explain / ...
 }
 
 }  // namespace
@@ -89,12 +138,60 @@ Database::Database(Options options)
       std::abort();
     }
   }
+  if (options_.collect_metrics) {
+    metrics_ = std::make_unique<MetricsRegistry>();
+    catalog_.set_metrics(metrics_.get());
+    exec_pool_->set_metrics(metrics_.get());
+    // Subsystems that already keep their own atomics are exported as pull
+    // gauges: sampled only when a snapshot is taken, free otherwise. The
+    // callbacks read exec_pool_ through `this`, so they survive the pool
+    // swap in set_threads().
+    metrics_->RegisterGaugeCallback("bufferpool.accesses", [this] {
+      return static_cast<int64_t>(buffer_pool_.accesses());
+    });
+    metrics_->RegisterGaugeCallback("bufferpool.faults", [this] {
+      return static_cast<int64_t>(buffer_pool_.faults());
+    });
+    metrics_->RegisterGaugeCallback("bufferpool.evictions", [this] {
+      return static_cast<int64_t>(buffer_pool_.evictions());
+    });
+    metrics_->RegisterGaugeCallback("bufferpool.resident", [this] {
+      return static_cast<int64_t>(buffer_pool_.resident_pages());
+    });
+    static constexpr PageKind kKinds[] = {PageKind::kHeap, PageKind::kIndex,
+                                          PageKind::kColumn};
+    for (PageKind kind : kKinds) {
+      std::string prefix = std::string("bufferpool.") + PageKindName(kind);
+      metrics_->RegisterGaugeCallback(prefix + ".accesses", [this, kind] {
+        return static_cast<int64_t>(buffer_pool_.accesses(kind));
+      });
+      metrics_->RegisterGaugeCallback(prefix + ".faults", [this, kind] {
+        return static_cast<int64_t>(buffer_pool_.faults(kind));
+      });
+      metrics_->RegisterGaugeCallback(prefix + ".evictions", [this, kind] {
+        return static_cast<int64_t>(buffer_pool_.evictions(kind));
+      });
+      metrics_->RegisterGaugeCallback(prefix + ".resident", [this, kind] {
+        return static_cast<int64_t>(buffer_pool_.resident_pages(kind));
+      });
+    }
+    metrics_->RegisterGaugeCallback("threadpool.queue_depth", [this] {
+      return static_cast<int64_t>(exec_pool_->queue_depth());
+    });
+    // Process-lifetime fault-injection trips (the registry is global, so
+    // two databases report the same number — by design).
+    metrics_->RegisterGaugeCallback("failpoint.trips", [] {
+      return static_cast<int64_t>(Failpoints::total_fires());
+    });
+  }
+  RegisterSystemViews();
 }
 
 void Database::set_threads(int n) {
   catalog_.set_exec_pool(nullptr);
   exec_pool_ = std::make_unique<ThreadPool>(n);
   catalog_.set_exec_pool(exec_pool_.get());
+  if (metrics_ != nullptr) exec_pool_->set_metrics(metrics_.get());
 }
 
 int Database::threads() const { return exec_pool_->dop(); }
@@ -126,6 +223,12 @@ Result<const ResultSet*> Database::ResolveExtra(const std::string& name) {
 }
 
 Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
+  db_->catalog_.BeginStatementEpoch();
+  const uint64_t before[3] = {
+      db_->buffer_pool_.accesses(PageKind::kHeap),
+      db_->buffer_pool_.accesses(PageKind::kIndex),
+      db_->buffer_pool_.accesses(PageKind::kColumn)};
+  const auto start = std::chrono::steady_clock::now();
   exec::ExecContext ctx;
   ctx.catalog = &db_->catalog_;
   ctx.params = &params;
@@ -141,6 +244,11 @@ Result<ResultSet> PreparedQuery::Execute(const std::vector<Value>& params) {
           exec::RenderPlan(plan_.get(), &db_->catalog_, /*analyze=*/true);
     }
   }
+  db_->RecordStatement("", "prepared", start, before,
+                       rows.ok() ? static_cast<int64_t>(rows->rows.size()) : 0,
+                       rows.ok() ? rows->stats.kernel_filters : 0,
+                       rows.ok() ? rows->stats.scan_filters : 0,
+                       rows.ok() ? Status::Ok() : rows.status());
   return rows;
 }
 
@@ -174,16 +282,28 @@ Result<ResultSet> Database::Query(const std::string& select_text) {
 }
 
 Result<co::CoInstance> Database::QueryCo(const std::string& xnf_text) {
+  catalog_.BeginStatementEpoch();
   co::Evaluator evaluator(&catalog_, xnf_options_);
   Result<co::CoInstance> result = evaluator.EvaluateText(xnf_text);
   xnf_stats_ = evaluator.stats();
+  RecordXnfStats(xnf_stats_);
   return result;
 }
 
 Result<std::unique_ptr<co::CoCache>> Database::OpenCo(
     const std::string& xnf_text) {
   XNF_ASSIGN_OR_RETURN(co::CoInstance instance, QueryCo(xnf_text));
-  return co::CoCache::Build(std::move(instance));
+  XNF_ASSIGN_OR_RETURN(auto cache, co::CoCache::Build(std::move(instance)));
+  if (metrics_ != nullptr) {
+    metrics_->counter("cocache.fills")->Add(1);
+    metrics_->counter("cocache.tuples_linked")
+        ->Add(cache->stats().tuples_linked);
+    metrics_->counter("cocache.connections_linked")
+        ->Add(cache->stats().connections_linked);
+    cache->set_nav_counters(metrics_->counter("cocache.pointer_navigations"),
+                            metrics_->counter("cocache.hash_navigations"));
+  }
+  return cache;
 }
 
 Result<ExecResult> Database::ExecuteScript(const std::string& text) {
@@ -221,6 +341,49 @@ Result<ExecResult> Database::ExecuteScript(const std::string& text) {
 }
 
 Result<ExecResult> Database::Execute(const std::string& text) {
+  // Every statement starts a fresh system-view snapshot epoch: the first
+  // access to a sqlxnf_* view inside this statement re-fills it, repeated
+  // accesses (self-joins) see the same frozen snapshot.
+  catalog_.BeginStatementEpoch();
+  if (metrics_ == nullptr) return ExecuteInternal(text);
+  stmt_kind_override_.clear();
+  const uint64_t before[3] = {buffer_pool_.accesses(PageKind::kHeap),
+                              buffer_pool_.accesses(PageKind::kIndex),
+                              buffer_pool_.accesses(PageKind::kColumn)};
+  const auto start = std::chrono::steady_clock::now();
+  Result<ExecResult> result = ExecuteInternal(text);
+  const std::string kind = !stmt_kind_override_.empty()
+                               ? stmt_kind_override_
+                               : StatementKindOf(text);
+  int64_t rows = 0;
+  uint64_t kernel_filters = 0;
+  uint64_t scan_filters = 0;
+  if (result.ok()) {
+    switch (result->kind) {
+      case ExecResult::Kind::kRows:
+        rows = static_cast<int64_t>(result->rows.rows.size());
+        kernel_filters = result->rows.stats.kernel_filters;
+        scan_filters = result->rows.stats.scan_filters;
+        break;
+      case ExecResult::Kind::kAffected:
+        rows = result->affected;
+        break;
+      case ExecResult::Kind::kCo:
+        for (const co::CoNodeInstance& node : result->co.nodes) {
+          rows += static_cast<int64_t>(node.tuples.size());
+        }
+        break;
+      case ExecResult::Kind::kNone:
+        break;
+    }
+  }
+  RecordStatement(text, kind, start, before, rows, kernel_filters,
+                  scan_filters,
+                  result.ok() ? Status::Ok() : result.status());
+  return result;
+}
+
+Result<ExecResult> Database::ExecuteInternal(const std::string& text) {
   component_cache_.clear();
   TraceScope statement_span(trace_sink_, "statement",
                             trace_sink_ != nullptr ? text : std::string());
@@ -426,6 +589,7 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& explain) {
       evaluator.set_trace_sink(trace_sink_);
       XNF_ASSIGN_OR_RETURN(co::CoInstance instance, evaluator.Evaluate(query));
       xnf_stats_ = evaluator.stats();
+      RecordXnfStats(xnf_stats_);
       const co::Evaluator::Stats& s = xnf_stats_;
       dump += "xnf evaluation profile:\n";
       for (const co::Evaluator::QueryProfile& p : s.profiles) {
@@ -533,10 +697,16 @@ Result<ExecResult> Database::ExecuteXnf(const std::string& text) {
     TraceScope span(trace_sink_, "parse");
     return co::Parser::Parse(text);
   }());
+  // Refine the history kind: the generic "xnf" becomes the action.
+  stmt_kind_override_ =
+      query.action == co::XnfQuery::Action::kDelete   ? "xnf_delete"
+      : query.action == co::XnfQuery::Action::kUpdate ? "xnf_update"
+                                                      : "xnf_take";
   co::Evaluator evaluator(&catalog_, xnf_options_);
   evaluator.set_trace_sink(trace_sink_);
   XNF_ASSIGN_OR_RETURN(co::CoInstance instance, evaluator.Evaluate(query));
   xnf_stats_ = evaluator.stats();
+  RecordXnfStats(xnf_stats_);
 
   if (query.action == co::XnfQuery::Action::kDelete) {
     return ExecuteCoDelete(instance);
@@ -670,6 +840,62 @@ Result<ExecResult> Database::ExecuteCoDelete(const co::CoInstance& instance) {
   result.affected = affected;
   result.message = "composite object deleted";
   return result;
+}
+
+void Database::RecordStatement(const std::string& text,
+                               const std::string& kind,
+                               std::chrono::steady_clock::time_point start,
+                               const uint64_t before[3], int64_t rows,
+                               uint64_t kernel_filters, uint64_t scan_filters,
+                               const Status& status) {
+  if (metrics_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  int64_t latency_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count();
+  if (latency_us < 0) latency_us = 0;
+  metrics_->counter("stmt.count")->Add(1);
+  if (!status.ok()) metrics_->counter("stmt.errors")->Add(1);
+  metrics_->histogram("stmt.latency_us." + kind)
+      ->Record(static_cast<uint64_t>(latency_us));
+  if (options_.statement_history == 0) return;
+  StatementProfile p;
+  p.seq = ++stmt_seq_;
+  p.kind = kind;
+  p.text_hash = Fnv1a(text);
+  p.latency_us = latency_us;
+  p.rows = rows;
+  p.heap_pages = static_cast<int64_t>(
+      buffer_pool_.accesses(PageKind::kHeap) - before[0]);
+  p.index_pages = static_cast<int64_t>(
+      buffer_pool_.accesses(PageKind::kIndex) - before[1]);
+  p.column_pages = static_cast<int64_t>(
+      buffer_pool_.accesses(PageKind::kColumn) - before[2]);
+  p.dop = exec_pool_->dop();
+  p.kernel_filters = static_cast<int64_t>(kernel_filters);
+  p.scan_filters = static_cast<int64_t>(scan_filters);
+  if (!status.ok()) p.error = StatusCodeName(status.code());
+  history_.push_back(std::move(p));
+  while (history_.size() > options_.statement_history) history_.pop_front();
+}
+
+void Database::RecordXnfStats(const co::Evaluator::Stats& stats) {
+  if (metrics_ == nullptr) return;
+  auto add = [&](const char* name, uint64_t v) {
+    metrics_->counter(name)->Add(v);
+  };
+  add("xnf.evaluations", 1);
+  add("xnf.node_queries", static_cast<uint64_t>(stats.node_queries));
+  add("xnf.edge_queries", static_cast<uint64_t>(stats.edge_queries));
+  add("xnf.temp_reuses", static_cast<uint64_t>(stats.temp_reuses));
+  add("xnf.cse_hits", static_cast<uint64_t>(stats.cse_hits));
+  add("xnf.cse_misses", static_cast<uint64_t>(stats.cse_misses));
+  add("xnf.reachability_passes",
+      static_cast<uint64_t>(stats.reachability_passes));
+  add("xnf.restrictions_applied",
+      static_cast<uint64_t>(stats.restrictions_applied));
+  add("xnf.rows_produced", stats.rows_produced);
+  add("xnf.batches_produced", stats.batches_produced);
 }
 
 }  // namespace xnf

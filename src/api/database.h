@@ -1,6 +1,9 @@
 #ifndef XNF_API_DATABASE_H_
 #define XNF_API_DATABASE_H_
 
+#include <chrono>
+#include <cstdint>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <string>
@@ -8,6 +11,7 @@
 
 #include "catalog/catalog.h"
 #include "catalog/undo_log.h"
+#include "common/metrics.h"
 #include "common/result_set.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
@@ -82,6 +86,32 @@ class Database {
     // the fuzz matrix and layout-sensitive tests stay pinned under a
     // SQLXNF_STORAGE=column CI run).
     std::optional<StorageKind> default_storage;
+    // Engine metrics: counters/gauges/histograms wired through every
+    // subsystem, the sqlxnf_* system views, and the statement history.
+    // Off removes every instrument pointer (call sites skip the increment)
+    // — the ABBA overhead benchmark's baseline.
+    bool collect_metrics = true;
+    // Statements retained in the sqlxnf_statements ring (oldest evicted
+    // first). 0 disables history.
+    size_t statement_history = 128;
+  };
+
+  // One executed statement's profile — a row of sqlxnf_statements. Recorded
+  // after the statement finishes (so a SELECT over sqlxnf_statements never
+  // sees itself), only when Options::collect_metrics is on.
+  struct StatementProfile {
+    uint64_t seq = 0;          // 1-based statement number
+    std::string kind;          // "select", "insert", "xnf_take", ...
+    uint64_t text_hash = 0;    // FNV-1a 64 of the statement text
+    int64_t latency_us = 0;    // end-to-end wall time
+    int64_t rows = 0;          // result rows / affected count / CO tuples
+    int64_t heap_pages = 0;    // buffer-pool accesses by kind during the
+    int64_t index_pages = 0;   // statement (whole-engine deltas: concurrent
+    int64_t column_pages = 0;  // work on another thread would be included)
+    int dop = 1;               // pool DOP available to the statement
+    int64_t kernel_filters = 0;  // ExecStats kernel coverage (SELECT only)
+    int64_t scan_filters = 0;
+    std::string error;         // "" = ok, else the StatusCode name
   };
 
   Database() : Database(Options()) {}
@@ -116,6 +146,18 @@ class Database {
 
   Catalog* catalog() { return &catalog_; }
   BufferPool* buffer_pool() { return &buffer_pool_; }
+
+  // The engine metrics registry, or null when Options::collect_metrics is
+  // off. Also queryable in SQL through the sqlxnf_metrics system view.
+  MetricsRegistry* metrics() const { return metrics_.get(); }
+
+  // The retained statement ring, oldest first (also queryable as
+  // sqlxnf_statements). Written between statements; do not call from a
+  // system-view fill running inside a statement other than the registered
+  // ones.
+  const std::deque<StatementProfile>& statement_history() const {
+    return history_;
+  }
 
   // Degree of parallelism for intra-query execution. set_threads() replaces
   // the worker pool (must not be called while queries are running); n <= 0
@@ -162,6 +204,22 @@ class Database {
  private:
   friend class PreparedQuery;
 
+  // Execute() body; the public wrapper adds the statement epoch, the
+  // latency/pages profile, and the history ring entry around it.
+  Result<ExecResult> ExecuteInternal(const std::string& text);
+  // Registers the sqlxnf_* system views against the catalog.
+  void RegisterSystemViews();
+  // Records one finished statement: stmt.* metrics plus the history entry.
+  // `before` holds the per-PageKind buffer-pool access counts at statement
+  // start.
+  void RecordStatement(const std::string& text, const std::string& kind,
+                       std::chrono::steady_clock::time_point start,
+                       const uint64_t before[3], int64_t rows,
+                       uint64_t kernel_filters, uint64_t scan_filters,
+                       const Status& status);
+  // Pushes one XNF evaluation's counters into the xnf.* metrics.
+  void RecordXnfStats(const co::Evaluator::Stats& stats);
+
   Result<ExecResult> ExecuteXnf(const std::string& text);
   Result<ExecResult> ExecuteExplain(const sql::ExplainStmt& explain);
   // SELECT pipeline (qgm-build -> rewrite -> plan -> execute) with trace
@@ -174,6 +232,9 @@ class Database {
   Result<const ResultSet*> ResolveExtra(const std::string& name);
 
   Options options_;
+  // Declared before the catalog/pool so instrument pointers resolved at
+  // table/pool construction outlive their holders.
+  std::unique_ptr<MetricsRegistry> metrics_;
   BufferPool buffer_pool_;
   Catalog catalog_;
   std::unique_ptr<ThreadPool> exec_pool_;  // intra-query workers
@@ -184,6 +245,12 @@ class Database {
   bool collect_exec_stats_ = false;
   std::string last_plan_profile_;
   std::unique_ptr<UndoLog> txn_;  // active transaction's undo log
+  // Statement history ring (sqlxnf_statements): newest at the back.
+  std::deque<StatementProfile> history_;
+  uint64_t stmt_seq_ = 0;
+  // Set by ExecuteXnf so the wrapper records xnf_take/xnf_update/xnf_delete
+  // instead of the generic "xnf"; cleared per statement.
+  std::string stmt_kind_override_;
   // Materializations of XNF view components referenced by SQL queries; kept
   // alive until the next statement.
   std::vector<std::unique_ptr<ResultSet>> component_cache_;

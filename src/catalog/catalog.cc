@@ -2,9 +2,17 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/str_util.h"
+#include "storage/virtual_table.h"
 
 namespace xnf {
+
+namespace {
+
+constexpr char kSystemPrefix[] = "sqlxnf_";
+
+}  // namespace
 
 Index* TableInfo::FindIndexOn(const std::vector<size_t>& columns) const {
   for (const auto& idx : indexes) {
@@ -13,9 +21,18 @@ Index* TableInfo::FindIndexOn(const std::vector<size_t>& columns) const {
   return nullptr;
 }
 
+bool Catalog::IsReservedName(const std::string& name) {
+  std::string key = ToLower(name);
+  return key.compare(0, sizeof(kSystemPrefix) - 1, kSystemPrefix) == 0;
+}
+
 Status Catalog::CreateTable(const std::string& name, Schema schema,
                             std::optional<StorageKind> storage) {
   std::string key = ToLower(name);
+  if (IsReservedName(key)) {
+    return Status::InvalidArgument(
+        "the 'sqlxnf_' name prefix is reserved for system views");
+  }
   if (NameExists(key)) {
     return Status::AlreadyExists("object '" + name + "' already exists");
   }
@@ -28,12 +45,14 @@ Status Catalog::CreateTable(const std::string& name, Schema schema,
     opts.rows_per_group = tuples_per_page_;
     opts.buffer_pool = buffer_pool_;
     opts.file_id = next_file_id_++;
+    opts.metrics = metrics_;
     info->storage = std::make_unique<ColumnStore>(info->schema, opts);
   } else {
     TableHeap::Options opts;
     opts.tuples_per_page = tuples_per_page_;
     opts.buffer_pool = buffer_pool_;
     opts.file_id = next_file_id_++;
+    opts.metrics = metrics_;
     info->storage = std::make_unique<TableHeap>(opts);
   }
   // Primary keys get an implicit unique hash index.
@@ -47,6 +66,10 @@ Status Catalog::CreateTable(const std::string& name, Schema schema,
 
 Status Catalog::DropTable(const std::string& name) {
   std::string key = ToLower(name);
+  if (IsReservedName(key)) {
+    return Status::InvalidArgument("system view '" + name +
+                                   "' cannot be dropped");
+  }
   if (tables_.erase(key) == 0) {
     return Status::NotFound("table '" + name + "' not found");
   }
@@ -54,17 +77,27 @@ Status Catalog::DropTable(const std::string& name) {
 }
 
 TableInfo* Catalog::GetTable(const std::string& name) const {
-  auto it = tables_.find(ToLower(name));
-  return it == tables_.end() ? nullptr : it->second.get();
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it != tables_.end()) return it->second.get();
+  return GetSystemView(key);
 }
 
 Status Catalog::CreateIndex(const std::string& index_name,
                             const std::string& table_name,
                             const std::vector<std::string>& column_names,
                             bool unique, Index::Kind kind) {
+  if (IsReservedName(index_name)) {
+    return Status::InvalidArgument(
+        "the 'sqlxnf_' name prefix is reserved for system views");
+  }
   TableInfo* table = GetTable(table_name);
   if (table == nullptr) {
     return Status::NotFound("table '" + table_name + "' not found");
+  }
+  if (table->is_system) {
+    return Status::InvalidArgument("cannot create an index on system view '" +
+                                   table_name + "'");
   }
   for (const auto& idx : table->indexes) {
     if (EqualsIgnoreCase(idx->name(), index_name)) {
@@ -99,6 +132,10 @@ Status Catalog::CreateIndex(const std::string& index_name,
 Status Catalog::CreateView(const std::string& name, std::string definition,
                            bool is_xnf) {
   std::string key = ToLower(name);
+  if (IsReservedName(key)) {
+    return Status::InvalidArgument(
+        "the 'sqlxnf_' name prefix is reserved for system views");
+  }
   if (NameExists(key)) {
     return Status::AlreadyExists("object '" + name + "' already exists");
   }
@@ -107,6 +144,10 @@ Status Catalog::CreateView(const std::string& name, std::string definition,
 }
 
 Status Catalog::DropView(const std::string& name) {
+  if (IsReservedName(name)) {
+    return Status::InvalidArgument("system view '" + name +
+                                   "' cannot be dropped");
+  }
   if (views_.erase(ToLower(name)) == 0) {
     return Status::NotFound("view '" + name + "' not found");
   }
@@ -120,7 +161,54 @@ const ViewInfo* Catalog::GetView(const std::string& name) const {
 
 bool Catalog::NameExists(const std::string& name) const {
   std::string key = ToLower(name);
-  return tables_.count(key) > 0 || views_.count(key) > 0;
+  if (tables_.count(key) > 0 || views_.count(key) > 0) return true;
+  std::lock_guard<std::mutex> lock(system_mu_);
+  return system_views_.count(key) > 0;
+}
+
+Status Catalog::RegisterSystemView(const std::string& name, Schema schema,
+                                   SystemViewFill fill) {
+  std::string key = ToLower(name);
+  if (!IsReservedName(key)) {
+    return Status::InvalidArgument(
+        "system view names must carry the 'sqlxnf_' prefix");
+  }
+  std::lock_guard<std::mutex> lock(system_mu_);
+  if (system_views_.count(key) > 0) {
+    return Status::AlreadyExists("system view '" + name +
+                                 "' already registered");
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->name = key;
+  info->schema = schema.WithQualifier(key);
+  info->is_system = true;
+  SystemView& view = system_views_[key];
+  view.info = std::move(info);
+  view.fill = std::move(fill);
+  return Status::Ok();
+}
+
+std::vector<std::string> Catalog::SystemViewNames() const {
+  std::lock_guard<std::mutex> lock(system_mu_);
+  std::vector<std::string> out;
+  out.reserve(system_views_.size());
+  for (const auto& [k, v] : system_views_) out.push_back(k);
+  return out;  // std::map iterates sorted
+}
+
+TableInfo* Catalog::GetSystemView(const std::string& lower_name) const {
+  std::lock_guard<std::mutex> lock(system_mu_);
+  auto it = system_views_.find(lower_name);
+  if (it == system_views_.end()) return nullptr;
+  SystemView& view = it->second;
+  if (view.filled_epoch != epoch_) {
+    // Re-snapshot once per statement epoch: every resolution of this view
+    // within one statement — including self-joins — sees the same rows.
+    view.info->storage =
+        std::make_unique<VirtualTable>(view.fill(), tuples_per_page_);
+    view.filled_epoch = epoch_;
+  }
+  return view.info.get();
 }
 
 std::vector<std::string> Catalog::TableNames() const {

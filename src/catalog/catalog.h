@@ -1,7 +1,10 @@
 #ifndef XNF_CATALOG_CATALOG_H_
 #define XNF_CATALOG_CATALOG_H_
 
+#include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -17,6 +20,7 @@
 
 namespace xnf {
 
+class MetricsRegistry;
 class ThreadPool;
 class UndoLog;
 
@@ -24,11 +28,15 @@ class UndoLog;
 // row- or column-oriented per table (CREATE TABLE ... USING); every engine
 // layer goes through the TableStorage interface and is layout-agnostic.
 // Indexes are maintained by the DML execution layer (see exec/dml.cc).
+// `is_system` marks the read-only sqlxnf_* system views: they resolve
+// through GetTable like any base table but reject DML, DROP, and
+// CREATE INDEX.
 struct TableInfo {
   std::string name;
   Schema schema;
   std::unique_ptr<TableStorage> storage;
   std::vector<std::unique_ptr<Index>> indexes;
+  bool is_system = false;
 
   // Returns the first index whose leading key columns are exactly `columns`,
   // or nullptr.
@@ -102,7 +110,42 @@ class Catalog {
   std::vector<std::string> TableNames() const;
   std::vector<std::string> ViewNames() const;
 
+  // --- System views (sqlxnf_*) -------------------------------------------
+  //
+  // A system view is a read-only relation over live engine state (metrics,
+  // statement history, storage/buffer-pool introspection). It registers a
+  // schema plus a fill callback; the callback is re-run lazily, at most
+  // once per statement epoch, and the resulting snapshot is wrapped in a
+  // VirtualTable so the planner/scan/join machinery sees an ordinary base
+  // table. Snapshots within one statement are therefore consistent (a
+  // self-join of sqlxnf_metrics sees one state), and scanning a view never
+  // touches the buffer pool it reports on.
+
+  using SystemViewFill = std::function<std::vector<Row>()>;
+
+  // `name` must carry the reserved "sqlxnf_" prefix. The fill callback must
+  // not resolve system views itself (it runs under the registry lock).
+  Status RegisterSystemView(const std::string& name, Schema schema,
+                            SystemViewFill fill);
+
+  // Starts a new snapshot epoch; the next GetTable of each system view
+  // re-runs its fill. Called by the Database facade at statement start.
+  void BeginStatementEpoch() { ++epoch_; }
+
+  // True iff `name` starts with the reserved system prefix ("sqlxnf_",
+  // case-insensitive): such names cannot be created or dropped by users.
+  static bool IsReservedName(const std::string& name);
+
+  std::vector<std::string> SystemViewNames() const;
+
   BufferPool* buffer_pool() const { return buffer_pool_; }
+
+  // Metrics registry shared by everything this catalog wires together
+  // (storage engines created by CreateTable, the scan kernels, the XNF
+  // evaluator). Null = metrics off; call sites hold null instrument
+  // pointers and skip the increment.
+  MetricsRegistry* metrics() const { return metrics_; }
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   // Layout used when CREATE TABLE has no USING clause.
   StorageKind default_storage() const { return default_storage_; }
@@ -128,15 +171,30 @@ class Catalog {
   void set_undo_log(UndoLog* log) { undo_log_ = log; }
 
  private:
+  struct SystemView {
+    std::unique_ptr<TableInfo> info;
+    SystemViewFill fill;
+    uint64_t filled_epoch = 0;  // 0 = never filled
+  };
+
+  // Refreshes (if the epoch moved) and returns the named system view, or
+  // nullptr. Takes system_mu_: concurrent XNF node queries may resolve the
+  // same view from worker threads.
+  TableInfo* GetSystemView(const std::string& lower_name) const;
+
   ExecConfig exec_config_;
   UndoLog* undo_log_ = nullptr;
   ThreadPool* exec_pool_ = nullptr;
   BufferPool* buffer_pool_;
+  MetricsRegistry* metrics_ = nullptr;
   uint32_t tuples_per_page_;
   StorageKind default_storage_ = StorageKind::kRow;
   uint32_t next_file_id_ = 1;
   std::unordered_map<std::string, std::unique_ptr<TableInfo>> tables_;
   std::unordered_map<std::string, ViewInfo> views_;
+  uint64_t epoch_ = 1;
+  mutable std::mutex system_mu_;  // guards system_views_ refresh
+  mutable std::map<std::string, SystemView> system_views_;
 };
 
 }  // namespace xnf

@@ -79,6 +79,7 @@ bool ParseTrigger(const std::string& trigger, Site* site) {
 }  // namespace
 
 std::atomic<int> Failpoints::armed_count_{0};
+std::atomic<uint64_t> Failpoints::total_fires_{0};
 
 const std::vector<const char*>& Failpoints::KnownSites() {
   static const std::vector<const char*> kSites = {
@@ -203,6 +204,7 @@ Status Failpoints::Check(const char* site) {
   }
   if (!fire) return Status::Ok();
   ++s.fires;
+  total_fires_.fetch_add(1, std::memory_order_relaxed);
   return Status::FaultInjected("failpoint '" + std::string(site) +
                                "' fired on hit " + std::to_string(s.hits));
 }

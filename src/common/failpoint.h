@@ -64,6 +64,12 @@ class Failpoints {
   static uint64_t hits(const std::string& site);
   // Times `site` actually fired since it was armed.
   static uint64_t fires(const std::string& site);
+  // Process-lifetime total of fires across all sites; survives
+  // Disable/DisableAll (arming state is reset, the trip history is not).
+  // Sampled by the failpoint.trips metrics gauge.
+  static uint64_t total_fires() {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
 
   // One "site trigger hits=H fires=F" line per armed site, sorted by name.
   static std::vector<std::string> Describe();
@@ -85,6 +91,7 @@ class Failpoints {
 
  private:
   static std::atomic<int> armed_count_;
+  static std::atomic<uint64_t> total_fires_;
 };
 
 }  // namespace xnf

@@ -1,0 +1,83 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+namespace xnf {
+
+namespace {
+
+int64_t ClampToInt64(uint64_t v) {
+  constexpr uint64_t kMax =
+      static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+  return static_cast<int64_t>(std::min(v, kMax));
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+void MetricsRegistry::RegisterGaugeCallback(const std::string& name,
+                                            std::function<int64_t()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  callbacks_[name] = std::move(fn);
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size() + callbacks_.size() +
+              histograms_.size() * 4);
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, "counter", std::nullopt, std::nullopt,
+                   ClampToInt64(c->value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, "gauge", std::nullopt, std::nullopt, g->value()});
+  }
+  for (const auto& [name, fn] : callbacks_) {
+    out.push_back({name, "gauge", std::nullopt, std::nullopt, fn()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name, "histogram_count", std::nullopt, std::nullopt,
+                   ClampToInt64(h->count())});
+    out.push_back({name, "histogram_sum", std::nullopt, std::nullopt,
+                   ClampToInt64(h->sum())});
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      uint64_t n = h->bucket(b);
+      if (n == 0) continue;
+      out.push_back({name, "histogram_bucket",
+                     ClampToInt64(Histogram::BucketLo(b)),
+                     ClampToInt64(Histogram::BucketHi(b)), ClampToInt64(n)});
+    }
+  }
+  // The per-type maps are each sorted; one stable sort by name merges them
+  // into a deterministic listing (kind breaks ties so counter/gauge
+  // collisions on one name keep a stable order too).
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Sample& a, const Sample& b) {
+                     if (a.name != b.name) return a.name < b.name;
+                     return a.kind < b.kind;
+                   });
+  return out;
+}
+
+}  // namespace xnf

@@ -1,0 +1,152 @@
+#ifndef XNF_COMMON_METRICS_H_
+#define XNF_COMMON_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xnf {
+
+// Engine-wide metrics (see DESIGN.md, "Observability"). A MetricsRegistry is
+// a name -> instrument map owned by the Database; subsystems resolve their
+// instruments once (a mutex-guarded map lookup at wiring time) and then
+// update them on the hot path with a single relaxed atomic RMW — no lock, no
+// lookup, no allocation. Instruments are never deleted, so the returned
+// pointers stay valid for the registry's lifetime and may be shared freely
+// across threads.
+//
+// Two models coexist:
+//   - *push*: Counter / Gauge / Histogram objects the instrumented code
+//     updates inline (morsel workers, storage appends, kernel dispatch).
+//   - *pull*: callback gauges registered with RegisterGaugeCallback, sampled
+//     only when a snapshot is taken. Subsystems that already keep their own
+//     atomics (the buffer pool, the thread pool queue) are exported this way
+//     so reading a metric costs nothing until someone actually reads it.
+//
+// Snapshot() renders everything as flat rows; the sqlxnf_metrics system view
+// is exactly that table.
+
+// Monotonic event counter.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous signed level (queue depth, resident pages, ...).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Null-tolerant helpers: instrumented code holds a possibly-null pointer
+// (metrics disabled or the subsystem constructed without a registry) and
+// pays one predicted branch in that case.
+inline void CounterAdd(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+
+// Log2-bucketed histogram of non-negative samples (latencies in us, sizes in
+// rows/bytes). Bucket 0 holds the value 0; bucket b >= 1 holds values in
+// [2^(b-1), 2^b - 1]. Recording is three relaxed atomic adds; merging and
+// percentile estimation need no locks because buckets only grow.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // {0} + one per bit of uint64
+
+  void Record(uint64_t v) {
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  // 0 -> 0; otherwise bit_width(v) (so 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...).
+  static int BucketOf(uint64_t v) { return std::bit_width(v); }
+  // Inclusive value range covered by bucket `b`.
+  static uint64_t BucketLo(int b) {
+    return b <= 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+  static uint64_t BucketHi(int b) {
+    if (b <= 0) return 0;
+    if (b >= 64) return std::numeric_limits<uint64_t>::max();
+    return (uint64_t{1} << b) - 1;
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+inline void HistogramRecord(Histogram* h, uint64_t v) {
+  if (h != nullptr) h->Record(v);
+}
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create by name. Pointers are stable for the registry's lifetime.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Pull-model gauge: `fn` is invoked (under the registry lock) whenever a
+  // snapshot is taken and must therefore not call back into the registry.
+  // Re-registering a name replaces the callback (set_threads swaps pools).
+  void RegisterGaugeCallback(const std::string& name,
+                             std::function<int64_t()> fn);
+
+  // One flattened metric row. Counters and gauges are single rows;
+  // histograms explode into a "histogram_count" row, a "histogram_sum" row,
+  // and one "histogram_bucket" row per non-empty bucket (bucket_lo/bucket_hi
+  // give the bucket's inclusive value range). Values are clamped into int64
+  // so they survive the trip through SQL INT columns.
+  struct Sample {
+    std::string name;
+    std::string kind;  // counter|gauge|histogram_count|histogram_sum|
+                       // histogram_bucket
+    std::optional<int64_t> bucket_lo;
+    std::optional<int64_t> bucket_hi;
+    int64_t value = 0;
+  };
+
+  // Sorted by name (then bucket), so snapshots are deterministic given the
+  // same counter states.
+  std::vector<Sample> Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; instruments are lock-free
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::function<int64_t()>> callbacks_;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_COMMON_METRICS_H_

@@ -17,6 +17,12 @@ struct ExecStats {
   uint64_t batches_produced = 0;
   uint64_t buffer_pool_faults = 0;
   uint64_t buffer_pool_evictions = 0;
+  // Kernel coverage summed over the plan's base-table scans: filters
+  // evaluated by SIMD kernels vs all filters pushed into scans. Both stay 0
+  // when no scan pushed a filter (row tables count toward scan_filters
+  // only).
+  uint64_t kernel_filters = 0;
+  uint64_t scan_filters = 0;
 };
 
 // A fully materialized query result (or any schema'd row collection).

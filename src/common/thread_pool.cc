@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace xnf {
 
@@ -37,11 +38,23 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::Work(Batch* batch) {
+void ThreadPool::set_metrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    batches_ = dispatched_ = stolen_ = nullptr;
+    return;
+  }
+  batches_ = metrics->counter("threadpool.batches");
+  dispatched_ = metrics->counter("threadpool.tasks_dispatched");
+  stolen_ = metrics->counter("threadpool.tasks_stolen");
+}
+
+void ThreadPool::Work(Batch* batch, bool is_worker) {
   const size_t n = batch->tasks.size();
   while (true) {
     size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= n) return;
+    CounterAdd(dispatched_);
+    if (is_worker) CounterAdd(stolen_);
     batch->statuses[i] = Dispatch(batch->tasks[i]);
     // Release so the waiter's acquire on `done` sees the status write.
     if (batch->done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
@@ -68,13 +81,14 @@ void ThreadPool::WorkerLoop() {
         continue;
       }
     }
-    Work(batch.get());
+    Work(batch.get(), /*is_worker=*/true);
   }
 }
 
 Status ThreadPool::RunAll(std::vector<std::function<Status()>> tasks) {
   const size_t n = tasks.size();
   if (n == 0) return Status::Ok();
+  CounterAdd(batches_);
   inflight_.fetch_add(1, std::memory_order_acq_rel);
   struct InflightGuard {
     std::atomic<size_t>* counter;
@@ -86,6 +100,7 @@ Status ThreadPool::RunAll(std::vector<std::function<Status()>> tasks) {
     // effects depend on the DOP.
     Status first_error = Status::Ok();
     for (std::function<Status()>& t : tasks) {
+      CounterAdd(dispatched_);
       Status st = Dispatch(t);
       if (!st.ok() && first_error.ok()) first_error = std::move(st);
     }
@@ -101,7 +116,7 @@ Status ThreadPool::RunAll(std::vector<std::function<Status()>> tasks) {
   queue_cv_.notify_all();
   // Caller participation: claim tasks like any worker, then wait for the
   // stragglers other threads claimed.
-  Work(batch.get());
+  Work(batch.get(), /*is_worker=*/false);
   {
     std::unique_lock<std::mutex> lock(batch->mu);
     batch->cv.wait(lock, [&] {

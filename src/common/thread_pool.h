@@ -14,6 +14,9 @@
 
 namespace xnf {
 
+class Counter;
+class MetricsRegistry;
+
 // Fixed-size worker pool for intra-query parallelism (morsel-driven scans,
 // parallel hash-join build, concurrent XNF derived queries). One pool per
 // Database; operators reach it through the catalog.
@@ -56,6 +59,18 @@ class ThreadPool {
     return queue_.empty();
   }
 
+  // Task batches currently queued (claimable by workers). Sampled by the
+  // threadpool.queue_depth metrics gauge.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    return queue_.size();
+  }
+
+  // Resolves the threadpool.* counters (batches, tasks_dispatched,
+  // tasks_stolen); null disables them. Call before the pool is shared with
+  // running queries.
+  void set_metrics(MetricsRegistry* metrics);
+
  private:
   // One RunAll() invocation: tasks are claimed by atomically bumping
   // `next`; each claimed task writes only its own `statuses` slot.
@@ -69,7 +84,9 @@ class ThreadPool {
   };
 
   // Claims and runs tasks from `batch` until none are left unclaimed.
-  static void Work(Batch* batch);
+  // `is_worker` distinguishes pool workers from the participating RunAll
+  // caller, so stolen tasks can be counted separately.
+  void Work(Batch* batch, bool is_worker);
 
   void WorkerLoop();
 
@@ -80,6 +97,10 @@ class ThreadPool {
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<Batch>> queue_;
   bool shutdown_ = false;
+  // Resolved by set_metrics; null when metrics are off.
+  Counter* batches_ = nullptr;
+  Counter* dispatched_ = nullptr;  // every task run, any thread
+  Counter* stolen_ = nullptr;      // tasks claimed by pool workers
 };
 
 }  // namespace xnf

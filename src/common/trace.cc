@@ -1,31 +1,81 @@
 #include "common/trace.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <sstream>
 
 namespace xnf {
 
+namespace {
+
+// JSON string escape for span names and details (statement text can hold
+// quotes, backslashes, newlines).
+void AppendJsonEscaped(const std::string& s, std::string* out) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+// Nanoseconds rendered as microseconds with three decimals ("12.345") —
+// the unit the trace-event format expects.
+void AppendUs(uint64_t ns, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  *out += buf;
+}
+
+}  // namespace
+
 void CollectingTraceSink::BeginSpan(const std::string& name,
                                     const std::string& detail) {
+  if (spans_.size() >= max_spans_) {
+    // At capacity: count the span and push a sentinel so the matching
+    // EndSpan is absorbed without unbalancing the kept spans.
+    ++dropped_spans_;
+    open_.push_back(-1);
+    return;
+  }
   Span span;
   span.name = name;
   span.detail = detail;
   span.depth = static_cast<int>(open_.size());
   span.parent = open_.empty() ? -1 : open_.back();
+  span.begin_ns = NowNs();
   spans_.push_back(std::move(span));
   open_.push_back(static_cast<int>(spans_.size()) - 1);
 }
 
 void CollectingTraceSink::EndSpan(uint64_t duration_ns) {
   if (open_.empty()) return;  // unbalanced EndSpan; ignore
-  Span& span = spans_[open_.back()];
-  span.duration_ns = duration_ns;
-  span.closed = true;
+  int index = open_.back();
   open_.pop_back();
+  if (index < 0) return;  // the matching BeginSpan was dropped at the cap
+  Span& span = spans_[index];
+  span.duration_ns = duration_ns;
+  span.end_ns = NowNs();
+  span.closed = true;
 }
 
 void CollectingTraceSink::Clear() {
   spans_.clear();
   open_.clear();
+  dropped_spans_ = 0;
+  epoch_ = std::chrono::steady_clock::now();
 }
 
 std::string CollectingTraceSink::ToString() const {
@@ -42,7 +92,35 @@ std::string CollectingTraceSink::ToString() const {
     if (!span.detail.empty()) out << "  " << span.detail;
     out << "\n";
   }
+  if (dropped_spans_ > 0) {
+    out << "(" << dropped_spans_ << " span(s) dropped at cap " << max_spans_
+        << ")\n";
+  }
   return out.str();
+}
+
+std::string CollectingTraceSink::ToChromeTraceJson() const {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(span.name, &out);
+    out += "\",\"cat\":\"sqlxnf\",\"ph\":\"X\",\"ts\":";
+    AppendUs(span.begin_ns, &out);
+    out += ",\"dur\":";
+    AppendUs(span.closed ? span.end_ns - span.begin_ns : 0, &out);
+    out += ",\"pid\":1,\"tid\":1";
+    if (!span.detail.empty()) {
+      out += ",\"args\":{\"detail\":\"";
+      AppendJsonEscaped(span.detail, &out);
+      out += "\"}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
 }
 
 }  // namespace xnf

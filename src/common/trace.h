@@ -2,6 +2,7 @@
 #define XNF_COMMON_TRACE_H_
 
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -58,6 +59,11 @@ class TraceScope {
 
 // In-memory sink: records every span with its nesting depth so tests can
 // assert on the hierarchy and the shell can print an indented timeline.
+// Retention is bounded (set_max_spans, default 64k): once the cap is
+// reached, further BeginSpans are counted in dropped_spans() instead of
+// stored, and their matching EndSpans are absorbed so the spans actually
+// kept stay correctly bracketed. ToChromeTraceJson() exports the kept spans
+// in the Chrome trace-event format (load in about://tracing or Perfetto).
 class CollectingTraceSink : public TraceSink {
  public:
   struct Span {
@@ -65,9 +71,17 @@ class CollectingTraceSink : public TraceSink {
     std::string detail;
     int depth = 0;       // 0 = top-level
     int parent = -1;     // index into spans(), -1 for top-level
-    uint64_t duration_ns = 0;
+    uint64_t duration_ns = 0;  // caller-measured (TraceScope) wall time
+    // Sink-measured timestamps relative to the sink's own epoch. Unlike
+    // duration_ns — which the TraceScope measures from *after* BeginSpan
+    // returned — these bracket the child spans exactly, so the exported
+    // trace nests without overlap artifacts.
+    uint64_t begin_ns = 0;
+    uint64_t end_ns = 0;
     bool closed = false;
   };
+
+  CollectingTraceSink() : epoch_(std::chrono::steady_clock::now()) {}
 
   void BeginSpan(const std::string& name, const std::string& detail) override;
   void EndSpan(uint64_t duration_ns) override;
@@ -75,14 +89,37 @@ class CollectingTraceSink : public TraceSink {
   const std::vector<Span>& spans() const { return spans_; }
   void Clear();
 
+  // Retention cap; lowering it below the current size keeps the already
+  // recorded spans and only affects future BeginSpans.
+  void set_max_spans(size_t n) { max_spans_ = n; }
+  size_t max_spans() const { return max_spans_; }
+  // Spans discarded because the cap was reached (since the last Clear).
+  uint64_t dropped_spans() const { return dropped_spans_; }
+
   // Indented timeline, one line per span in begin order:
   //   statement  [..us]  SELECT ...
   //     parse  [..us]
   std::string ToString() const;
 
+  // Chrome trace-event JSON: {"traceEvents":[...]} with one complete ("X")
+  // event per span, timestamps in microseconds relative to the sink's
+  // epoch. Spans still open render with zero duration. The file loads
+  // directly in Perfetto / about://tracing.
+  std::string ToChromeTraceJson() const;
+
  private:
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  std::chrono::steady_clock::time_point epoch_;
+  size_t max_spans_ = 64 * 1024;
+  uint64_t dropped_spans_ = 0;
   std::vector<Span> spans_;
-  std::vector<int> open_;  // stack of indices into spans_
+  std::vector<int> open_;  // stack of indices into spans_; -1 = dropped span
 };
 
 }  // namespace xnf

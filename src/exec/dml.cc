@@ -169,6 +169,10 @@ Result<int64_t> DmlExecutor::Insert(const sql::InsertStmt& stmt) {
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt.table + "' not found");
   }
+  if (table->is_system) {
+    return Status::NotUpdatable("system view '" + stmt.table +
+                                "' is read-only");
+  }
   const Schema& schema = table->schema;
 
   // Column position mapping.
@@ -234,6 +238,10 @@ Result<int64_t> DmlExecutor::Update(const sql::UpdateStmt& stmt) {
   TableInfo* table = catalog_->GetTable(stmt.table);
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt.table + "' not found");
+  }
+  if (table->is_system) {
+    return Status::NotUpdatable("system view '" + stmt.table +
+                                "' is read-only");
   }
   qgm::ExprPtr where;
   if (stmt.where) {
@@ -331,6 +339,10 @@ Result<int64_t> DmlExecutor::Delete(const sql::DeleteStmt& stmt) {
   TableInfo* table = catalog_->GetTable(stmt.table);
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt.table + "' not found");
+  }
+  if (table->is_system) {
+    return Status::NotUpdatable("system view '" + stmt.table +
+                                "' is read-only");
   }
   qgm::ExprPtr where;
   if (stmt.where) {

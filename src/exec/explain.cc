@@ -32,6 +32,12 @@ void RenderNode(const Operator* op, const Catalog* catalog, bool analyze,
       *out << " cols=" << s.columns_decoded << "/"
            << s.columns_decoded + s.columns_skipped;
     }
+    // Kernel coverage of a columnar scan's pushed filters; only columnar
+    // scans with at least one pushed filter record it, so row-table ANALYZE
+    // output is unchanged.
+    if (s.pushed_filters > 0) {
+      *out << " kernel=" << s.kernel_filters << "/" << s.pushed_filters;
+    }
     *out << "]";
   }
   *out << "\n";

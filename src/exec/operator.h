@@ -42,6 +42,12 @@ struct ExecContext {
   const Catalog* catalog = nullptr;
   const std::vector<Value>* params = nullptr;
   bool collect_stats = false;
+  // Statement-level kernel-coverage accumulators: every base-table scan
+  // Open adds its kernelized / total pushed filter counts here, and RunPlan
+  // copies the totals into ExecStats. Subplans (correlated subqueries, XNF
+  // node queries) run under their own context and are not included.
+  uint64_t scan_kernel_filters = 0;
+  uint64_t scan_pushed_filters = 0;
 };
 
 // Per-operator execution counters, cumulative across re-opens of the same
@@ -67,6 +73,12 @@ struct OperatorStats {
   // for row tables — a heap page always materializes whole tuples.
   uint64_t columns_decoded = 0;
   uint64_t columns_skipped = 0;
+  // Filter pushdown coverage of a columnar scan: filters the SIMD kernel
+  // prefix evaluated vs all filters pushed into the scan. Both stay 0 for
+  // row tables (no kernel path), so EXPLAIN output for row scans is
+  // unchanged.
+  uint64_t kernel_filters = 0;
+  uint64_t pushed_filters = 0;
 };
 
 // Batch-at-a-time (vectorized volcano) iterator. Open() must fully reset
@@ -170,6 +182,13 @@ class Operator {
   void RecordColumns(uint64_t decoded, uint64_t skipped) {
     stats_.columns_decoded += decoded;
     stats_.columns_skipped += skipped;
+  }
+
+  // Records a columnar scan's kernel coverage (idempotent across re-opens:
+  // the filter set is fixed at plan time).
+  void RecordKernels(uint64_t kernelized, uint64_t pushed) {
+    stats_.kernel_filters = kernelized;
+    stats_.pushed_filters = pushed;
   }
 
   static uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {

@@ -49,6 +49,8 @@ Result<ResultSet> RunPlan(Operator* root, ExecContext* ctx) {
     out.stats.buffer_pool_faults = pool->faults() - faults_before;
     out.stats.buffer_pool_evictions = pool->evictions() - evictions_before;
   }
+  out.stats.kernel_filters = ctx->scan_kernel_filters;
+  out.stats.scan_filters = ctx->scan_pushed_filters;
   return out;
 }
 
@@ -165,8 +167,14 @@ Status SeqScanOp::OpenImpl(ExecContext* ctx) {
         /*rids_out=*/nullptr, &scan_stats));
     RecordDop(scan_stats.dop);
     RecordColumns(scan_stats.columns_decoded, scan_stats.columns_skipped);
+    if (scan_stats.columnar) {
+      RecordKernels(scan_stats.kernel_filters, scan_stats.total_filters);
+      ctx->scan_kernel_filters += scan_stats.kernel_filters;
+    }
+    ctx->scan_pushed_filters += filters_.size();
     return Status::Ok();
   }
+  ctx->scan_pushed_filters += filters_.size();
   EvalContext ectx;
   ectx.exec = ctx_;
   std::vector<Row> staged;

@@ -1,9 +1,11 @@
 #include "exec/parallel.h"
 
 #include <algorithm>
+#include <array>
 #include <functional>
 #include <optional>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "exec/eval.h"
 #include "exec/kernels.h"
@@ -119,7 +121,26 @@ struct KernelFilter {
   bool arith_is_int = false;  // INT column with an INT literal
   int64_t arith_i64 = 0;
   double arith_f64 = 0.0;
+  // Per-kernel-kind metrics (kernel.<kind>.*), resolved at plan build; null
+  // when metrics are off. rows_in/rows_kept count *alive* rows before and
+  // after the kernel, so kept/in is the kernel's observed selectivity.
+  Counter* invocations = nullptr;
+  Counter* rows_in = nullptr;
+  Counter* rows_kept = nullptr;
 };
+
+// Metric-name segment for a kernel kind.
+const char* KernelKindName(KernelFilter::Kind kind) {
+  switch (kind) {
+    case KernelFilter::Kind::kCmpI64: return "cmp_i64";
+    case KernelFilter::Kind::kCmpF64: return "cmp_f64";
+    case KernelFilter::Kind::kCmpI64F64: return "cmp_i64_f64";
+    case KernelFilter::Kind::kCmpCode: return "cmp_dict";
+    case KernelFilter::Kind::kIsNull: return "is_null";
+    case KernelFilter::Kind::kRejectAll: return "reject_all";
+  }
+  return "?";
+}
 
 struct ColumnScanPlan {
   const ColumnStore* store = nullptr;
@@ -321,7 +342,8 @@ bool CompileFilter(const qgm::Expr& f, const ColumnStore& store,
 
 ColumnScanPlan BuildColumnScanPlan(const ColumnStore& store,
                                    const std::vector<qgm::ExprPtr>& filters,
-                                   const std::vector<char>* referenced) {
+                                   const std::vector<char>* referenced,
+                                   MetricsRegistry* metrics) {
   ColumnScanPlan plan;
   plan.store = &store;
   const size_t ncols = store.num_columns();
@@ -331,6 +353,12 @@ ColumnScanPlan BuildColumnScanPlan(const ColumnStore& store,
   for (const qgm::ExprPtr& f : filters) {
     KernelFilter k;
     if (!CompileFilter(*f, store, &k)) break;
+    if (metrics != nullptr) {
+      std::string prefix = std::string("kernel.") + KernelKindName(k.kind);
+      k.invocations = metrics->counter(prefix + ".invocations");
+      k.rows_in = metrics->counter(prefix + ".rows_in");
+      k.rows_kept = metrics->counter(prefix + ".rows_kept");
+    }
     plan.kernels.push_back(std::move(k));
     ++plan.kernel_filter_count;
   }
@@ -386,9 +414,17 @@ Status ColumnScanMorsel(const ColumnScanPlan& plan,
   std::vector<Row> staged;
   std::vector<uint32_t> staged_slots;
 
+  // Metric accumulators, flushed once at the end of the morsel: a per-row-
+  // group atomic add in this loop measurably blows the <2% metrics budget
+  // (row groups are small), so the hot loop stays atomics-free.
+  std::vector<std::array<uint64_t, 3>> kstats(plan.kernels.size());
+  uint64_t groups_read = 0;
+  uint64_t segments_viewed = 0;
+
   for (uint32_t g = begin; g < end; ++g) {
     ColumnStore::GroupInfo info;
     XNF_RETURN_IF_ERROR(store.ReadGroupInfo(g, &info));
+    ++groups_read;
     if (info.rows == 0) continue;
     std::fill(viewed.begin(), viewed.end(), 0);
     auto view_col = [&](size_t c) -> Status {
@@ -396,6 +432,7 @@ Status ColumnScanMorsel(const ColumnScanPlan& plan,
       XNF_RETURN_IF_ERROR(store.ViewColumn(g, c, &scratch[c], &views[c],
                                            plan.need_values[c] != 0));
       viewed[c] = 1;
+      ++segments_viewed;
       return Status::Ok();
     };
 
@@ -411,11 +448,13 @@ Status ColumnScanMorsel(const ColumnScanPlan& plan,
       }
     }
 
-    for (const KernelFilter& k : plan.kernels) {
+    for (size_t ki = 0; ki < plan.kernels.size(); ++ki) {
+      const KernelFilter& k = plan.kernels[ki];
       // Mirror EvalPredicateBatch: once no row is alive, later filters do
       // not run (kernelized filters cannot error, so this is purely a
       // work-skip, not an observable difference).
       if (alive == 0) break;
+      const size_t alive_in = alive;
       switch (k.kind) {
         case KernelFilter::Kind::kRejectAll:
           std::fill(sel.begin(), sel.end(), 0);
@@ -479,6 +518,9 @@ Status ColumnScanMorsel(const ColumnScanPlan& plan,
       for (size_t i = 0; i < info.rows; ++i) {
         alive += static_cast<size_t>(sel[i]);
       }
+      kstats[ki][0] += 1;
+      kstats[ki][1] += alive_in;
+      kstats[ki][2] += alive;
     }
 
     if (alive != 0) {
@@ -528,6 +570,17 @@ Status ColumnScanMorsel(const ColumnScanPlan& plan,
     out->columns_decoded += decoded;
     out->columns_skipped += ncols - decoded;
   }
+
+  // One atomic add per counter per morsel. An error mid-morsel loses the
+  // partial counts — metrics are best-effort under failure.
+  for (size_t ki = 0; ki < plan.kernels.size(); ++ki) {
+    if (kstats[ki][0] == 0) continue;
+    CounterAdd(plan.kernels[ki].invocations, kstats[ki][0]);
+    CounterAdd(plan.kernels[ki].rows_in, kstats[ki][1]);
+    CounterAdd(plan.kernels[ki].rows_kept, kstats[ki][2]);
+  }
+  CounterAdd(store.group_reads_counter(), groups_read);
+  CounterAdd(store.segment_views_counter(), segments_viewed);
   return Status::Ok();
 }
 
@@ -556,7 +609,12 @@ Status ParallelFilterScan(const TableInfo& table,
   const bool columnar = column_store != nullptr && !force_scalar;
   ColumnScanPlan column_plan;
   if (columnar) {
-    column_plan = BuildColumnScanPlan(*column_store, filters, referenced);
+    column_plan = BuildColumnScanPlan(
+        *column_store, filters, referenced,
+        ctx->catalog != nullptr ? ctx->catalog->metrics() : nullptr);
+    stats->columnar = true;
+    stats->kernel_filters = column_plan.kernel_filter_count;
+    stats->total_filters = filters.size();
   }
 
   auto run_morsel = [&](uint32_t begin, uint32_t end,

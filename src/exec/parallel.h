@@ -25,6 +25,13 @@ struct ScanStats {
   // touched (modulo the group header) — the fault counters agree.
   uint64_t columns_decoded = 0;
   uint64_t columns_skipped = 0;
+  // True iff the columnar kernel path ran (column table, scalar_eval off);
+  // then kernel_filters of the total_filters pushed filters were evaluated
+  // by the SIMD kernel prefix. Row scans leave all three at their zero
+  // defaults.
+  bool columnar = false;
+  uint64_t kernel_filters = 0;
+  uint64_t total_filters = 0;
 };
 
 // Morsel-driven parallel filtering scan of a base table: storage is split

@@ -118,6 +118,16 @@ class BufferPool {
     std::lock_guard<std::mutex> lock(mu_);
     return lru_map_.size();
   }
+  // Resident pages holding `kind` data (walks the residency map; meant for
+  // the sqlxnf_bufferpool system view, not hot paths).
+  size_t resident_pages(PageKind kind) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t n = 0;
+    for (const auto& [id, r] : lru_map_) {
+      if (r.kind == kind) ++n;
+    }
+    return n;
+  }
   size_t capacity() const { return capacity_; }
 
   void ResetCounters() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace xnf {
 
@@ -69,6 +70,15 @@ ColumnStore::ColumnStore(Schema schema, Options options)
   if (options_.rows_per_group == 0) options_.rows_per_group = 1;
   if (options_.max_dict_entries == 0) options_.max_dict_entries = 1;
   dicts_.resize(schema_.size());
+  if (options_.metrics != nullptr) {
+    appends_ = options_.metrics->counter("storage.column.appends");
+    group_reads_ = options_.metrics->counter("storage.column.group_reads");
+    segment_views_ = options_.metrics->counter("storage.column.segment_views");
+    rle_seals_ = options_.metrics->counter("storage.column.rle_seals");
+    rle_unseals_ = options_.metrics->counter("storage.column.rle_unseals");
+    dict_overflows_ =
+        options_.metrics->counter("storage.column.dict_overflows");
+  }
 }
 
 Status ColumnStore::TouchPage(uint32_t group, size_t column) const {
@@ -151,6 +161,7 @@ uint32_t ColumnStore::EncodeString(size_t column, const std::string& s,
   // preserved; only the code-comparison kernel fast path gives up on this
   // column (see DictOverflowed).
   dict.overflowed = true;
+  CounterAdd(dict_overflows_);
   uint32_t code = kOverflowBit | static_cast<uint32_t>(seg->overflow.size());
   seg->overflow.push_back(s);
   return code;
@@ -241,6 +252,7 @@ void ColumnStore::SealGroup(Group* g) {
         seg.ints.clear();
         seg.ints.shrink_to_fit();
         seg.enc = Segment::Enc::kRle;
+        CounterAdd(rle_seals_);
       }
     } else if (t == Type::kDouble) {
       std::vector<double> values;
@@ -252,6 +264,7 @@ void ColumnStore::SealGroup(Group* g) {
         seg.doubles.clear();
         seg.doubles.shrink_to_fit();
         seg.enc = Segment::Enc::kRle;
+        CounterAdd(rle_seals_);
       }
     }
   }
@@ -260,6 +273,7 @@ void ColumnStore::SealGroup(Group* g) {
 void ColumnStore::UnsealGroup(Group* g) {
   for (Segment& seg : g->cols) {
     if (seg.enc != Segment::Enc::kRle) continue;
+    CounterAdd(rle_unseals_);
     if (!seg.rle_ints.empty()) {
       RleExpand(seg.rle_ints, seg.rle_lens, &seg.ints);
       seg.rle_ints.clear();
@@ -330,6 +344,7 @@ Result<Rid> ColumnStore::Insert(Row row) {
   Group& g = groups_.back();
   AppendToGroup(&g, row);
   ++live_count_;
+  CounterAdd(appends_);
   if (g.rows >= options_.rows_per_group) SealGroup(&g);
   return Rid{group, g.rows - 1};
 }
@@ -377,6 +392,7 @@ Status ColumnStore::Delete(Rid rid) {
   XNF_RETURN_IF_ERROR(TouchPage(rid.page, 0));
   SetBit(&groups_[rid.page].tombstones, rid.slot, true);
   --live_count_;
+  ++tombstones_;
   return Status::Ok();
 }
 
@@ -395,6 +411,7 @@ Status ColumnStore::Restore(Rid rid, Row row) {
   WriteInPlace(&g, rid.slot, row);
   SetBit(&g.tombstones, rid.slot, false);
   ++live_count_;
+  if (tombstones_ > 0) --tombstones_;
   return Status::Ok();
 }
 

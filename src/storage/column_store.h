@@ -17,6 +17,9 @@
 
 namespace xnf {
 
+class Counter;
+class MetricsRegistry;
+
 // Columnar implementation of TableStorage. Rows are grouped into fixed-size
 // row groups (one group holds `rows_per_group` rows — the same tuple count
 // a heap page holds, so Rid{group, offset} is dense and page-range morsels
@@ -54,6 +57,9 @@ class ColumnStore : public TableStorage {
     // Per-column dictionary cap; pushing a column past it activates the
     // overflow fallback. Tests shrink this to force the corner.
     uint32_t max_dict_entries = 1u << 16;
+    // Engine metrics (storage.column.* counters, shared across all columnar
+    // tables); null = metrics off.
+    MetricsRegistry* metrics = nullptr;
   };
 
   // `schema` supplies the per-column types the segments are laid out with.
@@ -80,6 +86,7 @@ class ColumnStore : public TableStorage {
   size_t live_count() const override { return live_count_; }
   size_t page_count() const override { return groups_.size(); }
   uint32_t file_id() const override { return options_.file_id; }
+  size_t tombstone_count() const override { return tombstones_; }
 
   // --- Columnar access (the batch scan's zero-copy path) -----------------
 
@@ -136,6 +143,13 @@ class ColumnStore : public TableStorage {
   // Materializes one value out of a view (NULL-aware; strings decode
   // through the dictionary / overflow list).
   static Value ViewValue(const ColumnView& view, size_t i);
+
+  // Read-path counters (storage.column.group_reads / .segment_views; null
+  // when metrics are off). The scan morsel accumulates locally and flushes
+  // through these once per morsel — a per-group atomic add in the read hot
+  // path costs more than the whole metrics budget allows.
+  Counter* group_reads_counter() const { return group_reads_; }
+  Counter* segment_views_counter() const { return segment_views_; }
 
   // Dictionary introspection for the kernel planner: the code for `s` (if
   // the column ever stored it), the dictionary itself, and whether the
@@ -209,6 +223,16 @@ class ColumnStore : public TableStorage {
   std::vector<Group> groups_;
   std::vector<Dict> dicts_;  // one per column; used by STRING columns only
   size_t live_count_ = 0;
+  size_t tombstones_ = 0;
+  // Resolved once at construction; null when metrics are off. Counters are
+  // shared across all columnar tables (per-table detail lives in
+  // sqlxnf_storage).
+  Counter* appends_ = nullptr;
+  Counter* group_reads_ = nullptr;
+  Counter* segment_views_ = nullptr;
+  Counter* rle_seals_ = nullptr;
+  Counter* rle_unseals_ = nullptr;
+  Counter* dict_overflows_ = nullptr;
 };
 
 }  // namespace xnf

@@ -3,8 +3,17 @@
 #include <algorithm>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 
 namespace xnf {
+
+TableHeap::TableHeap(Options options) : options_(options) {
+  if (options_.metrics != nullptr) {
+    appends_ = options_.metrics->counter("storage.heap.appends");
+    reads_ = options_.metrics->counter("storage.heap.reads");
+    scan_pages_ = options_.metrics->counter("storage.heap.scan_pages");
+  }
+}
 
 Result<Rid> TableHeap::Insert(Row row) {
   XNF_FAILPOINT("heap.append");
@@ -19,6 +28,7 @@ Result<Rid> TableHeap::Insert(Row row) {
   Page& p = pages_.back();
   p.slots.push_back(std::move(row));
   ++live_count_;
+  CounterAdd(appends_);
   return Rid{page, static_cast<uint32_t>(p.slots.size() - 1)};
 }
 
@@ -32,6 +42,7 @@ Result<Row> TableHeap::Read(Rid rid) const {
                             std::to_string(rid.slot) + ")");
   }
   XNF_RETURN_IF_ERROR(TouchPage(rid.page));
+  CounterAdd(reads_);
   return *pages_[rid.page].slots[rid.slot];
 }
 
@@ -61,6 +72,7 @@ Status TableHeap::Delete(Rid rid) {
   XNF_RETURN_IF_ERROR(TouchPage(rid.page));
   pages_[rid.page].slots[rid.slot].reset();
   --live_count_;
+  ++tombstones_;
   return Status::Ok();
 }
 
@@ -78,6 +90,7 @@ Status TableHeap::Restore(Rid rid, Row row) {
   XNF_RETURN_IF_ERROR(TouchPage(rid.page));
   pages_[rid.page].slots[rid.slot] = std::move(row);
   ++live_count_;
+  if (tombstones_ > 0) --tombstones_;
   return Status::Ok();
 }
 
@@ -89,14 +102,22 @@ Status TableHeap::ScanRange(
     uint32_t page_begin, uint32_t page_end,
     const std::function<bool(Rid, const Row&)>& fn) const {
   page_end = std::min(page_end, static_cast<uint32_t>(pages_.size()));
+  // Accumulate the page count locally and flush one atomic add at the end:
+  // a per-page add is measurable on full-table scans over small pages.
+  uint64_t pages_scanned = 0;
   for (uint32_t p = page_begin; p < page_end; ++p) {
     XNF_RETURN_IF_ERROR(TouchPage(p));
+    ++pages_scanned;
     const Page& page = pages_[p];
     for (uint32_t s = 0; s < page.slots.size(); ++s) {
       if (!page.slots[s].has_value()) continue;
-      if (!fn(Rid{p, s}, *page.slots[s])) return Status::Ok();
+      if (!fn(Rid{p, s}, *page.slots[s])) {
+        CounterAdd(scan_pages_, pages_scanned);
+        return Status::Ok();
+      }
     }
   }
+  CounterAdd(scan_pages_, pages_scanned);
   return Status::Ok();
 }
 

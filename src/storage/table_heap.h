@@ -14,6 +14,9 @@
 
 namespace xnf {
 
+class Counter;
+class MetricsRegistry;
+
 // A slotted-page heap of rows for one table: the row-store implementation
 // of TableStorage. Pages hold a fixed number of tuple slots (a
 // simplification of byte-budgeted pages that keeps the paging behaviour,
@@ -30,9 +33,12 @@ class TableHeap : public TableStorage {
     uint32_t tuples_per_page = 64;
     BufferPool* buffer_pool = nullptr;  // not owned; may be null
     uint32_t file_id = 0;               // identifies this heap in the pool
+    // Engine metrics (storage.heap.* counters, shared across all heaps);
+    // null = metrics off.
+    MetricsRegistry* metrics = nullptr;
   };
 
-  explicit TableHeap(Options options) : options_(options) {}
+  explicit TableHeap(Options options);
   TableHeap() : TableHeap(Options{}) {}
 
   TableHeap(const TableHeap&) = delete;
@@ -84,6 +90,7 @@ class TableHeap : public TableStorage {
   size_t live_count() const override { return live_count_; }
   size_t page_count() const override { return pages_.size(); }
   uint32_t file_id() const override { return options_.file_id; }
+  size_t tombstone_count() const override { return tombstones_; }
 
  private:
   struct Page {
@@ -101,6 +108,12 @@ class TableHeap : public TableStorage {
   Options options_;
   std::vector<Page> pages_;
   size_t live_count_ = 0;
+  size_t tombstones_ = 0;
+  // Resolved once at construction; null when metrics are off. Counters are
+  // shared across all heaps (per-table detail lives in sqlxnf_storage).
+  Counter* appends_ = nullptr;
+  Counter* reads_ = nullptr;
+  Counter* scan_pages_ = nullptr;
 };
 
 }  // namespace xnf

@@ -113,6 +113,10 @@ class TableStorage {
   virtual size_t live_count() const = 0;
   virtual size_t page_count() const = 0;
   virtual uint32_t file_id() const = 0;
+
+  // Currently tombstoned slots (deleted, not yet restored). Observability
+  // only — the sqlxnf_storage system view reports it per table.
+  virtual size_t tombstone_count() const { return 0; }
 };
 
 }  // namespace xnf

@@ -1,0 +1,53 @@
+#include "storage/virtual_table.h"
+
+#include <algorithm>
+
+namespace xnf {
+
+namespace {
+
+Status ReadOnly() {
+  return Status::NotUpdatable("system views are read-only");
+}
+
+}  // namespace
+
+Result<Rid> VirtualTable::Insert(Row /*row*/) { return ReadOnly(); }
+
+Result<Row> VirtualTable::Read(Rid rid) const {
+  size_t i = static_cast<size_t>(rid.page) * rows_per_page_ + rid.slot;
+  if (rid.slot >= rows_per_page_ || i >= rows_.size()) {
+    return Status::NotFound("no tuple at the given rid");
+  }
+  return rows_[i];
+}
+
+bool VirtualTable::IsLive(Rid rid) const {
+  size_t i = static_cast<size_t>(rid.page) * rows_per_page_ + rid.slot;
+  return rid.slot < rows_per_page_ && i < rows_.size();
+}
+
+Status VirtualTable::Update(Rid /*rid*/, Row /*row*/) { return ReadOnly(); }
+Status VirtualTable::Delete(Rid /*rid*/) { return ReadOnly(); }
+Status VirtualTable::Restore(Rid /*rid*/, Row /*row*/) { return ReadOnly(); }
+
+Status VirtualTable::Scan(
+    const std::function<bool(Rid, const Row&)>& fn) const {
+  return ScanRange(0, static_cast<uint32_t>(page_count()), fn);
+}
+
+Status VirtualTable::ScanRange(
+    uint32_t page_begin, uint32_t page_end,
+    const std::function<bool(Rid, const Row&)>& fn) const {
+  size_t begin = static_cast<size_t>(page_begin) * rows_per_page_;
+  size_t end = std::min(rows_.size(),
+                        static_cast<size_t>(page_end) * rows_per_page_);
+  for (size_t i = begin; i < end; ++i) {
+    Rid rid{static_cast<uint32_t>(i / rows_per_page_),
+            static_cast<uint32_t>(i % rows_per_page_)};
+    if (!fn(rid, rows_[i])) return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+}  // namespace xnf

@@ -1,0 +1,57 @@
+#ifndef XNF_STORAGE_VIRTUAL_TABLE_H_
+#define XNF_STORAGE_VIRTUAL_TABLE_H_
+
+#include <vector>
+
+#include "common/value.h"
+#include "storage/table_storage.h"
+
+namespace xnf {
+
+// Read-only, fully materialized TableStorage over an in-memory row
+// snapshot. This is how the sqlxnf_* system views enter the engine: the
+// catalog re-snapshots the backing engine state once per statement epoch
+// and wraps the rows in a VirtualTable, after which the planner, the morsel
+// scan, joins, and ORDER BY treat it exactly like a base table.
+//
+// Deliberate non-behaviors:
+//   - No buffer pool: scanning a system view must not perturb the very
+//     fault/access counters it reports, so page_count() carves the rows
+//     into virtual pages for morsel splitting but Touch is never called.
+//   - No writes: Insert/Update/Delete/Restore fail with kNotUpdatable (the
+//     DML layer rejects system tables earlier with a friendlier message;
+//     this is the backstop for any path that slips through).
+class VirtualTable : public TableStorage {
+ public:
+  VirtualTable(std::vector<Row> rows, uint32_t rows_per_page)
+      : rows_(std::move(rows)),
+        rows_per_page_(rows_per_page == 0 ? 1 : rows_per_page) {}
+
+  StorageKind kind() const override { return StorageKind::kRow; }
+
+  Result<Rid> Insert(Row row) override;
+  Result<Row> Read(Rid rid) const override;
+  bool IsLive(Rid rid) const override;
+  Status Update(Rid rid, Row row) override;
+  Status Delete(Rid rid) override;
+  Status Restore(Rid rid, Row row) override;
+  Status Scan(const std::function<bool(Rid, const Row&)>& fn) const override;
+  Status ScanRange(uint32_t page_begin, uint32_t page_end,
+                   const std::function<bool(Rid, const Row&)>& fn)
+      const override;
+  void PinRange(uint32_t page_begin, uint32_t page_end) const override {}
+  void UnpinRange(uint32_t page_begin, uint32_t page_end) const override {}
+  size_t live_count() const override { return rows_.size(); }
+  size_t page_count() const override {
+    return (rows_.size() + rows_per_page_ - 1) / rows_per_page_;
+  }
+  uint32_t file_id() const override { return 0; }
+
+ private:
+  std::vector<Row> rows_;
+  size_t rows_per_page_;
+};
+
+}  // namespace xnf
+
+#endif  // XNF_STORAGE_VIRTUAL_TABLE_H_

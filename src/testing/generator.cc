@@ -131,6 +131,9 @@ class Generator {
   void EmitSchema() {
     for (int i = 0; i < opt_.tables; ++i) {
       TableModel t;
+      // Generated names must never carry the reserved "sqlxnf_" prefix —
+      // the engine rejects such CREATEs (system-view namespace), which
+      // would turn every generated script into an error-path test.
       t.name = "t" + std::to_string(i);
       t.cols = {{"a", 'i'}, {"b", 'i'}, {"c", 'i'}, {"d", 'd'}, {"s", 's'}};
       std::string ddl = "CREATE TABLE " + t.name +

@@ -135,6 +135,7 @@ void CoCache::RemoveConnection(Connection* conn) {
 std::vector<CoCache::Connection*> CoCache::ChildrenByHash(int rel,
                                                           const Tuple& t) {
   ++stats_.hash_navigations;
+  CounterAdd(hash_nav_ctr_);
   if (!hash_nav_valid_[rel]) {
     hash_nav_[rel].clear();
     for (Connection& c : rels_[rel].connections) {

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "sql/ast.h"
 #include "xnf/instance.h"
@@ -109,15 +110,25 @@ class CoCache {
   // pointer-based children/parents of `t` across relationship `rel`.
   const std::vector<Connection*>& Children(int rel, const Tuple& t) const {
     ++stats_.pointer_navigations;
+    CounterAdd(ptr_nav_);
     return t.out[rel];
   }
   const std::vector<Connection*>& Parents(int rel, const Tuple& t) const {
     ++stats_.pointer_navigations;
+    CounterAdd(ptr_nav_);
     return t.in[rel];
   }
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats(); }
+
+  // Engine metrics (cocache.pointer_navigations / cocache.hash_navigations),
+  // shared across all caches of one database; null (the default) = off.
+  // Wired by Database::OpenCo — caches built directly keep metrics off.
+  void set_nav_counters(Counter* ptr_nav, Counter* hash_nav) {
+    ptr_nav_ = ptr_nav;
+    hash_nav_ctr_ = hash_nav;
+  }
 
   // Ablation A2: the same navigation answered through a per-relationship
   // hash index keyed by the parent tuple identity, simulating OID-table
@@ -140,6 +151,8 @@ class CoCache {
   std::vector<Rel> rels_;
   // Mutable: navigation is conceptually const (read-only traversal).
   mutable Stats stats_;
+  Counter* ptr_nav_ = nullptr;
+  Counter* hash_nav_ctr_ = nullptr;
   // Lazy hash navigation indexes (ablation A2).
   std::vector<std::unordered_map<const Tuple*, std::vector<Connection*>>>
       hash_nav_;

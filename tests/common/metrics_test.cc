@@ -1,0 +1,153 @@
+// MetricsRegistry: get-or-create identity, log2 histogram bucket math,
+// callback gauges, and snapshot determinism.
+
+#include "common/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace xnf {
+namespace {
+
+TEST(Metrics, CounterGetOrCreateReturnsStablePointer) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("storage.heap.appends");
+  Counter* b = reg.counter("storage.heap.appends");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  b->Add();
+  EXPECT_EQ(a->value(), 4u);
+  // A different name is a different instrument.
+  EXPECT_NE(a, reg.counter("storage.heap.reads"));
+}
+
+TEST(Metrics, CounterAddHelperToleratesNull) {
+  Counter* none = nullptr;
+  CounterAdd(none);      // metrics off: must be a no-op, not a crash
+  CounterAdd(none, 42);
+  MetricsRegistry reg;
+  Counter* c = reg.counter("x");
+  CounterAdd(c, 2);
+  CounterAdd(c);
+  EXPECT_EQ(c->value(), 3u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.gauge("pool.depth");
+  g->Set(7);
+  g->Add(-2);
+  EXPECT_EQ(g->value(), 5);
+}
+
+TEST(Metrics, HistogramBucketBoundaries) {
+  // bucket 0 = {0}; bucket b >= 1 = [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketOf(0), 0);
+  EXPECT_EQ(Histogram::BucketOf(1), 1);
+  EXPECT_EQ(Histogram::BucketOf(2), 2);
+  EXPECT_EQ(Histogram::BucketOf(3), 2);
+  EXPECT_EQ(Histogram::BucketOf(4), 3);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11);
+  EXPECT_EQ(Histogram::BucketOf(~0ull), Histogram::kBuckets - 1);
+  for (int b = 1; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketOf(static_cast<uint64_t>(Histogram::BucketLo(b))),
+              b);
+  }
+}
+
+TEST(Metrics, HistogramRecordsCountSumBuckets) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("stmt.latency_us.select");
+  h->Record(0);
+  h->Record(1);
+  h->Record(5);   // bucket 3: [4,7]
+  h->Record(6);   // bucket 3
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_EQ(h->sum(), 12u);
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(3), 2u);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("c");
+  Histogram* h = reg.histogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add();
+        h->Record(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, SnapshotIsSortedAndTyped) {
+  MetricsRegistry reg;
+  reg.counter("b.counter")->Add(2);
+  reg.gauge("a.gauge")->Set(-5);
+  reg.histogram("c.hist")->Record(3);
+  reg.RegisterGaugeCallback("d.callback", [] { return int64_t{11}; });
+  std::vector<MetricsRegistry::Sample> samples = reg.Snapshot();
+  // Sorted by name: a.gauge, b.counter, c.hist (count/sum/bucket),
+  // d.callback.
+  ASSERT_GE(samples.size(), 5u);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].name, samples[i].name);
+  }
+  EXPECT_EQ(samples[0].name, "a.gauge");
+  EXPECT_EQ(samples[0].kind, "gauge");
+  EXPECT_EQ(samples[0].value, -5);
+  EXPECT_EQ(samples[1].name, "b.counter");
+  EXPECT_EQ(samples[1].kind, "counter");
+  EXPECT_EQ(samples[1].value, 2);
+  int hist_count = 0, hist_sum = 0, hist_buckets = 0, callbacks = 0;
+  for (const auto& s : samples) {
+    if (s.kind == "histogram_count") {
+      ++hist_count;
+      EXPECT_EQ(s.value, 1);
+    } else if (s.kind == "histogram_sum") {
+      ++hist_sum;
+      EXPECT_EQ(s.value, 3);
+    } else if (s.kind == "histogram_bucket") {
+      ++hist_buckets;
+      ASSERT_TRUE(s.bucket_lo.has_value());
+      ASSERT_TRUE(s.bucket_hi.has_value());
+      EXPECT_EQ(*s.bucket_lo, 2);  // bucket 2 = [2,3]
+      EXPECT_EQ(*s.bucket_hi, 3);
+    } else if (s.name == "d.callback") {
+      ++callbacks;
+      EXPECT_EQ(s.kind, "gauge");
+      EXPECT_EQ(s.value, 11);
+    }
+  }
+  EXPECT_EQ(hist_count, 1);
+  EXPECT_EQ(hist_sum, 1);
+  EXPECT_EQ(hist_buckets, 1);  // only non-empty buckets appear
+  EXPECT_EQ(callbacks, 1);
+}
+
+TEST(Metrics, CallbackGaugeReregisterReplaces) {
+  MetricsRegistry reg;
+  int64_t source = 1;
+  reg.RegisterGaugeCallback("g", [&source] { return source; });
+  reg.RegisterGaugeCallback("g", [&source] { return source * 10; });
+  source = 4;
+  std::vector<MetricsRegistry::Sample> samples = reg.Snapshot();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].value, 40);
+}
+
+}  // namespace
+}  // namespace xnf

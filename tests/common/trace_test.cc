@@ -1,0 +1,102 @@
+// CollectingTraceSink: bounded retention, span hierarchy, and the Chrome
+// trace-event JSON export (driven through a real statement pipeline).
+
+#include "common/trace.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+TEST(TraceSink, RetentionCapCountsDroppedSpansAndStaysBracketed) {
+  CollectingTraceSink sink;
+  sink.set_max_spans(2);
+  {
+    TraceScope a(&sink, "a");
+    {
+      TraceScope b(&sink, "b");
+      {
+        TraceScope c(&sink, "c");  // over the cap: dropped
+        TraceScope d(&sink, "d");  // dropped too
+      }
+    }
+  }
+  ASSERT_EQ(sink.spans().size(), 2u);
+  EXPECT_EQ(sink.dropped_spans(), 2u);
+  // The kept spans closed correctly even though dropped spans ended in
+  // between.
+  EXPECT_EQ(sink.spans()[0].name, "a");
+  EXPECT_TRUE(sink.spans()[0].closed);
+  EXPECT_EQ(sink.spans()[1].name, "b");
+  EXPECT_TRUE(sink.spans()[1].closed);
+  EXPECT_EQ(sink.spans()[1].parent, 0);
+  sink.Clear();
+  EXPECT_EQ(sink.dropped_spans(), 0u);
+  EXPECT_TRUE(sink.spans().empty());
+}
+
+TEST(TraceSink, ChromeTraceJsonNestsStatementPipeline) {
+  Database db;
+  CollectingTraceSink sink;
+  db.set_trace_sink(&sink);
+  CreateCompanyDb(&db);
+  sink.Clear();
+  ASSERT_TRUE(db.Query("SELECT ename FROM EMP WHERE sal > 1000").ok());
+
+  // Hierarchy: one top-level statement span whose children include parse and
+  // execute, in that order.
+  const auto& spans = sink.spans();
+  ASSERT_FALSE(spans.empty());
+  int statement = -1, parse = -1, execute = -1;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (spans[i].name == "statement") statement = static_cast<int>(i);
+    if (spans[i].name == "parse") parse = static_cast<int>(i);
+    if (spans[i].name == "execute") execute = static_cast<int>(i);
+  }
+  ASSERT_GE(statement, 0);
+  ASSERT_GE(parse, 0);
+  ASSERT_GE(execute, 0);
+  EXPECT_EQ(spans[statement].depth, 0);
+  EXPECT_EQ(spans[parse].parent, statement);
+  EXPECT_EQ(spans[execute].parent, statement);
+  EXPECT_LT(parse, execute);
+  // Sink-side timestamps bracket the children.
+  EXPECT_LE(spans[statement].begin_ns, spans[parse].begin_ns);
+  EXPECT_LE(spans[execute].end_ns, spans[statement].end_ns);
+
+  // The export is one complete event per span, in the documented shape.
+  std::string json = sink.ToChromeTraceJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("\"name\":\"statement\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  // Exactly one event per kept span.
+  size_t events = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) !=
+                       std::string::npos;
+       pos += 8) {
+    ++events;
+  }
+  EXPECT_EQ(events, spans.size());
+  // The statement detail (the SQL text) rides along as an argument.
+  EXPECT_NE(json.find("SELECT ename FROM EMP"), std::string::npos);
+}
+
+TEST(TraceSink, ChromeTraceJsonEscapesDetails) {
+  CollectingTraceSink sink;
+  { TraceScope s(&sink, "stmt", "SELECT '\"quoted\"\n\\x'"); }
+  std::string json = sink.ToChromeTraceJson();
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\\\x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xnf::testing
