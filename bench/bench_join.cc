@@ -1,0 +1,289 @@
+// ABBA late-materialization benchmark: the PR's headline workloads — a
+// selective hash join over columnar inputs, an XNF CO extraction with a
+// TAKE column list, and a grouped aggregation — run against four engines
+// that differ only in storage clause and Options::late_materialization:
+//
+//   row-late / row-eager    late materialization is a no-op on row tables;
+//                           this pair is the CI regression gate (<2%).
+//   col-late / col-eager    col-eager is the PR 6 decode-at-scan baseline;
+//                           this pair is the speedup recorded in
+//                           EXPERIMENTS.md ("Late materialization").
+//
+// Each pair runs against ONE database whose exec-config flag is flipped
+// between runs — two separate instances differ in allocation layout, which
+// alone is worth ±2% and would drown the gate. Each round interleaves the
+// pair A B B A so clock/thermal drift cancels, and the verdict is the
+// median of per-round ratios (see metrics_overhead.cc for the rationale).
+// Result row counts are cross-checked across all four configurations
+// before any timing is trusted.
+//
+//   ./bench_join                       print speedups and the gate ratio
+//   ./bench_join --check               exit 1 if the row-pair gate > 2%
+//   ./bench_join --threshold=1.5       override the 2% gate
+//   ./bench_join --rounds=N            ABBA rounds (default 9)
+//
+// Medians are appended to BENCH_results.json (see util.h).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/database.h"
+#include "util.h"
+
+namespace xnf::bench {
+namespace {
+
+constexpr int kDimRows = 1000;     // build side
+constexpr int kFactRows = 120000;  // probe side; ~1% of rows find a match
+constexpr int kKeySpace = 100000;
+constexpr int kWideRows = 60000;   // 12-column CO source, mostly strings
+constexpr int kQueriesPerRun = 3;
+
+// Flips the late-materialization axis on a live engine: plans are built per
+// statement, so the next query picks the flag up immediately.
+void SetLate(Database* db, bool late) {
+  ExecConfig cfg = db->catalog()->exec_config();
+  cfg.late_materialization = late;
+  db->catalog()->set_exec_config(cfg);
+}
+
+std::unique_ptr<Database> MakeDb(bool columnar) {
+  Database::Options o;
+  o.threads = 1;  // single-threaded: the steadiest timing baseline
+  auto db = std::make_unique<Database>(o);
+  const std::string storage = columnar ? " USING column" : " USING row";
+  Check(db->Execute("CREATE TABLE dim (k VARCHAR, tag INT)" + storage)
+            .status(),
+        "create dim");
+  Check(db->Execute("CREATE TABLE fact (id INT, k VARCHAR, g INT, v INT, "
+                    "p1 INT, p2 VARCHAR, p3 VARCHAR)" + storage)
+            .status(),
+        "create fact");
+  Check(db->Execute("CREATE TABLE wide (a INT, b INT, s0 VARCHAR, "
+                    "s1 VARCHAR, s2 VARCHAR, s3 VARCHAR, n0 INT, n1 INT, "
+                    "n2 INT, n3 INT, s4 VARCHAR, s5 VARCHAR)" + storage)
+            .status(),
+        "create wide");
+
+  std::vector<Row> dim;
+  dim.reserve(kDimRows);
+  for (int i = 0; i < kDimRows; ++i) {
+    dim.push_back(Row{Value::String("key" + std::to_string(i)),
+                      Value::Int(i % 7)});
+  }
+  BulkInsert(db.get(), "dim", std::move(dim));
+
+  std::vector<Row> fact;
+  fact.reserve(kFactRows);
+  for (int i = 0; i < kFactRows; ++i) {
+    // Keys key0..key999 (the dim range) appear on ~1% of probe rows; the
+    // string payloads are what the eager engine decodes for every row and
+    // the late engine only for matches.
+    int key = (i * 131) % kKeySpace;
+    fact.push_back(Row{Value::Int(i), Value::String("key" + std::to_string(key)),
+                       Value::Int(i % 64), Value::Int(i % 1000),
+                       Value::Int(i),
+                       Value::String("payload-" + std::to_string(i % 5000)),
+                       Value::String("note-" + std::to_string(i % 3000))});
+  }
+  BulkInsert(db.get(), "fact", std::move(fact));
+
+  std::vector<Row> wide;
+  wide.reserve(kWideRows);
+  for (int i = 0; i < kWideRows; ++i) {
+    // Payload strings are long enough to defeat the small-string
+    // optimization: decoding one is a real allocation, which is exactly
+    // the work TAKE pruning avoids.
+    std::string tag = std::to_string(i % 4000) + "-abcdefghijklmnopqrstuvwxyz";
+    wide.push_back(Row{Value::Int(i), Value::Int(i % 60000),
+                       Value::String("s0-" + tag), Value::String("s1-" + tag),
+                       Value::String("s2-" + tag), Value::String("s3-" + tag),
+                       Value::Int(i % 11), Value::Int(i % 13),
+                       Value::Int(i % 17), Value::Int(i % 19),
+                       Value::String("s4-" + tag), Value::String("s5-" + tag)});
+  }
+  BulkInsert(db.get(), "wide", std::move(wide));
+  return db;
+}
+
+struct Timed {
+  double seconds = 0.0;
+  size_t count = 0;  // result cardinality, cross-checked between engines
+};
+
+Timed RunJoin(Database* db) {
+  Timed t;
+  auto start = std::chrono::steady_clock::now();
+  for (int q = 0; q < kQueriesPerRun; ++q) {
+    auto rs = CheckResult(
+        db->Query("SELECT f.id, f.v, f.p2, f.p3, d.tag "
+                  "FROM fact f, dim d WHERE f.k = d.k"),
+        "selective join");
+    t.count = rs.rows.size();
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  t.seconds = std::chrono::duration<double>(elapsed).count();
+  return t;
+}
+
+Timed RunTake(Database* db) {
+  Timed t;
+  auto start = std::chrono::steady_clock::now();
+  for (int q = 0; q < kQueriesPerRun; ++q) {
+    auto co = CheckResult(
+        db->QueryCo("OUT OF w AS (SELECT * FROM wide WHERE b < 30000) "
+                    "TAKE w(a, b)"),
+        "take extraction");
+    size_t tuples = 0;
+    for (const auto& node : co.nodes) tuples += node.tuples.size();
+    t.count = tuples;
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  t.seconds = std::chrono::duration<double>(elapsed).count();
+  return t;
+}
+
+Timed RunAgg(Database* db) {
+  Timed t;
+  auto start = std::chrono::steady_clock::now();
+  for (int q = 0; q < kQueriesPerRun; ++q) {
+    auto rs = CheckResult(
+        db->Query("SELECT g, SUM(v) FROM fact GROUP BY g"), "group agg");
+    t.count = rs.rows.size();
+  }
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  t.seconds = std::chrono::duration<double>(elapsed).count();
+  return t;
+}
+
+struct Workload {
+  const char* name;
+  Timed (*run)(Database*);
+  int64_t rows_per_iter;  // input rows a single query touches
+};
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+int Main(int argc, char** argv) {
+  bool check = false;
+  double threshold = 2.0;
+  int rounds = 9;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(arg.c_str() + 12);
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      rounds = std::atoi(arg.c_str() + 9);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::unique_ptr<Database> row_db = MakeDb(/*columnar=*/false);
+  std::unique_ptr<Database> col_db = MakeDb(/*columnar=*/true);
+  // Logical configurations: (database, flag) pairs over the two instances.
+  struct Config {
+    const char* label;
+    Database* db;
+    bool late;
+  };
+  const Config configs[4] = {
+      {"row-late", row_db.get(), true},
+      {"row-eager", row_db.get(), false},
+      {"col-late", col_db.get(), true},
+      {"col-eager", col_db.get(), false},
+  };
+
+  const Workload workloads[] = {
+      {"selective_join", RunJoin, kFactRows},
+      {"xnf_take_pruning", RunTake, kWideRows},
+      {"group_aggregate", RunAgg, kFactRows},
+  };
+
+  // Warmup every configuration/workload pair and cross-check result
+  // cardinality: a fast engine that returns different rows is a bug, not a
+  // speedup.
+  for (const Workload& w : workloads) {
+    size_t expect = 0;
+    for (int e = 0; e < 4; ++e) {
+      SetLate(configs[e].db, configs[e].late);
+      Timed t = w.run(configs[e].db);
+      if (e == 0) {
+        expect = t.count;
+      } else if (t.count != expect) {
+        std::fprintf(stderr,
+                     "FAIL: %s on %s returned %zu rows, expected %zu\n",
+                     w.name, configs[e].label, t.count, expect);
+        return 1;
+      }
+    }
+  }
+
+  bool gate_failed = false;
+  std::vector<BenchResult> json;
+  for (const Workload& w : workloads) {
+    // Per-configuration per-run samples (two runs per round from the ABBA
+    // order). A timed run under config e: flip the flag, run, record.
+    std::vector<double> samples[4];
+    auto timed = [&](int e) {
+      SetLate(configs[e].db, configs[e].late);
+      samples[e].push_back(w.run(configs[e].db).seconds);
+      return samples[e].back();
+    };
+    std::vector<double> row_regression, col_speedup;
+    for (int r = 0; r < rounds; ++r) {
+      // Row pair: late(A) eager(B) eager(B) late(A).
+      double row_late = timed(0);
+      double row_eager = timed(1) + timed(1);
+      row_late += timed(0);
+      row_regression.push_back((row_late - row_eager) / row_eager * 100.0);
+      // Column pair: eager(A) late(B) late(B) eager(A).
+      double col_eager = timed(3);
+      double col_late = timed(2) + timed(2);
+      col_eager += timed(3);
+      col_speedup.push_back(col_eager / col_late);
+    }
+    const double gate = Median(row_regression);
+    const double speedup = Median(col_speedup);
+    std::printf("%-18s col-eager/col-late speedup: %.2fx   "
+                "row late-vs-eager: %+.2f%%  (rounds:", w.name, speedup, gate);
+    for (double s : col_speedup) std::printf(" %.2fx", s);
+    std::printf(")\n");
+    if (check && gate > threshold) {
+      std::fprintf(stderr,
+                   "FAIL: %s row-engine late-materialization overhead "
+                   "%.2f%% exceeds the %.2f%% gate\n",
+                   w.name, gate, threshold);
+      gate_failed = true;
+    }
+    for (int e = 0; e < 4; ++e) {
+      BenchResult res;
+      res.name = w.name;
+      res.config = configs[e].label;
+      const double med = Median(samples[e]);
+      res.median_real_ns = med / kQueriesPerRun * 1e9;
+      res.rows_per_sec =
+          static_cast<double>(w.rows_per_iter) * kQueriesPerRun / med;
+      res.iterations = static_cast<int64_t>(samples[e].size());
+      json.push_back(std::move(res));
+    }
+  }
+  WriteBenchJson("bench_join", json);
+  return gate_failed ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace xnf::bench
+
+int main(int argc, char** argv) { return xnf::bench::Main(argc, argv); }

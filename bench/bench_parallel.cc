@@ -54,6 +54,7 @@ void BM_ParallelScan(benchmark::State& state) {
     benchmark::DoNotOptimize(rs.rows.size());
   }
   state.counters["threads"] = static_cast<double>(db.threads());
+  state.SetItemsProcessed(state.iterations() * kRows);
 }
 
 void BM_ParallelHashJoin(benchmark::State& state) {
@@ -66,6 +67,7 @@ void BM_ParallelHashJoin(benchmark::State& state) {
     benchmark::DoNotOptimize(rs.rows.size());
   }
   state.counters["threads"] = static_cast<double>(db.threads());
+  state.SetItemsProcessed(state.iterations() * kRows);
 }
 
 void BM_ParallelXnfExtraction(benchmark::State& state) {
@@ -90,3 +92,7 @@ BENCHMARK(BM_ParallelXnfExtraction)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 
 }  // namespace
 }  // namespace xnf::bench
+
+int main(int argc, char** argv) {
+  return xnf::bench::BenchmarkJsonMain(argc, argv, "bench_parallel");
+}

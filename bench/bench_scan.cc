@@ -121,3 +121,7 @@ BENCHMARK(BM_ScanArithFilterColumn)->Arg(1);
 
 }  // namespace
 }  // namespace xnf::bench
+
+int main(int argc, char** argv) {
+  return xnf::bench::BenchmarkJsonMain(argc, argv, "bench_scan");
+}

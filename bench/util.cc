@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "exec/dml.h"
 
@@ -114,6 +115,40 @@ void BuildWorkingSetDatabase(Database* db,
   BulkInsert(db, "grp", std::move(grps));
   BulkInsert(db, "item", std::move(items));
   BulkInsert(db, "part", std::move(parts));
+}
+
+namespace {
+
+// Escapes the handful of characters that can appear in benchmark names.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteBenchJson(const std::string& binary,
+                    const std::vector<BenchResult>& results) {
+  const char* env = std::getenv("SQLXNF_BENCH_JSON");
+  std::string path = env != nullptr ? env : "BENCH_results.json";
+  std::ofstream out(path, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "cannot append bench results to %s\n", path.c_str());
+    return;
+  }
+  for (const BenchResult& r : results) {
+    out << "{\"binary\":\"" << JsonEscape(binary) << "\",\"name\":\""
+        << JsonEscape(r.name) << "\",\"config\":\"" << JsonEscape(r.config)
+        << "\",\"rows_per_sec\":" << r.rows_per_sec
+        << ",\"median_real_ns\":" << r.median_real_ns
+        << ",\"iterations\":" << r.iterations << "}\n";
+  }
+  std::printf("appended %zu result(s) to %s\n", results.size(), path.c_str());
 }
 
 }  // namespace xnf::bench

@@ -61,6 +61,32 @@ struct WorkingSetOptions {
 };
 void BuildWorkingSetDatabase(Database* db, const WorkingSetOptions& options);
 
+// --- BENCH_results.json -----------------------------------------------------
+//
+// Machine-readable benchmark results for the CI artifact. Entries are
+// appended as one JSON object per line to the file named by the
+// SQLXNF_BENCH_JSON environment variable (default "BENCH_results.json" in
+// the working directory), so several bench binaries can contribute to one
+// artifact:
+//   {"binary":"bench_join","name":"selective_join","config":"col-late",
+//    "rows_per_sec":1.2e6,"median_real_ns":3.4e6,"iterations":9}
+
+struct BenchResult {
+  std::string name;             // benchmark / workload name
+  std::string config;           // engine configuration label
+  double rows_per_sec = 0.0;    // median throughput (0 = not measured)
+  double median_real_ns = 0.0;  // median wall time per iteration
+  int64_t iterations = 0;       // samples behind the medians
+};
+
+void WriteBenchJson(const std::string& binary,
+                    const std::vector<BenchResult>& results);
+
+// Drop-in main for google-benchmark binaries (defined in util_gbench.cc):
+// runs the registered benchmarks with the normal console output and also
+// appends per-benchmark medians (across repetitions) to the results file.
+int BenchmarkJsonMain(int argc, char** argv, const std::string& binary);
+
 }  // namespace xnf::bench
 
 #endif  // XNF_BENCH_UTIL_H_

@@ -98,6 +98,7 @@ Database::Database(Options options)
   exec_config.use_indexes = options.use_indexes;
   exec_config.use_rewrite = options.use_rewrite;
   exec_config.scalar_eval = options.scalar_eval;
+  exec_config.late_materialization = options.late_materialization;
   catalog_.set_exec_config(exec_config);
   // Fault injection: the Options spec first, then the environment on top
   // (the env wins on per-site conflicts). Both are no-ops when empty; a
@@ -462,8 +463,9 @@ Result<ExecResult> Database::ExecuteInternal(const std::string& text) {
       } else if (stmt.create_table->storage == sql::StorageClause::kColumn) {
         storage = StorageKind::kColumn;
       }
-      XNF_RETURN_IF_ERROR(catalog_.CreateTable(stmt.create_table->name,
-                                               std::move(schema), storage));
+      XNF_RETURN_IF_ERROR(
+          catalog_.CreateTable(stmt.create_table->name, std::move(schema),
+                               storage, stmt.create_table->cluster_by));
       result.kind = ExecResult::Kind::kNone;
       result.message = "table created";
       return result;
@@ -610,6 +612,13 @@ Result<ExecResult> Database::ExecuteExplain(const sql::ExplainStmt& explain) {
               std::to_string(s.reachability_passes) + "\n";
       dump += "restrictions applied: " +
               std::to_string(s.restrictions_applied) + "\n";
+      // Columnar candidate-scan decode accounting: a TAKE list that lets
+      // the scans skip columns shows up here as skipped > 0.
+      if (s.scan_columns_decoded > 0 || s.scan_columns_skipped > 0) {
+        dump += "scan columns: " + std::to_string(s.scan_columns_decoded) +
+                " decoded, " + std::to_string(s.scan_columns_skipped) +
+                " skipped\n";
+      }
       dump += "result:\n";
       for (const co::CoNodeInstance& node : instance.nodes) {
         dump += "  " + node.name + ": " + std::to_string(node.tuples.size()) +
@@ -896,6 +905,8 @@ void Database::RecordXnfStats(const co::Evaluator::Stats& stats) {
       static_cast<uint64_t>(stats.restrictions_applied));
   add("xnf.rows_produced", stats.rows_produced);
   add("xnf.batches_produced", stats.batches_produced);
+  add("xnf.scan_columns_decoded", stats.scan_columns_decoded);
+  add("xnf.scan_columns_skipped", stats.scan_columns_skipped);
 }
 
 }  // namespace xnf

@@ -80,6 +80,7 @@ class Database {
     bool use_indexes = true;
     bool use_rewrite = true;
     bool scalar_eval = false;
+    bool late_materialization = true;
     // Physical layout for CREATE TABLE without a USING clause. Unset means:
     // the SQLXNF_STORAGE environment variable ("row"/"column") if present,
     // else row storage. An explicit value here wins over the environment (so

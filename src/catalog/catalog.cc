@@ -27,7 +27,8 @@ bool Catalog::IsReservedName(const std::string& name) {
 }
 
 Status Catalog::CreateTable(const std::string& name, Schema schema,
-                            std::optional<StorageKind> storage) {
+                            std::optional<StorageKind> storage,
+                            const std::string& cluster_by) {
   std::string key = ToLower(name);
   if (IsReservedName(key)) {
     return Status::InvalidArgument(
@@ -40,12 +41,26 @@ Status Catalog::CreateTable(const std::string& name, Schema schema,
   info->name = key;
   info->schema = schema.WithQualifier(key);
   StorageKind kind = storage.value_or(default_storage_);
+  int cluster_column = -1;
+  if (!cluster_by.empty()) {
+    if (kind != StorageKind::kColumn) {
+      return Status::InvalidArgument(
+          "CLUSTER BY requires columnar storage (USING column)");
+    }
+    std::optional<size_t> idx = info->schema.Find(cluster_by);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument("CLUSTER BY column '" + cluster_by +
+                                     "' is not a column of '" + name + "'");
+    }
+    cluster_column = static_cast<int>(*idx);
+  }
   if (kind == StorageKind::kColumn) {
     ColumnStore::Options opts;
     opts.rows_per_group = tuples_per_page_;
     opts.buffer_pool = buffer_pool_;
     opts.file_id = next_file_id_++;
     opts.metrics = metrics_;
+    opts.cluster_column = cluster_column;
     info->storage = std::make_unique<ColumnStore>(info->schema, opts);
   } else {
     TableHeap::Options opts;

@@ -69,6 +69,13 @@ struct ExecConfig {
   // EvalPredicateBatch delegate to the scalar interpreter per row instead of
   // evaluating column-wise.
   bool scalar_eval = false;
+  // Columnar scans may hand zero-copy column batches (selection vector +
+  // lazily-decoded column views) to an eligible parent operator instead of
+  // materializing rows at the scan: hash join then decodes build rows only
+  // on emit and aggregation reads its inputs straight off the views. Off
+  // pins the PR 6 behaviour (decode at the scan) — the differential
+  // harness's late-materialization axis. Row tables are unaffected.
+  bool late_materialization = true;
 };
 
 // Name-to-object registry for one database. Names are case-insensitive.
@@ -88,8 +95,12 @@ class Catalog {
 
   // Creates a table with the given physical layout; `storage` == nullopt
   // picks the catalog default (set_default_storage, initially row).
+  // `cluster_by` (a column name; "" = none) requests CO-clustered row-group
+  // placement: rows sharing the column's value land in the same row groups.
+  // Columnar tables only — row storage rejects it.
   Status CreateTable(const std::string& name, Schema schema,
-                     std::optional<StorageKind> storage = std::nullopt);
+                     std::optional<StorageKind> storage = std::nullopt,
+                     const std::string& cluster_by = "");
   Status DropTable(const std::string& name);
   // nullptr if absent.
   TableInfo* GetTable(const std::string& name) const;

@@ -38,6 +38,13 @@ void RenderNode(const Operator* op, const Catalog* catalog, bool analyze,
     if (s.pushed_filters > 0) {
       *out << " kernel=" << s.kernel_filters << "/" << s.pushed_filters;
     }
+    // Scan handed zero-copy column batches upward instead of rows.
+    if (s.late) *out << " late=on";
+    // CLUSTER BY pruning: groups skipped via the cluster tag / groups the
+    // scan considered. Only clustered tables record it.
+    if (s.cluster_total > 0) {
+      *out << " cluster=" << s.cluster_pruned << "/" << s.cluster_total;
+    }
     *out << "]";
   }
   *out << "\n";

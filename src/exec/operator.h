@@ -14,6 +14,8 @@
 
 namespace xnf::exec {
 
+class SeqScanOp;
+
 // Rows an operator emits per NextBatch() call. Large enough to amortize the
 // per-call virtual dispatch and Status plumbing over many rows, small enough
 // that a batch of slim rows stays cache-resident.
@@ -79,6 +81,14 @@ struct OperatorStats {
   // unchanged.
   uint64_t kernel_filters = 0;
   uint64_t pushed_filters = 0;
+  // True iff the scan handed column batches upward (late-materialization
+  // path) on any open.
+  bool late = false;
+  // CLUSTER BY tables: row groups skipped via cluster tag vs groups the
+  // scan considered, accumulated across re-opens. Both stay 0 for
+  // unclustered tables.
+  uint64_t cluster_pruned = 0;
+  uint64_t cluster_total = 0;
 };
 
 // Batch-at-a-time (vectorized volcano) iterator. Open() must fully reset
@@ -145,6 +155,11 @@ class Operator {
   const Schema& schema() const { return schema_; }
   const OperatorStats& stats() const { return stats_; }
 
+  // Scan-specific downcast for consumers that can accept zero-copy column
+  // batches (hash join, aggregation): they call RequestLateScan() on the
+  // result before Open. Null for every other operator.
+  virtual SeqScanOp* AsSeqScan() { return nullptr; }
+
   // --- Plan introspection (EXPLAIN) ---------------------------------------
 
   // Operator kind, e.g. "HashJoin". Stable across runs.
@@ -189,6 +204,16 @@ class Operator {
   void RecordKernels(uint64_t kernelized, uint64_t pushed) {
     stats_.kernel_filters = kernelized;
     stats_.pushed_filters = pushed;
+  }
+
+  // Marks the scan as having taken the late-materialization (column batch)
+  // path.
+  void RecordLate() { stats_.late = true; }
+
+  // Accumulates cluster-tag pruning counters across re-opens.
+  void RecordCluster(uint64_t pruned, uint64_t total) {
+    stats_.cluster_pruned += pruned;
+    stats_.cluster_total += total;
   }
 
   static uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {

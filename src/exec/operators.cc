@@ -125,6 +125,31 @@ Status DrainChild(Operator* child, std::vector<Row>* out) {
   }
 }
 
+// True iff every expression is a planner-resolved input reference with a
+// slot inside [0, width) — the shape readable straight off column views.
+bool SimpleSlots(const std::vector<qgm::ExprPtr>& exprs, size_t width,
+                 std::vector<size_t>* slots) {
+  slots->clear();
+  slots->reserve(exprs.size());
+  for (const qgm::ExprPtr& e : exprs) {
+    if (e == nullptr || e->kind != qgm::Expr::Kind::kInputRef) return false;
+    if (e->slot < 0 || static_cast<size_t>(e->slot) >= width) return false;
+    slots->push_back(static_cast<size_t>(e->slot));
+  }
+  return true;
+}
+
+// True iff every slot is marked in the late scan's materialize bitmap. An
+// unmarked column is a NULL placeholder in the scan's row output, so a
+// consumer reading the real value from the view would diverge from the row
+// engine; such plans fall back to pulling rows.
+bool SlotsMaterialized(const std::vector<size_t>& slots, const LateScan& scan) {
+  for (size_t s : slots) {
+    if (s >= scan.materialize.size() || !scan.materialize[s]) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 // --- ValuesOp ---------------------------------------------------------------
@@ -150,9 +175,34 @@ Status SeqScanOp::OpenImpl(ExecContext* ctx) {
   ctx_ = ctx;
   buffered_.clear();
   pos_ = 0;
+  // Re-open without an intervening Close (correlated subplans): fold the
+  // previous execution's decode counts before the batches (and their pins)
+  // are dropped.
+  FlushLateStats();
+  late_ = LateScan{};
+  late_batch_ = 0;
+  late_slot_ = 0;
   TableInfo* table = ctx->catalog->GetTable(table_name_);
   if (table == nullptr) {
     return Status::NotFound("table '" + table_name_ + "' vanished");
+  }
+  if (parallel_eligible_ && late_requested_) {
+    // A batch-capable consumer asked for column batches. Taken only when
+    // every pushed filter kernelized; otherwise fall through to the
+    // materializing paths below (the consumer pulls rows instead).
+    ScanStats scan_stats;
+    XNF_RETURN_IF_ERROR(TryLateFilterScan(
+        *table, filters_, referenced_.has_value() ? &*referenced_ : nullptr,
+        ctx, &late_, &scan_stats));
+    if (late_.store != nullptr) {
+      RecordDop(scan_stats.dop);
+      RecordKernels(scan_stats.kernel_filters, scan_stats.total_filters);
+      RecordLate();
+      RecordCluster(scan_stats.groups_pruned, scan_stats.groups_total);
+      ctx->scan_kernel_filters += scan_stats.kernel_filters;
+      ctx->scan_pushed_filters += filters_.size();
+      return Status::Ok();
+    }
   }
   if (parallel_eligible_) {
     // Morsel-driven scan; falls back to the identical serial kernel when no
@@ -167,6 +217,7 @@ Status SeqScanOp::OpenImpl(ExecContext* ctx) {
         /*rids_out=*/nullptr, &scan_stats));
     RecordDop(scan_stats.dop);
     RecordColumns(scan_stats.columns_decoded, scan_stats.columns_skipped);
+    RecordCluster(scan_stats.groups_pruned, scan_stats.groups_total);
     if (scan_stats.columnar) {
       RecordKernels(scan_stats.kernel_filters, scan_stats.total_filters);
       ctx->scan_kernel_filters += scan_stats.kernel_filters;
@@ -194,11 +245,51 @@ Status SeqScanOp::OpenImpl(ExecContext* ctx) {
 
 Status SeqScanOp::NextBatchImpl(RowBatch* out) {
   out->clear();
+  if (late_.store != nullptr) {
+    // Late path taken but a consumer is pulling rows anyway: materialize
+    // the selected slots in batch (= group) order — exactly the eager
+    // scan's output stream.
+    while (!out->full() && late_batch_ < late_.batches.size()) {
+      ColBatch& b = late_.batches[late_batch_];
+      const std::vector<char>& sel = b.sel();
+      while (late_slot_ < b.rows() && !out->full()) {
+        if (sel[late_slot_]) {
+          Row row;
+          XNF_RETURN_IF_ERROR(
+              b.MaterializeRow(late_.materialize, late_slot_, &row));
+          out->Add(std::move(row));
+        }
+        ++late_slot_;
+      }
+      if (late_slot_ >= b.rows()) {
+        ++late_batch_;
+        late_slot_ = 0;
+      }
+    }
+    return Status::Ok();
+  }
   size_t end = std::min(buffered_.size(), pos_ + kBatchSize);
   out->rows.reserve(end - pos_);
   // Moves: buffered_ is rebuilt by the next Open().
   for (; pos_ < end; ++pos_) out->rows.push_back(std::move(buffered_[pos_]));
   return Status::Ok();
+}
+
+void SeqScanOp::FlushLateStats() {
+  if (late_.store == nullptr) return;
+  uint64_t decoded = 0;
+  for (const ColBatch& b : late_.batches) decoded += b.decoded_columns();
+  const uint64_t total = late_.batches.size() * late_.store->num_columns();
+  RecordColumns(decoded, total - decoded);
+}
+
+void SeqScanOp::CloseImpl() {
+  // Dropping the batches releases their group pins; the pool must be
+  // quiescent (pinned_pages() == 0) once the statement's plan is closed.
+  FlushLateStats();
+  late_ = LateScan{};
+  late_batch_ = 0;
+  late_slot_ = 0;
 }
 
 // --- IndexLookupOp ----------------------------------------------------------
@@ -373,13 +464,78 @@ Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   left_batch_.clear();
   left_key_cols_.clear();
   left_pos_ = 0;
-  current_left_.reset();
   matches_ = nullptr;
   match_pos_ = 0;
   matched_ = false;
+  build_mode_ = BuildMode::kRow;
+  build_scan_ = nullptr;
+  probe_scan_ = nullptr;
+  ref_table_.clear();
+  code_table_.clear();
+  probe_code_map_.clear();
+  code_identity_ = false;
+  probe_batch_ = 0;
+  probe_slot_ = 0;
+  have_left_ = false;
+  left_materialized_ = false;
+  current_left_row_.clear();
+
+  // Ask scan children for column batches where the key shapes allow reading
+  // keys straight off column views (kInputRef slots inside the child
+  // schema). Requesting is speculative: if the scan cannot take the late
+  // path — row table, scalar remainder, late materialization off — it
+  // produces rows as usual and the classic paths below run unchanged.
+  SeqScanOp* right_scan = right_->AsSeqScan();
+  std::vector<size_t> build_slots;
+  if (right_scan != nullptr &&
+      SimpleSlots(right_keys_, right_->schema().size(), &build_slots)) {
+    right_scan->RequestLateScan();
+  } else {
+    right_scan = nullptr;
+  }
+  SeqScanOp* left_scan = left_->AsSeqScan();
+  std::vector<size_t> probe_slots;
+  if (left_scan != nullptr &&
+      SimpleSlots(left_keys_, left_->schema().size(), &probe_slots)) {
+    left_scan->RequestLateScan();
+  } else {
+    left_scan = nullptr;
+  }
+
   XNF_RETURN_IF_ERROR(left_->Open(ctx));
   XNF_RETURN_IF_ERROR(right_->Open(ctx));
   right_width_ = right_->schema().size();
+
+  if (left_scan != nullptr) {
+    probe_scan_ = left_scan->late_scan();
+    if (probe_scan_ != nullptr && !SlotsMaterialized(probe_slots, *probe_scan_))
+      probe_scan_ = nullptr;  // pull rows instead (scan fallback)
+  }
+  if (right_scan != nullptr) {
+    build_scan_ = right_scan->late_scan();
+    if (build_scan_ != nullptr && !SlotsMaterialized(build_slots, *build_scan_))
+      build_scan_ = nullptr;
+  }
+  if (build_scan_ != nullptr) {
+    build_mode_ = BuildMode::kRef;
+    code_build_slot_ = build_slots.empty() ? 0 : build_slots[0];
+    code_probe_slot_ = probe_slots.empty() ? 0 : probe_slots[0];
+    // Dict-code keys: single STRING key on both sides, both dictionaries
+    // intact (no overflow segment — overflow codes are segment-local and
+    // not comparable across segments, let alone tables).
+    if (probe_scan_ != nullptr && build_slots.size() == 1 &&
+        probe_slots.size() == 1) {
+      const ColumnStore* bs = build_scan_->store;
+      const ColumnStore* ps = probe_scan_->store;
+      if (bs->schema().column(code_build_slot_).type == Type::kString &&
+          ps->schema().column(code_probe_slot_).type == Type::kString &&
+          !bs->DictOverflowed(code_build_slot_) &&
+          !ps->DictOverflowed(code_probe_slot_)) {
+        build_mode_ = BuildMode::kCode;
+      }
+    }
+    return OpenBuildColumnar();
+  }
 
   ThreadPool* pool =
       ctx->catalog != nullptr ? ctx->catalog->exec_pool() : nullptr;
@@ -536,13 +692,87 @@ Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   return Status::Ok();
 }
 
+Status HashJoinOp::OpenBuildColumnar() {
+  if (build_mode_ == BuildMode::kCode) {
+    const ColumnStore* bs = build_scan_->store;
+    const ColumnStore* ps = probe_scan_->store;
+    // Index build rows by their dictionary code. Batch order = group order
+    // = build input order, so each per-code list keeps the serial row
+    // build's match order. An empty build dictionary leaves the table
+    // empty: every probe misses (outer rows still pad).
+    code_table_.assign(bs->Dictionary(code_build_slot_).size(), {});
+    for (size_t bi = 0; bi < build_scan_->batches.size(); ++bi) {
+      ColBatch& b = build_scan_->batches[bi];
+      const ColumnStore::ColumnView* v = nullptr;
+      XNF_RETURN_IF_ERROR(b.View(code_build_slot_, /*need_values=*/true, &v));
+      const std::vector<char>& sel = b.sel();
+      for (size_t i = 0; i < b.rows(); ++i) {
+        if (!sel[i] || v->IsNull(i)) continue;
+        const uint32_t code = v->codes[i];
+        if (code < code_table_.size()) {
+          code_table_[code].push_back(
+              {static_cast<uint32_t>(bi), static_cast<uint32_t>(i)});
+        }
+      }
+    }
+    // Probe-code -> build-code translation, one dictionary walk up front;
+    // probes then compare 32-bit codes and never touch string payloads. A
+    // self-join over the same column shares the dictionary outright.
+    code_identity_ = ps == bs && code_probe_slot_ == code_build_slot_;
+    if (!code_identity_) {
+      const std::vector<std::string>& probe_dict =
+          ps->Dictionary(code_probe_slot_);
+      probe_code_map_.assign(probe_dict.size(), UINT32_MAX);
+      for (size_t pc = 0; pc < probe_dict.size(); ++pc) {
+        std::optional<uint32_t> bc =
+            bs->DictCode(code_build_slot_, probe_dict[pc]);
+        if (bc.has_value()) probe_code_map_[pc] = *bc;
+      }
+    }
+    RecordDop(1);
+    return Status::Ok();
+  }
+  // kRef: hash build rows by key values read from the column views; the
+  // rows themselves stay inside the batches until a probe matches one.
+  // Batch order = build input order keeps per-key match lists identical to
+  // the serial row build.
+  ref_table_.reserve(build_scan_->total_rows + 1);
+  std::vector<const ColumnStore::ColumnView*> views(right_keys_.size());
+  for (size_t bi = 0; bi < build_scan_->batches.size(); ++bi) {
+    ColBatch& b = build_scan_->batches[bi];
+    const std::vector<char>& sel = b.sel();
+    for (size_t k = 0; k < right_keys_.size(); ++k) {
+      XNF_RETURN_IF_ERROR(b.View(static_cast<size_t>(right_keys_[k]->slot),
+                                 /*need_values=*/true, &views[k]));
+    }
+    for (size_t i = 0; i < b.rows(); ++i) {
+      if (!sel[i]) continue;
+      Row key;
+      key.reserve(views.size());
+      bool has_null = false;
+      for (const ColumnStore::ColumnView* v : views) {
+        Value val = ColumnStore::ViewValue(*v, i);
+        if (val.is_null()) has_null = true;
+        key.push_back(std::move(val));
+      }
+      if (has_null) continue;  // NULL key components never match
+      auto [it, inserted] = ref_table_.try_emplace(std::move(key));
+      (void)inserted;
+      it->second.push_back(
+          {static_cast<uint32_t>(bi), static_cast<uint32_t>(i)});
+    }
+  }
+  RecordDop(1);
+  return Status::Ok();
+}
+
 Result<bool> HashJoinOp::AdvanceLeft() {
   if (left_pos_ >= left_batch_.size()) {
     left_batch_.clear();
     left_pos_ = 0;
     XNF_RETURN_IF_ERROR(left_->NextBatch(&left_batch_));
     if (left_batch_.empty()) {
-      current_left_.reset();
+      have_left_ = false;
       return false;
     }
     // Probe keys column-wise for the whole batch.
@@ -558,9 +788,12 @@ Result<bool> HashJoinOp::AdvanceLeft() {
     }
   }
   size_t i = left_pos_++;
-  current_left_ = std::move(left_batch_.rows[i]);
+  current_left_row_ = std::move(left_batch_.rows[i]);
+  left_materialized_ = true;
+  have_left_ = true;
   matched_ = false;
   matches_ = nullptr;
+  ref_matches_ = nullptr;
   match_pos_ = 0;
   Row key;
   key.reserve(left_key_cols_.size());
@@ -569,28 +802,128 @@ Result<bool> HashJoinOp::AdvanceLeft() {
     if (col[i].is_null()) has_null = true;
     key.push_back(std::move(col[i]));
   }
-  if (!has_null && !partitions_.empty()) {
-    const BuildTable& part =
-        partitions_.size() == 1
-            ? partitions_[0]
-            : partitions_[HashRow(key) % partitions_.size()];
-    auto it = part.find(key);
-    if (it != part.end()) matches_ = &it->second;
+  if (!has_null) {
+    if (build_mode_ == BuildMode::kRef) {
+      auto it = ref_table_.find(key);
+      if (it != ref_table_.end()) ref_matches_ = &it->second;
+    } else if (!partitions_.empty()) {
+      const BuildTable& part =
+          partitions_.size() == 1
+              ? partitions_[0]
+              : partitions_[HashRow(key) % partitions_.size()];
+      auto it = part.find(key);
+      if (it != part.end()) matches_ = &it->second;
+    }
   }
   return true;
+}
+
+Result<bool> HashJoinOp::AdvanceLeftColumnar() {
+  while (probe_batch_ < probe_scan_->batches.size()) {
+    ColBatch& b = probe_scan_->batches[probe_batch_];
+    const std::vector<char>& sel = b.sel();
+    while (probe_slot_ < b.rows() && !sel[probe_slot_]) ++probe_slot_;
+    if (probe_slot_ >= b.rows()) {
+      ++probe_batch_;
+      probe_slot_ = 0;
+      continue;
+    }
+    const size_t i = probe_slot_++;
+    probe_row_batch_ = probe_batch_;
+    probe_row_slot_ = i;
+    have_left_ = true;
+    left_materialized_ = false;  // decoded only if a match / pad needs it
+    matched_ = false;
+    matches_ = nullptr;
+    ref_matches_ = nullptr;
+    match_pos_ = 0;
+    if (build_mode_ == BuildMode::kCode) {
+      const ColumnStore::ColumnView* v = nullptr;
+      XNF_RETURN_IF_ERROR(b.View(code_probe_slot_, /*need_values=*/true, &v));
+      if (!v->IsNull(i)) {
+        const uint32_t code = v->codes[i];
+        uint32_t bc = UINT32_MAX;
+        if (code_identity_) {
+          bc = code;
+        } else if (code < probe_code_map_.size()) {
+          bc = probe_code_map_[code];
+        }
+        if (bc < code_table_.size() && !code_table_[bc].empty()) {
+          ref_matches_ = &code_table_[bc];
+        }
+      }
+      return true;
+    }
+    Row key;
+    key.reserve(left_keys_.size());
+    bool has_null = false;
+    for (const qgm::ExprPtr& k : left_keys_) {
+      const ColumnStore::ColumnView* v = nullptr;
+      XNF_RETURN_IF_ERROR(
+          b.View(static_cast<size_t>(k->slot), /*need_values=*/true, &v));
+      Value val = ColumnStore::ViewValue(*v, i);
+      if (val.is_null()) has_null = true;
+      key.push_back(std::move(val));
+    }
+    if (!has_null) {
+      if (build_mode_ == BuildMode::kRef) {
+        auto it = ref_table_.find(key);
+        if (it != ref_table_.end()) ref_matches_ = &it->second;
+      } else if (!partitions_.empty()) {
+        const BuildTable& part =
+            partitions_.size() == 1
+                ? partitions_[0]
+                : partitions_[HashRow(key) % partitions_.size()];
+        auto it = part.find(key);
+        if (it != part.end()) matches_ = &it->second;
+      }
+    }
+    return true;
+  }
+  have_left_ = false;
+  return false;
+}
+
+Status HashJoinOp::EnsureLeftRow() {
+  if (left_materialized_) return Status::Ok();
+  ColBatch& b = probe_scan_->batches[probe_row_batch_];
+  XNF_RETURN_IF_ERROR(b.MaterializeRow(probe_scan_->materialize,
+                                       probe_row_slot_, &current_left_row_));
+  left_materialized_ = true;
+  return Status::Ok();
+}
+
+size_t HashJoinOp::NumMatches() const {
+  if (matches_ != nullptr) return matches_->size();
+  if (ref_matches_ != nullptr) return ref_matches_->size();
+  return 0;
+}
+
+Result<Row> HashJoinOp::MatchRow(size_t i) {
+  if (matches_ != nullptr) return (*matches_)[i];
+  const BuildRef& r = (*ref_matches_)[i];
+  ColBatch& b = build_scan_->batches[r.batch];
+  Row row;
+  XNF_RETURN_IF_ERROR(
+      b.MaterializeRow(build_scan_->materialize, r.row, &row));
+  return row;
 }
 
 Status HashJoinOp::NextBatchImpl(RowBatch* out) {
   out->clear();
   while (!out->full()) {
-    if (!current_left_.has_value()) {
-      XNF_ASSIGN_OR_RETURN(bool more, AdvanceLeft());
+    if (!have_left_) {
+      XNF_ASSIGN_OR_RETURN(
+          bool more,
+          probe_scan_ != nullptr ? AdvanceLeftColumnar() : AdvanceLeft());
       if (!more) return Status::Ok();
     }
-    const size_t n_matches = matches_ != nullptr ? matches_->size() : 0;
+    const size_t n_matches = NumMatches();
     while (match_pos_ < n_matches && !out->full()) {
-      const Row& right = (*matches_)[match_pos_++];
-      Row combined = ConcatRows(*current_left_, right);
+      const size_t mi = match_pos_++;
+      XNF_RETURN_IF_ERROR(EnsureLeftRow());
+      XNF_ASSIGN_OR_RETURN(Row right, MatchRow(mi));
+      Row combined = ConcatRows(current_left_row_, right);
       XNF_ASSIGN_OR_RETURN(bool ok, PassesFilters(residual_, combined, ctx_));
       if (ok) {
         matched_ = true;
@@ -600,11 +933,12 @@ Status HashJoinOp::NextBatchImpl(RowBatch* out) {
     if (match_pos_ >= n_matches) {
       if (left_outer_ && !matched_) {
         if (out->full()) return Status::Ok();  // pad on the next call
-        Row padded = std::move(*current_left_);
+        XNF_RETURN_IF_ERROR(EnsureLeftRow());
+        Row padded = std::move(current_left_row_);
         padded.resize(padded.size() + right_width_, Value::Null());
         out->Add(std::move(padded));
       }
-      current_left_.reset();
+      have_left_ = false;
     }
   }
   return Status::Ok();
@@ -699,6 +1033,11 @@ Status AggregateOp::Accumulate(AggState* state, const qgm::AggSpec& spec,
   EvalContext local = *ectx;
   local.row = &input;
   XNF_ASSIGN_OR_RETURN(Value v, EvalExpr(*spec.arg, &local));
+  return AccumulateValue(state, spec, std::move(v));
+}
+
+Status AggregateOp::AccumulateValue(AggState* state, const qgm::AggSpec& spec,
+                                    Value v) {
   if (v.is_null()) return Status::Ok();  // NULLs ignored by aggregates
   if (spec.distinct) {
     for (const Value& seen : state->distinct_seen) {
@@ -762,11 +1101,111 @@ Result<Value> AggregateOp::Finalize(const AggState& state,
   return Status::Internal("unhandled aggregate");
 }
 
+Status AggregateOp::AccumulateColumnar(LateScan* scan) {
+  struct KeyHash {
+    size_t operator()(const Row& r) const { return HashRow(r); }
+  };
+  struct KeyEq {
+    bool operator()(const Row& a, const Row& b) const {
+      return RowsEqual(a, b);
+    }
+  };
+  std::unordered_map<Row, size_t, KeyHash, KeyEq> index;
+  std::vector<const ColumnStore::ColumnView*> key_views(group_keys_.size());
+  std::vector<const ColumnStore::ColumnView*> arg_views(aggs_.size());
+  for (ColBatch& b : scan->batches) {
+    for (size_t k = 0; k < group_keys_.size(); ++k) {
+      XNF_RETURN_IF_ERROR(b.View(static_cast<size_t>(group_keys_[k]->slot),
+                                 /*need_values=*/true, &key_views[k]));
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      arg_views[a] = nullptr;
+      if (aggs_[a].func == qgm::AggFunc::kCountStar) continue;
+      XNF_RETURN_IF_ERROR(b.View(static_cast<size_t>(aggs_[a].arg->slot),
+                                 /*need_values=*/true, &arg_views[a]));
+    }
+    const std::vector<char>& sel = b.sel();
+    for (size_t i = 0; i < b.rows(); ++i) {
+      if (!sel[i]) continue;
+      Row key;
+      key.reserve(key_views.size());
+      for (const ColumnStore::ColumnView* v : key_views) {
+        key.push_back(ColumnStore::ViewValue(*v, i));
+      }
+      Group* group;
+      auto it = index.find(key);
+      if (it == index.end()) {
+        index.emplace(std::move(key), groups_.size());
+        groups_.emplace_back();
+        group = &groups_.back();
+        // Only each group's first row is ever materialized — exactly the
+        // row the eager path would have copied as the representative.
+        XNF_RETURN_IF_ERROR(
+            b.MaterializeRow(scan->materialize, i, &group->representative));
+        group->states.resize(aggs_.size());
+      } else {
+        group = &groups_[it->second];
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        if (aggs_[a].func == qgm::AggFunc::kCountStar) {
+          ++group->states[a].count;
+          continue;
+        }
+        XNF_RETURN_IF_ERROR(AccumulateValue(
+            &group->states[a], aggs_[a],
+            ColumnStore::ViewValue(*arg_views[a], i)));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
 Status AggregateOp::OpenImpl(ExecContext* ctx) {
   groups_.clear();
   pos_ = 0;
   if (env_) env_->ResetCaches();
+
+  // Columnar path: when the child is a scan and every group key and
+  // aggregate argument is a plain column reference, accumulate straight
+  // off the scan's column batches (group/slot order = the row stream's
+  // order, so first-seen group order, wrapping int sums, and double add
+  // order are all preserved bit-for-bit).
+  SeqScanOp* scan = child_->AsSeqScan();
+  std::vector<size_t> touched_slots;
+  bool shapes_ok =
+      scan != nullptr &&
+      SimpleSlots(group_keys_, child_->schema().size(), &touched_slots);
+  if (shapes_ok) {
+    for (const qgm::AggSpec& spec : aggs_) {
+      if (spec.func == qgm::AggFunc::kCountStar) continue;
+      if (spec.arg == nullptr ||
+          spec.arg->kind != qgm::Expr::Kind::kInputRef || spec.arg->slot < 0 ||
+          static_cast<size_t>(spec.arg->slot) >= child_->schema().size()) {
+        shapes_ok = false;
+        break;
+      }
+      touched_slots.push_back(static_cast<size_t>(spec.arg->slot));
+    }
+  }
+  if (shapes_ok) scan->RequestLateScan();
+
   XNF_RETURN_IF_ERROR(child_->Open(ctx));
+
+  if (shapes_ok) {
+    LateScan* late = scan->late_scan();
+    if (late != nullptr && SlotsMaterialized(touched_slots, *late)) {
+      XNF_RETURN_IF_ERROR(AccumulateColumnar(late));
+      if (scalar_ && groups_.empty()) {
+        groups_.emplace_back();
+        Group& g = groups_.back();
+        g.representative.resize(child_->schema().size(), Value::Null());
+        g.states.resize(aggs_.size());
+      }
+      return Status::Ok();
+    }
+    // Late path not taken (or bitmap mismatch): the scan's NextBatch
+    // materializes rows, so the classic drain below runs unchanged.
+  }
 
   struct KeyHash {
     size_t operator()(const Row& r) const { return HashRow(r); }
@@ -1058,6 +1497,7 @@ std::string SeqScanOp::detail() const {
   // Row storage is the default and stays unannotated so existing EXPLAIN
   // output is unchanged.
   if (storage_kind_ == StorageKind::kColumn) out += " storage=column";
+  if (!cluster_column_.empty()) out += " cluster=" + cluster_column_;
   if (!filters_.empty()) out += " filter=[" + ExprList(filters_) + "]";
   return out;
 }

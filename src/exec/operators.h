@@ -10,6 +10,7 @@
 
 #include "exec/eval.h"
 #include "exec/operator.h"
+#include "exec/parallel.h"
 #include "qgm/qgm.h"
 #include "storage/index.h"
 
@@ -66,20 +67,48 @@ class SeqScanOp : public Operator {
   // Storage layout of the scanned table (EXPLAIN annotation).
   void set_storage_kind(StorageKind kind) { storage_kind_ = kind; }
 
+  // CLUSTER BY column name of the scanned table (EXPLAIN annotation).
+  void set_cluster_column(std::string name) {
+    cluster_column_ = std::move(name);
+  }
+
+  SeqScanOp* AsSeqScan() override { return this; }
+
+  // Consumer protocol for zero-copy column batches. A parent that can
+  // process ColBatches (hash join, aggregation) calls RequestLateScan()
+  // before Open; if the scan could take the late path, late_scan() returns
+  // the batches after Open and the parent reads column views directly.
+  // NextBatch still works either way — when the late path was taken it
+  // materializes rows from the batches, so a parent may request late
+  // speculatively and fall back to pulling rows.
+  void RequestLateScan() { late_requested_ = true; }
+  LateScan* late_scan() { return late_.store != nullptr ? &late_ : nullptr; }
+
+  void CloseImpl() override;
+
  protected:
   Status OpenImpl(ExecContext* ctx) override;
   Status NextBatchImpl(RowBatch* out) override;
   uint64_t EstimateRowsImpl(const Catalog* catalog) const override;
 
  private:
+  // Folds the late batches' decode counts into the operator's columnar
+  // stats (called once per execution, before the batches are dropped).
+  void FlushLateStats();
+
   std::string table_name_;
   std::vector<qgm::ExprPtr> filters_;
   bool parallel_eligible_ = false;
   std::optional<std::vector<char>> referenced_;
   StorageKind storage_kind_ = StorageKind::kRow;
+  std::string cluster_column_;
   ExecContext* ctx_ = nullptr;
   std::vector<Row> buffered_;  // materialized at Open (heap scan is callback)
   size_t pos_ = 0;
+  bool late_requested_ = false;
+  LateScan late_;       // store != nullptr iff the late path was taken
+  size_t late_batch_ = 0;  // NextBatch fallback cursor over late_.batches
+  size_t late_slot_ = 0;
 };
 
 // Point lookup through an index; keys are constants or correlation params.
@@ -238,6 +267,15 @@ class HashJoinOp : public Operator {
   void CloseImpl() override {
     left_->Close();
     right_->Close();
+    // The scan children's batches are gone after Close; drop everything
+    // that referenced them (rebuilt by the next Open).
+    build_scan_ = nullptr;
+    probe_scan_ = nullptr;
+    ref_table_.clear();
+    code_table_.clear();
+    probe_code_map_.clear();
+    matches_ = nullptr;
+    ref_matches_ = nullptr;
   }
   std::string label() const override { return "HashJoin"; }
   std::string detail() const override;
@@ -270,8 +308,37 @@ class HashJoinOp : public Operator {
   // what keeps join output independent of the build DOP.
   using BuildTable = std::unordered_map<Row, std::vector<Row>, RowHash, RowEq>;
 
+  // A build row kept in place inside a scan's column batch: decoded only
+  // when a probe actually matches it.
+  struct BuildRef {
+    uint32_t batch = 0;
+    uint32_t row = 0;
+  };
+  using RefTable =
+      std::unordered_map<Row, std::vector<BuildRef>, RowHash, RowEq>;
+
+  // How the build side is held. kRow: materialized rows (the classic path,
+  // and the only one for non-scan build children). kRef: key values are
+  // decoded from the build scan's column views, but the rows themselves
+  // stay in the batches until a probe matches. kCode: single STRING key on
+  // both sides of the join with unoverflowed dictionaries — the table is
+  // indexed by the build side's dictionary code, probes translate their
+  // code through a probe-dict -> build-dict map, and string payloads are
+  // never compared at all.
+  enum class BuildMode { kRow, kRef, kCode };
+
   // Pulls the next left row + its probe matches; false at end of stream.
   Result<bool> AdvanceLeft();
+  // Same, reading the probe key straight from the left scan's column
+  // batches and deferring row materialization until a match (or outer pad)
+  // needs it.
+  Result<bool> AdvanceLeftColumnar();
+  // Builds kRef / kCode tables over the right scan's column batches.
+  Status OpenBuildColumnar();
+  // Materializes current_left_row_ if AdvanceLeftColumnar deferred it.
+  Status EnsureLeftRow();
+  size_t NumMatches() const;
+  Result<Row> MatchRow(size_t i);
 
   OperatorPtr left_;
   OperatorPtr right_;
@@ -285,11 +352,27 @@ class HashJoinOp : public Operator {
   // partition; equal keys always land in the same partition, making probe
   // results identical at any partition count. Serial builds use 1 partition.
   std::vector<BuildTable> partitions_;
+  BuildMode build_mode_ = BuildMode::kRow;
+  LateScan* build_scan_ = nullptr;  // owned by right_'s SeqScan
+  LateScan* probe_scan_ = nullptr;  // owned by left_'s SeqScan
+  RefTable ref_table_;              // kRef (always single-partition)
+  std::vector<std::vector<BuildRef>> code_table_;  // kCode: build code -> refs
+  std::vector<uint32_t> probe_code_map_;  // kCode: probe code -> build code
+  bool code_identity_ = false;  // kCode self-join: codes shared, skip the map
+  size_t code_build_slot_ = 0;  // kCode: key column in the build schema
+  size_t code_probe_slot_ = 0;  // kCode: key column in the probe schema
   RowBatch left_batch_;
   std::vector<std::vector<Value>> left_key_cols_;  // one column per key expr
   size_t left_pos_ = 0;
-  std::optional<Row> current_left_;
+  size_t probe_batch_ = 0;  // columnar probe cursor
+  size_t probe_slot_ = 0;
+  size_t probe_row_batch_ = 0;  // position of the current probe row
+  size_t probe_row_slot_ = 0;
+  bool have_left_ = false;
+  bool left_materialized_ = false;
+  Row current_left_row_;
   const std::vector<Row>* matches_ = nullptr;
+  const std::vector<BuildRef>* ref_matches_ = nullptr;
   size_t match_pos_ = 0;
   bool matched_ = false;
   size_t right_width_ = 0;
@@ -387,6 +470,13 @@ class AggregateOp : public Operator {
 
   Status Accumulate(AggState* state, const qgm::AggSpec& spec,
                     const Row& input, EvalContext* ectx);
+  // The arg-value half of Accumulate, shared by the row path (value from
+  // EvalExpr) and the columnar path (value from a column view).
+  Status AccumulateValue(AggState* state, const qgm::AggSpec& spec, Value v);
+  // Accumulates straight off the child scan's column batches: group keys
+  // and agg arguments are read from column views, and only each group's
+  // first row is materialized (the representative).
+  Status AccumulateColumnar(LateScan* scan);
   Result<Value> Finalize(const AggState& state, const qgm::AggSpec& spec) const;
 
   OperatorPtr child_;

@@ -19,6 +19,8 @@ struct MorselOut {
   std::vector<Rid> rids;
   uint64_t columns_decoded = 0;
   uint64_t columns_skipped = 0;
+  uint64_t groups_pruned = 0;  // clustered tables: groups skipped by tag
+  uint64_t groups_total = 0;
 };
 
 // Scans pages [begin, end), staging rows in kBatchSize chunks and running
@@ -391,6 +393,138 @@ ColumnScanPlan BuildColumnScanPlan(const ColumnStore& store,
   return plan;
 }
 
+// Runs one compiled kernel over one group's `rows` slots, intersecting the
+// outcome into `sel`. `v` is the view of k.column, decoded per the plan's
+// need_values (null only for kRejectAll, which reads no column). The arith
+// scratch vectors are caller-owned so consecutive groups reuse them.
+void ApplyKernel(const KernelFilter& k, const KernelRegistry& reg,
+                 const ColumnStore::ColumnView* view, size_t rows,
+                 std::vector<int64_t>* arith_i64_scratch,
+                 std::vector<double>* arith_f64_scratch, char* sel) {
+  switch (k.kind) {
+    case KernelFilter::Kind::kRejectAll:
+      std::fill(sel, sel + rows, 0);
+      return;
+    case KernelFilter::Kind::kIsNull:
+      reg.null_filter()(view->nulls, rows, k.keep_null, sel);
+      return;
+    default:
+      break;
+  }
+  const ColumnStore::ColumnView& v = *view;
+  const int64_t* ints = v.ints;
+  const double* doubles = v.doubles;
+  if (k.has_arith) {
+    // Derived lane: col (op) literal over the whole group. NULL and dead
+    // rows compute well-defined garbage the comparison masks out through
+    // the null bitmap / selection vector.
+    if (k.arith_is_int) {
+      arith_i64_scratch->resize(rows);
+      reg.i64_arith(k.arith_op)(v.ints, rows, k.arith_i64, k.arith_col_left,
+                                arith_i64_scratch->data());
+      ints = arith_i64_scratch->data();
+    } else if (v.type == Type::kInt) {
+      arith_f64_scratch->resize(rows);
+      reg.i64_f64_arith(k.arith_op)(v.ints, rows, k.arith_f64,
+                                    k.arith_col_left,
+                                    arith_f64_scratch->data());
+      doubles = arith_f64_scratch->data();
+    } else {
+      arith_f64_scratch->resize(rows);
+      reg.f64_arith(k.arith_op)(v.doubles, rows, k.arith_f64,
+                                k.arith_col_left, arith_f64_scratch->data());
+      doubles = arith_f64_scratch->data();
+    }
+  }
+  switch (k.kind) {
+    case KernelFilter::Kind::kCmpI64:
+      reg.i64_filter(k.cmp)(ints, v.nulls, rows, k.i64_const, sel);
+      break;
+    case KernelFilter::Kind::kCmpI64F64:
+      reg.i64_f64_filter(k.cmp)(ints, v.nulls, rows, k.f64_const, sel);
+      break;
+    case KernelFilter::Kind::kCmpF64:
+      reg.f64_filter(k.cmp)(doubles, v.nulls, rows, k.f64_const, sel);
+      break;
+    case KernelFilter::Kind::kCmpCode:
+      reg.code_filter()(v.codes, v.nulls, rows, k.verdict.data(), sel);
+      break;
+    default:
+      break;
+  }
+}
+
+template <typename T>
+bool CmpScalar(CmpOp op, T a, T b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+// True iff a clustered group's tag alone proves every row fails some
+// kernelized filter — the group is then skipped without touching any of
+// its pages. Sound because a tagged group's live rows all hold `tag` in
+// the cluster column (Insert routes by key; in-place writes of a different
+// key drop the tag), so mirroring a kernel on the single tag value decides
+// it for the whole group. Conservative: kernels on other columns,
+// arithmetic lanes, and tagless groups never prune. Call only for
+// clustered stores.
+bool GroupPrunedByTag(const ColumnScanPlan& plan, uint32_t g) {
+  const ColumnStore& store = *plan.store;
+  const int cc = store.cluster_column();
+  Value tag;
+  const bool has_tag = store.ClusterTag(g, &tag);
+  for (const KernelFilter& k : plan.kernels) {
+    // A reject-all conjunct empties every group.
+    if (k.kind == KernelFilter::Kind::kRejectAll) return true;
+    if (!has_tag || k.has_arith || k.column != static_cast<size_t>(cc)) {
+      continue;
+    }
+    switch (k.kind) {
+      case KernelFilter::Kind::kIsNull:
+        if (tag.is_null() != k.keep_null) return true;
+        break;
+      case KernelFilter::Kind::kCmpI64: {
+        if (tag.is_null()) return true;  // comparison unknown -> rejected
+        int64_t v = tag.is_bool() ? (tag.AsBool() ? 1 : 0) : tag.AsInt();
+        if (!CmpScalar(k.cmp, v, k.i64_const)) return true;
+        break;
+      }
+      case KernelFilter::Kind::kCmpI64F64:
+        if (tag.is_null() ||
+            !CmpScalar(k.cmp, static_cast<double>(tag.AsInt()),
+                       k.f64_const)) {
+          return true;
+        }
+        break;
+      case KernelFilter::Kind::kCmpF64:
+        if (tag.is_null() || !CmpScalar(k.cmp, tag.AsDouble(), k.f64_const)) {
+          return true;
+        }
+        break;
+      case KernelFilter::Kind::kCmpCode: {
+        if (tag.is_null()) return true;
+        std::optional<uint32_t> code =
+            store.DictCode(static_cast<size_t>(cc), tag.AsString());
+        if (code.has_value() && *code < k.verdict.size() &&
+            k.verdict[*code] == 0) {
+          return true;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return false;
+}
+
 // Columnar morsel: per row group, run the kernel prefix on column views,
 // gather survivors with only the needed columns decoded (late
 // materialization — unreferenced columns come back as NULL placeholders),
@@ -421,7 +555,15 @@ Status ColumnScanMorsel(const ColumnScanPlan& plan,
   uint64_t groups_read = 0;
   uint64_t segments_viewed = 0;
 
+  const bool clustered = store.cluster_column() >= 0;
   for (uint32_t g = begin; g < end; ++g) {
+    if (clustered) {
+      ++out->groups_total;
+      if (GroupPrunedByTag(plan, g)) {
+        ++out->groups_pruned;
+        continue;
+      }
+    }
     ColumnStore::GroupInfo info;
     XNF_RETURN_IF_ERROR(store.ReadGroupInfo(g, &info));
     ++groups_read;
@@ -455,65 +597,12 @@ Status ColumnScanMorsel(const ColumnScanPlan& plan,
       // work-skip, not an observable difference).
       if (alive == 0) break;
       const size_t alive_in = alive;
-      switch (k.kind) {
-        case KernelFilter::Kind::kRejectAll:
-          std::fill(sel.begin(), sel.end(), 0);
-          break;
-        case KernelFilter::Kind::kIsNull: {
-          XNF_RETURN_IF_ERROR(view_col(k.column));
-          reg.null_filter()(views[k.column].nulls, info.rows, k.keep_null,
-                            sel.data());
-          break;
-        }
-        default: {
-          XNF_RETURN_IF_ERROR(view_col(k.column));
-          const ColumnStore::ColumnView& v = views[k.column];
-          const int64_t* ints = v.ints;
-          const double* doubles = v.doubles;
-          if (k.has_arith) {
-            // Derived lane: col (op) literal over the whole group. NULL
-            // and dead rows compute well-defined garbage the comparison
-            // masks out through the null bitmap / selection vector.
-            if (k.arith_is_int) {
-              arith_i64.resize(info.rows);
-              reg.i64_arith(k.arith_op)(v.ints, info.rows, k.arith_i64,
-                                        k.arith_col_left, arith_i64.data());
-              ints = arith_i64.data();
-            } else if (v.type == Type::kInt) {
-              arith_f64.resize(info.rows);
-              reg.i64_f64_arith(k.arith_op)(v.ints, info.rows, k.arith_f64,
-                                            k.arith_col_left,
-                                            arith_f64.data());
-              doubles = arith_f64.data();
-            } else {
-              arith_f64.resize(info.rows);
-              reg.f64_arith(k.arith_op)(v.doubles, info.rows, k.arith_f64,
-                                        k.arith_col_left, arith_f64.data());
-              doubles = arith_f64.data();
-            }
-          }
-          switch (k.kind) {
-            case KernelFilter::Kind::kCmpI64:
-              reg.i64_filter(k.cmp)(ints, v.nulls, info.rows, k.i64_const,
-                                    sel.data());
-              break;
-            case KernelFilter::Kind::kCmpI64F64:
-              reg.i64_f64_filter(k.cmp)(ints, v.nulls, info.rows,
-                                        k.f64_const, sel.data());
-              break;
-            case KernelFilter::Kind::kCmpF64:
-              reg.f64_filter(k.cmp)(doubles, v.nulls, info.rows,
-                                    k.f64_const, sel.data());
-              break;
-            case KernelFilter::Kind::kCmpCode:
-              reg.code_filter()(v.codes, v.nulls, info.rows,
-                                k.verdict.data(), sel.data());
-              break;
-            default:
-              break;
-          }
-        }
+      const ColumnStore::ColumnView* v = nullptr;
+      if (k.kind != KernelFilter::Kind::kRejectAll) {
+        XNF_RETURN_IF_ERROR(view_col(k.column));
+        v = &views[k.column];
       }
+      ApplyKernel(k, reg, v, info.rows, &arith_i64, &arith_f64, sel.data());
       alive = 0;
       for (size_t i = 0; i < info.rows; ++i) {
         alive += static_cast<size_t>(sel[i]);
@@ -628,6 +717,8 @@ Status ParallelFilterScan(const TableInfo& table,
   auto add_counters = [&](const MorselOut& out) {
     stats->columns_decoded += out.columns_decoded;
     stats->columns_skipped += out.columns_skipped;
+    stats->groups_pruned += out.groups_pruned;
+    stats->groups_total += out.groups_total;
   };
 
   if (dop <= 1 || pages < 2 * kMinMorselPages) {
@@ -674,6 +765,253 @@ Status ParallelFilterScan(const TableInfo& table,
                      std::make_move_iterator(o.rows.end()));
     if (want_rids) {
       rids_out->insert(rids_out->end(), o.rids.begin(), o.rids.end());
+    }
+  }
+  return Status::Ok();
+}
+
+// --- ColBatch ------------------------------------------------------------
+
+ColBatch::ColBatch(const ColumnStore* store, uint32_t group)
+    : store_(store), group_(group) {
+  // Pin for the batch's whole life: consumers hold views across operator
+  // boundaries, long after the scan morsel's own pins are gone.
+  store_->PinRange(group_, group_ + 1);
+  store_->AcquireViewLease(group_);
+}
+
+void ColBatch::Release() {
+  if (store_ == nullptr) return;
+  // Lease goes first: after it, UnpinRange's debug check no longer expects
+  // this group to stay pinned.
+  store_->ReleaseViewLease(group_);
+  store_->UnpinRange(group_, group_ + 1);
+  store_ = nullptr;
+}
+
+ColBatch& ColBatch::operator=(ColBatch&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  store_ = other.store_;
+  other.store_ = nullptr;
+  group_ = other.group_;
+  rows_ = other.rows_;
+  alive_ = other.alive_;
+  sel_ = std::move(other.sel_);
+  scratch_ = std::move(other.scratch_);
+  views_ = std::move(other.views_);
+  viewed_ = std::move(other.viewed_);
+  pending_views_ = other.pending_views_;
+  views_counter_ = other.views_counter_;
+  return *this;
+}
+
+Status ColBatch::Init() {
+  ColumnStore::GroupInfo info;
+  XNF_RETURN_IF_ERROR(store_->ReadGroupInfo(group_, &info));
+  rows_ = info.rows;
+  const size_t ncols = store_->num_columns();
+  scratch_.resize(ncols);
+  views_.resize(ncols);
+  viewed_.assign(ncols, 0);
+  sel_.assign(rows_, 1);
+  alive_ = rows_;
+  if (info.tombstones != nullptr) {
+    alive_ = 0;
+    for (size_t i = 0; i < rows_; ++i) {
+      sel_[i] = static_cast<char>(((info.tombstones[i >> 6] >> (i & 63)) & 1)
+                                  ^ 1);
+      alive_ += static_cast<size_t>(sel_[i]);
+    }
+  }
+  return Status::Ok();
+}
+
+Status ColBatch::View(size_t c, bool need_values,
+                      const ColumnStore::ColumnView** out) {
+  const char want = need_values ? 2 : 1;
+  if (viewed_[c] < want) {
+    XNF_RETURN_IF_ERROR(
+        store_->ViewColumn(group_, c, &scratch_[c], &views_[c], need_values));
+    viewed_[c] = want;
+    if (views_counter_ != nullptr) {
+      CounterAdd(views_counter_);
+    } else {
+      ++pending_views_;
+    }
+  }
+  *out = &views_[c];
+  return Status::Ok();
+}
+
+Status ColBatch::MaterializeRow(const std::vector<char>& materialize,
+                                size_t i, Row* out) {
+  const size_t ncols = store_->num_columns();
+  out->assign(ncols, Value());
+  for (size_t c = 0; c < ncols; ++c) {
+    if (c < materialize.size() && !materialize[c]) continue;
+    const ColumnStore::ColumnView* v = nullptr;
+    XNF_RETURN_IF_ERROR(View(c, true, &v));
+    (*out)[c] = ColumnStore::ViewValue(*v, i);
+  }
+  return Status::Ok();
+}
+
+uint64_t ColBatch::decoded_columns() const {
+  uint64_t n = 0;
+  for (char v : viewed_) n += static_cast<uint64_t>(v != 0);
+  return n;
+}
+
+uint64_t ColBatch::FlushPendingViews() {
+  uint64_t n = pending_views_;
+  pending_views_ = 0;
+  return n;
+}
+
+// --- Late-materializing scan ---------------------------------------------
+
+namespace {
+
+// Late counterpart of ColumnScanMorsel: identical group order, pruning,
+// tombstone seeding, and kernel sequence — but survivors stay columnar as
+// ColBatches instead of being gathered into rows.
+Status LateScanMorsel(const ColumnScanPlan& plan, uint32_t begin,
+                      uint32_t end, std::vector<ColBatch>* out,
+                      uint64_t* groups_pruned, uint64_t* groups_total) {
+  const ColumnStore& store = *plan.store;
+  const KernelRegistry& reg = KernelRegistry::Get();
+  const bool clustered = store.cluster_column() >= 0;
+  std::vector<int64_t> arith_i64;
+  std::vector<double> arith_f64;
+  std::vector<std::array<uint64_t, 3>> kstats(plan.kernels.size());
+  uint64_t groups_read = 0;
+  uint64_t segments_viewed = 0;
+
+  for (uint32_t g = begin; g < end; ++g) {
+    if (clustered) {
+      ++*groups_total;
+      if (GroupPrunedByTag(plan, g)) {
+        ++*groups_pruned;
+        continue;
+      }
+    }
+    ColBatch batch(&store, g);
+    XNF_RETURN_IF_ERROR(batch.Init());
+    ++groups_read;
+    if (batch.rows() == 0) continue;
+    size_t alive = batch.alive();
+    std::vector<char>* sel = batch.mutable_sel();
+    for (size_t ki = 0; ki < plan.kernels.size(); ++ki) {
+      const KernelFilter& k = plan.kernels[ki];
+      if (alive == 0) break;
+      const size_t alive_in = alive;
+      const ColumnStore::ColumnView* v = nullptr;
+      if (k.kind != KernelFilter::Kind::kRejectAll) {
+        XNF_RETURN_IF_ERROR(
+            batch.View(k.column, plan.need_values[k.column] != 0, &v));
+      }
+      ApplyKernel(k, reg, v, batch.rows(), &arith_i64, &arith_f64,
+                  sel->data());
+      alive = 0;
+      for (size_t i = 0; i < batch.rows(); ++i) {
+        alive += static_cast<size_t>((*sel)[i]);
+      }
+      kstats[ki][0] += 1;
+      kstats[ki][1] += alive_in;
+      kstats[ki][2] += alive;
+    }
+    batch.set_alive(alive);
+    segments_viewed += batch.FlushPendingViews();
+    // From here on the consumer drives the decodes; count them directly.
+    batch.AttachViewsCounter(store.segment_views_counter());
+    if (alive != 0) out->push_back(std::move(batch));
+  }
+
+  for (size_t ki = 0; ki < plan.kernels.size(); ++ki) {
+    if (kstats[ki][0] == 0) continue;
+    CounterAdd(plan.kernels[ki].invocations, kstats[ki][0]);
+    CounterAdd(plan.kernels[ki].rows_in, kstats[ki][1]);
+    CounterAdd(plan.kernels[ki].rows_kept, kstats[ki][2]);
+  }
+  CounterAdd(store.group_reads_counter(), groups_read);
+  CounterAdd(store.segment_views_counter(), segments_viewed);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status TryLateFilterScan(const TableInfo& table,
+                         const std::vector<qgm::ExprPtr>& filters,
+                         const std::vector<char>* referenced, ExecContext* ctx,
+                         LateScan* out, ScanStats* stats) {
+  *out = LateScan{};
+  *stats = ScanStats{};
+  const ColumnStore* store = table.storage->AsColumnStore();
+  if (store == nullptr || ctx->catalog == nullptr) return Status::Ok();
+  const ExecConfig& config = ctx->catalog->exec_config();
+  if (config.scalar_eval || !config.late_materialization) return Status::Ok();
+  ColumnScanPlan plan = BuildColumnScanPlan(*store, filters, referenced,
+                                            ctx->catalog->metrics());
+  // Only replace the scan when the whole conjunction kernelized: a scalar
+  // remainder would need gathered rows anyway, and running it against
+  // lazily-built rows here would just duplicate the eager path.
+  if (plan.kernel_filter_count < filters.size()) return Status::Ok();
+
+  out->store = store;
+  out->materialize = plan.materialize;
+  stats->columnar = true;
+  stats->late = true;
+  stats->kernel_filters = plan.kernel_filter_count;
+  stats->total_filters = filters.size();
+
+  const uint32_t pages = static_cast<uint32_t>(store->page_count());
+  ThreadPool* pool = ctx->catalog->exec_pool();
+  const int dop = pool != nullptr ? pool->dop() : 1;
+
+  if (dop <= 1 || pages < 2 * kMinMorselPages) {
+    XNF_RETURN_IF_ERROR(LateScanMorsel(plan, 0, pages, &out->batches,
+                                       &stats->groups_pruned,
+                                       &stats->groups_total));
+    for (const ColBatch& b : out->batches) out->total_rows += b.alive();
+    return Status::Ok();
+  }
+
+  const uint32_t morsel_pages =
+      std::max(kMinMorselPages, pages / (static_cast<uint32_t>(dop) * 4));
+  const size_t n_morsels = (pages + morsel_pages - 1) / morsel_pages;
+  struct LateMorselOut {
+    std::vector<ColBatch> batches;
+    uint64_t groups_pruned = 0;
+    uint64_t groups_total = 0;
+  };
+  std::vector<LateMorselOut> outs(n_morsels);
+  std::vector<std::function<Status()>> tasks;
+  tasks.reserve(n_morsels);
+  const TableStorage& storage = *table.storage;
+  for (size_t m = 0; m < n_morsels; ++m) {
+    const uint32_t begin = static_cast<uint32_t>(m) * morsel_pages;
+    const uint32_t end = std::min(pages, begin + morsel_pages);
+    tasks.push_back([&storage, &plan, begin, end, o = &outs[m]] {
+      // The morsel pin covers the ReadGroupInfo/kernel window; each
+      // surviving batch carries its own nested pin past the task.
+      MorselPinGuard pins(storage, begin, end);
+      return LateScanMorsel(plan, begin, end, &o->batches, &o->groups_pruned,
+                            &o->groups_total);
+    });
+  }
+  XNF_RETURN_IF_ERROR(pool->RunAll(std::move(tasks)));
+  stats->dop = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(dop), n_morsels));
+  size_t total_batches = 0;
+  for (const LateMorselOut& o : outs) total_batches += o.batches.size();
+  out->batches.reserve(total_batches);
+  for (LateMorselOut& o : outs) {
+    stats->groups_pruned += o.groups_pruned;
+    stats->groups_total += o.groups_total;
+    for (ColBatch& b : o.batches) {
+      out->total_rows += b.alive();
+      out->batches.push_back(std::move(b));
     }
   }
   return Status::Ok();

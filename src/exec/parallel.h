@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "exec/operator.h"
 #include "qgm/expr.h"
+#include "storage/column_store.h"
 
 namespace xnf::exec {
 
@@ -32,6 +33,104 @@ struct ScanStats {
   bool columnar = false;
   uint64_t kernel_filters = 0;
   uint64_t total_filters = 0;
+  // True iff the scan produced column batches (TryLateFilterScan) instead
+  // of materialized rows.
+  bool late = false;
+  // CLUSTER BY tables only: row groups the scan skipped because their
+  // cluster tag alone failed a kernelized filter, out of the groups the
+  // scan considered. A pruned group's pages are never touched. Both stay 0
+  // for unclustered tables.
+  uint64_t groups_pruned = 0;
+  uint64_t groups_total = 0;
+};
+
+// One row group's kernel-filter survivors kept in columnar form: a
+// selection vector over the group plus lazily-decoded column views. This is
+// the executor's zero-copy batch currency — the scan hands ColBatches
+// upward and the consumer (hash join, aggregation, or the generic
+// row-materializing fallback in SeqScanOp) decodes only the columns and
+// rows it actually touches, only when it touches them.
+//
+// Lifetime: the batch pins its group's pages for its whole life (pins nest
+// with the scan's morsel pins) and holds a debug view lease, so a
+// ColumnView obtained from it can never be invalidated by buffer-pool
+// eviction while the batch is alive. Move-only; moving keeps all views
+// valid (decode buffers live on the heap).
+class ColBatch {
+ public:
+  ColBatch() = default;
+  ColBatch(const ColumnStore* store, uint32_t group);
+  ~ColBatch() { Release(); }
+  ColBatch(ColBatch&& other) noexcept { *this = std::move(other); }
+  ColBatch& operator=(ColBatch&& other) noexcept;
+  ColBatch(const ColBatch&) = delete;
+  ColBatch& operator=(const ColBatch&) = delete;
+
+  const ColumnStore* store() const { return store_; }
+  uint32_t group() const { return group_; }
+  // Rows appended to the group (selection-vector length), incl. dead rows.
+  size_t rows() const { return rows_; }
+  // Selected (surviving) rows.
+  size_t alive() const { return alive_; }
+  // Per-slot selection vector: 1 = row survives the scan's filters.
+  const std::vector<char>& sel() const { return sel_; }
+
+  // Reads the group header (fires `column.read`) and seeds the selection
+  // vector from the tombstone bitmap. Must be called exactly once, before
+  // any view access.
+  Status Init();
+
+  // The view of column `c`, decoding it on first use (fires `column.read`
+  // and touches the column's page). `need_values` == false fills only
+  // type/nulls/rows (enough for IS NULL tests); a later need_values call
+  // upgrades the view in place.
+  Status View(size_t c, bool need_values, const ColumnStore::ColumnView** out);
+
+  // Materializes slot `i` as a full-width row: `materialize` columns decode
+  // through the views, the rest stay NULL placeholders — exactly the row
+  // the eager scan path would have gathered.
+  Status MaterializeRow(const std::vector<char>& materialize, size_t i,
+                        Row* out);
+
+  // Scan-side hooks: the morsel intersects filters into the selection
+  // vector and records the new alive count.
+  std::vector<char>* mutable_sel() { return &sel_; }
+  void set_alive(size_t n) { alive_ = n; }
+
+  // Distinct columns viewed so far (the scan's columns_decoded unit).
+  uint64_t decoded_columns() const;
+
+  // Metrics: view counts accumulate locally until a counter is attached
+  // (the scan morsel flushes once per morsel, then attaches the store's
+  // segment-views counter so consumer-time decodes count directly).
+  uint64_t FlushPendingViews();
+  void AttachViewsCounter(Counter* counter) { views_counter_ = counter; }
+
+ private:
+  void Release();
+
+  const ColumnStore* store_ = nullptr;
+  uint32_t group_ = 0;
+  size_t rows_ = 0;
+  size_t alive_ = 0;
+  std::vector<char> sel_;
+  std::vector<ColumnStore::ViewScratch> scratch_;   // per column
+  std::vector<ColumnStore::ColumnView> views_;      // per column
+  std::vector<char> viewed_;  // 0 = not viewed, 1 = nulls only, 2 = values
+  uint64_t pending_views_ = 0;
+  Counter* views_counter_ = nullptr;
+};
+
+// A late-materializing scan's result: the surviving batches in row-group
+// order. Concatenating each batch's selected rows in slot order reproduces
+// the eager scan's output row-for-row; `materialize` is the per-column
+// bitmap a consumer must decode to honour the planner's projection
+// contract (other columns are NULL placeholders downstream).
+struct LateScan {
+  const ColumnStore* store = nullptr;  // null = late path not taken
+  std::vector<char> materialize;
+  std::vector<ColBatch> batches;
+  size_t total_rows = 0;  // sum of batch alive counts
 };
 
 // Morsel-driven parallel filtering scan of a base table: storage is split
@@ -61,6 +160,19 @@ Status ParallelFilterScan(const TableInfo& table,
                           const std::vector<char>* referenced,
                           ExecContext* ctx, std::vector<Row>* rows_out,
                           std::vector<Rid>* rids_out, ScanStats* stats);
+
+// Late-materializing variant: instead of gathering rows, hand the kernel
+// survivors upward as ColBatches (selection vector + lazy column views).
+// Taken only when the table is columnar, ExecConfig::late_materialization
+// is on, scalar_eval is off, and *every* pushed filter kernelized (a scalar
+// remainder would need gathered rows anyway); otherwise returns Ok with
+// out->store == nullptr and the caller falls back to ParallelFilterScan.
+// Same morsel decomposition, merge order, and cluster-tag pruning as the
+// eager path, so batch rows concatenate to the identical scan output.
+Status TryLateFilterScan(const TableInfo& table,
+                         const std::vector<qgm::ExprPtr>& filters,
+                         const std::vector<char>* referenced, ExecContext* ctx,
+                         LateScan* out, ScanStats* stats);
 
 }  // namespace xnf::exec
 

@@ -120,6 +120,12 @@ Result<OperatorPtr> Planner::PlanBox(const QueryGraph& graph, int box_index) {
       // column is referenced — no pruning.
       scan->set_parallel_eligible(true);
       scan->set_storage_kind(table->storage->kind());
+      if (const ColumnStore* cs = table->storage->AsColumnStore();
+          cs != nullptr && cs->cluster_column() >= 0) {
+        scan->set_cluster_column(
+            cs->schema().column(static_cast<size_t>(cs->cluster_column()))
+                .name);
+      }
       return OperatorPtr(std::move(scan));
     }
     case Box::Kind::kUnion: {
@@ -199,6 +205,11 @@ Result<OperatorPtr> Planner::PlanQuantifierSource(
   // they can be evaluated on any worker thread.
   scan->set_parallel_eligible(true);
   scan->set_storage_kind(table->storage->kind());
+  if (const ColumnStore* cs = table->storage->AsColumnStore();
+      cs != nullptr && cs->cluster_column() >= 0) {
+    scan->set_cluster_column(
+        cs->schema().column(static_cast<size_t>(cs->cluster_column())).name);
+  }
   if (!referenced.empty()) scan->set_referenced(std::move(referenced));
   return OperatorPtr(std::move(scan));
 }

@@ -188,6 +188,9 @@ struct CreateTableStmt {
   std::string name;
   std::vector<ColumnDef> columns;
   StorageClause storage = StorageClause::kDefault;
+  // CREATE TABLE ... CLUSTER BY col: co-cluster rows sharing this column's
+  // value into the same row groups (columnar tables only). Empty = none.
+  std::string cluster_by;
 };
 
 struct CreateIndexStmt {

@@ -225,6 +225,13 @@ Result<Statement> Parser::ParseCreate() {
         return MakeError("expected ROW or COLUMN after USING");
       }
     }
+    if (AcceptKeyword("cluster")) {
+      XNF_RETURN_IF_ERROR(ExpectKeyword("by"));
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return MakeError("expected a column name after CLUSTER BY");
+      }
+      ct->cluster_by = Consume().text;
+    }
     Statement stmt;
     stmt.kind = Statement::Kind::kCreateTable;
     stmt.create_table = std::move(ct);

@@ -85,6 +85,11 @@ class BufferPool {
     std::lock_guard<std::mutex> lock(mu_);
     return pins_.size();
   }
+  // True while `id` holds at least one pin (debug pin-lifetime assertions).
+  bool IsPinned(PageId id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pins_.count(id) > 0;
+  }
 
   uint64_t accesses() const {
     return accesses_.load(std::memory_order_relaxed);

@@ -69,6 +69,10 @@ ColumnStore::ColumnStore(Schema schema, Options options)
     : schema_(std::move(schema)), options_(options) {
   if (options_.rows_per_group == 0) options_.rows_per_group = 1;
   if (options_.max_dict_entries == 0) options_.max_dict_entries = 1;
+  if (options_.cluster_column >= 0 &&
+      static_cast<size_t>(options_.cluster_column) >= schema_.size()) {
+    options_.cluster_column = -1;  // catalog validates; belt and braces
+  }
   dicts_.resize(schema_.size());
   if (options_.metrics != nullptr) {
     appends_ = options_.metrics->counter("storage.column.appends");
@@ -321,13 +325,24 @@ Value ColumnStore::ValueAt(const Group& g, size_t column,
 Result<Rid> ColumnStore::Insert(Row row) {
   XNF_FAILPOINT("column.append");
   XNF_RETURN_IF_ERROR(CheckRowTypes(row));
-  // Touch every column page of the target group before mutating so a pool
-  // error (injected read failure, failed victim write-back) leaves the
-  // store unchanged.
-  bool need_group =
-      groups_.empty() || groups_.back().rows >= options_.rows_per_group;
-  uint32_t group = static_cast<uint32_t>(need_group ? groups_.size()
-                                                   : groups_.size() - 1);
+  // Pick the target group. Unclustered tables append to the last group;
+  // clustered tables route each row to the open group of its cluster-key
+  // value (creating one if none is open), so a group only ever holds rows
+  // of a single key and carries that key as its prunable tag.
+  bool need_group;
+  uint32_t group;
+  const bool clustered = options_.cluster_column >= 0;
+  if (clustered) {
+    const Value& key = row[static_cast<size_t>(options_.cluster_column)];
+    auto it = open_groups_.find(key);
+    need_group = it == open_groups_.end();
+    group = need_group ? static_cast<uint32_t>(groups_.size()) : it->second;
+  } else {
+    need_group =
+        groups_.empty() || groups_.back().rows >= options_.rows_per_group;
+    group = static_cast<uint32_t>(need_group ? groups_.size()
+                                             : groups_.size() - 1);
+  }
   // Buffer-pool page ids are group * num_columns + column in 32 bits
   // (PageFor, and the range arithmetic in Pin/UnpinRange): refuse to grow
   // past that space rather than letting ids wrap and collide across groups.
@@ -336,16 +351,30 @@ Result<Rid> ColumnStore::Insert(Row row) {
           std::numeric_limits<uint32_t>::max()) {
     return Status::NotSupported("columnar table exceeds the 32-bit page-id space");
   }
+  // Touch every column page of the target group before mutating so a pool
+  // error (injected read failure, failed victim write-back) leaves the
+  // store unchanged.
   XNF_RETURN_IF_ERROR(TouchGroupPages(group));
   if (need_group) {
     groups_.emplace_back();
-    groups_.back().cols.resize(schema_.size());
+    Group& fresh = groups_.back();
+    fresh.cols.resize(schema_.size());
+    if (clustered) {
+      fresh.has_tag = true;
+      fresh.tag = row[static_cast<size_t>(options_.cluster_column)];
+      open_groups_.emplace(fresh.tag, group);
+    }
   }
-  Group& g = groups_.back();
+  Group& g = groups_[group];
   AppendToGroup(&g, row);
   ++live_count_;
   CounterAdd(appends_);
-  if (g.rows >= options_.rows_per_group) SealGroup(&g);
+  if (g.rows >= options_.rows_per_group) {
+    SealGroup(&g);
+    if (clustered) {
+      open_groups_.erase(row[static_cast<size_t>(options_.cluster_column)]);
+    }
+  }
   return Rid{group, g.rows - 1};
 }
 
@@ -379,6 +408,7 @@ Status ColumnStore::Update(Rid rid, Row row) {
   Group& g = groups_[rid.page];
   UnsealGroup(&g);
   WriteInPlace(&g, rid.slot, row);
+  InvalidateTagOnWrite(&g, row);
   return Status::Ok();
 }
 
@@ -409,6 +439,7 @@ Status ColumnStore::Restore(Rid rid, Row row) {
   Group& g = groups_[rid.page];
   UnsealGroup(&g);
   WriteInPlace(&g, rid.slot, row);
+  InvalidateTagOnWrite(&g, row);
   SetBit(&g.tombstones, rid.slot, false);
   ++live_count_;
   if (tombstones_ > 0) --tombstones_;
@@ -456,6 +487,19 @@ void ColumnStore::UnpinRange(uint32_t page_begin, uint32_t page_end) const {
   uint32_t ncols = static_cast<uint32_t>(schema_.size());
   options_.buffer_pool->UnpinRange(options_.file_id, page_begin * ncols,
                                    page_end * ncols);
+#ifndef NDEBUG
+  // Pin-lifetime check: no ColumnView may outlive the pin protecting its
+  // pages. Any group in the unpinned range still holding a view lease must
+  // still be pinned through some other guard (pins nest).
+  std::lock_guard<std::mutex> lock(lease_mu_);
+  for (uint32_t g = page_begin; g < page_end; ++g) {
+    auto it = view_leases_.find(g);
+    if (it == view_leases_.end() || it->second == 0) continue;
+    assert(options_.buffer_pool->IsPinned(
+               PageId{options_.file_id, PageFor(g, 0)}) &&
+           "live column view left unpinned (view outlives its morsel pin)");
+  }
+#endif
 }
 
 Status ColumnStore::ReadGroupInfo(uint32_t group, GroupInfo* out) const {
@@ -559,6 +603,35 @@ const std::vector<std::string>& ColumnStore::Dictionary(size_t column) const {
 bool ColumnStore::DictOverflowed(size_t column) const {
   return column < dicts_.size() && dicts_[column].overflowed;
 }
+
+void ColumnStore::InvalidateTagOnWrite(Group* g, const Row& row) const {
+  if (options_.cluster_column < 0 || !g->has_tag) return;
+  const Value& v = row[static_cast<size_t>(options_.cluster_column)];
+  if (v.TotalOrderCompare(g->tag) != 0) g->has_tag = false;
+}
+
+bool ColumnStore::ClusterTag(uint32_t group, Value* out) const {
+  if (options_.cluster_column < 0 || group >= groups_.size()) return false;
+  const Group& g = groups_[group];
+  if (!g.has_tag) return false;
+  *out = g.tag;
+  return true;
+}
+
+#ifndef NDEBUG
+void ColumnStore::AcquireViewLease(uint32_t group) const {
+  std::lock_guard<std::mutex> lock(lease_mu_);
+  ++view_leases_[group];
+}
+
+void ColumnStore::ReleaseViewLease(uint32_t group) const {
+  std::lock_guard<std::mutex> lock(lease_mu_);
+  auto it = view_leases_.find(group);
+  assert(it != view_leases_.end() && it->second > 0 &&
+         "view lease released without a matching acquire");
+  if (--it->second == 0) view_leases_.erase(it);
+}
+#endif
 
 ColumnStore::Compression ColumnStore::CompressionStats() const {
   Compression c;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -60,6 +62,12 @@ class ColumnStore : public TableStorage {
     // Engine metrics (storage.column.* counters, shared across all columnar
     // tables); null = metrics off.
     MetricsRegistry* metrics = nullptr;
+    // CLUSTER BY column index (-1 = unclustered). Clustered placement
+    // routes each inserted row to the open row group of its cluster-key
+    // value, so one composite object's node rows land in contiguous,
+    // single-key groups and a scan filtered on the key can skip whole
+    // groups by tag without touching their pages (see ClusterTag).
+    int cluster_column = -1;
   };
 
   // `schema` supplies the per-column types the segments are laid out with.
@@ -158,6 +166,34 @@ class ColumnStore : public TableStorage {
   const std::vector<std::string>& Dictionary(size_t column) const;
   bool DictOverflowed(size_t column) const;
 
+  // --- Clustered placement (CLUSTER BY) ----------------------------------
+
+  // The CLUSTER BY column index, or -1 for an unclustered table.
+  int cluster_column() const { return options_.cluster_column; }
+
+  // The cluster tag of a group: the single cluster-key value every live row
+  // in the group is known to hold. Returns false for unclustered tables,
+  // unknown groups, and groups whose tag an in-place update invalidated
+  // (such groups can no longer be pruned). Reads group metadata only — no
+  // page touch, no failpoint — which is what makes tag-based group pruning
+  // cheaper than reading the group.
+  bool ClusterTag(uint32_t group, Value* out) const;
+
+  // --- View leases (debug pin-lifetime checking) --------------------------
+  //
+  // A lease declares "column views of this group are live": ColBatch and
+  // the scan morsel hold one per viewed group, and UnpinRange asserts (debug
+  // builds) that unpinning never strips the last pin from a leased group —
+  // i.e. no ColumnView outlives the pin that protects its pages from
+  // eviction. Release builds compile these to nothing.
+#ifndef NDEBUG
+  void AcquireViewLease(uint32_t group) const;
+  void ReleaseViewLease(uint32_t group) const;
+#else
+  void AcquireViewLease(uint32_t) const {}
+  void ReleaseViewLease(uint32_t) const {}
+#endif
+
   // Encoding statistics (tests, benchmarks).
   struct Compression {
     uint64_t rle_segments = 0;    // currently RLE-encoded segments
@@ -184,6 +220,11 @@ class ColumnStore : public TableStorage {
     std::vector<Segment> cols;
     std::vector<uint64_t> tombstones;  // empty = no deletes in group
     uint32_t rows = 0;
+    // Clustered tables: the cluster-key value this group was created for.
+    // Invalidated (has_tag = false) when an in-place write stores a
+    // different key value into the group.
+    bool has_tag = false;
+    Value tag;
   };
   struct Dict {
     std::vector<std::string> values;
@@ -209,6 +250,10 @@ class ColumnStore : public TableStorage {
   void UnsealGroup(Group* g);  // expand RLE back to plain before writes
   uint32_t EncodeString(size_t column, const std::string& s, Segment* seg);
   Value ValueAt(const Group& g, size_t column, uint32_t slot) const;
+  // Drops a clustered group's tag when an in-place write stores a different
+  // cluster-key value into it (the group is then mixed-key and unprunable;
+  // it stays routable through open_groups_ under its original key).
+  void InvalidateTagOnWrite(Group* g, const Row& row) const;
 
   static bool GetBit(const std::vector<uint64_t>& bits, size_t i) {
     size_t w = i >> 6;
@@ -218,12 +263,27 @@ class ColumnStore : public TableStorage {
   // consumers can index any row without bounds checks.
   void SetBit(std::vector<uint64_t>* bits, size_t i, bool value) const;
 
+  // Deterministic canonical ordering for cluster keys (open_groups_):
+  // identical inserts always produce identical placement.
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.TotalOrderCompare(b) < 0;
+    }
+  };
+
   Schema schema_;
   Options options_;
   std::vector<Group> groups_;
   std::vector<Dict> dicts_;  // one per column; used by STRING columns only
+  // Clustered tables: cluster-key value -> index of its open (unfilled)
+  // group. Entries leave the map when their group fills.
+  std::map<Value, uint32_t, ValueLess> open_groups_;
   size_t live_count_ = 0;
   size_t tombstones_ = 0;
+#ifndef NDEBUG
+  mutable std::mutex lease_mu_;
+  mutable std::unordered_map<uint32_t, int> view_leases_;  // group -> count
+#endif
   // Resolved once at construction; null when metrics are off. Counters are
   // shared across all columnar tables (per-table detail lives in
   // sqlxnf_storage).

@@ -246,25 +246,33 @@ std::string EngineConfig::Label() const {
   os << "dop" << threads << (scalar_eval ? "-scalar" : "-batch")
      << (use_cse ? "-cse" : "-nocse") << (use_indexes ? "-idx" : "-noidx")
      << (use_rewrite ? "-rw" : "-norw")
-     << (column_storage ? "-col" : "-row");
+     << (column_storage ? "-col" : "-row")
+     << (late_materialization ? "" : "-eager");
   return os.str();
 }
 
 std::vector<EngineConfig> DefaultMatrix() {
-  // threads, scalar_eval, use_cse, use_indexes, use_rewrite, column_storage
+  // threads, scalar_eval, use_cse, use_indexes, use_rewrite, column_storage,
+  // late_materialization
   return {
-      {1, true, true, true, true, false},     // group A: serial scalar
-      {1, false, true, true, true, false},    // group A: serial batch
-      {2, false, true, true, true, false},    // group A: parallel
-      {8, false, false, true, true, false},   // group A: wide parallel, no CSE
-      {1, false, true, true, true, true},     // group A: columnar
-      {1, false, true, false, true, false},   // group B: no index access paths
-      {4, false, false, false, true, false},  // group B: parallel, no CSE
-      {4, false, true, false, true, true},    // group B: columnar parallel
-      {1, false, true, true, false, false},   // group C: no rewrite
-      {1, false, true, true, false, true},    // group C: columnar
-      {2, false, false, false, false, false}, // group D: bare plans
-      {2, false, false, false, false, true},  // group D: columnar
+      {1, true, true, true, true, false, true},     // group A: serial scalar
+      {1, false, true, true, true, false, true},    // group A: serial batch
+      {2, false, true, true, true, false, true},    // group A: parallel
+      {8, false, false, true, true, false, true},   // group A: wide, no CSE
+      {1, false, true, true, true, true, true},     // group A: columnar
+      {2, false, true, true, true, true, false},    // group A: columnar,
+                                                    //   decode-at-scan
+      {1, false, true, false, true, false, true},   // group B: no index paths
+      {4, false, false, false, true, false, true},  // group B: parallel,
+                                                    //   no CSE
+      {4, false, true, false, true, true, true},    // group B: columnar
+                                                    //   parallel
+      {1, false, true, true, false, false, true},   // group C: no rewrite
+      {1, false, true, true, false, true, true},    // group C: columnar
+      {2, false, false, false, false, false, true}, // group D: bare plans
+      {2, false, false, false, false, true, true},  // group D: columnar
+      {4, false, false, false, false, true, false}, // group D: columnar
+                                                    //   decode-at-scan
   };
 }
 
@@ -279,6 +287,7 @@ std::optional<Divergence> RunScript(const std::vector<std::string>& statements,
     opt.use_indexes = c.use_indexes;
     opt.use_rewrite = c.use_rewrite;
     opt.scalar_eval = c.scalar_eval;
+    opt.late_materialization = c.late_materialization;
     // Pin the layout explicitly so a SQLXNF_STORAGE environment override
     // (the columnar CI lane) can never skew the matrix.
     opt.default_storage =

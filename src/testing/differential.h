@@ -27,6 +27,11 @@ struct EngineConfig {
   // so a columnar engine must agree bit-identically with the row engines of
   // its plan group.
   bool column_storage = false;
+  // Scans hand zero-copy column batches to joins/aggregation (the PR 8
+  // executor currency) vs decode-at-scan (PR 6 behaviour). NOT part of
+  // PlanGroup for the same reason as column_storage; only observable on
+  // columnar tables.
+  bool late_materialization = true;
 
   // Group key for the bit-identical comparison.
   int PlanGroup() const { return (use_indexes ? 2 : 0) | (use_rewrite ? 1 : 0); }

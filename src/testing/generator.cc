@@ -148,9 +148,10 @@ class Generator {
       ddl += ")";
       // Mix explicit storage clauses into every matrix member: a USING
       // clause overrides the engine's default layout, so row-default
-      // engines also exercise columnar tables (and vice versa).
-      if (rng_.Chance(30)) {
-        ddl += rng_.Chance(50) ? " USING column" : " USING row";
+      // engines also exercise columnar tables (and vice versa). Weighted
+      // toward columnar — the late-materialization axis only bites there.
+      if (rng_.Chance(40)) {
+        ddl += rng_.Chance(60) ? " USING column" : " USING row";
       }
       tables_.push_back(std::move(t));
       Emit(std::move(ddl));
@@ -702,9 +703,12 @@ class Generator {
   }
 
   SelectText GenSelect(bool allow_order) {
+    // Joins and aggregations lead: they are the consumers of the zero-copy
+    // column-batch scan path (build/probe/accumulate over views), so the
+    // matrix's late-materialization axis gets maximum coverage there.
     int roll = rng_.Int(0, 99);
-    if (roll < 35) return SimpleSelect(allow_order);
-    if (roll < 60) return JoinSelect(allow_order);
+    if (roll < 25) return SimpleSelect(allow_order);
+    if (roll < 55) return JoinSelect(allow_order);
     if (roll < 80) return GroupedSelect(allow_order);
     if (roll < 90) return SetOpSelect();
     return DerivedSelect(allow_order);

@@ -127,6 +127,30 @@ SimpleNodeInfo AnalyzeSimpleNode(const CoNodeDef& def,
   return info;
 }
 
+// True if the expression contains a subquery or an XNF path expression:
+// either can read columns the plain column-reference walk cannot see, so
+// TAKE pruning must give up on the affected nodes.
+bool ExprHasSubqueryOrPath(const sql::Expr& e) {
+  if (e.subquery != nullptr || e.path != nullptr) return true;
+  for (const sql::ExprPtr& a : e.args) {
+    if (a && ExprHasSubqueryOrPath(*a)) return true;
+  }
+  return false;
+}
+
+// Marks every input slot a compiled predicate reads (the residual check in
+// the candidate scan evaluates over gathered rows, so its columns must be
+// decoded even when the node does not emit them).
+void MarkExprSlots(const qgm::Expr& e, std::vector<char>* referenced) {
+  if (e.kind == qgm::Expr::Kind::kInputRef && e.slot >= 0 &&
+      static_cast<size_t>(e.slot) < referenced->size()) {
+    (*referenced)[e.slot] = 1;
+  }
+  for (const qgm::ExprPtr& a : e.args) {
+    if (a) MarkExprSlots(*a, referenced);
+  }
+}
+
 }  // namespace
 
 void Evaluator::MergeStats(const Stats& from, Stats* into) {
@@ -139,6 +163,8 @@ void Evaluator::MergeStats(const Stats& from, Stats* into) {
   into->restrictions_applied += from.restrictions_applied;
   into->rows_produced += from.rows_produced;
   into->batches_produced += from.batches_produced;
+  into->scan_columns_decoded += from.scan_columns_decoded;
+  into->scan_columns_skipped += from.scan_columns_skipped;
   into->profiles.insert(into->profiles.end(), from.profiles.begin(),
                         from.profiles.end());
 }
@@ -286,14 +312,39 @@ Result<CoNodeInstance> Evaluator::MaterializeNode(const CoNodeDef& def,
     } else {
       // Candidate scan: morsel-parallel when an executor pool is attached,
       // serial otherwise; output order matches the heap scan either way.
+      // With late materialization on, columnar tables only decode the
+      // columns the node emits — and under an analyzed TAKE list, only the
+      // emitted columns something after the scan actually reads; the rest
+      // surface as NULL placeholders that ApplyTake projects away. Heap
+      // tables ignore the bitmap; late off pins the decode-everything
+      // baseline (the differential harness's axis).
+      const bool narrow = catalog_->exec_config().late_materialization;
+      std::vector<char> referenced(table->schema.size(), 0);
+      if (narrow) {
+        const std::set<std::string>* take_cols = nullptr;
+        if (take_pruning_) {
+          auto it = take_needed_.find(ToLower(def.name));
+          if (it != take_needed_.end()) take_cols = &it->second;
+        }
+        for (size_t c = 0; c < node.base_column_map.size(); ++c) {
+          if (take_cols != nullptr &&
+              take_cols->count(ToLower(node.schema.column(c).name)) == 0) {
+            continue;
+          }
+          referenced[node.base_column_map[c]] = 1;
+        }
+        if (pred != nullptr) MarkExprSlots(*pred, &referenced);
+      }
       std::vector<qgm::ExprPtr> filters;
       if (pred != nullptr) filters.push_back(std::move(pred));
       std::vector<Row> rows;
       std::vector<Rid> rids;
       exec::ScanStats scan_stats;
       XNF_RETURN_IF_ERROR(exec::ParallelFilterScan(
-          *table, filters, /*referenced=*/nullptr, &exec_ctx, &rows, &rids,
-          &scan_stats));
+          *table, filters, narrow ? &referenced : nullptr, &exec_ctx, &rows,
+          &rids, &scan_stats));
+      stats->scan_columns_decoded += scan_stats.columns_decoded;
+      stats->scan_columns_skipped += scan_stats.columns_skipped;
       for (size_t i = 0; i < rows.size(); ++i) emit(rids[i], rows[i]);
     }
     XNF_RETURN_IF_ERROR(status);
@@ -859,6 +910,16 @@ Result<CoInstance> Evaluator::Evaluate(const XnfQuery& query) {
     TraceScope span(trace_sink_, "resolve");
     return resolver.Resolve(query);
   }());
+  // TAKE-driven column pruning. Gated on CSE because the no-CSE edge path
+  // matches node tuples by full-row value, which a NULL placeholder would
+  // corrupt. kDelete/kUpdate act on base rows through rids and need full
+  // tuples in the returned instance.
+  take_needed_.clear();
+  take_pruning_ = false;
+  if (query.action == XnfQuery::Action::kTake && !query.take_all &&
+      options_.use_cse) {
+    ComputeTakePruning(query, def);
+  }
   XNF_ASSIGN_OR_RETURN(CoInstance instance, Materialize(def));
   {
     TraceScope span(trace_sink_, "restrictions");
@@ -869,6 +930,139 @@ Result<CoInstance> Evaluator::Evaluate(const XnfQuery& query) {
     XNF_RETURN_IF_ERROR(ApplyTake(query, &instance));
   }
   return instance;
+}
+
+void Evaluator::ComputeTakePruning(const XnfQuery& query, const CoDef& def) {
+  take_needed_.clear();
+  take_pruning_ = false;
+
+  // A path expression or subquery in a restriction predicate can navigate
+  // to (and read) any node; give up rather than enumerate what it touches.
+  for (const Restriction& r : query.restrictions) {
+    if (r.predicate != nullptr && ExprHasSubqueryOrPath(*r.predicate)) return;
+  }
+
+  std::map<std::string, std::set<std::string>> needed;
+  std::set<std::string> full;  // nodes that must decode every column
+
+  // 1. The TAKE projection itself. `node(col, ...)` pins the listed
+  // columns; `node` / `node(*)` keeps full width. A bare relationship item
+  // adds nothing: its attributes come from the edge query (collected in
+  // step 3), not from node tuples.
+  for (const TakeItem& item : query.take) {
+    int n = def.NodeIndex(item.name);
+    if (n >= 0) {
+      const std::string key = ToLower(def.nodes[n].name);
+      if (item.has_column_list && !item.star_columns) {
+        for (const std::string& c : item.columns) {
+          needed[key].insert(ToLower(c));
+        }
+      } else {
+        full.insert(key);
+      }
+      continue;
+    }
+    if (def.RelIndex(item.name) >= 0) continue;
+    return;  // unknown TAKE item: ApplyTake reports it; don't prune
+  }
+
+  // 2. Restriction predicates read node columns through the instance
+  // evaluator. Node restrictions bind one correlation; edge restrictions
+  // bind the two partners. Unrecognized qualifiers are conservatively full
+  // width (bare columns in an edge restriction could hit either partner).
+  for (const Restriction& r : query.restrictions) {
+    if (r.kind == Restriction::Kind::kNode) {
+      int n = def.NodeIndex(r.target);
+      if (n < 0) return;  // ApplyRestrictions reports it
+      const std::string key = ToLower(def.nodes[n].name);
+      const std::string corr =
+          ToLower(r.corr.empty() ? def.nodes[n].name : r.corr);
+      std::function<void(const sql::Expr&)> walk = [&](const sql::Expr& e) {
+        if (e.kind == sql::Expr::Kind::kColumnRef) {
+          std::string qual = ToLower(e.table);
+          if (qual.empty() || qual == corr) {
+            needed[key].insert(ToLower(e.column));
+          } else {
+            full.insert(key);
+          }
+        }
+        for (const sql::ExprPtr& a : e.args) {
+          if (a) walk(*a);
+        }
+      };
+      walk(*r.predicate);
+    } else {
+      int ri = def.RelIndex(r.target);
+      if (ri < 0) return;
+      const CoRelDef& rel = def.rels[ri];
+      const std::string pkey = ToLower(rel.parent);
+      const std::string ckey = ToLower(rel.child);
+      const std::string pcorr = ToLower(r.parent_corr);
+      const std::string ccorr = ToLower(r.child_corr);
+      std::function<void(const sql::Expr&)> walk = [&](const sql::Expr& e) {
+        if (e.kind == sql::Expr::Kind::kColumnRef) {
+          std::string qual = ToLower(e.table);
+          if (qual == pcorr) {
+            needed[pkey].insert(ToLower(e.column));
+          } else if (qual == ccorr) {
+            needed[ckey].insert(ToLower(e.column));
+          } else {
+            full.insert(pkey);
+            full.insert(ckey);
+          }
+        }
+        for (const sql::ExprPtr& a : e.args) {
+          if (a) walk(*a);
+        }
+      };
+      walk(*r.predicate);
+    }
+  }
+
+  // 3. Edge predicates and attributes read partner columns when building
+  // the CSE temps (phase 2 narrows the temps with this same walk, so every
+  // column the temps carry is marked here too).
+  for (const CoRelDef& rel : def.rels) {
+    if (rel.premade != nullptr) continue;
+    const std::string pkey = ToLower(rel.parent);
+    const std::string ckey = ToLower(rel.child);
+    auto collect = [&](const sql::Expr& root) {
+      if (ExprHasSubqueryOrPath(root)) {
+        full.insert(pkey);
+        full.insert(ckey);
+        return;
+      }
+      std::function<void(const sql::Expr&)> walk = [&](const sql::Expr& e) {
+        if (e.kind == sql::Expr::Kind::kColumnRef) {
+          std::string qual = ToLower(e.table);
+          if (qual == ToLower(rel.parent_corr)) {
+            needed[pkey].insert(ToLower(e.column));
+          } else if (qual == ToLower(rel.child_corr)) {
+            needed[ckey].insert(ToLower(e.column));
+          } else if (!rel.using_table.empty() &&
+                     qual == ToLower(rel.using_corr)) {
+            // link-table column: not a node column
+          } else {
+            full.insert(pkey);
+            full.insert(ckey);
+          }
+        }
+        for (const sql::ExprPtr& a : e.args) {
+          if (a) walk(*a);
+        }
+      };
+      walk(root);
+    };
+    if (rel.predicate != nullptr) collect(*rel.predicate);
+    for (const RelAttribute& a : rel.attributes) collect(*a.expr);
+  }
+
+  for (const CoNodeDef& n : def.nodes) {
+    const std::string key = ToLower(n.name);
+    if (full.count(key) > 0) continue;  // absent entry = decode full width
+    take_needed_[key] = std::move(needed[key]);
+  }
+  take_pruning_ = !take_needed_.empty();
 }
 
 Status Evaluator::ApplyRestrictions(

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,10 @@ class Evaluator {
     // ran (RunSelect drains).
     uint64_t rows_produced = 0;
     uint64_t batches_produced = 0;
+    // Columnar candidate-scan decode accounting across all simple-node
+    // scans: TAKE-driven pruning shows up as skipped columns.
+    uint64_t scan_columns_decoded = 0;
+    uint64_t scan_columns_skipped = 0;
     // One entry per derived query, in evaluation order (nodes before edges;
     // nested view evaluations are appended when they complete).
     std::vector<QueryProfile> profiles;
@@ -123,10 +128,26 @@ class Evaluator {
                            CoInstance* instance);
   Status ApplyTake(const XnfQuery& query, CoInstance* instance);
 
+  // TAKE-driven column pruning (§4 "fast extraction"): with an explicit
+  // TAKE list, a simple node's candidate scan only needs to decode the
+  // columns that the TAKE projection, the restrictions, and the edge
+  // queries actually read — everything else is projected away by ApplyTake
+  // before any consumer touches it. Fills take_needed_ / take_pruning_;
+  // gives up (no pruning) on anything it cannot analyze exactly (paths or
+  // subqueries in restriction predicates, unknown TAKE items). Only valid
+  // under CSE: the no-CSE edge path matches node tuples by full-row value.
+  void ComputeTakePruning(const XnfQuery& query, const CoDef& def);
+
   Catalog* catalog_;
   Options options_;
   Stats stats_;
   TraceSink* trace_sink_ = nullptr;
+  // TAKE pruning state for the Evaluate() in flight (reset on entry). Keyed
+  // by lower-cased node name; a present entry lists the node OUTPUT columns
+  // that must carry real values — absent entry = decode full width. Read
+  // concurrently (read-only) by phase-1 node tasks.
+  std::map<std::string, std::set<std::string>> take_needed_;
+  bool take_pruning_ = false;
   // CSE temp store: node name -> materialized candidates (+ __tid column).
   std::map<std::string, ResultSet> temps_;
   // No-CSE mode: node name -> definition (for inline recomputation).

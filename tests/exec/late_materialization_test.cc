@@ -1,0 +1,522 @@
+// End-to-end tests for the column-batch execution path: dictionary-code
+// join keys (shared / per-table / overflowed dictionaries, NULLs, empty
+// build sides), pin lifetime of zero-copy column views under buffer-pool
+// pressure, CLUSTER BY placement and pruning, bit-identity of late plans
+// against row plans at every DOP, and the XNF TAKE-pruning decode counters.
+//
+// The cross-engine comparisons are deliberately *unsorted*: row storage,
+// columnar eager, and columnar late all belong to the same plan group, so
+// their results must be bit-identical, not merely equal as multisets.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "exec/dml.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace xnf::testing {
+namespace {
+
+std::string QueryText(Database* db, const std::string& sql) {
+  auto rs = db->Query(sql);
+  EXPECT_TRUE(rs.ok()) << sql << ": " << rs.status().ToString();
+  return rs.ok() ? rs->ToString() : std::string();
+}
+
+// Flattens an EXPLAIN [ANALYZE] result (one row per plan line) to a string.
+std::string ExplainText(Database* db, const std::string& stmt) {
+  auto result = db->Execute(stmt);
+  EXPECT_TRUE(result.ok()) << stmt << ": " << result.status().ToString();
+  std::string out;
+  if (!result.ok()) return out;
+  for (const Row& row : result->rows.rows) {
+    out += row[0].AsString() + "\n";
+  }
+  return out;
+}
+
+// Bulk insert bypassing the parser — the overflow test needs enough rows to
+// blow past max_dict_entries, which would be slow as SQL text.
+void InsertRows(Database* db, const std::string& table,
+                std::vector<Row> rows) {
+  TableInfo* info = db->catalog()->GetTable(table);
+  ASSERT_NE(info, nullptr) << table;
+  exec::DmlExecutor dml(db->catalog());
+  for (Row& row : rows) {
+    ASSERT_OK(dml.InsertRow(info, std::move(row)).status());
+  }
+}
+
+// One database per (storage clause, late flag); the schema/data builder is
+// shared so every engine sees the same logical contents.
+std::unique_ptr<Database> MakeDb(
+    bool columnar, bool late,
+    const std::function<void(Database*, const std::string&)>& build,
+    int threads = 1, size_t pool_pages = 0) {
+  Database::Options options;
+  options.threads = threads;
+  options.late_materialization = late;
+  options.buffer_pool_pages = pool_pages;
+  auto db = std::make_unique<Database>(options);
+  build(db.get(), columnar ? " USING column" : " USING row");
+  return db;
+}
+
+// Runs `sql` on a row-storage reference and on columnar eager + late
+// engines, and expects all three texts to match byte-for-byte.
+void ExpectAllEnginesAgree(
+    const std::function<void(Database*, const std::string&)>& build,
+    const std::vector<std::string>& queries) {
+  auto row = MakeDb(/*columnar=*/false, /*late=*/true, build);
+  auto eager = MakeDb(/*columnar=*/true, /*late=*/false, build);
+  auto late = MakeDb(/*columnar=*/true, /*late=*/true, build);
+  for (const std::string& sql : queries) {
+    std::string expected = QueryText(row.get(), sql);
+    EXPECT_EQ(QueryText(eager.get(), sql), expected) << "eager: " << sql;
+    EXPECT_EQ(QueryText(late.get(), sql), expected) << "late: " << sql;
+  }
+}
+
+// --- Dictionary-code join keys ---------------------------------------------
+
+TEST(DictCodeJoin, SharedDictionarySelfJoin) {
+  // Both join sides scan the same table, so build and probe codes come from
+  // one dictionary and compare without translation. NULL keys and dangling
+  // keys are mixed in.
+  auto build = [](Database* db, const std::string& storage) {
+    MustExecute(db, "CREATE TABLE t (s VARCHAR, v INT)" + storage);
+    std::string insert = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 300; ++i) {
+      if (i > 0) insert += ", ";
+      if (i % 11 == 0) {
+        insert += "(NULL, " + std::to_string(i) + ")";
+      } else {
+        insert += "('k" + std::to_string(i % 40) + "', " +
+                  std::to_string(i) + ")";
+      }
+    }
+    MustExecute(db, insert);
+  };
+  ExpectAllEnginesAgree(
+      build,
+      {"SELECT a.v, b.v FROM t a, t b WHERE a.s = b.s AND b.v < 30",
+       "SELECT a.s, COUNT(*) FROM t a, t b WHERE a.s = b.s GROUP BY a.s",
+       "SELECT a.v FROM t a, t b WHERE a.s = b.s AND b.v = 23"});
+}
+
+TEST(DictCodeJoin, PerTableDictionariesTranslate) {
+  // The same strings enter the two dictionaries in different orders, so the
+  // same key has *different* codes on each side: the probe-side code map
+  // must translate, never compare raw codes across tables.
+  auto build = [](Database* db, const std::string& storage) {
+    MustExecute(db, "CREATE TABLE lhs (s VARCHAR, v INT)" + storage);
+    MustExecute(db, "CREATE TABLE rhs (s VARCHAR, w INT)" + storage);
+    std::string l = "INSERT INTO lhs VALUES ";
+    std::string r = "INSERT INTO rhs VALUES ";
+    for (int i = 0; i < 200; ++i) {
+      if (i > 0) {
+        l += ", ";
+        r += ", ";
+      }
+      // lhs sees keys ascending, rhs descending plus keys lhs never has.
+      l += "('k" + std::to_string(i % 50) + "', " + std::to_string(i) + ")";
+      r += "('k" + std::to_string((199 - i) % 61) + "', " +
+           std::to_string(i) + ")";
+    }
+    MustExecute(db, l);
+    MustExecute(db, r);
+  };
+  ExpectAllEnginesAgree(
+      build,
+      {"SELECT lhs.v, rhs.w FROM lhs, rhs WHERE lhs.s = rhs.s AND rhs.w < 40",
+       "SELECT lhs.s, SUM(rhs.w) FROM lhs, rhs WHERE lhs.s = rhs.s "
+       "GROUP BY lhs.s"});
+}
+
+TEST(DictCodeJoin, OverflowedDictionaryKeysStayExact) {
+  // Push one side's dictionary past max_dict_entries (2^16): overflow codes
+  // are segment-local and not comparable across segments, so the code-keyed
+  // build must turn itself off — results still match the row engine.
+  constexpr int kDistinct = 70000;
+  auto build = [](Database* db, const std::string& storage) {
+    MustExecute(db, "CREATE TABLE big (s VARCHAR, v INT)" + storage);
+    MustExecute(db, "CREATE TABLE probe (s VARCHAR, w INT)" + storage);
+    std::vector<Row> rows;
+    rows.reserve(kDistinct);
+    for (int i = 0; i < kDistinct; ++i) {
+      rows.push_back(Row{Value::String("key" + std::to_string(i)),
+                         Value::Int(i)});
+    }
+    InsertRows(db, "big", std::move(rows));
+    // Probe keys straddle the overflow boundary: some resolve to plain
+    // dictionary codes, some only exist as overflow entries.
+    std::vector<Row> probe;
+    for (int i = 0; i < 40; ++i) {
+      int key = (i % 2 == 0) ? i * 100 : 65000 + i * 100;
+      probe.push_back(Row{Value::String("key" + std::to_string(key)),
+                          Value::Int(i)});
+    }
+    probe.push_back(Row{Value::String("nomatch"), Value::Int(999)});
+    InsertRows(db, "probe", std::move(probe));
+  };
+
+  auto row = MakeDb(/*columnar=*/false, /*late=*/true, build);
+  auto late = MakeDb(/*columnar=*/true, /*late=*/true, build);
+  // The columnar big table really did overflow its dictionary.
+  ASSERT_OK_AND_ASSIGN(
+      ResultSet ov,
+      late->Query(
+          "SELECT dict_overflow FROM sqlxnf_storage WHERE name = 'big'"));
+  ASSERT_EQ(ov.rows.size(), 1u);
+  EXPECT_GT(ov.rows[0][0].AsInt(), 0);
+
+  for (const char* sql :
+       {"SELECT big.v, probe.w FROM big, probe WHERE big.s = probe.s",
+        "SELECT probe.w FROM probe, big WHERE probe.s = big.s AND big.v > "
+        "100"}) {
+    EXPECT_EQ(QueryText(late.get(), sql), QueryText(row.get(), sql)) << sql;
+  }
+}
+
+TEST(DictCodeJoin, NullKeysNeverMatch) {
+  auto build = [](Database* db, const std::string& storage) {
+    MustExecute(db, "CREATE TABLE l (s VARCHAR, v INT)" + storage);
+    MustExecute(db, "CREATE TABLE r (s VARCHAR, w INT)" + storage);
+    MustExecute(db,
+                "INSERT INTO l VALUES ('a', 1), (NULL, 2), ('b', 3), "
+                "(NULL, 4)");
+    MustExecute(db,
+                "INSERT INTO r VALUES (NULL, 10), ('b', 20), (NULL, 30), "
+                "('c', 40)");
+  };
+  ExpectAllEnginesAgree(
+      build, {"SELECT l.v, r.w FROM l, r WHERE l.s = r.s",
+              "SELECT l.v FROM l, r WHERE l.s = r.s AND r.w > 5",
+              "SELECT COUNT(*) FROM l, r WHERE l.s = r.s"});
+}
+
+TEST(DictCodeJoin, EmptyAndAllNullBuildSides) {
+  auto build = [](Database* db, const std::string& storage) {
+    MustExecute(db, "CREATE TABLE probe (s VARCHAR, v INT)" + storage);
+    MustExecute(db, "CREATE TABLE nothing (s VARCHAR, w INT)" + storage);
+    MustExecute(db, "CREATE TABLE onlynull (s VARCHAR, w INT)" + storage);
+    MustExecute(db, "INSERT INTO probe VALUES ('a', 1), ('b', 2), (NULL, 3)");
+    // `nothing` stays empty (zero rows, empty dictionary); `onlynull` has
+    // rows but its string column never populates the dictionary.
+    MustExecute(db, "INSERT INTO onlynull VALUES (NULL, 1), (NULL, 2)");
+  };
+  ExpectAllEnginesAgree(
+      build,
+      {"SELECT probe.v FROM probe, nothing WHERE probe.s = nothing.s",
+       "SELECT probe.v, onlynull.w FROM probe, onlynull "
+       "WHERE probe.s = onlynull.s",
+       "SELECT COUNT(*) FROM probe, nothing WHERE probe.s = nothing.s"});
+}
+
+// --- Pin lifetime of zero-copy column views --------------------------------
+
+// Schema/data shared by the pin tests: two columnar tables spanning many
+// row groups, joined on a string key — the join retains build-side batches
+// (and their pins) for its whole lifetime.
+void BuildPinDb(Database* db, const std::string& storage) {
+  MustExecute(db, "CREATE TABLE build (s VARCHAR, v INT)" + storage);
+  MustExecute(db, "CREATE TABLE probe (s VARCHAR, w INT)" + storage);
+  std::vector<Row> rows;
+  for (int i = 0; i < 2000; ++i) {
+    rows.push_back(
+        Row{Value::String("k" + std::to_string(i % 97)), Value::Int(i)});
+  }
+  InsertRows(db, "build", std::move(rows));
+  std::vector<Row> probe;
+  for (int i = 0; i < 2000; ++i) {
+    probe.push_back(
+        Row{Value::String("k" + std::to_string(i % 113)), Value::Int(i)});
+  }
+  InsertRows(db, "probe", std::move(probe));
+}
+
+TEST(PinLifetime, BoundedPoolJoinEvictsOnlyUnpinnedGroups) {
+  // A pool far smaller than the working set forces evictions mid-join while
+  // the build side holds live column views. The view-lease debug assert in
+  // ColumnStore fires if an eviction ever victimizes a leased group, so
+  // plain success + correct results is the invariant; pins must also drain
+  // to zero once the statement finishes.
+  const char* kJoin =
+      "SELECT build.v, probe.w FROM build, probe "
+      "WHERE build.s = probe.s AND probe.w < 200";
+  auto reference = MakeDb(/*columnar=*/false, /*late=*/true, BuildPinDb);
+  std::string expected = QueryText(reference.get(), kJoin);
+  ASSERT_FALSE(expected.empty());
+  for (int threads : {1, 4}) {
+    auto db = MakeDb(/*columnar=*/true, /*late=*/true, BuildPinDb, threads,
+                     /*pool_pages=*/8);
+    EXPECT_EQ(QueryText(db.get(), kJoin), expected) << "dop=" << threads;
+    EXPECT_GT(db->buffer_pool()->evictions(), 0u) << "dop=" << threads;
+    EXPECT_EQ(db->buffer_pool()->pinned_pages(), 0u) << "dop=" << threads;
+  }
+}
+
+TEST(PinLifetime, MidJoinEvictionFaultReleasesAllPins) {
+  // The bufferpool.evict failpoint fires when the pool picks an (unpinned)
+  // victim: injecting it mid-join proves a failed eviction surfaces as a
+  // clean statement error — never as a column view over freed memory — and
+  // that every morsel/batch pin is released on the error path.
+  auto db = MakeDb(/*columnar=*/true, /*late=*/true, BuildPinDb,
+                   /*threads=*/1, /*pool_pages=*/8);
+  const char* kJoin =
+      "SELECT build.v, probe.w FROM build, probe WHERE build.s = probe.s";
+  ASSERT_OK(Failpoints::Enable("bufferpool.evict", "nth(5)"));
+  auto r = db->Query(kJoin);
+  Failpoints::DisableAll();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFaultInjected);
+  EXPECT_EQ(db->buffer_pool()->pinned_pages(), 0u);
+  // The engine recovers: the same join now runs clean and matches the row
+  // reference.
+  auto reference = MakeDb(/*columnar=*/false, /*late=*/true, BuildPinDb);
+  EXPECT_EQ(QueryText(db.get(), kJoin), QueryText(reference.get(), kJoin));
+  EXPECT_EQ(db->buffer_pool()->pinned_pages(), 0u);
+}
+
+// --- CLUSTER BY placement --------------------------------------------------
+
+TEST(ClusterBy, RequiresColumnarStorage) {
+  Database db;
+  auto r = db.Execute(
+      "CREATE TABLE t (a INT, g INT) USING row CLUSTER BY g");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("CLUSTER BY requires columnar"),
+            std::string::npos)
+      << r.status().ToString();
+  auto unknown = db.Execute(
+      "CREATE TABLE t (a INT, g INT) USING column CLUSTER BY nope");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.status().ToString().find("not a column"),
+            std::string::npos)
+      << unknown.status().ToString();
+}
+
+TEST(ClusterBy, PlacementIsInvisibleAndPrunesGroups) {
+  // Rows arrive with cluster values interleaved; clustered placement must
+  // not change any query result, and an equality filter on the cluster
+  // column must skip whole groups (the cluster=pruned/total marker).
+  auto build = [](Database* db, bool clustered) {
+    std::string ddl = "CREATE TABLE t (a INT, g INT, s VARCHAR) USING column";
+    if (clustered) ddl += " CLUSTER BY g";
+    MustExecute(db, ddl);
+    std::string insert = "INSERT INTO t VALUES ";
+    for (int i = 0; i < 1024; ++i) {
+      if (i > 0) insert += ", ";
+      insert += "(" + std::to_string(i) + ", " + std::to_string(i % 8) +
+                ", 's" + std::to_string(i % 5) + "')";
+    }
+    MustExecute(db, insert);
+  };
+  Database plain, clustered;
+  build(&plain, false);
+  build(&clustered, true);
+  for (const char* sql :
+       {"SELECT a, s FROM t WHERE g = 3 ORDER BY a",
+        "SELECT g, COUNT(*), SUM(a) FROM t GROUP BY g ORDER BY g",
+        "SELECT a FROM t WHERE g = 3 AND a > 500 ORDER BY a"}) {
+    EXPECT_EQ(QueryText(&clustered, sql), QueryText(&plain, sql)) << sql;
+  }
+
+  // The scan line carries both the static marker (cluster=g) and the
+  // analyze counter (cluster=pruned/total); the counter comes last.
+  std::string plan =
+      ExplainText(&clustered, "EXPLAIN ANALYZE SELECT a FROM t WHERE g = 3");
+  auto pos = plan.rfind("cluster=");
+  ASSERT_NE(pos, std::string::npos) << plan;
+  int pruned = 0, total = 0;
+  ASSERT_EQ(std::sscanf(plan.c_str() + pos, "cluster=%d/%d", &pruned, &total),
+            2)
+      << plan;
+  EXPECT_GT(pruned, 0) << plan;
+  EXPECT_GT(total, pruned) << plan;
+  // The unclustered table scans every group.
+  std::string plain_plan =
+      ExplainText(&plain, "EXPLAIN ANALYZE SELECT a FROM t WHERE g = 3");
+  EXPECT_EQ(plain_plan.find("cluster="), std::string::npos) << plain_plan;
+}
+
+TEST(ClusterBy, UpdatesInvalidateGroupTags) {
+  // Moving a row's cluster value via UPDATE must invalidate its group's tag
+  // so pruning never skips the updated row.
+  Database db;
+  MustExecute(&db,
+              "CREATE TABLE t (a INT, g INT) USING column CLUSTER BY g");
+  std::string insert = "INSERT INTO t VALUES ";
+  for (int i = 0; i < 512; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", " + std::to_string(i % 4) + ")";
+  }
+  MustExecute(&db, insert);
+  MustExecute(&db, "UPDATE t SET g = 9 WHERE a = 100");
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db.Query("SELECT a FROM t WHERE g = 9"));
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].AsInt(), 100);
+  ASSERT_OK_AND_ASSIGN(ResultSet none,
+                       db.Query("SELECT COUNT(*) FROM t WHERE g = 0 AND "
+                                "a = 100"));
+  EXPECT_EQ(none.rows[0][0].AsInt(), 0);
+}
+
+// --- Bit-identity of late plans at every DOP -------------------------------
+
+TEST(LateExec, ColumnarLatePlansBitIdenticalAtEveryDop) {
+  auto build = [](Database* db, const std::string& storage) {
+    MustExecute(db, "CREATE TABLE f (id INT, g INT, s VARCHAR, v INT)" +
+                        storage);
+    MustExecute(db, "CREATE TABLE d (s VARCHAR, tag INT)" + storage);
+    std::vector<Row> f;
+    for (int i = 0; i < 3000; ++i) {
+      f.push_back(Row{Value::Int(i), Value::Int(i % 32),
+                      i % 13 == 0 ? Value::Null()
+                                  : Value::String("k" + std::to_string(i % 71)),
+                      Value::Int((i * 37) % 101)});
+    }
+    InsertRows(db, "f", std::move(f));
+    std::vector<Row> dim;
+    for (int i = 0; i < 50; ++i) {
+      dim.push_back(
+          Row{Value::String("k" + std::to_string(i)), Value::Int(i % 5)});
+    }
+    InsertRows(db, "d", std::move(dim));
+  };
+  const std::vector<std::string> queries = {
+      "SELECT id, s FROM f WHERE v > 50 AND g < 20",
+      "SELECT f.id, f.v, d.tag FROM f, d WHERE f.s = d.s AND d.tag = 2",
+      "SELECT g, COUNT(*), SUM(v), MIN(v), MAX(v) FROM f GROUP BY g",
+      "SELECT d.s, SUM(f.v) FROM f, d WHERE f.s = d.s GROUP BY d.s"};
+  // Row engine at DOP 1 is the single source of truth; every (late, dop)
+  // combination must reproduce it byte-for-byte.
+  auto reference = MakeDb(/*columnar=*/false, /*late=*/true, build);
+  for (const std::string& sql : queries) {
+    const std::string expected = QueryText(reference.get(), sql);
+    for (int dop : {1, 2, 4, 8}) {
+      for (bool late : {false, true}) {
+        auto db = MakeDb(/*columnar=*/true, late, build, dop);
+        EXPECT_EQ(QueryText(db.get(), sql), expected)
+            << "dop=" << dop << " late=" << late << " sql=" << sql;
+      }
+    }
+  }
+}
+
+// --- XNF TAKE pruning ------------------------------------------------------
+
+TEST(TakePruning, SkipsUntakenColumnsAndReportsCounters) {
+  auto build = [](Database* db, const std::string& storage) {
+    MustExecute(db,
+                "CREATE TABLE wide (a INT, b INT, s0 VARCHAR, s1 VARCHAR, "
+                "s2 VARCHAR, n0 INT, n1 INT, s3 VARCHAR)" +
+                    storage);
+    std::string insert = "INSERT INTO wide VALUES ";
+    for (int i = 0; i < 600; ++i) {
+      if (i > 0) insert += ", ";
+      std::string t = std::to_string(i % 37);
+      insert += "(" + std::to_string(i) + ", " + std::to_string(i % 90) +
+                ", 'a" + t + "', 'b" + t + "', 'c" + t + "', " +
+                std::to_string(i % 7) + ", " + std::to_string(i % 11) +
+                ", 'd" + t + "')";
+    }
+    MustExecute(db, insert);
+  };
+  const std::string take =
+      "OUT OF w AS (SELECT * FROM wide WHERE b < 45) TAKE w(a, b)";
+
+  // Pruned evaluation matches the eager instance exactly.
+  auto eager = MakeDb(/*columnar=*/true, /*late=*/false, build);
+  auto late = MakeDb(/*columnar=*/true, /*late=*/true, build);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance expected, eager->QueryCo(take));
+  ASSERT_OK_AND_ASSIGN(co::CoInstance pruned, late->QueryCo(take));
+  EXPECT_EQ(pruned.ToString(), expected.ToString());
+  EXPECT_FALSE(pruned.ToString().empty());
+
+  // The late engine reports skipped columns for the TAKE list...
+  std::string plan = ExplainText(late.get(), "EXPLAIN ANALYZE " + take);
+  auto pos = plan.find("scan columns: ");
+  ASSERT_NE(pos, std::string::npos) << plan;
+  uint64_t decoded = 0, skipped = 0;
+  ASSERT_EQ(std::sscanf(plan.c_str() + pos,
+                        "scan columns: %lu decoded, %lu skipped", &decoded,
+                        &skipped),
+            2)
+      << plan;
+  EXPECT_GT(decoded, 0u) << plan;
+  EXPECT_GT(skipped, decoded) << plan;  // 6 of 8 columns are never taken
+
+  // ...while TAKE * decodes everything.
+  std::string star_plan = ExplainText(
+      late.get(), "EXPLAIN ANALYZE OUT OF w AS (SELECT * FROM wide "
+                  "WHERE b < 45) TAKE *");
+  auto star_pos = star_plan.find("scan columns: ");
+  ASSERT_NE(star_pos, std::string::npos) << star_plan;
+  uint64_t star_decoded = 0, star_skipped = 0;
+  ASSERT_EQ(std::sscanf(star_plan.c_str() + star_pos,
+                        "scan columns: %lu decoded, %lu skipped",
+                        &star_decoded, &star_skipped),
+            2)
+      << star_plan;
+  EXPECT_EQ(star_skipped, 0u) << star_plan;
+  EXPECT_GT(star_decoded, decoded) << star_plan;
+
+  // The eager engine never skips.
+  std::string eager_plan = ExplainText(eager.get(), "EXPLAIN ANALYZE " + take);
+  if (auto p = eager_plan.find("scan columns: "); p != std::string::npos) {
+    uint64_t ed = 0, es = 0;
+    ASSERT_EQ(std::sscanf(eager_plan.c_str() + p,
+                          "scan columns: %lu decoded, %lu skipped", &ed, &es),
+              2)
+        << eager_plan;
+    EXPECT_EQ(es, 0u) << eager_plan;
+  }
+}
+
+TEST(TakePruning, RestrictionColumnsSurvivePruning) {
+  // A restriction reads a column the TAKE list does not mention: pruning
+  // must keep it materialized (NULL placeholders would silently change the
+  // restriction's verdict).
+  auto build = [](Database* db, const std::string& storage) {
+    MustExecute(db,
+                "CREATE TABLE p (a INT, b INT, s VARCHAR, w INT)" + storage);
+    MustExecute(db, "CREATE TABLE c (r INT, x INT, t VARCHAR)" + storage);
+    std::string pi = "INSERT INTO p VALUES ";
+    std::string ci = "INSERT INTO c VALUES ";
+    for (int i = 0; i < 400; ++i) {
+      if (i > 0) {
+        pi += ", ";
+        ci += ", ";
+      }
+      pi += "(" + std::to_string(i) + ", " + std::to_string(i % 50) +
+            ", 'p" + std::to_string(i % 9) + "', " + std::to_string(i % 17) +
+            ")";
+      ci += "(" + std::to_string(i % 120) + ", " + std::to_string(i) +
+            ", 'c" + std::to_string(i % 6) + "')";
+    }
+    MustExecute(db, pi);
+    MustExecute(db, ci);
+  };
+  const std::string take =
+      "OUT OF n0 AS p, n1 AS c, "
+      "e AS (RELATE n0, n1 WHERE n0.a = n1.r) "
+      "WHERE n0 z SUCH THAT z.b < 25 TAKE n0(a), n1(x), e";
+  auto eager = MakeDb(/*columnar=*/true, /*late=*/false, build);
+  auto late = MakeDb(/*columnar=*/true, /*late=*/true, build);
+  auto row = MakeDb(/*columnar=*/false, /*late=*/true, build);
+  ASSERT_OK_AND_ASSIGN(co::CoInstance expected, row->QueryCo(take));
+  ASSERT_OK_AND_ASSIGN(co::CoInstance eager_co, eager->QueryCo(take));
+  ASSERT_OK_AND_ASSIGN(co::CoInstance late_co, late->QueryCo(take));
+  EXPECT_EQ(eager_co.ToString(), expected.ToString());
+  EXPECT_EQ(late_co.ToString(), expected.ToString());
+  EXPECT_FALSE(expected.ToString().empty());
+}
+
+}  // namespace
+}  // namespace xnf::testing

@@ -200,6 +200,70 @@ TEST(RegressionCorpus, TakeProjectionDropsWriteProvenance) {
   });
 }
 
+TEST(RegressionCorpus, ColumnarStringJoinDictCodesAgree) {
+  // String equi-joins over columnar tables take the dictionary-code probe
+  // path when late materialization is on: a self-join compares codes of the
+  // same dictionary, a two-table join translates through per-table
+  // dictionaries, and NULL keys never match. The late-off matrix members
+  // pin the decode-at-scan baseline against the same scripts.
+  ExpectAgreement({
+      "CREATE TABLE a (a INT PRIMARY KEY, b INT, s VARCHAR) USING column",
+      "CREATE TABLE b (a INT PRIMARY KEY, c INT, s VARCHAR) USING column",
+      "INSERT INTO a VALUES (1, 10, 'x'), (2, 20, 'y'), (3, 30, NULL), "
+      "(4, 40, 'x')",
+      "INSERT INTO b VALUES (1, 7, 'y'), (2, 8, 'z'), (3, 9, NULL), "
+      "(4, 6, 'x')",
+      "SELECT l.a, r.a FROM a l, a r WHERE l.s = r.s ORDER BY l.a, r.a",
+      "SELECT a.a, b.a FROM a, b WHERE a.s = b.s ORDER BY a.a, b.a",
+      "SELECT a.s, COUNT(*) FROM a, b WHERE a.s = b.s GROUP BY a.s "
+      "ORDER BY a.s",
+      "DELETE FROM b WHERE s = 'z'",
+      "SELECT a.a, b.a FROM a, b WHERE a.s = b.s AND a.b < 35 "
+      "ORDER BY a.a, b.a",
+  });
+}
+
+TEST(RegressionCorpus, ClusterByPlacementIsInvisible) {
+  // CLUSTER BY only changes physical row-group placement; every query
+  // result (and the heap-order scan sequence of SELECT without ORDER BY)
+  // must match the unclustered engines and the reference. Updates that move
+  // a row's cluster value invalidate the group tag, not the row.
+  ExpectAgreement({
+      "CREATE TABLE t (a INT PRIMARY KEY, g INT, v INT) "
+      "USING column CLUSTER BY g",
+      "INSERT INTO t VALUES (1, 1, 10), (2, 2, 20), (3, 1, 30), (4, 2, 40), "
+      "(5, 1, 50), (6, 3, 60)",
+      "SELECT a, g, v FROM t WHERE g = 1 ORDER BY a",
+      "SELECT g, SUM(v) FROM t GROUP BY g ORDER BY g",
+      "UPDATE t SET g = 2 WHERE a = 3",
+      "SELECT a FROM t WHERE g = 1 ORDER BY a",
+      "SELECT a FROM t WHERE g = 2 ORDER BY a",
+      "DELETE FROM t WHERE g = 3",
+      "SELECT COUNT(*) FROM t",
+  });
+}
+
+TEST(RegressionCorpus, TakePruningKeepsRestrictionsAndEdgesIntact) {
+  // TAKE column lists let the candidate scans skip decoding columns, but
+  // restriction predicates and edge queries still read theirs: the pruned
+  // evaluation must agree with the reference and with the full-width no-CSE
+  // members of the matrix.
+  ExpectAgreement({
+      "CREATE TABLE p (a INT PRIMARY KEY, b INT, v INT, s VARCHAR) "
+      "USING column",
+      "CREATE TABLE c (a INT PRIMARY KEY, r INT, w INT, u VARCHAR) "
+      "USING column",
+      "INSERT INTO p VALUES (1, 10, 100, 'p1'), (2, 20, 200, 'p2'), "
+      "(3, 30, 300, 'p3')",
+      "INSERT INTO c VALUES (7, 1, 70, 'c1'), (8, 2, 80, 'c2'), "
+      "(9, NULL, 90, 'c3')",
+      "OUT OF n0 AS p, n1 AS c, e AS (RELATE n0, n1 WHERE n0.a = n1.r) "
+      "WHERE n0 z SUCH THAT z.b < 25 TAKE n0(a), n1(a, w), e",
+      "OUT OF n0 AS p, n1 AS c, e AS (RELATE n0, n1 WHERE n0.a = n1.r) "
+      "TAKE n0(s), e, n1",
+  });
+}
+
 TEST(RegressionCorpus, IndexCreationMidScriptKeepsPlansAgreeing) {
   // Creating an index between identical queries flips the access path in
   // index-enabled configurations only; results must not move.
